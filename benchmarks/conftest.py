@@ -1,0 +1,36 @@
+"""Shared fixtures for the exhibit-regeneration benchmarks.
+
+One :class:`ExperimentRunner` is shared across the whole session so each
+(app, config, loop, factor) cell is compiled and simulated exactly once no
+matter how many exhibits consume it.  Text artifacts are written to
+``results/`` next to the repository root.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench import all_benchmarks
+from repro.harness import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(max_instructions=8000, compile_timeout=20.0)
+
+
+@pytest.fixture(scope="session")
+def benches():
+    return all_benchmarks()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")

@@ -1,0 +1,53 @@
+"""Regenerates Figure 6a: per-loop u&u speedup (factors 2/4/8) + heuristic.
+
+Shape targets (paper RQ1):
+* every application except `complex` has at least one (loop, factor) that
+  beats baseline;
+* `complex` slows down and gets worse as the factor grows;
+* the heuristic avoids the worst fixed-factor slowdowns.
+"""
+
+import math
+
+from conftest import write_artifact
+
+from repro.harness import geomean
+from repro.harness.fig6 import format_figure, series
+
+
+def test_fig6a(benchmark, runner, benches, results_dir):
+    points = benchmark.pedantic(
+        lambda: series(runner, benches), iterations=1, rounds=1)
+    text = format_figure(points, "speedup")
+    write_artifact(results_dir, "fig6a.txt", text)
+    from repro.harness.figures_svg import fig6_svg
+    write_artifact(results_dir, "fig6a.svg", fig6_svg(points, "speedup"))
+    print()
+    print(text)
+
+    finite = [p for p in points if math.isfinite(p.speedup) and p.speedup > 0]
+    assert finite, "sweep produced no valid points"
+    for p in finite:
+        assert p.outputs_ok, f"{p.app} {p.loop_id}@{p.factor} wrong outputs"
+
+    per_app_best = {}
+    for p in finite:
+        if p.loop_id is not None:
+            per_app_best[p.app] = max(per_app_best.get(p.app, 0.0), p.speedup)
+
+    # RQ1: at least one profitable factor for (nearly) every app but complex.
+    profitable = [app for app, s in per_app_best.items() if s > 1.0]
+    assert len(profitable) >= 10, profitable
+    assert per_app_best["complex"] < 1.0
+
+    # complex: slowdown grows with the unroll factor (paper: worst at u=8).
+    complex_by_factor = {p.factor: p.speedup for p in finite
+                         if p.app == "complex" and p.loop_id is not None}
+    if {2, 8} <= set(complex_by_factor):
+        assert complex_by_factor[8] <= complex_by_factor[2]
+
+    # Heuristic points exist for every app and avoid the worst extremes.
+    heuristic = {p.app: p.speedup for p in finite if p.loop_id is None}
+    assert len(heuristic) == 16
+    worst_fixed = min(p.speedup for p in finite if p.loop_id is not None)
+    assert min(heuristic.values()) > worst_fixed

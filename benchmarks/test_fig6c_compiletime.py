@@ -1,0 +1,63 @@
+"""Regenerates Figure 6c: compile time increase of u&u over baseline.
+
+Shape targets (paper RQ2):
+* compile time inflation tracks code growth (passes must chew through the
+  duplicated code);
+* the heuristic avoids the extreme compile-time blowups;
+* most compile time is spent in the *cleanup* passes, not in the u&u
+  transform itself (the paper: IPSCCP dominated).
+"""
+
+from conftest import write_artifact
+
+from repro.bench import benchmark_by_name
+from repro.harness import geomean
+from repro.harness.fig6 import format_figure, series
+from repro.transforms import compile_module
+
+
+def test_fig6c(benchmark, runner, benches, results_dir):
+    points = benchmark.pedantic(
+        lambda: series(runner, benches), iterations=1, rounds=1)
+    text = format_figure(points, "compile_ratio")
+    write_artifact(results_dir, "fig6c.txt", text)
+    from repro.harness.figures_svg import fig6_svg
+    write_artifact(results_dir, "fig6c.svg",
+                   fig6_svg(points, "compile_ratio"))
+    print()
+    print(text)
+
+    per_loop = [p for p in points if p.loop_id is not None]
+    heuristic = [p.compile_ratio for p in points if p.loop_id is None]
+
+    by_factor = {f: geomean([p.compile_ratio for p in per_loop
+                             if p.factor == f]) for f in (2, 4, 8)}
+    # Compile inflation grows with the factor in aggregate.
+    assert by_factor[8] > by_factor[2]
+
+    # Heuristic contains compile-time inflation vs the worst fixed factor.
+    assert max(heuristic) < max(p.compile_ratio for p in per_loop)
+
+
+def test_cleanup_time_tracks_duplicated_code(benchmark):
+    """The paper attributes compile-time inflation to other passes (IPSCCP)
+    processing the duplicated code, not to the u&u transform alone.  Our
+    analogue: the cleanup stage's wall time under the u&u configuration
+    clearly exceeds its wall time under the baseline configuration on the
+    very same module."""
+
+    def cleanup_time(config, **kw):
+        bench = benchmark_by_name("bezier-surface")
+        module = bench.build_module()
+        result = compile_module(module, config, max_instructions=8000, **kw)
+        times = result.pass_stats.times
+        return sum(t for name, t in times.items()
+                   if name in ("cleanup", "gvn", "sccp", "instcombine",
+                               "simplifycfg", "dce", "licm", "load-elim",
+                               "predication", "baseline-unroll"))
+
+    base_time, uu_time = benchmark.pedantic(
+        lambda: (cleanup_time("baseline"),
+                 cleanup_time("uu", loop_id="bezier_blend:0", factor=4)),
+        iterations=1, rounds=1)
+    assert uu_time > base_time

@@ -1,0 +1,44 @@
+"""Regenerates Figure 8a: per-loop scatter of u&u vs plain unroll speedup.
+
+Shape targets (paper):
+* several loops sit below the diagonal (u&u wins where unroll does not);
+* a large cluster sits on/near the diagonal (similar speedups);
+* factor 8 exhibits both the greatest u&u speedups and the greatest
+  slowdowns (code-size blowup), while factors 2/4 avoid severe slowdown.
+"""
+
+import math
+
+from conftest import write_artifact
+
+from repro.harness.fig8 import format_figure, series
+
+
+def test_fig8a(benchmark, runner, benches, results_dir):
+    points = benchmark.pedantic(
+        lambda: series("unroll", runner, benches), iterations=1, rounds=1)
+    finite = [p for p in points
+              if math.isfinite(p.uu_speedup) and p.uu_speedup > 0]
+    text = format_figure(finite, "unroll")
+    write_artifact(results_dir, "fig8a.txt", text)
+    from repro.harness.figures_svg import fig8_svg
+    write_artifact(results_dir, "fig8a.svg",
+                   fig8_svg(finite, "unroll"))
+    print()
+    print(text)
+
+    assert len(finite) >= 30
+
+    uu_wins = [p for p in finite if p.uu_speedup > p.other_speedup * 1.02]
+    near_diag = [p for p in finite
+                 if abs(p.uu_speedup - p.other_speedup) <=
+                 0.05 * max(p.uu_speedup, p.other_speedup)]
+    assert len(uu_wins) >= 5, "u&u must win on a meaningful set of loops"
+    assert len(near_diag) >= 5, "many loops should tie"
+
+    # Factor-8 extremes vs moderate factors (paper's closing RQ3 point).
+    by_factor = {}
+    for p in finite:
+        by_factor.setdefault(p.factor, []).append(p.uu_speedup)
+    if 8 in by_factor and 2 in by_factor:
+        assert min(by_factor[8]) <= min(by_factor[2])

@@ -1,0 +1,42 @@
+"""Regenerates Figure 8b: per-loop scatter of u&u vs plain unmerge speedup.
+
+Shape target (paper): "unmerge is typically ineffective unless composed
+with unrolling" — the bulk of unmerge-alone speedups cluster at ~1.0, and
+loops where u&u wins big gain little from unmerge alone.
+"""
+
+import math
+
+from conftest import write_artifact
+
+from repro.harness import geomean
+from repro.harness.fig8 import format_figure, series
+
+
+def test_fig8b(benchmark, runner, benches, results_dir):
+    points = benchmark.pedantic(
+        lambda: series("unmerge", runner, benches), iterations=1, rounds=1)
+    finite = [p for p in points
+              if math.isfinite(p.uu_speedup) and p.uu_speedup > 0]
+    text = format_figure(finite, "unmerge")
+    write_artifact(results_dir, "fig8b.txt", text)
+    from repro.harness.figures_svg import fig8_svg
+    write_artifact(results_dir, "fig8b.svg",
+                   fig8_svg(finite, "unmerge"))
+    print()
+    print(text)
+
+    assert len(finite) >= 30
+
+    # Unmerge alone hovers around 1.0 for the majority of loops.
+    unmerge_speedups = {(p.app, p.loop_id): p.other_speedup for p in finite}
+    near_one = [s for s in unmerge_speedups.values() if 0.9 <= s <= 1.15]
+    assert len(near_one) >= len(unmerge_speedups) * 0.5
+
+    # In aggregate, composing with unrolling is what pays off: geomean of
+    # the best u&u factor per loop beats geomean of unmerge alone.
+    best_uu = {}
+    for p in finite:
+        key = (p.app, p.loop_id)
+        best_uu[key] = max(best_uu.get(key, 0.0), p.uu_speedup)
+    assert geomean(best_uu.values()) > geomean(unmerge_speedups.values())

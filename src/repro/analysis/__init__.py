@@ -1,0 +1,27 @@
+"""Static analyses over the IR: CFG, dominators, loops, costs, divergence."""
+
+from .cfg_utils import (blocks_reaching, postorder, predecessor_map,
+                        reachable_blocks, reverse_postorder, split_edge,
+                        topological_order)
+from .convergence import (convergent_instructions, function_has_convergent,
+                          loop_is_convergent)
+from .cost_model import (block_cost, function_size, instruction_cost,
+                         loop_size, region_size)
+from .divergence import DivergenceInfo, loop_has_divergent_branch
+from .dominators import DominatorTree, PostDominatorTree
+from .loops import Loop, LoopInfo
+from .paths import count_paths, estimate_unmerged_size
+from .tripcount import InductionInfo, constant_trip_count, find_induction
+
+__all__ = [
+    "predecessor_map", "reverse_postorder", "postorder", "reachable_blocks",
+    "blocks_reaching", "topological_order", "split_edge",
+    "DominatorTree", "PostDominatorTree",
+    "Loop", "LoopInfo",
+    "count_paths", "estimate_unmerged_size",
+    "instruction_cost", "block_cost", "loop_size", "function_size",
+    "region_size",
+    "loop_is_convergent", "convergent_instructions", "function_has_convergent",
+    "DivergenceInfo", "loop_has_divergent_branch",
+    "InductionInfo", "find_induction", "constant_trip_count",
+]

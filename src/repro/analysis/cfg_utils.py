@@ -1,0 +1,128 @@
+"""CFG traversal utilities shared by analyses and transforms."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+
+
+def predecessor_map(func: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Compute predecessors for every block in one pass over the function.
+
+    A predecessor appears once even if it has two edges to the block (a
+    conditional branch with identical targets), matching phi semantics where
+    one incoming entry covers all edges from the same block.
+    """
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in func.blocks}
+    for block in func.blocks:
+        seen = set()
+        for succ in block.successors():
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                preds[succ].append(block)
+    return preds
+
+
+def reverse_postorder(func: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (unreachable ones excluded)."""
+    order: List[BasicBlock] = []
+    visited: Set[int] = set()
+
+    # Iterative DFS: (block, successor-iterator) stack avoids recursion limits
+    # on the long chains u&u produces.
+    stack = [(func.entry, iter(func.entry.successors()))]
+    visited.add(id(func.entry))
+    while stack:
+        block, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if id(succ) not in visited:
+                visited.add(id(succ))
+                stack.append((succ, iter(succ.successors())))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def postorder(func: Function) -> List[BasicBlock]:
+    order = reverse_postorder(func)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(func: Function) -> Set[int]:
+    """ids of blocks reachable from the entry."""
+    return {id(b) for b in reverse_postorder(func)}
+
+
+def blocks_reaching(targets: Iterable[BasicBlock],
+                    preds: Dict[BasicBlock, List[BasicBlock]]) -> Set[int]:
+    """ids of blocks that can reach any of ``targets`` (inclusive)."""
+    work = list(targets)
+    seen = {id(b) for b in work}
+    while work:
+        block = work.pop()
+        for pred in preds.get(block, []):
+            if id(pred) not in seen:
+                seen.add(id(pred))
+                work.append(pred)
+    return seen
+
+
+def topological_order(blocks: List[BasicBlock],
+                      region: Optional[Set[int]] = None) -> List[BasicBlock]:
+    """Topological order of an acyclic sub-CFG (raises on cycles).
+
+    ``region`` restricts edges to blocks whose id is in the set; when
+    omitted, the set of ``blocks`` defines the region.
+    """
+    if region is None:
+        region = {id(b) for b in blocks}
+    indegree: Dict[int, int] = {id(b): 0 for b in blocks}
+    by_id = {id(b): b for b in blocks}
+    for block in blocks:
+        for succ in block.successors():
+            if id(succ) in region and id(succ) in indegree:
+                indegree[id(succ)] += 1
+    ready = [b for b in blocks if indegree[id(b)] == 0]
+    order: List[BasicBlock] = []
+    while ready:
+        block = ready.pop(0)
+        order.append(block)
+        for succ in block.successors():
+            if id(succ) in region and id(succ) in indegree:
+                indegree[id(succ)] -= 1
+                if indegree[id(succ)] == 0:
+                    ready.append(by_id[id(succ)])
+    if len(order) != len(blocks):
+        raise ValueError("sub-CFG contains a cycle")
+    return order
+
+
+def split_edge(pred: BasicBlock, succ: BasicBlock) -> BasicBlock:
+    """Insert a fresh block on the edge ``pred -> succ`` and return it.
+
+    Phis in ``succ`` are updated to route their ``pred`` incoming entries
+    through the new block.
+    """
+    from ..ir.instructions import BranchInst
+
+    func = pred.parent
+    if func is None:
+        raise ValueError("cannot split edge of a detached block")
+    mid = func.add_block(f"{pred.name}.{succ.name}.split", after=pred)
+    mid.append(BranchInst(succ))
+    term = pred.terminator
+    assert term is not None
+    term.replace_successor(succ, mid)
+    for phi in succ.phis():
+        for i, blk in enumerate(phi.incoming_blocks):
+            if blk is pred:
+                phi.set_incoming_block(i, mid)
+    return mid

@@ -1,0 +1,38 @@
+"""Convergence analysis.
+
+The paper (Section III-C) skips loops containing *convergent* operations
+such as ``__syncthreads()``: duplicating them onto divergent paths is
+unsound because every thread of the block must reach the same barrier.  Our
+IR marks convergence on intrinsics; this module answers the per-loop query.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.function import Function
+from ..ir.instructions import CallInst, Instruction
+from .loops import Loop
+
+
+def is_convergent(inst: Instruction) -> bool:
+    return inst.is_convergent
+
+
+def convergent_instructions(loop: Loop) -> List[Instruction]:
+    """All convergent instructions inside the loop (empty when safe)."""
+    result = []
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst.is_convergent:
+                result.append(inst)
+    return result
+
+
+def loop_is_convergent(loop: Loop) -> bool:
+    """True if the loop contains any convergent operation."""
+    return bool(convergent_instructions(loop))
+
+
+def function_has_convergent(func: Function) -> bool:
+    return any(inst.is_convergent for inst in func.instructions())

@@ -1,0 +1,43 @@
+"""Instruction cost model.
+
+Mirrors the role of LLVM's TargetTransformInfo cost model as used by the
+loop-unroll pass and by the paper's heuristic ("The size of the loop is
+calculated by using LLVM's cost model", Section III-C): each instruction has
+an abstract size/cost; free instructions (bitcasts, unconditional branches to
+the next block) cost zero.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (BranchInst, Instruction, PhiInst)
+from .loops import Loop
+
+
+def instruction_cost(inst: Instruction) -> int:
+    """Abstract cost of one instruction (LLVM's CodeSize-flavoured)."""
+    if isinstance(inst, PhiInst):
+        return 0  # Phis lower to copies the allocator usually coalesces.
+    if isinstance(inst, BranchInst):
+        return 0  # Unconditional fallthrough branches are free in size.
+    return inst.cost
+
+
+def block_cost(block: BasicBlock) -> int:
+    return sum(instruction_cost(i) for i in block.instructions)
+
+
+def loop_size(loop: Loop) -> int:
+    """Cost-model size ``s`` of the loop used by ``f(p, s, u)``."""
+    return sum(block_cost(b) for b in loop.blocks)
+
+
+def function_size(func: Function) -> int:
+    return sum(block_cost(b) for b in func.blocks)
+
+
+def region_size(blocks: Iterable[BasicBlock]) -> int:
+    return sum(block_cost(b) for b in blocks)

@@ -1,0 +1,88 @@
+"""Path counting through loop bodies.
+
+The paper's heuristic needs ``p``, the number of control-flow paths through
+one iteration of the loop (Section III-A: worst-case unmerged size is
+``f(p, s, u) = sum_{i=0}^{u-1} p^i * s``).  We count the distinct paths from
+the loop header to a back edge through the loop's body DAG (back edges
+removed); loop exits terminate a path and are not counted as body paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.block import BasicBlock
+from .loops import Loop, LoopInfo
+
+
+def count_paths(loop: Loop, loop_info: Optional[LoopInfo] = None,
+                limit: int = 1 << 20) -> int:
+    """Number of header-to-latch paths through the loop body.
+
+    Edges into headers of the loop itself (back edges) terminate a path.
+    Inner loops are traversed as if their back edges were absent — i.e. an
+    inner loop contributes its own acyclic path diversity, matching how
+    unmerging duplicates inner-loop bodies once per enclosing path.
+    Counting is capped at ``limit`` to bound heuristic work.
+
+    A loop whose body is straight-line has exactly one path.
+    """
+    memo: Dict[int, int] = {}
+
+    def walk(block: BasicBlock) -> int:
+        cached = memo.get(id(block))
+        if cached is not None:
+            return cached
+        total = 0
+        for succ in block.successors():
+            if succ is loop.header:
+                total += 1          # Back edge: one completed path.
+            elif not loop.contains(succ):
+                continue            # Loop exit: not a body path.
+            elif _is_back_edge_within(loop, loop_info, block, succ):
+                total += 1          # Inner-loop back edge: cut the cycle.
+            else:
+                total += walk(succ)
+            if total >= limit:
+                total = limit
+                break
+        memo[id(block)] = total
+        return total
+
+    paths = 0
+    for succ in loop.header.successors():
+        if succ is loop.header:
+            paths += 1
+        elif loop.contains(succ):
+            paths += walk(succ)
+        if paths >= limit:
+            return limit
+    return max(paths, 1)
+
+
+def _is_back_edge_within(loop: Loop, loop_info: Optional[LoopInfo],
+                         src: BasicBlock, dst: BasicBlock) -> bool:
+    """True if ``src -> dst`` is a back edge of an inner loop."""
+    if loop_info is None:
+        return False
+    inner = loop_info.loop_for(dst)
+    while inner is not None and inner is not loop:
+        if inner.header is dst and inner.contains(src):
+            return True
+        inner = inner.parent
+    return False
+
+
+def estimate_unmerged_size(num_paths: int, size: int, unroll_factor: int,
+                           cap: int = 1 << 30) -> int:
+    """The paper's ``f(p, s, u) = sum_{i=0}^{u-1} p^i * s`` (capped)."""
+    if unroll_factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    total = 0
+    power = 1
+    for _ in range(unroll_factor):
+        total += power * size
+        if total >= cap:
+            return cap
+        power *= num_paths
+    return total

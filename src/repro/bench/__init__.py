@@ -1,0 +1,9 @@
+"""The 16 HeCBench benchmark analogs of the paper's Table I."""
+
+from .base import Benchmark, Launch, PaperNumbers, buf
+from .registry import all_benchmarks, benchmark_by_name, benchmark_names
+
+__all__ = [
+    "Benchmark", "Launch", "PaperNumbers", "buf",
+    "all_benchmarks", "benchmark_by_name", "benchmark_names",
+]

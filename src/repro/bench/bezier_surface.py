@@ -1,0 +1,116 @@
+"""bezier-surface analog (paper Table I row "bezier-surface", Listing 2).
+
+Bezier surface evaluation: the binomial-blend loop of the paper's Listing 2
+computes ``n! / (k! (n-k)!)``-style blends with two decrementing divisor
+counters.  Once ``kn > 1`` (or ``nkn > 1``) turns false it stays false —
+u&u lets GVN's branch facts delete the re-evaluations in later unrolled
+iterations (the FT/TF/FF nodes of the paper's Figure 5), worth 30% on this
+loop.  Two further loops evaluate the surface points (Table I lists 3
+loops).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..frontend.ast import (Assign, Call, For, GlobalTid, If, Index,
+                            KernelDef, Lit, Param, Store, V, While)
+from ..gpu.memory import Memory
+from .base import Benchmark, Launch, PaperNumbers, buf
+
+DEGREE = 12          # Bernstein degree n.
+THREADS = 64
+RESOLUTION = 16      # Surface sample points per thread.
+
+
+class BezierSurface(Benchmark):
+    name = "bezier-surface"
+    category = "CV and image processing"
+    command_line = "-n 4096"
+    paper = PaperNumbers(loops=3, compute_percent=67.18,
+                         baseline_ms=78.75, baseline_rsd=4.07,
+                         heuristic_ms=66.16, heuristic_rsd=3.47)
+    seed = 404
+
+    def kernels(self) -> List[KernelDef]:
+        # Loop 1: the paper's Listing 2, verbatim structure.
+        blend = KernelDef(
+            "bezier_blend",
+            [Param("k_of", "i64*", restrict=True),
+             Param("blends", "f64*", restrict=True),
+             Param("n", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("k", Index("k_of", V("gid"))),
+                    Assign("nn", V("n")),
+                    Assign("kn", V("k")),
+                    Assign("nkn", V("n") - V("k")),
+                    Assign("blend", Lit(1.0, "f64")),
+                    While(V("nn") >= 1, [
+                        Assign("blend", V("blend") * V("nn")),
+                        Assign("nn", V("nn") - 1),
+                        If(V("kn") > 1, [
+                            Assign("blend", V("blend") / V("kn")),
+                            Assign("kn", V("kn") - 1),
+                        ]),
+                        If(V("nkn") > 1, [
+                            Assign("blend", V("blend") / V("nkn")),
+                            Assign("nkn", V("nkn") - 1),
+                        ]),
+                    ]),
+                    Store("blends", V("gid"), V("blend")),
+                ]),
+            ])
+
+        # Loops 2-3: surface point accumulation using the blends.
+        surface = KernelDef(
+            "bezier_surface_eval",
+            [Param("blends", "f64*", restrict=True),
+             Param("ctrl", "f64*", restrict=True),
+             Param("out", "f64*", restrict=True),
+             Param("res", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("b", Index("blends", V("gid"))),
+                    Assign("acc", Lit(0.0, "f64")),
+                    For("s", Lit(0, "i64"), V("res"), [
+                        Assign("t", V("s") * 1.0 / V("res")),
+                        Assign("acc", V("acc") +
+                               V("b") * V("t") * Index("ctrl", V("s"))),
+                    ]),
+                    Assign("acc2", Lit(0.0, "f64")),
+                    For("s2", Lit(0, "i64"), V("res"), [
+                        Assign("u", 1.0 - V("s2") * 1.0 / V("res")),
+                        Assign("acc2", V("acc2") +
+                               V("u") * Index("ctrl", V("s2"))),
+                    ]),
+                    Store("out", V("gid"), V("acc") + V("acc2")),
+                ]),
+            ])
+        return [blend, surface]
+
+    def setup(self, mem: Memory, rng: np.random.Generator) -> Dict[str, int]:
+        k_of = rng.integers(2, DEGREE - 1, THREADS)
+        ctrl = rng.random(RESOLUTION)
+        return {
+            "k_of": mem.alloc("k_of", "i64", THREADS, k_of),
+            "blends": mem.alloc("blends", "f64", THREADS),
+            "ctrl": mem.alloc("ctrl", "f64", RESOLUTION),
+            "out": mem.alloc("out", "f64", THREADS),
+        }
+
+    def launches(self) -> List[Launch]:
+        return [
+            Launch("bezier_blend", 1, THREADS,
+                   [buf("k_of"), buf("blends"), DEGREE, THREADS]),
+            Launch("bezier_surface_eval", 1, THREADS,
+                   [buf("blends"), buf("ctrl"), buf("out"), RESOLUTION,
+                    THREADS]),
+        ]
+
+    def output_buffers(self) -> List[str]:
+        return ["blends", "out"]

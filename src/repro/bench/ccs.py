@@ -1,0 +1,107 @@
+"""ccs analog (paper Table I row "ccs").
+
+Bicluster (condition-based co-expression) scoring over a gene-expression
+matrix: many *small* loops with constant trip counts.  This is one of the
+paper's negative results: the heuristic u&u-transforms several small loops,
+which (a) claims them away from the stock unroller's beneficial full/
+runtime unrolling and (b) adds divergence without exposing redundancy —
+1629 ms degrades to 3463 ms.  Four of its loops are also the paper's
+compile-timeout cases, which here surface as the unmerge growth cap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..frontend.ast import (Assign, Call, For, GlobalTid, If, Index,
+                            KernelDef, Lit, Param, Store, V)
+from ..gpu.memory import Memory
+from .base import Benchmark, Launch, PaperNumbers, buf
+
+GENES = 64
+SAMPLES = 16          # Constant trip count: stock unroller loves these.
+THREADS = 64
+
+
+class CCS(Benchmark):
+    name = "ccs"
+    category = "Bioinformatics"
+    command_line = ("-t 0.9 -i Data_Constant_100_1_bicluster.txt "
+                    "-m 50 -p 1 -g 100.0 -r 100")
+    paper = PaperNumbers(loops=9, compute_percent=99.98,
+                         baseline_ms=1629.32, baseline_rsd=0.2,
+                         heuristic_ms=3462.97, heuristic_rsd=0.02)
+    seed = 707
+
+    def kernels(self) -> List[KernelDef]:
+        # Several small constant-trip-count loops over the sample axis.
+        # With divergent thresholds and no repeated conditions, u&u can
+        # eliminate nothing; the baseline fully unrolls instead.
+        correlate = KernelDef(
+            "ccs_correlate",
+            [Param("expr", "f64*", restrict=True),
+             Param("corr", "f64*", restrict=True),
+             Param("samples", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("mean", Lit(0.0, "f64")),
+                    For("s", Lit(0, "i64"), Lit(16, "i64"), [
+                        Assign("mean", V("mean") +
+                               Index("expr", V("gid") * V("samples")
+                                     + V("s"))),
+                    ]),
+                    Assign("mean", V("mean") / 16.0),
+                    Assign("var", Lit(0.0, "f64")),
+                    For("s2", Lit(0, "i64"), Lit(16, "i64"), [
+                        Assign("d", Index("expr", V("gid") * V("samples")
+                                          + V("s2")) - V("mean")),
+                        Assign("var", V("var") + V("d") * V("d")),
+                    ]),
+                    Store("corr", V("gid"), V("var")),
+                ]),
+            ])
+
+        score = KernelDef(
+            "ccs_score",
+            [Param("corr", "f64*", restrict=True),
+             Param("scores", "f64*", restrict=True),
+             Param("thresh", "f64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("acc", Lit(0.0, "f64")),
+                    For("k", Lit(0, "i64"), Lit(8, "i64"), [
+                        Assign("c", Index("corr", (V("gid") + V("k"))
+                                          % V("threads"))),
+                        If(V("c") > V("thresh"),
+                           [Assign("acc", V("acc") + V("c"))]),
+                    ]),
+                    For("k2", Lit(0, "i64"), Lit(8, "i64"), [
+                        Assign("acc", V("acc") * 0.99),
+                    ]),
+                    Store("scores", V("gid"), V("acc")),
+                ]),
+            ])
+        return [correlate, score]
+
+    def setup(self, mem: Memory, rng: np.random.Generator) -> Dict[str, int]:
+        expr = rng.random(GENES * SAMPLES)
+        return {
+            "expr": mem.alloc("expr", "f64", GENES * SAMPLES, expr),
+            "corr": mem.alloc("corr", "f64", THREADS),
+            "scores": mem.alloc("scores", "f64", THREADS),
+        }
+
+    def launches(self) -> List[Launch]:
+        return [
+            Launch("ccs_correlate", 1, THREADS,
+                   [buf("expr"), buf("corr"), SAMPLES, THREADS]),
+            Launch("ccs_score", 1, THREADS,
+                   [buf("corr"), buf("scores"), 0.9, THREADS]),
+        ] * 2
+
+    def output_buffers(self) -> List[str]:
+        return ["corr", "scores"]

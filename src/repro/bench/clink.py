@@ -1,0 +1,113 @@
+"""clink analog (paper Table I row "clink").
+
+LSTM-network inference (CLINK is an LSTM link-prediction kernel): per
+thread, a time-step loop applies gate activations with piecewise-linear
+"hard sigmoid" saturation branches.  Saturation is sticky in this workload
+(once a cell saturates it stays saturated for the remaining steps), so the
+re-checks are exactly the cross-iteration redundancy u&u exposes — the
+paper reports 1058 -> 871 ms (1.21x) for the heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..frontend.ast import (Assign, Call, For, GlobalTid, If, Index,
+                            KernelDef, Lit, Param, Store, V, While)
+from ..gpu.memory import Memory
+from .base import Benchmark, Launch, PaperNumbers, buf
+
+STEPS = 24
+THREADS = 64
+
+
+class Clink(Benchmark):
+    name = "clink"
+    category = "Machine learning"
+    command_line = "no CLI input"
+    paper = PaperNumbers(loops=5, compute_percent=27.23,
+                         baseline_ms=1058.04, baseline_rsd=0.12,
+                         heuristic_ms=870.99, heuristic_rsd=0.03)
+    seed = 808
+
+    def kernels(self) -> List[KernelDef]:
+        lstm = KernelDef(
+            "clink_lstm",
+            [Param("xs", "f64*", restrict=True),
+             Param("w", "f64*", restrict=True),
+             Param("hidden", "f64*", restrict=True),
+             Param("steps", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("h", Lit(0.0, "f64")),
+                    Assign("cell", Lit(0.0, "f64")),
+                    Assign("sat", Lit(0, "i64")),
+                    Assign("t", Lit(0, "i64")),
+                    While(V("t") < V("steps"), [
+                        Assign("xin", Index("xs", V("gid") * V("steps")
+                                            + V("t"))),
+                        Assign("gate", V("xin") * Index("w", V("gid"))
+                               + V("h") * 0.5),
+                        # Sticky saturation: once sat != 0 it stays set.
+                        If(V("sat") != 0, [
+                            Assign("cell", V("cell") * 0.9),
+                        ], [
+                            If(V("gate") > 2.5, [
+                                Assign("sat", Lit(1, "i64")),
+                                Assign("cell", V("cell") * 0.9),
+                            ], [
+                                Assign("cell", V("cell") + V("gate") * 0.25),
+                            ]),
+                        ]),
+                        Assign("h", V("cell") * 0.5),
+                        Assign("t", V("t") + 1),
+                    ]),
+                    Store("hidden", V("gid"), V("h")),
+                ]),
+            ])
+
+        # Distance kernel: two more small loops (cluster linkage).
+        linkage = KernelDef(
+            "clink_linkage",
+            [Param("hidden", "f64*", restrict=True),
+             Param("dist", "f64*", restrict=True),
+             Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("best", Lit(1e30, "f64")),
+                    For("k", Lit(0, "i64"), Lit(12, "i64"), [
+                        Assign("other", Index("hidden", (V("gid") + V("k") + 1)
+                                              % V("threads"))),
+                        Assign("d", Index("hidden", V("gid")) - V("other")),
+                        Assign("d2", V("d") * V("d")),
+                        If(V("d2") < V("best"), [Assign("best", V("d2"))]),
+                    ]),
+                    Store("dist", V("gid"), V("best")),
+                ]),
+            ])
+        return [lstm, linkage]
+
+    def setup(self, mem: Memory, rng: np.random.Generator) -> Dict[str, int]:
+        xs = rng.random(THREADS * STEPS) * 2.0
+        w = rng.random(THREADS) + 0.5
+        return {
+            "xs": mem.alloc("xs", "f64", THREADS * STEPS, xs),
+            "w": mem.alloc("w", "f64", THREADS, w),
+            "hidden": mem.alloc("hidden", "f64", THREADS),
+            "dist": mem.alloc("dist", "f64", THREADS),
+        }
+
+    def launches(self) -> List[Launch]:
+        return [
+            Launch("clink_lstm", 1, THREADS,
+                   [buf("xs"), buf("w"), buf("hidden"), STEPS, THREADS]),
+            Launch("clink_linkage", 1, THREADS,
+                   [buf("hidden"), buf("dist"), THREADS]),
+        ]
+
+    def output_buffers(self) -> List[str]:
+        return ["hidden", "dist"]

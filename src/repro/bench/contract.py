@@ -1,0 +1,104 @@
+"""contract analog (paper Table I row "contract").
+
+Tensor contraction with compressed/reduced accumulation: nests of small
+accumulation loops over contraction indices, with bounds checks.  The
+paper's heuristic transforms many of its 46 loops, which inflates compile
+time the most of any application (4.58x) and *slows execution down*
+(5470 -> 6571 ms): pure FMA accumulation chains expose no redundancy to the
+cleanup passes, so u&u only adds code and branches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..frontend.ast import (Assign, For, GlobalTid, If, Index, KernelDef,
+                            Lit, Param, Store, V)
+from ..gpu.memory import Memory
+from .base import Benchmark, Launch, PaperNumbers, buf
+
+DIM = 8
+THREADS = 64
+
+
+class Contract(Benchmark):
+    name = "contract"
+    category = "Data compression/reduction"
+    command_line = "64 5"
+    paper = PaperNumbers(loops=46, compute_percent=99.61,
+                         baseline_ms=5470.18, baseline_rsd=0.76,
+                         heuristic_ms=6570.50, heuristic_rsd=0.11)
+    seed = 909
+
+    def kernels(self) -> List[KernelDef]:
+        contract2 = KernelDef(
+            "tensor_contract",
+            [Param("a", "f64*", restrict=True),
+             Param("b", "f64*", restrict=True),
+             Param("out", "f64*", restrict=True),
+             Param("dim", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("row", (V("gid") % V("dim")) * V("dim")),
+                    Assign("acc", Lit(0.0, "f64")),
+                    # Contraction nest: pure FMA chains, nothing for the
+                    # cleanup passes to fold after u&u.
+                    For("i", Lit(0, "i64"), V("dim"), [
+                        For("j", Lit(0, "i64"), V("dim"), [
+                            Assign("av", Index("a", V("row") + V("i"))),
+                            Assign("bv", Index("b", V("i") * V("dim")
+                                               + V("j"))),
+                            Assign("acc", V("acc") + V("av") * V("bv")),
+                        ]),
+                    ]),
+                    Store("out", V("gid"), V("acc")),
+                ]),
+            ])
+
+        reduce_k = KernelDef(
+            "tensor_reduce",
+            [Param("out", "f64*", restrict=True),
+             Param("red", "f64*", restrict=True),
+             Param("dim", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("acc", Lit(0.0, "f64")),
+                    For("k", Lit(0, "i64"), V("dim"), [
+                        Assign("v", Index("out", (V("gid") + V("k"))
+                                          % V("threads"))),
+                        If(V("v") > 0.0,
+                           [Assign("acc", V("acc") + V("v"))],
+                           [Assign("acc", V("acc") - V("v"))]),
+                    ]),
+                    For("k2", Lit(0, "i64"), V("dim"), [
+                        Assign("acc", V("acc") * 0.875 + V("k2") * 0.001),
+                    ]),
+                    Store("red", V("gid"), V("acc")),
+                ]),
+            ])
+        return [contract2, reduce_k]
+
+    def setup(self, mem: Memory, rng: np.random.Generator) -> Dict[str, int]:
+        a = rng.random(DIM * DIM) - 0.5
+        b = rng.random(DIM * DIM) - 0.5
+        return {
+            "a": mem.alloc("a", "f64", DIM * DIM, a),
+            "b": mem.alloc("b", "f64", DIM * DIM, b),
+            "out": mem.alloc("out", "f64", THREADS),
+            "red": mem.alloc("red", "f64", THREADS),
+        }
+
+    def launches(self) -> List[Launch]:
+        return [
+            Launch("tensor_contract", 1, THREADS,
+                   [buf("a"), buf("b"), buf("out"), DIM, THREADS]),
+            Launch("tensor_reduce", 1, THREADS,
+                   [buf("out"), buf("red"), DIM, THREADS]),
+        ] * 2
+
+    def output_buffers(self) -> List[str]:
+        return ["out", "red"]

@@ -1,0 +1,86 @@
+"""haccmk analog (paper Table I row "haccmk").
+
+The HACC cosmology short-force kernel: per particle, an inner loop over
+neighbours computes a softened gravitational force with a cutoff branch.
+The paper observes that plain unrolling is *slightly better* than u&u here
+(u&u's duplicated paths raise instruction-fetch stalls while the cutoff
+branch exposes only a small redundancy), and the heuristic still lands a
+1.14x overall win (5823 -> 5105 ms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..frontend.ast import (Assign, Call, For, GlobalTid, If, Index,
+                            KernelDef, Lit, Param, Store, V)
+from ..gpu.memory import Memory
+from .base import Benchmark, Launch, PaperNumbers, buf
+
+NEIGHBOURS = 64
+THREADS = 64
+
+
+class Haccmk(Benchmark):
+    name = "haccmk"
+    category = "Simulation"
+    command_line = "2000"
+    paper = PaperNumbers(loops=1, compute_percent=99.83,
+                         baseline_ms=5823.46, baseline_rsd=0.01,
+                         heuristic_ms=5105.43, heuristic_rsd=0.01)
+    seed = 222
+
+    def kernels(self) -> List[KernelDef]:
+        force = KernelDef(
+            "haccmk_force",
+            [Param("px", "f64*", restrict=True),
+             Param("py", "f64*", restrict=True),
+             Param("mass", "f64*", restrict=True),
+             Param("fx", "f64*", restrict=True),
+             Param("n", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("x0", Index("px", V("gid"))),
+                    Assign("y0", Index("py", V("gid"))),
+                    Assign("f", Lit(0.0, "f64")),
+                    For("j", Lit(0, "i64"), V("n"), [
+                        Assign("dx", Index("px", V("j")) - V("x0")),
+                        Assign("dy", Index("py", V("j")) - V("y0")),
+                        Assign("r2", V("dx") * V("dx") + V("dy") * V("dy")),
+                        # Cutoff branch: mostly taken, small else side.
+                        If(V("r2") < 1.0, [
+                            Assign("inv",
+                                   1.0 / (V("r2") + 0.01)),
+                            Assign("f", V("f") + Index("mass", V("j"))
+                                   * V("inv") * V("dx")),
+                        ], [
+                            Assign("f", V("f") + 0.0001 * V("dx")),
+                        ]),
+                    ]),
+                    Store("fx", V("gid"), V("f")),
+                ]),
+            ])
+        return [force]
+
+    def setup(self, mem: Memory, rng: np.random.Generator) -> Dict[str, int]:
+        px = rng.random(NEIGHBOURS)
+        py = rng.random(NEIGHBOURS)
+        mass = rng.random(NEIGHBOURS) + 0.5
+        return {
+            "px": mem.alloc("px", "f64", NEIGHBOURS, px),
+            "py": mem.alloc("py", "f64", NEIGHBOURS, py),
+            "mass": mem.alloc("mass", "f64", NEIGHBOURS, mass),
+            "fx": mem.alloc("fx", "f64", THREADS),
+        }
+
+    def launches(self) -> List[Launch]:
+        return [Launch("haccmk_force", 1, THREADS,
+                       [buf("px"), buf("py"), buf("mass"), buf("fx"),
+                        NEIGHBOURS, THREADS])
+                for _ in range(2)]
+
+    def output_buffers(self) -> List[str]:
+        return ["fx"]

@@ -1,0 +1,103 @@
+"""mandelbrot analog (paper Table I row "mandelbrot").
+
+Escape-time iteration per pixel.  The body carries an escaped-flag diamond
+whose redundancy is *intra-iteration*: once ``esc`` is set the expensive
+update is skipped, and unmerging alone lets GVN fold the second ``esc``
+check within the same iteration.  Unrolling, by contrast, deepens the
+divergence between pixels that escape at different iterations — which is
+why this is the one application in the paper where *unmerge alone beats
+both unroll and u&u* (Figure 7), while u&u still beats unroll.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..frontend.ast import (Assign, Call, GlobalTid, If, Index, KernelDef,
+                            Lit, Param, Store, V, While)
+from ..gpu.memory import Memory
+from .base import Benchmark, Launch, PaperNumbers, buf
+
+MAX_ITER = 48
+THREADS = 64
+
+
+class Mandelbrot(Benchmark):
+    name = "mandelbrot"
+    category = "CV and image processing"
+    command_line = "100"
+    paper = PaperNumbers(loops=1, compute_percent=14.47,
+                         baseline_ms=15.60, baseline_rsd=0.08,
+                         heuristic_ms=13.21, heuristic_rsd=0.07)
+    seed = 555
+
+    def kernels(self) -> List[KernelDef]:
+        escape = KernelDef(
+            "mandelbrot_escape",
+            [Param("cr", "f64*", restrict=True),
+             Param("ci", "f64*", restrict=True),
+             Param("iters", "i64*", restrict=True),
+             Param("shades", "f64*", restrict=True),
+             Param("max_iter", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("cre", Index("cr", V("gid"))),
+                    Assign("cim", Index("ci", V("gid"))),
+                    Assign("x", Lit(0.0, "f64")),
+                    Assign("y", Lit(0.0, "f64")),
+                    Assign("esc", Lit(0, "i64")),
+                    Assign("shade", Lit(0.0, "f64")),
+                    Assign("count", Lit(0, "i64")),
+                    Assign("i", Lit(0, "i64")),
+                    While(V("i") < V("max_iter"), [
+                        Assign("x2", V("x") * V("x")),
+                        Assign("y2", V("y") * V("y")),
+                        # First esc check: classify this iteration.
+                        If(V("esc") == 0, [
+                            If(V("x2") + V("y2") > 4.0,
+                               [Assign("esc", Lit(1, "i64"))]),
+                        ]),
+                        # Second esc check in the same iteration: the
+                        # redundancy unmerge exposes *without* unrolling.
+                        If(V("esc") == 0, [
+                            Assign("y", 2.0 * V("x") * V("y") + V("cim")),
+                            Assign("x", V("x2") - V("y2") + V("cre")),
+                            # Smooth-colouring accumulation: enough per-
+                            # iteration FP work that unrolling buys little
+                            # while inflating the body past the icache —
+                            # which is why unmerge *alone* wins here.
+                            Assign("lum", Call("sqrt", (V("x2") + V("y2")
+                                                        + 1.0,))),
+                            Assign("shade", V("shade") * 0.97
+                                   + Call("log", (V("lum") + 1.0,))),
+                            Assign("count", V("count") + 1),
+                        ]),
+                        Assign("i", V("i") + 1),
+                    ]),
+                    Store("iters", V("gid"), V("count")),
+                    Store("shades", V("gid"), V("shade")),
+                ]),
+            ])
+        return [escape]
+
+    def setup(self, mem: Memory, rng: np.random.Generator) -> Dict[str, int]:
+        cr = rng.random(THREADS) * 3.0 - 2.0
+        ci = rng.random(THREADS) * 2.4 - 1.2
+        return {
+            "cr": mem.alloc("cr", "f64", THREADS, cr),
+            "ci": mem.alloc("ci", "f64", THREADS, ci),
+            "iters": mem.alloc("iters", "i64", THREADS),
+            "shades": mem.alloc("shades", "f64", THREADS),
+        }
+
+    def launches(self) -> List[Launch]:
+        return [Launch("mandelbrot_escape", 1, THREADS,
+                       [buf("cr"), buf("ci"), buf("iters"), buf("shades"),
+                        MAX_ITER, THREADS])
+                for _ in range(2)]
+
+    def output_buffers(self) -> List[str]:
+        return ["iters", "shades"]

@@ -1,0 +1,112 @@
+"""qtclustering analog (paper Table I row "qtclustering").
+
+Quality-threshold clustering: per candidate point, loops over the dataset
+computing distances, with threshold branches deciding membership and a
+sticky "cluster full" state.  The paper reports a modest heuristic win
+(176.3 -> 165.9 ms, 1.06x) and notes its compile time is dominated by the
+constant-propagation pass over the duplicated code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..frontend.ast import (Assign, Call, For, GlobalTid, If, Index,
+                            KernelDef, Lit, Param, Store, V, While)
+from ..gpu.memory import Memory
+from .base import Benchmark, Launch, PaperNumbers, buf
+
+POINTS = 48
+THREADS = 64
+CAPACITY = 20
+
+
+class QTClustering(Benchmark):
+    name = "qtclustering"
+    category = "Machine learning"
+    command_line = "no CLI input"
+    paper = PaperNumbers(loops=19, compute_percent=99.14,
+                         baseline_ms=176.3, baseline_rsd=1.9,
+                         heuristic_ms=165.92, heuristic_rsd=0.2)
+    seed = 666
+
+    def kernels(self) -> List[KernelDef]:
+        membership = KernelDef(
+            "qt_membership",
+            [Param("px", "f64*", restrict=True),
+             Param("py", "f64*", restrict=True),
+             Param("members", "i64*", restrict=True),
+             Param("points", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("cx", Index("px", V("gid") % V("points"))),
+                    Assign("cy", Index("py", V("gid") % V("points"))),
+                    Assign("count", Lit(0, "i64")),
+                    Assign("full", Lit(0, "i64")),
+                    Assign("j", Lit(0, "i64")),
+                    While(V("j") < V("points"), [
+                        If(V("full") == 0, [
+                            Assign("dx", Index("px", V("j")) - V("cx")),
+                            Assign("dy", Index("py", V("j")) - V("cy")),
+                            Assign("d2", V("dx") * V("dx")
+                                   + V("dy") * V("dy")),
+                            If(V("d2") < 0.1, [
+                                Assign("count", V("count") + 1),
+                                If(V("count") >= CAPACITY,
+                                   [Assign("full", Lit(1, "i64"))]),
+                            ]),
+                        ]),
+                        Assign("j", V("j") + 1),
+                    ]),
+                    Store("members", V("gid"), V("count")),
+                ]),
+            ])
+
+        diameter = KernelDef(
+            "qt_diameter",
+            [Param("px", "f64*", restrict=True),
+             Param("members", "i64*", restrict=True),
+             Param("diam", "f64*", restrict=True),
+             Param("points", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("m", Index("members", V("gid"))),
+                    Assign("best", Lit(0.0, "f64")),
+                    For("k", Lit(0, "i64"), Lit(12, "i64"), [
+                        Assign("d", Index("px", (V("gid") + V("k"))
+                                          % V("points"))
+                               - Index("px", V("gid") % V("points"))),
+                        Assign("d2", V("d") * V("d")),
+                        If(V("d2") > V("best"),
+                           [Assign("best", V("d2"))]),
+                    ]),
+                    Store("diam", V("gid"), V("best") + V("m") * 0.0),
+                ]),
+            ])
+        return [membership, diameter]
+
+    def setup(self, mem: Memory, rng: np.random.Generator) -> Dict[str, int]:
+        px = rng.random(POINTS)
+        py = rng.random(POINTS)
+        return {
+            "px": mem.alloc("px", "f64", POINTS, px),
+            "py": mem.alloc("py", "f64", POINTS, py),
+            "members": mem.alloc("members", "i64", THREADS),
+            "diam": mem.alloc("diam", "f64", THREADS),
+        }
+
+    def launches(self) -> List[Launch]:
+        return [
+            Launch("qt_membership", 1, THREADS,
+                   [buf("px"), buf("py"), buf("members"), POINTS, THREADS]),
+            Launch("qt_diameter", 1, THREADS,
+                   [buf("px"), buf("members"), buf("diam"), POINTS,
+                    THREADS]),
+        ]
+
+    def output_buffers(self) -> List[str]:
+        return ["members", "diam"]

@@ -1,0 +1,117 @@
+"""quicksort analog (paper Table I row "quicksort").
+
+GPU quicksort's per-thread partition phase: each thread partitions its own
+segment around a pivot with branch-heavy compare/swap loops (the real
+HeCBench benchmark dispatches segments to threads the same way).  Small
+heuristic win in the paper (518 -> 503 ms, 1.03x); the interesting property
+is the store/load traffic that limits what u&u can eliminate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..frontend.ast import (And, Assign, For, GlobalTid, If, Index,
+                            KernelDef, Lit, Param, Store, V, While)
+from ..gpu.memory import Memory
+from .base import Benchmark, Launch, PaperNumbers, buf
+
+SEGMENT = 48
+THREADS = 64
+
+
+class Quicksort(Benchmark):
+    name = "quicksort"
+    category = "Sorting"
+    command_line = "10 2048 2048"
+    paper = PaperNumbers(loops=15, compute_percent=80.36,
+                         baseline_ms=518.19, baseline_rsd=0.29,
+                         heuristic_ms=502.68, heuristic_rsd=0.28)
+    seed = 777
+
+    def kernels(self) -> List[KernelDef]:
+        partition = KernelDef(
+            "qs_partition",
+            [Param("data", "f64*", restrict=True),
+             Param("pivots", "i64*", restrict=True),
+             Param("seg", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("base", V("gid") * V("seg")),
+                    Assign("pivot", Index("data", V("base")
+                                          + V("seg") / 2)),
+                    Assign("lo", Lit(0, "i64")),
+                    Assign("hi", V("seg") - 1),
+                    While(V("lo") <= V("hi"), [
+                        # Advance lo past elements below the pivot.
+                        If(Index("data", V("base") + V("lo")) < V("pivot"), [
+                            Assign("lo", V("lo") + 1),
+                        ], [
+                            If(Index("data", V("base") + V("hi"))
+                               > V("pivot"), [
+                                Assign("hi", V("hi") - 1),
+                            ], [
+                                # Swap.
+                                Assign("tmp", Index("data", V("base")
+                                                    + V("lo"))),
+                                Store("data", V("base") + V("lo"),
+                                      Index("data", V("base") + V("hi"))),
+                                Store("data", V("base") + V("hi"), V("tmp")),
+                                Assign("lo", V("lo") + 1),
+                                Assign("hi", V("hi") - 1),
+                            ]),
+                        ]),
+                    ]),
+                    Store("pivots", V("gid"), V("lo")),
+                ]),
+            ])
+
+        # Insertion-sort cleanup pass over small runs (more small loops).
+        insertion = KernelDef(
+            "qs_insertion",
+            [Param("data", "f64*", restrict=True),
+             Param("seg", "i64"), Param("threads", "i64")],
+            [
+                Assign("gid", GlobalTid()),
+                If(V("gid") < V("threads"), [
+                    Assign("base", V("gid") * V("seg")),
+                    For("i", Lit(1, "i64"), Lit(12, "i64"), [
+                        Assign("key", Index("data", V("base") + V("i"))),
+                        Assign("j", V("i") - 1),
+                        Assign("done", Lit(0, "i64")),
+                        While(And(V("j") >= 0, V("done") == 0), [
+                            If(Index("data", V("base") + V("j"))
+                               > V("key"), [
+                                Store("data", V("base") + V("j") + 1,
+                                      Index("data", V("base") + V("j"))),
+                                Assign("j", V("j") - 1),
+                            ], [
+                                Assign("done", Lit(1, "i64")),
+                            ]),
+                        ]),
+                        Store("data", V("base") + V("j") + 1, V("key")),
+                    ]),
+                ]),
+            ])
+        return [partition, insertion]
+
+    def setup(self, mem: Memory, rng: np.random.Generator) -> Dict[str, int]:
+        data = rng.random(SEGMENT * THREADS)
+        return {
+            "data": mem.alloc("data", "f64", SEGMENT * THREADS, data),
+            "pivots": mem.alloc("pivots", "i64", THREADS),
+        }
+
+    def launches(self) -> List[Launch]:
+        return [
+            Launch("qs_partition", 1, THREADS,
+                   [buf("data"), buf("pivots"), SEGMENT, THREADS]),
+            Launch("qs_insertion", 1, THREADS,
+                   [buf("data"), SEGMENT, THREADS]),
+        ]
+
+    def output_buffers(self) -> List[str]:
+        return ["data", "pivots"]

@@ -1,0 +1,46 @@
+"""Registry of the 16 benchmark analogs, in Table I order."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Benchmark
+from .bezier_surface import BezierSurface
+from .bn import BN
+from .bspline_vgh import BsplineVGH
+from .ccs import CCS
+from .clink import Clink
+from .complex_bench import ComplexBench
+from .contract import Contract
+from .coordinates import Coordinates
+from .haccmk import Haccmk
+from .lavamd import LavaMD
+from .libor import Libor
+from .mandelbrot import Mandelbrot
+from .qtclustering import QTClustering
+from .quicksort import Quicksort
+from .rainflow import Rainflow
+from .xsbench import XSBench
+
+_CLASSES = [
+    BezierSurface, BN, BsplineVGH, CCS, Clink, ComplexBench, Contract,
+    Coordinates, Haccmk, LavaMD, Libor, Mandelbrot, QTClustering,
+    Quicksort, Rainflow, XSBench,
+]
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """Fresh instances of every benchmark, in Table I order."""
+    return [cls() for cls in _CLASSES]
+
+
+def benchmark_by_name(name: str) -> Benchmark:
+    for cls in _CLASSES:
+        instance = cls()
+        if instance.name == name:
+            return instance
+    raise KeyError(f"unknown benchmark: {name!r}")
+
+
+def benchmark_names() -> List[str]:
+    return [cls().name for cls in _CLASSES]

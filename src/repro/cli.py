@@ -1,0 +1,225 @@
+"""Command-line driver, mirroring the paper artifact's run scripts.
+
+The paper's artifact exposes ``run_uu.sh <factor>``, ``run_unroll.sh``,
+``run_unmerge.sh``, ``run_heuristic.sh`` and the plot scripts; this module
+provides the same operations:
+
+    python -m repro list                      # benchmarks + their loops
+    python -m repro run-uu --factor 2         # per-loop u&u sweep
+    python -m repro run-uu --app XSBench --factor 4
+    python -m repro run-unroll --factor 2
+    python -m repro run-unmerge
+    python -m repro run-heuristic             # Table I's heuristic column
+    python -m repro table1                    # regenerate Table I
+    python -m repro fig6 | fig7 | fig8        # regenerate the figures
+    python -m repro indepth                   # Section V counter analyses
+    python -m repro ptx --app XSBench --kernel grid_search [--config uu ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import all_benchmarks, benchmark_by_name
+from .harness import ExperimentRunner
+from .harness import fig6, fig7, fig8, indepth, table1
+
+
+def _runner(args) -> ExperimentRunner:
+    return ExperimentRunner(max_instructions=args.max_instructions,
+                            compile_timeout=args.timeout)
+
+
+def _benches(args) -> List:
+    if args.app:
+        return [benchmark_by_name(args.app)]
+    return all_benchmarks()
+
+
+def cmd_list(args) -> int:
+    for bench in _benches(args):
+        loops = bench.loop_ids()
+        print(f"{bench.name:<16} [{bench.category}]  {len(loops)} loops")
+        for loop_id in loops:
+            print(f"    {loop_id}")
+    return 0
+
+
+def _per_loop_sweep(args, config: str, factor: int) -> int:
+    runner = _runner(args)
+    print(f"{'app':<16} {'loop':<24} {'u':>3} {'speedup':>8} "
+          f"{'size':>7} {'ok':>4}")
+    print("-" * 68)
+    for bench in _benches(args):
+        base = runner.baseline(bench)
+        for loop_id in bench.loop_ids():
+            cell = runner.cell(bench, config, loop_id, factor)
+            if cell.timed_out:
+                print(f"{bench.name:<16} {loop_id:<24} {factor:>3} "
+                      f"{'timeout':>8}")
+                continue
+            ok = "yes" if cell.outputs_match_baseline else "NO"
+            print(f"{bench.name:<16} {loop_id:<24} {factor:>3} "
+                  f"{cell.speedup_over(base):>7.3f}x "
+                  f"{cell.size_ratio_over(base):>6.2f}x {ok:>4}")
+    return 0
+
+
+def cmd_run_uu(args) -> int:
+    return _per_loop_sweep(args, "uu", args.factor)
+
+
+def cmd_run_unroll(args) -> int:
+    return _per_loop_sweep(args, "unroll", args.factor)
+
+
+def cmd_run_unmerge(args) -> int:
+    return _per_loop_sweep(args, "unmerge", 1)
+
+
+def cmd_run_heuristic(args) -> int:
+    runner = _runner(args)
+    print(f"{'app':<16} {'speedup':>8} {'size':>7} {'compile':>8} {'ok':>4}")
+    print("-" * 50)
+    for bench in _benches(args):
+        base = runner.baseline(bench)
+        cell = runner.heuristic_cell(bench)
+        ok = "yes" if cell.outputs_match_baseline else "NO"
+        print(f"{bench.name:<16} {cell.speedup_over(base):>7.3f}x "
+              f"{cell.size_ratio_over(base):>6.2f}x "
+              f"{cell.compile_ratio_over(base):>7.2f}x {ok:>4}")
+        if args.verbose:
+            for d in cell.heuristic_decisions:
+                print(f"    {d.loop_id}: factor={d.factor} ({d.reason})")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    rows = table1.build_table(_runner(args), _benches(args))
+    print(table1.format_table(rows))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    points = fig6.series(_runner(args), _benches(args))
+    for metric in ("speedup", "size_ratio", "compile_ratio"):
+        print(fig6.format_figure(points, metric))
+        print()
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    print(fig7.format_figure(fig7.series(_runner(args), _benches(args))))
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    runner = _runner(args)
+    benches = _benches(args)
+    for comparator in ("unroll", "unmerge"):
+        print(fig8.format_figure(
+            fig8.series(comparator, runner, benches), comparator))
+        print()
+    return 0
+
+
+def cmd_indepth(args) -> int:
+    runner = _runner(args)
+    for fn in (indepth.xsbench_analysis, indepth.rainflow_analysis,
+               indepth.complex_analysis, indepth.bezier_analysis):
+        print(indepth.format_comparison(fn(runner)))
+        print()
+    return 0
+
+
+def cmd_ptx(args) -> int:
+    from .codegen import lower_function, render
+    from .transforms import compile_module
+
+    bench = benchmark_by_name(args.app)
+    module = bench.build_module()
+    compile_module(module, args.config, loop_id=args.loop,
+                   factor=args.factor,
+                   max_instructions=args.max_instructions)
+    kernels = [args.kernel] if args.kernel else list(module.functions)
+    for name in kernels:
+        print(render(lower_function(module.get_function(name))))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--max-instructions", type=int, default=8000,
+                        help="unmerge growth cap (compile 'timeout' proxy)")
+    common.add_argument("--timeout", type=float, default=20.0,
+                        help="per-compilation wall-clock budget in seconds")
+    common.add_argument("--app", help="restrict to one benchmark")
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction driver for 'Control-Flow Unmerging and "
+                    "Loop Unrolling on GPUs' (CGO 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", parents=[common],
+                   help="list benchmarks and loop ids") \
+        .set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run-uu", parents=[common], help="per-loop u&u sweep")
+    p.add_argument("--factor", type=int, default=2)
+    p.set_defaults(fn=cmd_run_uu)
+
+    p = sub.add_parser("run-unroll", parents=[common],
+                       help="per-loop plain-unroll sweep")
+    p.add_argument("--factor", type=int, default=2)
+    p.set_defaults(fn=cmd_run_unroll)
+
+    sub.add_parser("run-unmerge", parents=[common],
+                   help="per-loop unmerge sweep") \
+        .set_defaults(fn=cmd_run_unmerge)
+
+    p = sub.add_parser("run-heuristic", parents=[common],
+                       help="heuristic u&u per app")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-loop heuristic decisions")
+    p.set_defaults(fn=cmd_run_heuristic)
+
+    sub.add_parser("table1", parents=[common],
+                   help="regenerate Table I").set_defaults(fn=cmd_table1)
+    sub.add_parser("fig6", parents=[common],
+                   help="regenerate Figures 6a/6b/6c") \
+        .set_defaults(fn=cmd_fig6)
+    sub.add_parser("fig7", parents=[common],
+                   help="regenerate Figure 7").set_defaults(fn=cmd_fig7)
+    sub.add_parser("fig8", parents=[common],
+                   help="regenerate Figures 8a/8b").set_defaults(fn=cmd_fig8)
+    sub.add_parser("indepth", parents=[common],
+                   help="Section V counter analyses") \
+        .set_defaults(fn=cmd_indepth)
+
+    p = sub.add_parser("ptx", parents=[common],
+                       help="print PTX-style assembly for a kernel")
+    p.add_argument("--kernel", help="kernel name (default: all)")
+    p.add_argument("--config", default="baseline",
+                   choices=["baseline", "unroll", "unmerge", "uu",
+                            "uu_heuristic"])
+    p.add_argument("--loop", help="loop id for per-loop configs")
+    p.add_argument("--factor", type=int, default=2)
+    p.set_defaults(fn=cmd_ptx)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "ptx" and not args.app:
+        parser.error("ptx requires --app")
+    if args.command != "ptx" and getattr(args, "loop", None):
+        parser.error("--loop only applies to the ptx command")
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

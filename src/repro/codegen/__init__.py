@@ -1,0 +1,11 @@
+"""PTX-style assembly backend (the paper's Section V listing view)."""
+
+from .lower import (AsmBlock, AsmFunction, AsmInstruction, PTXLowering,
+                    lower_function, render)
+from .regs import RegisterFile, register_class
+
+__all__ = [
+    "AsmInstruction", "AsmBlock", "AsmFunction", "PTXLowering",
+    "lower_function", "render",
+    "RegisterFile", "register_class",
+]

@@ -1,0 +1,57 @@
+"""PTX-style virtual register assignment.
+
+PTX is itself a virtual-register ISA (ptxas does the physical allocation),
+so "register allocation" here is faithful to what the paper's listings
+show: one register class per type, sequentially numbered —
+``%rd`` (64-bit int/pointer), ``%r`` (32-bit int), ``%fd`` (f64),
+``%f`` (f32), ``%p`` (predicates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.types import FloatType, IntType, PointerType, Type
+from ..ir.values import Value
+
+
+def register_class(type_: Type) -> str:
+    """PTX register-class prefix for a value of ``type_``."""
+    if isinstance(type_, PointerType):
+        return "rd"
+    if isinstance(type_, IntType):
+        if type_.bits == 1:
+            return "p"
+        return "rd" if type_.bits > 32 else "r"
+    if isinstance(type_, FloatType):
+        return "fd" if type_.bits == 64 else "f"
+    raise TypeError(f"no register class for {type_!r}")
+
+
+class RegisterFile:
+    """Assigns one virtual register per SSA value, per class."""
+
+    def __init__(self) -> None:
+        self._assigned: Dict[int, str] = {}
+        self._counters: Dict[str, int] = {}
+
+    def get(self, value: Value) -> str:
+        reg = self._assigned.get(id(value))
+        if reg is None:
+            cls = register_class(value.type)
+            index = self._counters.get(cls, 0) + 1
+            self._counters[cls] = index
+            reg = f"%{cls}{index}"
+            self._assigned[id(value)] = reg
+        return reg
+
+    def fresh(self, type_: Type) -> str:
+        """A scratch register not tied to any SSA value (phi cycles)."""
+        cls = register_class(type_)
+        index = self._counters.get(cls, 0) + 1
+        self._counters[cls] = index
+        return f"%{cls}{index}"
+
+    def declarations(self) -> Dict[str, int]:
+        """Register count per class, for the ``.reg`` directives."""
+        return dict(self._counters)

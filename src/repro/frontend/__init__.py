@@ -1,0 +1,15 @@
+"""Structured kernel frontend: AST + Braun-style SSA lowering."""
+
+from .ast import (AddrOf, And, Assign, BinOp, Break, Call, Cast, Cmp, Expr,
+                  ExprStmt, For, GlobalTid, If, Index, KernelDef, Lit, Not,
+                  Or, Param, Return, Stmt, Store, V, Var, While)
+from .lower import LoweringError, lower_kernel, lower_kernels
+
+__all__ = [
+    "Expr", "Var", "V", "Lit", "BinOp", "Cmp", "And", "Or", "Not", "Index",
+    "AddrOf", "Call", "Cast", "GlobalTid",
+    "Stmt", "Assign", "Store", "If", "While", "For", "Return", "ExprStmt",
+    "Break",
+    "Param", "KernelDef",
+    "lower_kernel", "lower_kernels", "LoweringError",
+]

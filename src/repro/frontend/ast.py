@@ -1,0 +1,292 @@
+"""Structured mini-language for writing GPU kernels.
+
+The benchmark kernels (Section IV's 16 HeCBench analogs) are written in
+this small AST and lowered to SSA IR by :mod:`repro.frontend.lower`.  The
+language is CUDA-kernel-shaped: scalar variables, typed pointer parameters,
+``if``/``while``/``for``, array loads/stores, GPU intrinsics.
+
+Expressions support Python operator overloading, so kernels read close to
+the paper's listings::
+
+    Assign("mid", V("lower") + V("length") / 2),
+    If(Index("A", V("mid")) > V("quarry"),
+       [Assign("upper", V("mid"))],
+       [Assign("lower", V("mid"))]),
+    Assign("length", V("upper") - V("lower")),
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base expression; supports operator overloading."""
+
+    def _wrap(self, other) -> "Expr":
+        if isinstance(other, Expr):
+            return other
+        return Lit(other)
+
+    def __add__(self, other):
+        return BinOp("+", self, self._wrap(other))
+
+    def __radd__(self, other):
+        return BinOp("+", self._wrap(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, self._wrap(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", self._wrap(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, self._wrap(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", self._wrap(other), self)
+
+    def __truediv__(self, other):
+        return BinOp("/", self, self._wrap(other))
+
+    def __rtruediv__(self, other):
+        return BinOp("/", self._wrap(other), self)
+
+    def __mod__(self, other):
+        return BinOp("%", self, self._wrap(other))
+
+    def __and__(self, other):
+        return BinOp("&", self, self._wrap(other))
+
+    def __or__(self, other):
+        return BinOp("|", self, self._wrap(other))
+
+    def __xor__(self, other):
+        return BinOp("^", self, self._wrap(other))
+
+    def __lshift__(self, other):
+        return BinOp("<<", self, self._wrap(other))
+
+    def __rshift__(self, other):
+        return BinOp(">>", self, self._wrap(other))
+
+    def __lt__(self, other):
+        return Cmp("<", self, self._wrap(other))
+
+    def __le__(self, other):
+        return Cmp("<=", self, self._wrap(other))
+
+    def __gt__(self, other):
+        return Cmp(">", self, self._wrap(other))
+
+    def __ge__(self, other):
+        return Cmp(">=", self, self._wrap(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Cmp("==", self, self._wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Cmp("!=", self, self._wrap(other))
+
+    def __neg__(self):
+        return BinOp("-", Lit(0), self)
+
+    def __hash__(self):  # Nodes are identity-hashed despite __eq__ overload.
+        return id(self)
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """Reference to a scalar variable or parameter."""
+
+    name: str
+
+
+def V(name: str) -> Var:
+    """Shorthand constructor for :class:`Var`."""
+    return Var(name)
+
+
+@dataclass(frozen=True, eq=False)
+class Lit(Expr):
+    """Literal; type inferred from context (or forced via ``type_``)."""
+
+    value: Union[int, float]
+    type_: Optional[str] = None  # "i32", "i64", "f32", "f64"
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    """Arithmetic/bitwise operation; signedness follows C semantics."""
+
+    op: str  # + - * / % & | ^ << >>
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Cmp(Expr):
+    """Comparison producing a boolean."""
+
+    op: str  # < <= > >= == !=
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class And(Expr):
+    """Non-short-circuit logical and (both sides evaluated)."""
+
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Expr):
+    """Non-short-circuit logical or (both sides evaluated)."""
+
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Index(Expr):
+    """Array load ``base[index]`` (base is a pointer parameter or global)."""
+
+    base: str
+    index: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class AddrOf(Expr):
+    """Pointer arithmetic ``&base[index]`` without loading."""
+
+    base: str
+    index: Expr
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Expr):
+    """Intrinsic call (``sqrt``, ``min``, ``tid.x``...)."""
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True, eq=False)
+class Cast(Expr):
+    """Explicit conversion to a named type."""
+
+    to_type: str
+    operand: Expr
+
+
+def GlobalTid() -> Expr:
+    """``threadIdx.x + blockIdx.x * blockDim.x``."""
+    return Call("tid.x") + Call("ctaid.x") * Call("ntid.x")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    """Base statement."""
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    """``name = expr`` — declares the variable on first assignment."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(eq=False)
+class Store(Stmt):
+    """``base[index] = expr``."""
+
+    base: str
+    index: Expr
+    expr: Expr
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    cond: Expr
+    then: List[Stmt]
+    els: List[Stmt] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class While(Stmt):
+    cond: Expr
+    body: List[Stmt]
+
+
+@dataclass(eq=False)
+class For(Stmt):
+    """``for (var = start; var < stop; var += step)`` (signed compare)."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: List[Stmt]
+    step: Expr = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.step is None:
+            self.step = Lit(1)
+
+
+@dataclass(eq=False)
+class Return(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass(eq=False)
+class ExprStmt(Stmt):
+    """Evaluate an expression for its effects (e.g. ``syncthreads``)."""
+
+    expr: Expr
+
+
+@dataclass(eq=False)
+class Break(Stmt):
+    """Break out of the innermost loop."""
+
+
+# ---------------------------------------------------------------------------
+# Kernel definition
+# ---------------------------------------------------------------------------
+
+@dataclass(eq=False)
+class Param:
+    """Kernel parameter: scalar or pointer, optionally ``__restrict__``."""
+
+    name: str
+    type_: str          # e.g. "f64*", "i64"
+    restrict: bool = False
+
+
+@dataclass(eq=False)
+class KernelDef:
+    """One kernel (or device function): signature plus a statement body."""
+
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+    ret_type: str = "void"
+    #: loop pragmas by source order: e.g. {0: "unroll"} marks the first
+    #: loop encountered during lowering (the paper's pragma filter).
+    loop_pragmas: dict = field(default_factory=dict)

@@ -1,0 +1,433 @@
+"""Lowering from the structured AST to SSA IR.
+
+SSA construction follows Braun et al., "Simple and Efficient Construction of
+Static Single Assignment Form" (CC 2013): variables are written per block,
+reads recurse through predecessors, phis are created lazily in unsealed
+blocks and pruned when trivial.  Structured control flow keeps sealing
+straightforward: only loop headers are ever temporarily unsealed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..ir.block import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.constants import ConstantFloat, ConstantInt, const
+from ..ir.function import Function
+from ..ir.instructions import PhiInst
+from ..ir.module import Module
+from ..ir.types import (F32, F64, I1, I32, I64, FloatType, FunctionType,
+                        IntType, PointerType, Type, VOID, parse_type)
+from ..ir.values import Value
+from . import ast
+
+
+class LoweringError(Exception):
+    """Raised on malformed kernel ASTs (undefined variables, type clashes)."""
+
+
+class _SSABuilder:
+    """Braun-style on-the-fly SSA construction state for one function."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.current_def: Dict[str, Dict[int, Value]] = {}
+        self.incomplete_phis: Dict[int, Dict[str, PhiInst]] = {}
+        self.sealed: Set[int] = set()
+        self.var_types: Dict[str, Type] = {}
+
+    def declare(self, name: str, type_: Type) -> None:
+        existing = self.var_types.get(name)
+        if existing is None:
+            self.var_types[name] = type_
+        elif existing is not type_:
+            raise LoweringError(
+                f"variable '{name}' re-assigned with type {type_!r}, "
+                f"declared {existing!r}")
+
+    def write(self, name: str, block: BasicBlock, value: Value) -> None:
+        self.current_def.setdefault(name, {})[id(block)] = value
+
+    def read(self, name: str, block: BasicBlock) -> Value:
+        defs = self.current_def.get(name)
+        if defs is not None and id(block) in defs:
+            return defs[id(block)]
+        return self._read_recursive(name, block)
+
+    def _read_recursive(self, name: str, block: BasicBlock) -> Value:
+        type_ = self.var_types.get(name)
+        if type_ is None:
+            raise LoweringError(f"read of undeclared variable '{name}'")
+        if id(block) not in self.sealed:
+            phi = PhiInst(type_)
+            phi.name = self.func.unique_name(name)
+            block.insert(block.first_non_phi_index(), phi)
+            self.incomplete_phis.setdefault(id(block), {})[name] = phi
+            value: Value = phi
+        else:
+            preds = block.predecessors()
+            if len(preds) == 1:
+                value = self.read(name, preds[0])
+            elif not preds:
+                raise LoweringError(
+                    f"variable '{name}' read before assignment")
+            else:
+                phi = PhiInst(type_)
+                phi.name = self.func.unique_name(name)
+                block.insert(block.first_non_phi_index(), phi)
+                self.write(name, block, phi)
+                value = self._add_phi_operands(name, phi, block)
+        self.write(name, block, value)
+        return value
+
+    def _add_phi_operands(self, name: str, phi: PhiInst,
+                          block: BasicBlock) -> Value:
+        for pred in block.predecessors():
+            phi.add_incoming(self.read(name, pred), pred)
+        return self._try_remove_trivial(phi)
+
+    def _try_remove_trivial(self, phi: PhiInst) -> Value:
+        unique = phi.is_trivial()
+        if unique is None:
+            return phi
+        phi_users = [u for u in phi.users()
+                     if isinstance(u, PhiInst) and u is not phi]
+        phi.replace_all_uses_with(unique)
+        # Fix any stored definitions pointing at the removed phi.
+        for defs in self.current_def.values():
+            for key, value in defs.items():
+                if value is phi:
+                    defs[key] = unique
+        phi.erase_from_parent()
+        for user in phi_users:
+            if user.parent is not None:
+                self._try_remove_trivial(user)
+        return unique
+
+    def seal(self, block: BasicBlock) -> None:
+        if id(block) in self.sealed:
+            return
+        for name, phi in self.incomplete_phis.pop(id(block), {}).items():
+            self._add_phi_operands(name, phi, block)
+        self.sealed.add(id(block))
+
+
+class _KernelLowering:
+    """Lowers one KernelDef into a function of a module."""
+
+    def __init__(self, module: Module, kernel: ast.KernelDef) -> None:
+        self.module = module
+        self.kernel = kernel
+        param_types = tuple(parse_type(p.type_) for p in kernel.params)
+        ftype = FunctionType(parse_type(kernel.ret_type), param_types)
+        self.func = module.add_function(
+            kernel.name, ftype, [p.name for p in kernel.params])
+        restrict = tuple(p.name for p in kernel.params if p.restrict)
+        if restrict:
+            self.func.attributes["restrict_args"] = restrict
+        self.ssa = _SSABuilder(self.func)
+        self.builder = IRBuilder()
+        self.params: Dict[str, Value] = {
+            p.name: arg for p, arg in zip(kernel.params, self.func.args)}
+        self.break_targets: List[BasicBlock] = []
+        self.loop_counter = 0
+        self.pragmas: Dict[str, str] = {}
+
+    # -- top level ----------------------------------------------------------
+    def lower(self) -> Function:
+        entry = self.func.add_block("entry")
+        self.ssa.seal(entry)
+        self.builder.position_at_end(entry)
+        terminated = self._lower_body(self.kernel.body)
+        if not terminated:
+            if self.func.ftype.ret is VOID:
+                self.builder.ret()
+            else:
+                raise LoweringError(
+                    f"@{self.kernel.name}: missing return of "
+                    f"{self.func.ftype.ret!r}")
+        if self.pragmas:
+            self.func.attributes["loop_pragmas"] = dict(self.pragmas)
+        return self.func
+
+    def _lower_body(self, stmts: List[ast.Stmt]) -> bool:
+        """Lower statements; returns True if control flow terminated."""
+        for stmt in stmts:
+            if self._lower_stmt(stmt):
+                return True
+        return False
+
+    # -- statements -----------------------------------------------------------
+    def _lower_stmt(self, stmt: ast.Stmt) -> bool:
+        if isinstance(stmt, ast.Assign):
+            value = self._expr(stmt.expr)
+            existing = self.ssa.var_types.get(stmt.name)
+            if existing is not None and existing is not value.type:
+                value = self._coerce_to(value, existing)
+            self.ssa.declare(stmt.name, value.type)
+            self.ssa.write(stmt.name, self.builder.block, value)
+            return False
+        if isinstance(stmt, ast.Store):
+            ptr = self._address(stmt.base, stmt.index)
+            elem = ptr.type.pointee  # type: ignore[attr-defined]
+            value = self._coerce_to(self._expr(stmt.expr), elem)
+            self.builder.store(value, ptr)
+            return False
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt)
+        if isinstance(stmt, ast.While):
+            return self._lower_while(stmt)
+        if isinstance(stmt, ast.For):
+            return self._lower_for(stmt)
+        if isinstance(stmt, ast.Return):
+            if stmt.expr is None:
+                self.builder.ret()
+            else:
+                value = self._coerce_to(self._expr(stmt.expr),
+                                        self.func.ftype.ret)
+                self.builder.ret(value)
+            return True
+        if isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+            return False
+        if isinstance(stmt, ast.Break):
+            if not self.break_targets:
+                raise LoweringError("break outside loop")
+            self.builder.br(self.break_targets[-1])
+            return True
+        raise LoweringError(f"unknown statement {stmt!r}")
+
+    def _lower_if(self, stmt: ast.If) -> bool:
+        cond = self._bool(self._expr(stmt.cond))
+        then_block = self.func.add_block("if.then")
+        merge_block = self.func.add_block("if.end")
+        if stmt.els:
+            else_block = self.func.add_block("if.else")
+        else:
+            else_block = merge_block
+        self.builder.cond_br(cond, then_block, else_block)
+
+        self.ssa.seal(then_block)
+        self.builder.position_at_end(then_block)
+        then_done = self._lower_body(stmt.then)
+        if not then_done:
+            self.builder.br(merge_block)
+
+        else_done = False
+        if stmt.els:
+            self.ssa.seal(else_block)
+            self.builder.position_at_end(else_block)
+            else_done = self._lower_body(stmt.els)
+            if not else_done:
+                self.builder.br(merge_block)
+
+        self.ssa.seal(merge_block)
+        if then_done and (else_done or not stmt.els):
+            if not stmt.els:
+                # Fallthrough edge from the condition still reaches merge.
+                self.builder.position_at_end(merge_block)
+                return False
+        if then_done and else_done:
+            # Merge block unreachable; drop it.
+            self.func.remove_block(merge_block)
+            return True
+        self.builder.position_at_end(merge_block)
+        return False
+
+    def _lower_while(self, stmt: ast.While) -> bool:
+        self._note_loop()
+        header = self.func.add_block("while.cond")
+        body = self.func.add_block("while.body")
+        exit_block = self.func.add_block("while.end")
+        self.builder.br(header)
+
+        # Header is unsealed until the latch edge exists.
+        self.builder.position_at_end(header)
+        cond = self._bool(self._expr(stmt.cond))
+        self.builder.cond_br(cond, body, exit_block)
+
+        self.ssa.seal(body)
+        self.builder.position_at_end(body)
+        self.break_targets.append(exit_block)
+        body_done = self._lower_body(stmt.body)
+        self.break_targets.pop()
+        if not body_done:
+            self.builder.br(header)
+        self.ssa.seal(header)
+        self.ssa.seal(exit_block)
+        self.builder.position_at_end(exit_block)
+        return False
+
+    def _lower_for(self, stmt: ast.For) -> bool:
+        start = self._expr(stmt.start)
+        self.ssa.declare(stmt.var, start.type)
+        self.ssa.write(stmt.var, self.builder.block, start)
+        cond = ast.Cmp("<", ast.Var(stmt.var), stmt.stop)
+        increment = ast.Assign(
+            stmt.var, ast.BinOp("+", ast.Var(stmt.var), stmt.step))
+        return self._lower_while(ast.While(cond, stmt.body + [increment]))
+
+    def _note_loop(self) -> None:
+        pragma = self.kernel.loop_pragmas.get(self.loop_counter)
+        if pragma is not None:
+            self.pragmas[f"{self.kernel.name}:{self.loop_counter}"] = pragma
+        self.loop_counter += 1
+
+    # -- expressions -----------------------------------------------------------
+    def _expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.Var):
+            if expr.name in self.params:
+                return self.params[expr.name]
+            return self.ssa.read(expr.name, self.builder.block)
+        if isinstance(expr, ast.Lit):
+            return self._literal(expr, None)
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr)
+        if isinstance(expr, ast.Cmp):
+            return self._cmp(expr)
+        if isinstance(expr, ast.And):
+            lhs = self._bool(self._expr(expr.lhs))
+            rhs = self._bool(self._expr(expr.rhs))
+            return self.builder.and_(lhs, rhs)
+        if isinstance(expr, ast.Or):
+            lhs = self._bool(self._expr(expr.lhs))
+            rhs = self._bool(self._expr(expr.rhs))
+            return self.builder.or_(lhs, rhs)
+        if isinstance(expr, ast.Not):
+            operand = self._bool(self._expr(expr.operand))
+            return self.builder.xor(operand, const(I1, 1))
+        if isinstance(expr, ast.Index):
+            ptr = self._address(expr.base, expr.index)
+            return self.builder.load(ptr)
+        if isinstance(expr, ast.AddrOf):
+            return self._address(expr.base, expr.index)
+        if isinstance(expr, ast.Call):
+            args = [self._expr(a) for a in expr.args]
+            return self.builder.call(expr.name, args)
+        if isinstance(expr, ast.Cast):
+            return self._coerce_to(self._expr(expr.operand),
+                                   parse_type(expr.to_type))
+        raise LoweringError(f"unknown expression {expr!r}")
+
+    def _literal(self, lit: ast.Lit, context: Optional[Type]) -> Value:
+        if lit.type_ is not None:
+            return const(parse_type(lit.type_), lit.value)
+        if context is not None and not context.is_pointer:
+            return const(context, lit.value)
+        if isinstance(lit.value, float):
+            return const(F64, lit.value)
+        return const(I64, lit.value)
+
+    def _binop(self, expr: ast.BinOp) -> Value:
+        lhs, rhs = self._operand_pair(expr.lhs, expr.rhs)
+        type_ = lhs.type
+        op = expr.op
+        if isinstance(type_, FloatType):
+            table = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+                     "%": "frem"}
+            if op not in table:
+                raise LoweringError(f"operator {op} not valid on floats")
+            return self.builder.binary(table[op], lhs, rhs)
+        table = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv",
+                 "%": "srem", "&": "and", "|": "or", "^": "xor",
+                 "<<": "shl", ">>": "ashr"}
+        return self.builder.binary(table[op], lhs, rhs)
+
+    def _cmp(self, expr: ast.Cmp) -> Value:
+        lhs, rhs = self._operand_pair(expr.lhs, expr.rhs)
+        if isinstance(lhs.type, FloatType):
+            table = {"<": "olt", "<=": "ole", ">": "ogt", ">=": "oge",
+                     "==": "oeq", "!=": "one"}
+            return self.builder.fcmp(table[expr.op], lhs, rhs)
+        table = {"<": "slt", "<=": "sle", ">": "sgt", ">=": "sge",
+                 "==": "eq", "!=": "ne"}
+        return self.builder.icmp(table[expr.op], lhs, rhs)
+
+    def _operand_pair(self, lhs_ast: ast.Expr,
+                      rhs_ast: ast.Expr) -> Tuple[Value, Value]:
+        """Lower two operands with C-like implicit conversions."""
+        lhs_lit = isinstance(lhs_ast, ast.Lit) and lhs_ast.type_ is None
+        rhs_lit = isinstance(rhs_ast, ast.Lit) and rhs_ast.type_ is None
+        if lhs_lit and not rhs_lit:
+            rhs = self._expr(rhs_ast)
+            lhs = self._literal(lhs_ast, rhs.type)  # type: ignore[arg-type]
+        elif rhs_lit and not lhs_lit:
+            lhs = self._expr(lhs_ast)
+            rhs = self._literal(rhs_ast, lhs.type)  # type: ignore[arg-type]
+        else:
+            lhs = self._expr(lhs_ast)
+            rhs = self._expr(rhs_ast)
+        if lhs.type is rhs.type:
+            return lhs, rhs
+        # Implicit conversions: int -> float, narrow int -> wide int.
+        if isinstance(lhs.type, FloatType) and isinstance(rhs.type, IntType):
+            return lhs, self.builder.sitofp(rhs, lhs.type)
+        if isinstance(rhs.type, FloatType) and isinstance(lhs.type, IntType):
+            return self.builder.sitofp(lhs, rhs.type), rhs
+        if isinstance(lhs.type, IntType) and isinstance(rhs.type, IntType):
+            if lhs.type.bits < rhs.type.bits:
+                return self.builder.sext(lhs, rhs.type), rhs
+            return lhs, self.builder.sext(rhs, lhs.type)
+        if isinstance(lhs.type, FloatType) and isinstance(rhs.type, FloatType):
+            if lhs.type.bits < rhs.type.bits:
+                return self.builder.fpext(lhs, rhs.type), rhs
+            return lhs, self.builder.fptrunc(rhs, lhs.type)
+        raise LoweringError(
+            f"incompatible operand types {lhs.type!r} vs {rhs.type!r}")
+
+    def _coerce_to(self, value: Value, type_: Type) -> Value:
+        if value.type is type_:
+            return value
+        if isinstance(type_, FloatType) and isinstance(value.type, IntType):
+            return self.builder.sitofp(value, type_)
+        if isinstance(type_, IntType) and isinstance(value.type, FloatType):
+            return self.builder.fptosi(value, type_)
+        if isinstance(type_, IntType) and isinstance(value.type, IntType):
+            if value.type.bits < type_.bits:
+                if value.type.bits == 1:
+                    return self.builder.zext(value, type_)
+                return self.builder.sext(value, type_)
+            return self.builder.trunc(value, type_)
+        if isinstance(type_, FloatType) and isinstance(value.type, FloatType):
+            if value.type.bits < type_.bits:
+                return self.builder.fpext(value, type_)
+            return self.builder.fptrunc(value, type_)
+        raise LoweringError(
+            f"cannot convert {value.type!r} to {type_!r}")
+
+    def _bool(self, value: Value) -> Value:
+        if value.type is I1:
+            return value
+        if isinstance(value.type, IntType):
+            return self.builder.icmp("ne", value, const(value.type, 0))
+        if isinstance(value.type, FloatType):
+            return self.builder.fcmp("une", value, const(value.type, 0.0))
+        raise LoweringError(f"cannot use {value.type!r} as a condition")
+
+    def _address(self, base: str, index: ast.Expr) -> Value:
+        if base in self.params:
+            ptr = self.params[base]
+        elif base in self.module.globals:
+            ptr = self.module.globals[base]
+        else:
+            # Pointer-typed local variable (e.g. AddrOf assigned earlier).
+            ptr = self.ssa.read(base, self.builder.block)
+        if not isinstance(ptr.type, PointerType):
+            raise LoweringError(f"'{base}' is not a pointer")
+        idx = self._coerce_to(self._expr(index), I64)
+        return self.builder.gep(ptr, idx)
+
+
+def lower_kernel(module: Module, kernel: ast.KernelDef) -> Function:
+    """Lower one kernel definition into ``module``."""
+    return _KernelLowering(module, kernel).lower()
+
+
+def lower_kernels(kernels: List[ast.KernelDef],
+                  module_name: str = "kernels") -> Module:
+    """Lower several kernels into a fresh module."""
+    module = Module(module_name)
+    for kernel in kernels:
+        lower_kernel(module, kernel)
+    return module

@@ -1,0 +1,14 @@
+"""SIMT GPU simulation substrate (the stand-in for the paper's V100)."""
+
+from .counters import Counters
+from .icache import InstructionCache
+from .machine import (LaunchResult, SimtMachine, SimulationError, WARP_SIZE)
+from .memory import Memory, MemoryStats, SEGMENT_BYTES
+from .timing import CLOCK_HZ, cycles_to_ms
+
+__all__ = [
+    "SimtMachine", "LaunchResult", "SimulationError", "WARP_SIZE",
+    "Memory", "MemoryStats", "SEGMENT_BYTES",
+    "Counters", "InstructionCache",
+    "CLOCK_HZ", "cycles_to_ms",
+]

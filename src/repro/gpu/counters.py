@@ -1,0 +1,117 @@
+"""nvprof-style hardware performance counters.
+
+The counter set matches what the paper's in-depth analysis (Section V) uses
+to explain every result: ``inst_misc`` (selp/mov data movement executed by
+non-predicated threads), ``inst_control``, ``warp_execution_efficiency``,
+IPC, global-load throughput and the instruction-fetch stall fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .timing import CLOCK_HZ
+
+
+@dataclass
+class Counters:
+    """Counters for one kernel launch."""
+
+    cycles: float = 0.0
+    inst_executed: int = 0          # Warp instructions issued.
+    thread_inst_executed: int = 0   # Sum of active lanes over issues.
+    active_lane_sum: int = 0        # For warp_execution_efficiency.
+    inst_misc: int = 0              # Thread-level select/phi-mov/casts.
+    inst_control: int = 0           # Thread-level branches/returns.
+    inst_int: int = 0
+    inst_fp: int = 0
+    inst_load: int = 0
+    inst_store: int = 0
+    fetch_stall_cycles: float = 0.0
+    memory_stall_cycles: float = 0.0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    load_transactions: int = 0
+    store_transactions: int = 0
+    divergent_branches: int = 0
+    branches: int = 0
+    warp_size: int = 32
+
+    def note_issue(self, category: str, active: int) -> None:
+        self.inst_executed += 1
+        self.thread_inst_executed += active
+        self.active_lane_sum += active
+        if category == "misc":
+            self.inst_misc += active
+        elif category == "control":
+            self.inst_control += active
+        elif category == "int":
+            self.inst_int += active
+        elif category == "fp":
+            self.inst_fp += active
+        elif category == "load":
+            self.inst_load += active
+        elif category == "store":
+            self.inst_store += active
+
+    # -- derived metrics -----------------------------------------------------
+    @property
+    def warp_execution_efficiency(self) -> float:
+        """Average active threads per issue / warp size (percent)."""
+        if self.inst_executed == 0:
+            return 100.0
+        return 100.0 * self.active_lane_sum / (
+            self.inst_executed * self.warp_size)
+
+    @property
+    def ipc(self) -> float:
+        """Warp instructions issued per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.inst_executed / self.cycles
+
+    @property
+    def stall_inst_fetch(self) -> float:
+        """Percentage of cycles stalled on instruction fetch."""
+        if self.cycles == 0:
+            return 0.0
+        return 100.0 * self.fetch_stall_cycles / self.cycles
+
+    @property
+    def gld_throughput_gbps(self) -> float:
+        """Global load throughput in GB/s at the simulated clock."""
+        if self.cycles == 0:
+            return 0.0
+        seconds = self.cycles / CLOCK_HZ
+        return self.bytes_loaded / seconds / 1e9
+
+    @property
+    def branch_divergence_rate(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return 100.0 * self.divergent_branches / self.branches
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another launch/warp into this counter set."""
+        for name in ("cycles", "inst_executed", "thread_inst_executed",
+                     "active_lane_sum", "inst_misc", "inst_control",
+                     "inst_int", "inst_fp", "inst_load", "inst_store",
+                     "fetch_stall_cycles", "memory_stall_cycles",
+                     "bytes_loaded", "bytes_stored", "load_transactions",
+                     "store_transactions", "divergent_branches", "branches"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": float(self.cycles),
+            "inst_executed": float(self.inst_executed),
+            "thread_inst_executed": float(self.thread_inst_executed),
+            "inst_misc": float(self.inst_misc),
+            "inst_control": float(self.inst_control),
+            "warp_execution_efficiency": self.warp_execution_efficiency,
+            "ipc": self.ipc,
+            "stall_inst_fetch": self.stall_inst_fetch,
+            "gld_throughput_gbps": self.gld_throughput_gbps,
+            "branch_divergence_rate": self.branch_divergence_rate,
+        }

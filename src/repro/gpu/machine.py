@@ -1,0 +1,584 @@
+"""SIMT execution engine.
+
+Executes IR functions the way a V100-class GPU would at warp granularity:
+
+* 32 lanes per warp execute in lockstep over numpy vectors;
+* a conditional branch whose lanes disagree *diverges*: the taken and
+  not-taken paths run serially under sub-masks.  Reconvergence follows an
+  epoch-based convergent scheduler: lane groups that arrive at the same
+  basic block in the same loop iteration merge, and the group that is
+  furthest behind (smallest ``(epoch, reverse-postorder)`` key) always runs
+  first — modelling Volta-style opportunistic reconvergence, under which
+  unrolled loop bodies re-merge at each traversal of the back edge;
+* phi nodes are materialised as moves on CFG edges — the data-movement
+  instructions nvprof counts in ``inst_misc`` alongside ``selp``;
+* cycle charges split into a fixed per-issue part and a lane-activity part
+  (see :func:`repro.gpu.timing.charge`): resident-warp overlap hides most
+  of the cost of partially-active issues on a real SM, which is how the
+  paper's XSBench wins despite collapsing warp-execution efficiency, while
+  the fixed fraction plus instruction-fetch stalls still make tid-dependent
+  divergence (`complex`) a net loss;
+* loads pay a latency that grows with uncoalesced transactions, and
+  entering a non-resident basic block pays instruction-fetch stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..analysis.cfg_utils import reverse_postorder
+from ..ir.block import BasicBlock
+from ..ir.constants import ConstantFloat, ConstantInt, Undef
+from ..ir.function import Function
+from ..ir.instructions import (AllocaInst, BinaryInst, BranchInst, CallInst,
+                               CastInst, CondBranchInst, FCmpInst, GEPInst,
+                               ICmpInst, Instruction, LoadInst, PhiInst,
+                               RetInst, SelectInst, StoreInst,
+                               UnreachableInst)
+from ..ir.module import Module
+from ..ir.types import FloatType, IntType, PointerType, Type
+from ..ir.values import Argument, GlobalVariable, Value
+from .counters import Counters
+from .icache import InstructionCache
+from .memory import Memory
+from .timing import charge, issue_cost, load_latency, store_cost
+
+WARP_SIZE = 32
+
+ArgValue = Union[int, float]
+
+
+class SimulationError(Exception):
+    """Raised when a kernel executes an illegal operation."""
+
+
+def _storage_dtype(type_: Type):
+    if isinstance(type_, IntType):
+        return np.bool_ if type_.bits == 1 else np.int64
+    if isinstance(type_, FloatType):
+        return np.float32 if type_.bits == 32 else np.float64
+    if isinstance(type_, PointerType):
+        return np.int64
+    raise SimulationError(f"no storage dtype for {type_!r}")
+
+
+def _wrap_int(values: np.ndarray, bits: int) -> np.ndarray:
+    if bits >= 64:
+        return values
+    mask = (np.int64(1) << bits) - 1
+    wrapped = values & mask
+    sign = np.int64(1) << (bits - 1)
+    return (wrapped ^ sign) - sign
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    counters: Counters
+    return_values: Optional[np.ndarray] = None
+
+
+class _WarpContext:
+    """Per-warp register state."""
+
+    __slots__ = ("values", "lane_ids", "block_idx", "block_dim", "grid_dim",
+                 "active_init", "allocas", "ret_values")
+
+    def __init__(self, lane_ids: np.ndarray, block_idx: int, block_dim: int,
+                 grid_dim: int, active_init: np.ndarray) -> None:
+        self.values: Dict[int, np.ndarray] = {}
+        self.lane_ids = lane_ids          # Thread ids within the block.
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.active_init = active_init
+        self.allocas: Dict[int, int] = {}
+        self.ret_values: Optional[np.ndarray] = None
+
+
+class SimtMachine:
+    """Executes kernels from a module against a simulated memory."""
+
+    def __init__(self, module: Module, memory: Optional[Memory] = None,
+                 icache_capacity: Optional[int] = None,
+                 max_cycles: int = 2_000_000_000) -> None:
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        self._icache_capacity = icache_capacity
+        self.max_cycles = max_cycles
+        self._global_addrs: Dict[str, int] = {}
+        self._materialize_globals()
+
+    def _materialize_globals(self) -> None:
+        for gv in self.module.globals.values():
+            dtype = repr(gv.element_type)
+            addr = self.memory.alloc(gv.name, dtype, gv.count,
+                                     init=gv.initializer)
+            self._global_addrs[gv.name] = addr
+
+    # -- public API --------------------------------------------------------
+    def launch(self, kernel: Union[str, Function],
+               grid_dim: int, block_dim: int,
+               args: Sequence[ArgValue]) -> LaunchResult:
+        """Launch ``kernel`` over a 1-D grid; returns merged counters.
+
+        ``args`` are per-launch scalars: Python ints/floats, or addresses
+        (from :meth:`Memory.alloc`) for pointer parameters.
+        """
+        func = self.module.get_function(kernel) if isinstance(kernel, str) \
+            else kernel
+        if len(args) != len(func.args):
+            raise SimulationError(
+                f"@{func.name} expects {len(func.args)} args, got {len(args)}")
+        total = Counters()
+        rpo_index = {id(b): i
+                     for i, b in enumerate(reverse_postorder(func))}
+        ret_all: List[np.ndarray] = []
+        fetch_stalls = 0
+        for block_idx in range(grid_dim):
+            warps = (block_dim + WARP_SIZE - 1) // WARP_SIZE
+            for warp_idx in range(warps):
+                # Per-warp icache: warps spread across SMs, so each warp
+                # streams the kernel's code through its own front end.
+                icache = InstructionCache(self._icache_capacity) \
+                    if self._icache_capacity else InstructionCache()
+                base = warp_idx * WARP_SIZE
+                lane_ids = np.arange(base, base + WARP_SIZE, dtype=np.int64)
+                active = lane_ids < block_dim
+                ctx = _WarpContext(lane_ids, block_idx, block_dim, grid_dim,
+                                   active)
+                counters = self._run_warp(func, rpo_index, ctx, args,
+                                          active, icache)
+                total.merge(counters)
+                fetch_stalls += icache.stall_cycles
+                if ctx.ret_values is not None:
+                    ret_all.append(ctx.ret_values)
+        # Fetch stalls were charged into per-warp cycles as they occurred;
+        # record the aggregate for the stall_inst_fetch metric.
+        total.fetch_stall_cycles = fetch_stalls
+        total.bytes_loaded = self.memory.stats.bytes_loaded
+        total.bytes_stored = self.memory.stats.bytes_stored
+        total.load_transactions = self.memory.stats.load_transactions
+        total.store_transactions = self.memory.stats.store_transactions
+        ret = np.concatenate(ret_all) if ret_all else None
+        return LaunchResult(counters=total, return_values=ret)
+
+    def run_function(self, func: Union[str, Function],
+                     args: Sequence[ArgValue],
+                     lanes: int = 1) -> Tuple[np.ndarray, Counters]:
+        """Run a function on one warp with ``lanes`` active threads.
+
+        Convenience for differential testing: returns per-lane return
+        values and the counters.
+        """
+        if isinstance(func, str):
+            func = self.module.get_function(func)
+        result = self.launch(func, grid_dim=1, block_dim=lanes, args=args)
+        ret = result.return_values
+        if ret is not None:
+            ret = ret[:lanes]
+        return ret, result.counters
+
+    # -- warp execution ------------------------------------------------------
+    def _run_warp(self, func: Function, rpo_index: Dict[int, int],
+                  ctx: _WarpContext, args: Sequence[ArgValue],
+                  initial_mask: np.ndarray,
+                  icache: InstructionCache) -> Counters:
+        """Convergent group scheduler (see module docstring).
+
+        A *group* is ``(epoch, block, mask)``: lanes in lockstep at a block.
+        Each step merges all groups parked at the same block, then executes
+        the group with the smallest ``(epoch, rpo)`` key — laggards first —
+        which makes divergent paths re-merge at post-dominators and, across
+        back edges, at the next loop iteration.
+        """
+        counters = Counters()
+        arg_values = self._bind_args(func, args)
+        groups: List[Tuple[int, BasicBlock, np.ndarray]] = [
+            (0, func.entry, initial_mask.copy())]
+
+        while groups:
+            if counters.cycles > self.max_cycles:
+                raise SimulationError(
+                    f"@{func.name}: exceeded {self.max_cycles} cycles "
+                    "(runaway kernel?)")
+            # Merge groups standing at the same block.
+            merged: Dict[int, Tuple[int, BasicBlock, np.ndarray]] = {}
+            for epoch, block, mask in groups:
+                existing = merged.get(id(block))
+                if existing is None:
+                    merged[id(block)] = (epoch, block, mask)
+                else:
+                    merged[id(block)] = (max(existing[0], epoch), block,
+                                         existing[2] | mask)
+            groups = list(merged.values())
+            # Schedule the laggard: min (epoch, rpo).
+            groups.sort(key=lambda g: (g[0], rpo_index.get(id(g[1]), 1 << 30)),
+                        reverse=True)
+            epoch, block, mask = groups.pop()
+            if not mask.any():
+                continue
+            counters.cycles += icache.access(
+                id(block), len(block.instructions))
+            self._exec_block(func, block, epoch, mask, ctx, arg_values,
+                             counters, rpo_index, groups)
+        return counters
+
+    def _exec_block(self, func: Function, block: BasicBlock, epoch: int,
+                    mask: np.ndarray, ctx: _WarpContext,
+                    arg_values: Dict[int, np.ndarray], counters: Counters,
+                    rpo_index: Dict[int, int], groups: List) -> None:
+        """Execute one block for one group; successors re-enter ``groups``."""
+        active = int(np.count_nonzero(mask))
+        block_rpo = rpo_index.get(id(block), 1 << 30)
+
+        def follow(target: BasicBlock, edge_mask: np.ndarray) -> None:
+            self._edge_moves(block, target, edge_mask, ctx, arg_values,
+                             counters)
+            next_epoch = epoch
+            if rpo_index.get(id(target), 1 << 30) <= block_rpo:
+                next_epoch += 1  # Back edge: next loop iteration.
+            groups.append((next_epoch, target, edge_mask))
+
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                continue  # Materialised on edges.
+            if isinstance(inst, BranchInst):
+                counters.note_issue("control", active)
+                counters.cycles += charge(issue_cost("control", "br"), active)
+                counters.branches += 1
+                follow(inst.target, mask)
+                return
+            if isinstance(inst, CondBranchInst):
+                counters.note_issue("control", active)
+                counters.cycles += charge(issue_cost("control", "condbr"),
+                                          active)
+                counters.branches += 1
+                cond = self._eval(inst.condition, ctx,
+                                  arg_values).astype(bool)
+                t_mask = mask & cond
+                f_mask = mask & ~cond
+                t_any = bool(t_mask.any())
+                f_any = bool(f_mask.any())
+                if t_any and f_any:
+                    counters.divergent_branches += 1
+                    follow(inst.true_target, t_mask)
+                    follow(inst.false_target, f_mask)
+                elif t_any:
+                    follow(inst.true_target, t_mask)
+                elif f_any:
+                    follow(inst.false_target, f_mask)
+                return
+            if isinstance(inst, RetInst):
+                counters.note_issue("control", active)
+                counters.cycles += charge(issue_cost("control", "ret"),
+                                          active)
+                if inst.value is not None:
+                    value = self._eval(inst.value, ctx, arg_values)
+                    if ctx.ret_values is None:
+                        dtype = _storage_dtype(inst.value.type)
+                        ctx.ret_values = np.zeros(WARP_SIZE, dtype=dtype)
+                    ctx.ret_values[mask] = value[mask]
+                return
+            if isinstance(inst, UnreachableInst):
+                raise SimulationError(
+                    f"@{func.name}: executed unreachable in {block.name}")
+            self._exec_compute(inst, mask, ctx, arg_values, counters, active)
+        raise SimulationError(
+            f"@{func.name}: block {block.name} has no terminator")
+
+    # -- instruction semantics ------------------------------------------------
+    def _exec_compute(self, inst: Instruction, mask: np.ndarray,
+                      ctx: _WarpContext, arg_values: Dict[int, np.ndarray],
+                      counters: Counters, active: int) -> None:
+        category = inst.category
+        intrinsic = inst.intrinsic.name if isinstance(inst, CallInst) else ""
+        counters.note_issue(category, active)
+        counters.cycles += charge(
+            issue_cost(category, inst.opcode, intrinsic), active)
+
+        if isinstance(inst, LoadInst):
+            addrs = self._eval(inst.pointer, ctx, arg_values)
+            elem = inst.type.size_bytes()
+            raw, transactions = self.memory.load(addrs, mask, elem)
+            latency = charge(load_latency(transactions), active)
+            counters.cycles += latency
+            counters.memory_stall_cycles += latency
+            value = raw.astype(_storage_dtype(inst.type))
+            self._write(inst, value, mask, ctx)
+            return
+        if isinstance(inst, StoreInst):
+            addrs = self._eval(inst.pointer, ctx, arg_values)
+            values = self._eval(inst.value, ctx, arg_values)
+            elem = inst.value.type.size_bytes()
+            transactions = self.memory.store(addrs, values, mask, elem)
+            counters.cycles += charge(store_cost(transactions), active)
+            return
+        if inst.type.is_void:
+            return  # e.g. syncthreads: timing already charged.
+
+        value = self._compute_value(inst, ctx, arg_values)
+        self._write(inst, value, mask, ctx)
+
+    def _compute_value(self, inst: Instruction, ctx: _WarpContext,
+                       arg_values: Dict[int, np.ndarray]) -> np.ndarray:
+        ev = lambda v: self._eval(v, ctx, arg_values)
+        if isinstance(inst, BinaryInst):
+            return _binary_op(inst.opcode, ev(inst.lhs), ev(inst.rhs),
+                              inst.type)
+        if isinstance(inst, ICmpInst):
+            return _icmp_op(inst.predicate, ev(inst.lhs), ev(inst.rhs))
+        if isinstance(inst, FCmpInst):
+            return _fcmp_op(inst.predicate, ev(inst.lhs), ev(inst.rhs))
+        if isinstance(inst, SelectInst):
+            cond = ev(inst.condition).astype(bool)
+            return np.where(cond, ev(inst.true_value), ev(inst.false_value))
+        if isinstance(inst, CastInst):
+            return _cast_op(inst.opcode, ev(inst.value), inst.type,
+                            inst.value.type)
+        if isinstance(inst, GEPInst):
+            base = ev(inst.pointer)
+            index = ev(inst.index)
+            elem = inst.element_type.size_bytes()
+            return base + index.astype(np.int64) * elem
+        if isinstance(inst, AllocaInst):
+            return self._alloca_addr(inst, ctx)
+        if isinstance(inst, CallInst):
+            return self._intrinsic(inst, ctx, arg_values)
+        raise SimulationError(f"cannot execute {inst!r}")
+
+    def _alloca_addr(self, inst: AllocaInst, ctx: _WarpContext) -> np.ndarray:
+        base = ctx.allocas.get(id(inst))
+        if base is None:
+            dtype = repr(inst.element_type)
+            count = inst.count * WARP_SIZE
+            base = self.memory.alloc(
+                f"__alloca_{inst.name}_{id(ctx):x}", dtype, count)
+            ctx.allocas[id(inst)] = base
+        elem = inst.element_type.size_bytes()
+        stride = inst.count * elem
+        return base + np.arange(WARP_SIZE, dtype=np.int64) * stride
+
+    def _intrinsic(self, inst: CallInst, ctx: _WarpContext,
+                   arg_values: Dict[int, np.ndarray]) -> np.ndarray:
+        name = inst.intrinsic.name
+        ev = lambda v: self._eval(v, ctx, arg_values)
+        if name == "tid.x":
+            return ctx.lane_ids.copy()
+        if name == "ctaid.x":
+            return np.full(WARP_SIZE, ctx.block_idx, dtype=np.int64)
+        if name == "ntid.x":
+            return np.full(WARP_SIZE, ctx.block_dim, dtype=np.int64)
+        if name == "nctaid.x":
+            return np.full(WARP_SIZE, ctx.grid_dim, dtype=np.int64)
+        args = [ev(a) for a in inst.operands]
+        with np.errstate(all="ignore"):
+            if name == "sqrt":
+                return np.sqrt(np.maximum(args[0], 0.0))
+            if name == "fabs":
+                return np.abs(args[0])
+            if name == "exp":
+                return np.exp(np.clip(args[0], -700, 700))
+            if name == "log":
+                return np.log(np.maximum(args[0], 1e-300))
+            if name == "sin":
+                return np.sin(args[0])
+            if name == "cos":
+                return np.cos(args[0])
+            if name == "atan":
+                return np.arctan(args[0])
+            if name == "floor":
+                return np.floor(args[0])
+            if name == "pow":
+                return np.power(np.abs(args[0]), args[1])
+            if name == "fma":
+                return args[0] * args[1] + args[2]
+            if name in ("min", "fmin"):
+                return np.minimum(args[0], args[1])
+            if name in ("max", "fmax"):
+                return np.maximum(args[0], args[1])
+        raise SimulationError(f"unimplemented intrinsic @{name}")
+
+    # -- phi edges -----------------------------------------------------------
+    def _edge_moves(self, src: BasicBlock, dst: BasicBlock, mask: np.ndarray,
+                    ctx: _WarpContext, arg_values: Dict[int, np.ndarray],
+                    counters: Counters) -> None:
+        phis = dst.phis()
+        if not phis or not mask.any():
+            return
+        active = int(np.count_nonzero(mask))
+        # Parallel-copy semantics: read all incomings before writing any.
+        staged: List[Tuple[PhiInst, np.ndarray]] = []
+        for phi in phis:
+            value = self._eval(phi.incoming_for(src), ctx, arg_values)
+            staged.append((phi, value))
+        for phi, value in staged:
+            counters.note_issue("misc", active)  # One mov per phi.
+            counters.cycles += charge(issue_cost("misc", "phi"), active)
+            self._write(phi, value, mask, ctx)
+
+    # -- value plumbing --------------------------------------------------------
+    def _bind_args(self, func: Function,
+                   args: Sequence[ArgValue]) -> Dict[int, np.ndarray]:
+        bound: Dict[int, np.ndarray] = {}
+        for arg, value in zip(func.args, args):
+            dtype = _storage_dtype(arg.type)
+            bound[id(arg)] = np.full(WARP_SIZE, value, dtype=dtype)
+        return bound
+
+    def _eval(self, value: Value, ctx: _WarpContext,
+              arg_values: Dict[int, np.ndarray]) -> np.ndarray:
+        if isinstance(value, ConstantInt):
+            dtype = _storage_dtype(value.type)
+            return np.full(WARP_SIZE, value.value, dtype=dtype)
+        if isinstance(value, ConstantFloat):
+            dtype = _storage_dtype(value.type)
+            return np.full(WARP_SIZE, value.value, dtype=dtype)
+        if isinstance(value, Undef):
+            return np.zeros(WARP_SIZE, dtype=_storage_dtype(value.type))
+        if isinstance(value, Argument):
+            return arg_values[id(value)]
+        if isinstance(value, GlobalVariable):
+            addr = self._global_addrs[value.name]
+            return np.full(WARP_SIZE, addr, dtype=np.int64)
+        stored = ctx.values.get(id(value))
+        if stored is None:
+            raise SimulationError(
+                f"use of undefined value %{value.name}")
+        return stored
+
+    @staticmethod
+    def _write(inst: Value, value: np.ndarray, mask: np.ndarray,
+               ctx: _WarpContext) -> None:
+        dtype = _storage_dtype(inst.type)
+        if value.dtype != dtype:
+            value = value.astype(dtype)
+        slot = ctx.values.get(id(inst))
+        if slot is None:
+            slot = np.zeros(WARP_SIZE, dtype=dtype)
+            ctx.values[id(inst)] = slot
+        slot[mask] = value[mask]
+
+
+# ---------------------------------------------------------------------------
+# numpy semantics helpers
+# ---------------------------------------------------------------------------
+
+def _binary_op(opcode: str, lhs: np.ndarray, rhs: np.ndarray,
+               type_: Type) -> np.ndarray:
+    bits = type_.bits if isinstance(type_, IntType) else 64
+    with np.errstate(all="ignore"):
+        if opcode == "add":
+            return _wrap_int(lhs + rhs, bits)
+        if opcode == "sub":
+            return _wrap_int(lhs - rhs, bits)
+        if opcode == "mul":
+            return _wrap_int(lhs * rhs, bits)
+        if opcode in ("sdiv", "srem"):
+            safe = np.where(rhs == 0, 1, rhs)
+            quo = np.fix(lhs / safe).astype(np.int64)
+            quo = np.where(rhs == 0, 0, quo)
+            if opcode == "sdiv":
+                return _wrap_int(quo, bits)
+            rem = lhs - quo * np.where(rhs == 0, 0, rhs)
+            return _wrap_int(np.where(rhs == 0, 0, rem), bits)
+        if opcode in ("udiv", "urem"):
+            ul = lhs.astype(np.uint64)
+            ur = rhs.astype(np.uint64)
+            safe = np.where(ur == 0, 1, ur)
+            if opcode == "udiv":
+                out = np.where(ur == 0, 0, ul // safe)
+            else:
+                out = np.where(ur == 0, 0, ul % safe)
+            return _wrap_int(out.astype(np.int64), bits)
+        if opcode == "shl":
+            shift = np.clip(rhs, 0, 63)
+            return _wrap_int(lhs << shift, bits)
+        if opcode == "lshr":
+            shift = np.clip(rhs, 0, 63)
+            return _wrap_int(
+                (lhs.astype(np.uint64) >> shift.astype(np.uint64))
+                .astype(np.int64), bits)
+        if opcode == "ashr":
+            shift = np.clip(rhs, 0, 63)
+            return _wrap_int(lhs >> shift, bits)
+        if opcode == "and":
+            return lhs & rhs
+        if opcode == "or":
+            return lhs | rhs
+        if opcode == "xor":
+            return lhs ^ rhs
+        if opcode == "fadd":
+            return lhs + rhs
+        if opcode == "fsub":
+            return lhs - rhs
+        if opcode == "fmul":
+            return lhs * rhs
+        if opcode == "fdiv":
+            return np.divide(lhs, rhs)
+        if opcode == "frem":
+            return np.fmod(lhs, rhs)
+    raise SimulationError(f"unimplemented binary op {opcode}")
+
+
+def _icmp_op(pred: str, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    if pred.startswith("u") and pred not in ("ueq",):
+        ul = lhs.astype(np.uint64)
+        ur = rhs.astype(np.uint64)
+        table = {"ult": ul < ur, "ule": ul <= ur,
+                 "ugt": ul > ur, "uge": ul >= ur}
+        return table[pred]
+    table = {"eq": lhs == rhs, "ne": lhs != rhs,
+             "slt": lhs < rhs, "sle": lhs <= rhs,
+             "sgt": lhs > rhs, "sge": lhs >= rhs}
+    return table[pred]
+
+
+def _fcmp_op(pred: str, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    unordered = np.isnan(lhs) | np.isnan(rhs)
+    with np.errstate(invalid="ignore"):
+        base = {"eq": lhs == rhs, "ne": lhs != rhs,
+                "lt": lhs < rhs, "le": lhs <= rhs,
+                "gt": lhs > rhs, "ge": lhs >= rhs}[pred[1:]]
+    if pred.startswith("o"):
+        return base & ~unordered
+    return base | unordered
+
+
+def _cast_op(opcode: str, value: np.ndarray, to_type: Type,
+             from_type: Type) -> np.ndarray:
+    if opcode in ("trunc",):
+        assert isinstance(to_type, IntType)
+        return _wrap_int(value.astype(np.int64), to_type.bits)
+    if opcode == "zext":
+        if value.dtype == np.bool_:
+            return value.astype(np.int64)
+        # Values are stored sign-wrapped; reinterpret as unsigned at the
+        # source width before widening.
+        assert isinstance(from_type, IntType)
+        if from_type.bits >= 64:
+            return value.astype(np.int64)
+        mask = (np.int64(1) << from_type.bits) - 1
+        return value.astype(np.int64) & mask
+    if opcode == "sext":
+        return value.astype(np.int64)
+    if opcode in ("sitofp", "uitofp"):
+        dtype = np.float32 if isinstance(to_type, FloatType) and \
+            to_type.bits == 32 else np.float64
+        return value.astype(dtype)
+    if opcode == "fptosi":
+        with np.errstate(all="ignore"):
+            clipped = np.nan_to_num(value, nan=0.0,
+                                    posinf=2**62, neginf=-2**62)
+            return np.fix(clipped).astype(np.int64)
+    if opcode in ("fpext", "fptrunc"):
+        dtype = np.float32 if isinstance(to_type, FloatType) and \
+            to_type.bits == 32 else np.float64
+        return value.astype(dtype)
+    if opcode in ("bitcast", "ptrtoint", "inttoptr"):
+        return value.astype(np.int64)
+    raise SimulationError(f"unimplemented cast {opcode}")

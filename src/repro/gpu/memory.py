@@ -1,0 +1,157 @@
+"""Simulated global memory: a flat 64-bit address space over numpy buffers.
+
+Pointers in the simulator are plain 64-bit addresses.  Each allocation
+reserves an aligned region; loads/stores gather/scatter through numpy and
+record coalescing statistics (32-byte transaction segments per warp access),
+which feed the memory-latency model in :mod:`repro.gpu.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Memory transaction segment size in bytes (V100 L2 sector granularity).
+SEGMENT_BYTES = 32
+
+_DTYPES = {
+    "i8": np.int8,
+    "i16": np.int16,
+    "i32": np.int32,
+    "i64": np.int64,
+    "f32": np.float32,
+    "f64": np.float64,
+}
+
+
+@dataclass
+class Buffer:
+    """One allocation in the flat address space."""
+
+    name: str
+    start: int
+    elem_size: int
+    data: np.ndarray
+
+    @property
+    def end(self) -> int:
+        return self.start + self.data.size * self.elem_size
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated traffic counters for one launch."""
+
+    load_requests: int = 0
+    store_requests: int = 0
+    load_transactions: int = 0
+    store_transactions: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+
+class Memory:
+    """Flat simulated device memory."""
+
+    def __init__(self) -> None:
+        self._buffers: List[Buffer] = []
+        self._by_name: Dict[str, Buffer] = {}
+        self._next_addr = 0x1000  # Null page stays unmapped.
+        self.stats = MemoryStats()
+
+    # -- allocation --------------------------------------------------------
+    def alloc(self, name: str, dtype: str, count: int,
+              init: Optional[np.ndarray] = None) -> int:
+        """Allocate ``count`` elements of ``dtype``; returns the base address."""
+        np_dtype = _DTYPES[dtype]
+        elem_size = np.dtype(np_dtype).itemsize
+        if init is not None:
+            data = np.ascontiguousarray(init, dtype=np_dtype).copy()
+            if data.size != count:
+                raise ValueError(
+                    f"initializer size {data.size} != count {count}")
+        else:
+            data = np.zeros(count, dtype=np_dtype)
+        start = (self._next_addr + 255) & ~255  # 256-byte alignment.
+        buf = Buffer(name, start, elem_size, data)
+        self._next_addr = buf.end
+        self._buffers.append(buf)
+        self._by_name[name] = buf
+        return start
+
+    def buffer(self, name: str) -> Buffer:
+        return self._by_name[name]
+
+    def read_back(self, name: str) -> np.ndarray:
+        """Copy of a buffer's current contents (host-side view)."""
+        return self._by_name[name].data.copy()
+
+    # -- access --------------------------------------------------------------
+    def _find(self, addr: int) -> Buffer:
+        for buf in self._buffers:
+            if buf.start <= addr < buf.end:
+                return buf
+        raise MemoryError(f"simulated segfault: address {addr:#x} unmapped")
+
+    def load(self, addrs: np.ndarray, mask: np.ndarray,
+             elem_size: int) -> Tuple[np.ndarray, int]:
+        """Gather one element per active lane.
+
+        Returns ``(values, transactions)`` where values for inactive lanes
+        are zero and ``transactions`` is the number of 32-byte segments the
+        warp access touched (the coalescing metric).
+        """
+        active = np.flatnonzero(mask)
+        if active.size == 0:
+            return np.zeros(addrs.shape[0]), 0
+        first = self._find(int(addrs[active[0]]))
+        lane_addrs = addrs[active]
+        if (lane_addrs < first.start).any() or (lane_addrs >= first.end).any():
+            # Slow path: lanes hit different buffers.
+            values = np.zeros(addrs.shape[0], dtype=np.float64)
+            segments = set()
+            for lane in active:
+                buf = self._find(int(addrs[lane]))
+                idx = (int(addrs[lane]) - buf.start) // buf.elem_size
+                values[lane] = buf.data[idx]
+                segments.add(int(addrs[lane]) // SEGMENT_BYTES)
+            transactions = len(segments)
+            out = values
+        else:
+            idx = (lane_addrs - first.start) // first.elem_size
+            gathered = first.data[idx]
+            out = np.zeros(addrs.shape[0], dtype=first.data.dtype)
+            out[active] = gathered
+            transactions = int(
+                np.unique(lane_addrs // SEGMENT_BYTES).size)
+        self.stats.load_requests += 1
+        self.stats.load_transactions += transactions
+        self.stats.bytes_loaded += int(active.size) * elem_size
+        return out, transactions
+
+    def store(self, addrs: np.ndarray, values: np.ndarray,
+              mask: np.ndarray, elem_size: int) -> int:
+        """Scatter one element per active lane; returns transaction count."""
+        active = np.flatnonzero(mask)
+        if active.size == 0:
+            return 0
+        first = self._find(int(addrs[active[0]]))
+        lane_addrs = addrs[active]
+        if (lane_addrs < first.start).any() or (lane_addrs >= first.end).any():
+            segments = set()
+            for lane in active:
+                buf = self._find(int(addrs[lane]))
+                idx = (int(addrs[lane]) - buf.start) // buf.elem_size
+                buf.data[idx] = values[lane]
+                segments.add(int(addrs[lane]) // SEGMENT_BYTES)
+            transactions = len(segments)
+        else:
+            idx = (lane_addrs - first.start) // first.elem_size
+            first.data[idx] = values[active]
+            transactions = int(np.unique(lane_addrs // SEGMENT_BYTES).size)
+        self.stats.store_requests += 1
+        self.stats.store_transactions += transactions
+        self.stats.bytes_stored += int(active.size) * elem_size
+        return transactions

@@ -1,0 +1,169 @@
+"""Experiment runner: the measurement methodology of the paper's Section IV-B.
+
+One *cell* = (application, configuration, loop, unroll factor).  For each
+cell the runner compiles the benchmark module under that pipeline, executes
+the workload on the SIMT machine, differentially checks outputs against the
+baseline (transforms must be semantics-preserving), and records kernel
+cycles, code size (the end product of compilation, like the paper's binary
+sizes), and wall-clock compile time.
+
+Per the paper, the per-loop configs apply the transform to *one loop at a
+time*; the heuristic config transforms whatever the heuristic selects.
+Simulated kernel cycles are deterministic; the 20-run mean +- RSD of
+Table I comes from the seeded noise model in :mod:`repro.harness.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..bench.base import Benchmark
+from ..gpu.counters import Counters
+from ..transforms.heuristic import HeuristicParams
+from ..transforms.pipeline import CompileResult, compile_module
+
+UNROLL_FACTORS = (2, 4, 8)
+
+
+@dataclass
+class Cell:
+    """Result of one measured configuration."""
+
+    app: str
+    config: str
+    loop_id: Optional[str]
+    factor: int
+    cycles: float
+    code_size: int
+    compile_seconds: float
+    counters: Counters
+    outputs_match_baseline: bool
+    heuristic_decisions: list = field(default_factory=list)
+    #: Compilation hit its time budget (paper: ccs compile timeouts).
+    #: Timed-out cells are excluded from the figures, as in the paper.
+    timed_out: bool = False
+
+    def speedup_over(self, baseline: "Cell") -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def size_ratio_over(self, baseline: "Cell") -> float:
+        if baseline.code_size <= 0:
+            return 1.0
+        return self.code_size / baseline.code_size
+
+    def compile_ratio_over(self, baseline: "Cell") -> float:
+        if baseline.compile_seconds <= 0:
+            return 1.0
+        return self.compile_seconds / baseline.compile_seconds
+
+
+class ExperimentRunner:
+    """Runs and caches experiment cells for one or more benchmarks."""
+
+    def __init__(self, heuristic: Optional[HeuristicParams] = None,
+                 max_instructions: int = 20_000,
+                 compile_timeout: Optional[float] = 20.0,
+                 verify_each: bool = False) -> None:
+        self.heuristic = heuristic or HeuristicParams()
+        self.max_instructions = max_instructions
+        self.compile_timeout = compile_timeout
+        self.verify_each = verify_each
+        self._cache: Dict[Tuple[str, str, Optional[str], int], Cell] = {}
+        self._baseline_outputs: Dict[str, Dict[str, np.ndarray]] = {}
+
+    # -- cells -----------------------------------------------------------
+    def cell(self, bench: Benchmark, config: str,
+             loop_id: Optional[str] = None, factor: int = 1) -> Cell:
+        key = (bench.name, config, loop_id, factor)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._run(bench, config, loop_id, factor)
+        self._cache[key] = result
+        return result
+
+    def baseline(self, bench: Benchmark) -> Cell:
+        return self.cell(bench, "baseline")
+
+    def heuristic_cell(self, bench: Benchmark) -> Cell:
+        return self.cell(bench, "uu_heuristic")
+
+    def _run(self, bench: Benchmark, config: str, loop_id: Optional[str],
+             factor: int) -> Cell:
+        module = bench.build_module()
+        compiled: CompileResult = compile_module(
+            module, config, loop_id=loop_id, factor=factor,
+            heuristic=self.heuristic,
+            max_instructions=self.max_instructions,
+            timeout_seconds=self.compile_timeout,
+            verify_each=self.verify_each)
+        if compiled.timed_out:
+            # The paper excluded compile-timeout points from its figures;
+            # we do not simulate them either.
+            return Cell(app=bench.name, config=config, loop_id=loop_id,
+                        factor=factor, cycles=float("inf"),
+                        code_size=compiled.code_size,
+                        compile_seconds=compiled.compile_seconds,
+                        counters=Counters(), outputs_match_baseline=True,
+                        heuristic_decisions=compiled.heuristic_decisions,
+                        timed_out=True)
+        outputs, counters = bench.run(module)
+
+        matches = True
+        if config == "baseline":
+            # Anchor correctness: the baseline pipeline itself must agree
+            # with the unoptimized module's behaviour.
+            raw_outputs, _ = bench.run(bench.build_module())
+            matches = all(np.array_equal(outputs[name], raw_outputs[name])
+                          for name in outputs)
+            self._baseline_outputs[bench.name] = outputs
+        else:
+            reference = self._baseline_outputs.get(bench.name)
+            if reference is None:
+                self.baseline(bench)
+                reference = self._baseline_outputs[bench.name]
+            matches = all(
+                np.array_equal(outputs[name], reference[name])
+                for name in outputs)
+
+        return Cell(
+            app=bench.name,
+            config=config,
+            loop_id=loop_id,
+            factor=factor,
+            cycles=counters.cycles,
+            code_size=compiled.code_size,
+            compile_seconds=compiled.compile_seconds,
+            counters=counters,
+            outputs_match_baseline=matches,
+            heuristic_decisions=compiled.heuristic_decisions,
+        )
+
+    # -- sweeps -----------------------------------------------------------
+    def per_loop_cells(self, bench: Benchmark, config: str,
+                       factors: Tuple[int, ...] = UNROLL_FACTORS
+                       ) -> List[Cell]:
+        """The paper's one-loop-at-a-time sweep for one config."""
+        cells = []
+        for loop_id in bench.loop_ids():
+            if config == "unmerge":
+                cells.append(self.cell(bench, "unmerge", loop_id, 1))
+            else:
+                for factor in factors:
+                    cells.append(self.cell(bench, config, loop_id, factor))
+        return cells
+
+    def full_sweep(self, bench: Benchmark) -> Dict[str, List[Cell]]:
+        """Everything Figures 6-8 need for one application."""
+        return {
+            "baseline": [self.baseline(bench)],
+            "uu": self.per_loop_cells(bench, "uu"),
+            "unroll": self.per_loop_cells(bench, "unroll"),
+            "unmerge": self.per_loop_cells(bench, "unmerge"),
+            "uu_heuristic": [self.heuristic_cell(bench)],
+        }

@@ -1,0 +1,76 @@
+"""SVG renderings of the paper's figures from harness series data."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from .fig6 import Fig6Point
+from .fig7 import Fig7Row
+from .fig8 import ScatterPoint
+from .svg import BarGroup, ScatterSeries, grouped_bar_chart, scatter_chart
+
+_FACTORS = (2, 4, 8)
+
+
+def _finite(value: float) -> Optional[float]:
+    return value if math.isfinite(value) and value > 0 else None
+
+
+def fig6_svg(points: List[Fig6Point], metric: str) -> str:
+    """Figures 6a/6b/6c: best per-loop value per app × factor + heuristic."""
+    titles = {"speedup": "Fig 6a — u&u speedup over baseline",
+              "size_ratio": "Fig 6b — code size increase over baseline",
+              "compile_ratio": "Fig 6c — compile time increase over baseline"}
+    apps: Dict[str, Dict] = {}
+    for p in points:
+        entry = apps.setdefault(p.app, {f: None for f in _FACTORS}
+                                | {"heuristic": None})
+        value = _finite(getattr(p, metric))
+        if value is None:
+            continue
+        if p.factor is None:
+            entry["heuristic"] = value
+        else:
+            best = entry[p.factor]
+            entry[p.factor] = value if best is None else max(best, value)
+    groups = [BarGroup(app, [entry[2], entry[4], entry[8],
+                             entry["heuristic"]])
+              for app, entry in apps.items()]
+    return grouped_bar_chart(
+        groups, ["u=2", "u=4", "u=8", "heuristic"],
+        titles[metric], metric.replace("_", " "),
+        reference_line=1.0, log_scale=True)
+
+
+def fig7_svg(rows: List[Fig7Row]) -> str:
+    """Figure 7: best u&u / unroll / unmerge speedup per application."""
+    apps: Dict[str, Dict[str, float]] = {}
+    for r in rows:
+        entry = apps.setdefault(r.app, {"uu": 0.0, "unroll": 0.0,
+                                        "unmerge": r.unmerge_speedup})
+        entry["uu"] = max(entry["uu"], r.uu_speedup)
+        entry["unroll"] = max(entry["unroll"], r.unroll_speedup)
+    groups = [BarGroup(app, [_finite(e["uu"]), _finite(e["unroll"]),
+                             _finite(e["unmerge"])])
+              for app, e in apps.items()]
+    return grouped_bar_chart(
+        groups, ["u&u", "unroll", "unmerge"],
+        "Fig 7 — u&u vs unroll vs unmerge (best per-loop speedup)",
+        "speedup", reference_line=1.0, log_scale=True)
+
+
+def fig8_svg(points: List[ScatterPoint], comparator: str) -> str:
+    """Figures 8a/8b: per-loop scatter against the diagonal."""
+    series = []
+    for factor in _FACTORS:
+        pts = [(p.uu_speedup, p.other_speedup) for p in points
+               if p.factor == factor
+               and _finite(p.uu_speedup) and _finite(p.other_speedup)]
+        if pts:
+            series.append(ScatterSeries(f"u={factor}", pts))
+    label = "unroll" if comparator == "unroll" else "unmerge"
+    title = ("Fig 8a — u&u vs unroll (per loop)" if comparator == "unroll"
+             else "Fig 8b — u&u vs unmerge (per loop)")
+    return scatter_chart(series, title, "u&u speedup",
+                         f"{label} speedup", diagonal=True)

@@ -1,0 +1,70 @@
+"""Aggregate summary: the paper's headline geomeans.
+
+The paper (Section IV): "The geometric means for speedup, code size and
+compile time increase over all applications for the heuristic are 1.05x,
+1.7x and 1.18x respectively."  This module computes our equivalents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..bench import all_benchmarks
+from ..bench.base import Benchmark
+from .experiment import ExperimentRunner
+from .stats import geomean
+
+
+@dataclass
+class HeuristicSummary:
+    """Geomeans of the heuristic configuration over all applications."""
+
+    speedup: float
+    size_ratio: float
+    compile_ratio: float
+    improved: int
+    total: int
+
+    #: The paper's values, for side-by-side reporting.
+    PAPER_SPEEDUP = 1.05
+    PAPER_SIZE = 1.7
+    PAPER_COMPILE = 1.18
+
+    def format(self) -> str:
+        return (
+            "Heuristic u&u geomeans over all applications "
+            "(paper in parentheses):\n"
+            f"  speedup       {self.speedup:.3f}x  "
+            f"({self.PAPER_SPEEDUP:.2f}x)\n"
+            f"  code size     {self.size_ratio:.3f}x  "
+            f"({self.PAPER_SIZE:.2f}x)\n"
+            f"  compile time  {self.compile_ratio:.3f}x  "
+            f"({self.PAPER_COMPILE:.2f}x)\n"
+            f"  improved      {self.improved}/{self.total} applications "
+            f"(paper: 13/16)")
+
+
+def heuristic_summary(runner: Optional[ExperimentRunner] = None,
+                      benches: Optional[List[Benchmark]] = None
+                      ) -> HeuristicSummary:
+    runner = runner or ExperimentRunner()
+    benches = benches if benches is not None else all_benchmarks()
+    speedups, sizes, compiles = [], [], []
+    improved = 0
+    for bench in benches:
+        base = runner.baseline(bench)
+        heur = runner.heuristic_cell(bench)
+        s = heur.speedup_over(base)
+        speedups.append(s)
+        sizes.append(heur.size_ratio_over(base))
+        compiles.append(heur.compile_ratio_over(base))
+        if s > 1.0:
+            improved += 1
+    return HeuristicSummary(
+        speedup=geomean(speedups),
+        size_ratio=geomean(sizes),
+        compile_ratio=geomean(compiles),
+        improved=improved,
+        total=len(benches),
+    )

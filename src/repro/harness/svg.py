@@ -1,0 +1,219 @@
+"""Dependency-free SVG chart rendering for the paper's figures.
+
+The paper's artifact emits fig6a.pdf ... fig8b.pdf; matplotlib is not
+available here, so this module renders the same figures as standalone SVG:
+grouped bar charts (Figures 6a-6c, 7) and scatter plots with a diagonal
+reference line (Figures 8a/8b).  The drawing model is deliberately small —
+axes, ticks, bars, points, labels — and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default series colours (colour-blind-safe-ish).
+PALETTE = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"]
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+@dataclass
+class _Canvas:
+    width: int
+    height: int
+    elements: List[str] = field(default_factory=list)
+
+    def line(self, x1, y1, x2, y2, stroke="#333", width=1.0, dash=None):
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{d}/>')
+
+    def rect(self, x, y, w, h, fill):
+        self.elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{fill}"/>')
+
+    def circle(self, x, y, r, fill, opacity=0.75):
+        self.elements.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{fill}" '
+            f'fill-opacity="{opacity}"/>')
+
+    def text(self, x, y, s, size=11, anchor="middle", rotate=None,
+             fill="#222"):
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' \
+            if rotate is not None else ""
+        self.elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="sans-serif"{transform}>{_esc(s)}</text>')
+
+    def render(self) -> str:
+        body = "\n".join(self.elements)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">\n'
+                f'<rect width="100%" height="100%" fill="white"/>\n'
+                f"{body}\n</svg>\n")
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(target, 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if span / step <= target:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+@dataclass
+class BarGroup:
+    """One x-axis group (e.g. an application) with one value per series."""
+
+    label: str
+    values: List[Optional[float]]   # None = missing (e.g. timeout).
+
+
+def grouped_bar_chart(groups: Sequence[BarGroup], series_names: List[str],
+                      title: str, ylabel: str,
+                      reference_line: Optional[float] = 1.0,
+                      width: int = 960, height: int = 420,
+                      log_scale: bool = False) -> str:
+    """Render a grouped bar chart (Figures 6a-6c, 7) as SVG text."""
+    margin_l, margin_r, margin_t, margin_b = 60, 20, 40, 110
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    canvas = _Canvas(width, height)
+
+    values = [v for g in groups for v in g.values if v is not None]
+    if not values:
+        values = [1.0]
+    if log_scale:
+        lo = min(min(values), reference_line or min(values)) / 1.3
+        hi = max(max(values), reference_line or max(values)) * 1.3
+        to_y = lambda v: margin_t + plot_h * (
+            1 - (math.log(v) - math.log(lo)) /
+            (math.log(hi) - math.log(lo)))
+        ticks = [t for t in (0.1, 0.25, 0.5, 1, 2, 4, 8, 16, 32)
+                 if lo <= t <= hi]
+    else:
+        lo = 0.0
+        hi = max(values + ([reference_line] if reference_line else [])) * 1.1
+        to_y = lambda v: margin_t + plot_h * (1 - (v - lo) / (hi - lo))
+        ticks = _nice_ticks(lo, hi)
+
+    # Axes and ticks.
+    canvas.line(margin_l, margin_t, margin_l, margin_t + plot_h)
+    canvas.line(margin_l, margin_t + plot_h, margin_l + plot_w,
+                margin_t + plot_h)
+    for t in ticks:
+        y = to_y(t)
+        canvas.line(margin_l - 4, y, margin_l, y)
+        canvas.line(margin_l, y, margin_l + plot_w, y, stroke="#ddd",
+                    width=0.5)
+        canvas.text(margin_l - 8, y + 4, f"{t:g}", anchor="end", size=10)
+    canvas.text(16, margin_t + plot_h / 2, ylabel, rotate=-90, size=12)
+    canvas.text(width / 2, 20, title, size=14)
+
+    # Bars.
+    n_groups = max(len(groups), 1)
+    n_series = max(len(series_names), 1)
+    group_w = plot_w / n_groups
+    bar_w = group_w * 0.8 / n_series
+    base_y = to_y(lo if not log_scale else max(lo, min(values)))
+    zero_y = margin_t + plot_h
+    for gi, group in enumerate(groups):
+        gx = margin_l + gi * group_w + group_w * 0.1
+        for si, value in enumerate(group.values):
+            if value is None:
+                continue
+            x = gx + si * bar_w
+            y = to_y(value)
+            canvas.rect(x, min(y, zero_y), bar_w * 0.92,
+                        abs(zero_y - y), PALETTE[si % len(PALETTE)])
+        canvas.text(margin_l + gi * group_w + group_w / 2,
+                    margin_t + plot_h + 14, group.label, size=10,
+                    rotate=35)
+
+    if reference_line is not None and (log_scale or reference_line <= hi):
+        y = to_y(reference_line)
+        canvas.line(margin_l, y, margin_l + plot_w, y, stroke="#cc3311",
+                    width=1.0, dash="5,3")
+
+    # Legend.
+    lx = margin_l
+    ly = height - 20
+    for si, name in enumerate(series_names):
+        canvas.rect(lx, ly - 10, 12, 12, PALETTE[si % len(PALETTE)])
+        canvas.text(lx + 18, ly, name, anchor="start", size=11)
+        lx += 18 + 8 * len(name) + 24
+    return canvas.render()
+
+
+@dataclass
+class ScatterSeries:
+    name: str
+    points: List[Tuple[float, float]]
+
+
+def scatter_chart(series: Sequence[ScatterSeries], title: str,
+                  xlabel: str, ylabel: str, diagonal: bool = True,
+                  width: int = 520, height: int = 520) -> str:
+    """Render a scatter plot with a diagonal (Figures 8a/8b) as SVG text."""
+    margin = 60
+    plot = min(width, height) - 2 * margin
+    canvas = _Canvas(width, height)
+
+    xs = [p[0] for s in series for p in s.points] or [1.0]
+    ys = [p[1] for s in series for p in s.points] or [1.0]
+    lo = min(min(xs), min(ys), 1.0) * 0.9
+    hi = max(max(xs), max(ys), 1.0) * 1.1
+
+    def to_xy(x, y):
+        fx = (x - lo) / (hi - lo)
+        fy = (y - lo) / (hi - lo)
+        return margin + fx * plot, margin + plot * (1 - fy)
+
+    canvas.line(margin, margin, margin, margin + plot)
+    canvas.line(margin, margin + plot, margin + plot, margin + plot)
+    for t in _nice_ticks(lo, hi):
+        x, y = to_xy(t, t)
+        canvas.line(x, margin + plot, x, margin + plot + 4)
+        canvas.text(x, margin + plot + 16, f"{t:g}", size=10)
+        canvas.line(margin - 4, y, margin, y)
+        canvas.text(margin - 8, y + 4, f"{t:g}", anchor="end", size=10)
+    if diagonal:
+        x1, y1 = to_xy(lo, lo)
+        x2, y2 = to_xy(hi, hi)
+        canvas.line(x1, y1, x2, y2, stroke="#cc3311", width=1.0, dash="4,3")
+
+    for si, s in enumerate(series):
+        colour = PALETTE[si % len(PALETTE)]
+        for x, y in s.points:
+            px, py = to_xy(x, y)
+            canvas.circle(px, py, 3.5, colour)
+
+    canvas.text(width / 2, 22, title, size=14)
+    canvas.text(width / 2, height - 10, xlabel, size=12)
+    canvas.text(14, height / 2, ylabel, rotate=-90, size=12)
+    lx = margin
+    for si, s in enumerate(series):
+        canvas.circle(lx, 36, 4, PALETTE[si % len(PALETTE)])
+        canvas.text(lx + 10, 40, s.name, anchor="start", size=11)
+        lx += 10 + 8 * len(s.name) + 20
+    return canvas.render()

@@ -1,0 +1,46 @@
+"""SSA intermediate representation.
+
+The IR is the substrate everything else builds on: the transformation passes
+rewrite it, the analyses inspect it, and the GPU simulator executes it.  It
+deliberately mirrors the LLVM subset the paper's pass operates on.
+
+Public API::
+
+    from repro.ir import (Module, Function, BasicBlock, IRBuilder, types,
+                          verify_function, print_function, parse_module)
+"""
+
+from . import types
+from .block import BasicBlock
+from .builder import IRBuilder
+from .clone import clone_blocks, clone_instruction, map_value
+from .constants import (Constant, ConstantFloat, ConstantInt, FALSE, TRUE,
+                        Undef, bool_const, const)
+from .function import Function
+from .instructions import (AllocaInst, BinaryInst, BranchInst, CallInst,
+                           CastInst, CondBranchInst, FCmpInst, GEPInst,
+                           ICmpInst, Instruction, LoadInst, PhiInst, RetInst,
+                           SelectInst, StoreInst, TerminatorInst,
+                           UnreachableInst, INTRINSICS, OPCODE_INFO)
+from .module import Module
+from .parser import ParseError, parse_function, parse_module
+from .printer import (format_instruction, print_block, print_function,
+                      print_module)
+from .values import Argument, GlobalVariable, Use, User, Value
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "types",
+    "BasicBlock", "IRBuilder", "Function", "Module",
+    "Value", "User", "Use", "Argument", "GlobalVariable",
+    "Constant", "ConstantInt", "ConstantFloat", "Undef", "const",
+    "bool_const", "TRUE", "FALSE",
+    "Instruction", "TerminatorInst", "BinaryInst", "ICmpInst", "FCmpInst",
+    "SelectInst", "PhiInst", "CastInst", "LoadInst", "StoreInst", "GEPInst",
+    "AllocaInst", "CallInst", "BranchInst", "CondBranchInst", "RetInst",
+    "UnreachableInst", "INTRINSICS", "OPCODE_INFO",
+    "clone_blocks", "clone_instruction", "map_value",
+    "verify_function", "verify_module", "VerificationError",
+    "print_function", "print_module", "print_block", "format_instruction",
+    "parse_module", "parse_function", "ParseError",
+]

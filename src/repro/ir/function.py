@@ -1,0 +1,114 @@
+"""Functions (GPU kernels and device helpers)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .block import BasicBlock
+from .instructions import Instruction
+from .types import FunctionType, Type
+from .values import Argument, Value
+
+
+class Function(Value):
+    """A function: arguments plus an ordered list of basic blocks.
+
+    Block order is significant only in that ``blocks[0]`` is the entry block;
+    the printer and deterministic iteration rely on the stored order.
+    """
+
+    __slots__ = ("blocks", "args", "ftype", "parent", "_name_counts",
+                 "attributes")
+
+    def __init__(self, name: str, ftype: FunctionType,
+                 arg_names: Optional[Sequence[str]] = None) -> None:
+        super().__init__(ftype, name)
+        self.ftype = ftype
+        self.blocks: List[BasicBlock] = []
+        self.parent = None
+        self.attributes: Dict[str, object] = {}
+        if arg_names is None:
+            arg_names = [f"arg{i}" for i in range(len(ftype.params))]
+        if len(arg_names) != len(ftype.params):
+            raise ValueError("argument name count does not match signature")
+        self.args: List[Argument] = []
+        for i, (ptype, pname) in enumerate(zip(ftype.params, arg_names)):
+            arg = Argument(ptype, pname, i)
+            arg.parent = self
+            self.args.append(arg)
+        self._name_counts: Dict[str, int] = {}
+
+    # -- blocks -----------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str = "", after: Optional[BasicBlock] = None) -> BasicBlock:
+        block = BasicBlock(self.unique_name(name or "bb"))
+        block.parent = self
+        if after is None:
+            self.blocks.append(block)
+        else:
+            index = self._block_index(after)
+            self.blocks.insert(index + 1, block)
+        return block
+
+    def adopt_block(self, block: BasicBlock,
+                    after: Optional[BasicBlock] = None) -> BasicBlock:
+        """Attach an existing (detached) block to this function."""
+        block.parent = self
+        block.name = self.unique_name(block.name or "bb")
+        if after is None:
+            self.blocks.append(block)
+        else:
+            index = self._block_index(after)
+            self.blocks.insert(index + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        index = self._block_index(block)
+        del self.blocks[index]
+        block.parent = None
+
+    def _block_index(self, block: BasicBlock) -> int:
+        for i, existing in enumerate(self.blocks):
+            if existing is block:
+                return i
+        raise ValueError(f"block {block.name} not in function {self.name}")
+
+    # -- names -----------------------------------------------------------
+    def unique_name(self, base: str) -> str:
+        """Return ``base`` or ``base.N`` such that it is unused in this function."""
+        count = self._name_counts.get(base)
+        if count is None:
+            self._name_counts[base] = 1
+            return base
+        while True:
+            candidate = f"{base}.{count}"
+            count += 1
+            if candidate not in self._name_counts:
+                self._name_counts[base] = count
+                self._name_counts[candidate] = 1
+                return candidate
+
+    # -- iteration ----------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def code_size(self) -> int:
+        """Cost-model size of the function (proxy for binary size)."""
+        return sum(inst.cost for inst in self.instructions())
+
+    def short_name(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return (f"<Function @{self.name} [{len(self.blocks)} blocks, "
+                f"{self.instruction_count()} insts]>")

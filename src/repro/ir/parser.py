@@ -1,0 +1,354 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+The parser exists for tests and tooling: printed modules round-trip, and
+hand-written IR snippets make concise unit tests for the transforms.  It is a
+straightforward line-oriented recursive-descent parser; forward references
+(phi back-edges) are resolved through placeholder patching.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .block import BasicBlock
+from .builder import IRBuilder
+from .constants import ConstantFloat, ConstantInt, Undef, const
+from .function import Function
+from .instructions import (AllocaInst, BinaryInst, BranchInst, CallInst,
+                           CastInst, CondBranchInst, FCmpInst, GEPInst,
+                           ICmpInst, Instruction, LoadInst, PhiInst, RetInst,
+                           SelectInst, StoreInst, UnreachableInst,
+                           CAST_OPS, FLOAT_BINOPS, INT_BINOPS)
+from .module import Module
+from .types import FloatType, FunctionType, IntType, Type, VOID, parse_type
+from .values import Value
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+
+
+class _Placeholder(Value):
+    """Stands in for a value referenced before its definition."""
+
+    __slots__ = ("ref_name",)
+
+    def __init__(self, type_: Type, ref_name: str) -> None:
+        super().__init__(type_, ref_name)
+        self.ref_name = ref_name
+
+
+_DEFINE_RE = re.compile(
+    r"define\s+(?P<ret>[\w*]+)\s+@(?P<name>[\w.\-]+)\s*\((?P<args>.*)\)\s*\{")
+_GLOBAL_RE = re.compile(
+    r"@(?P<name>[\w.\-]+)\s*=\s*global\s+(?P<type>[\w*]+)\s+x\s+(?P<count>\d+)")
+_LABEL_RE = re.compile(r"(?P<name>[\w.\-]+):")
+_ASSIGN_RE = re.compile(r"%(?P<name>[\w.\-]+)\s*=\s*(?P<rest>.+)")
+_PHI_PAIR_RE = re.compile(r"\[\s*(?P<val>[^,\]]+)\s*,\s*%(?P<block>[\w.\-]+)\s*\]")
+
+
+class _FunctionParser:
+    def __init__(self, func: Function, line_no: int) -> None:
+        self.func = func
+        self.line_no = line_no
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.values: Dict[str, Value] = {a.name: a for a in func.args}
+        self.placeholders: Dict[str, List[_Placeholder]] = {}
+        self.current: Optional[BasicBlock] = None
+
+    # -- helpers -----------------------------------------------------------
+    def block(self, name: str) -> BasicBlock:
+        block = self.blocks.get(name)
+        if block is None:
+            block = BasicBlock(name)
+            self.blocks[name] = block
+        return block
+
+    def define(self, name: str, value: Value) -> None:
+        if name in self.values:
+            raise ParseError(f"redefinition of %{name}", self.line_no, name)
+        value.name = name
+        self.values[name] = value
+        for ph in self.placeholders.pop(name, []):
+            ph.replace_all_uses_with(value)
+
+    def operand(self, type_: Type, text: str) -> Value:
+        text = text.strip()
+        if text == "undef":
+            return Undef(type_)
+        if text.startswith("%"):
+            name = text[1:]
+            value = self.values.get(name)
+            if value is None:
+                ph = _Placeholder(type_, name)
+                self.placeholders.setdefault(name, []).append(ph)
+                return ph
+            return value
+        if text.startswith("@"):
+            gname = text[1:]
+            module = self.func.parent
+            if module is None or gname not in module.globals:
+                raise ParseError(f"unknown global @{gname}", self.line_no, text)
+            return module.globals[gname]
+        if isinstance(type_, IntType):
+            return ConstantInt(type_, int(text, 0))
+        if isinstance(type_, FloatType):
+            return ConstantFloat(type_, float(text))
+        raise ParseError(f"cannot parse operand {text!r} of type {type_!r}",
+                         self.line_no, text)
+
+    def typed_operand(self, text: str) -> Value:
+        text = text.strip()
+        parts = text.split(None, 1)
+        if len(parts) != 2:
+            raise ParseError("expected 'type value'", self.line_no, text)
+        return self.operand(parse_type(parts[0]), parts[1])
+
+
+def parse_module(text: str, name: str = "parsed") -> Module:
+    """Parse a full module from text."""
+    module = Module(name)
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = _strip(lines[i])
+        if not line:
+            i += 1
+            continue
+        m = _GLOBAL_RE.match(line)
+        if m:
+            module.add_global(m.group("name"), parse_type(m.group("type")),
+                              int(m.group("count")))
+            i += 1
+            continue
+        m = _DEFINE_RE.match(line)
+        if m:
+            i = _parse_function(module, lines, i, m)
+            continue
+        raise ParseError("unexpected top-level construct", i + 1, line)
+    return module
+
+
+def parse_function(text: str, module: Optional[Module] = None) -> Function:
+    """Parse a single function (convenience for tests)."""
+    module = module if module is not None else Module("parsed")
+    before = set(module.functions)
+    mod = _parse_into(module, text)
+    new_names = [n for n in mod.functions if n not in before]
+    if len(new_names) != 1:
+        raise ValueError("expected exactly one function definition")
+    return mod.functions[new_names[0]]
+
+
+def _parse_into(module: Module, text: str) -> Module:
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = _strip(lines[i])
+        if not line:
+            i += 1
+            continue
+        m = _GLOBAL_RE.match(line)
+        if m:
+            module.add_global(m.group("name"), parse_type(m.group("type")),
+                              int(m.group("count")))
+            i += 1
+            continue
+        m = _DEFINE_RE.match(line)
+        if m:
+            i = _parse_function(module, lines, i, m)
+            continue
+        raise ParseError("unexpected top-level construct", i + 1, line)
+    return module
+
+
+def _strip(line: str) -> str:
+    # Remove comments (';' to end of line) and whitespace.
+    pos = line.find(";")
+    if pos >= 0:
+        line = line[:pos]
+    return line.strip()
+
+
+def _parse_function(module: Module, lines: List[str], start: int,
+                    m: "re.Match[str]") -> int:
+    ret_type = parse_type(m.group("ret"))
+    arg_text = m.group("args").strip()
+    arg_types: List[Type] = []
+    arg_names: List[str] = []
+    if arg_text:
+        for piece in arg_text.split(","):
+            parts = piece.split()
+            if len(parts) != 2 or not parts[1].startswith("%"):
+                raise ParseError("bad argument", start + 1, piece)
+            arg_types.append(parse_type(parts[0]))
+            arg_names.append(parts[1][1:])
+    func = module.add_function(m.group("name"),
+                               FunctionType(ret_type, tuple(arg_types)),
+                               arg_names)
+    fp = _FunctionParser(func, start + 1)
+
+    i = start + 1
+    while i < len(lines):
+        fp.line_no = i + 1
+        line = _strip(lines[i])
+        i += 1
+        if not line:
+            continue
+        if line == "}":
+            _finish_function(fp)
+            return i
+        label = re.fullmatch(r"(?P<name>[\w.\-]+):", line)
+        if label:
+            block = fp.block(label.group("name"))
+            func.adopt_block(block)
+            fp.current = block
+            continue
+        if fp.current is None:
+            raise ParseError("instruction outside block", i, line)
+        _parse_instruction(fp, line)
+    raise ParseError("missing closing '}'", len(lines), lines[-1] if lines else "")
+
+
+def _finish_function(fp: _FunctionParser) -> None:
+    unresolved = {n for n, phs in fp.placeholders.items() if phs}
+    if unresolved:
+        raise ParseError(f"unresolved values: {sorted(unresolved)}",
+                         fp.line_no, "")
+    # Register block/value names so unique_name never collides.
+    for name in list(fp.values) + list(fp.blocks):
+        fp.func._name_counts.setdefault(name, 1)
+
+
+def _parse_instruction(fp: _FunctionParser, line: str) -> None:
+    assign = _ASSIGN_RE.match(line)
+    name = ""
+    rest = line
+    if assign and not line.startswith(("store", "br", "ret")):
+        name = assign.group("name")
+        rest = assign.group("rest").strip()
+
+    inst = _build_instruction(fp, rest)
+    assert fp.current is not None
+    if isinstance(inst, PhiInst):
+        fp.current.insert(fp.current.first_non_phi_index(), inst)
+    else:
+        fp.current.append(inst)
+    if name:
+        fp.define(name, inst)
+
+
+def _build_instruction(fp: _FunctionParser, rest: str) -> Instruction:
+    op, _, tail = rest.partition(" ")
+    tail = tail.strip()
+
+    if op in INT_BINOPS or op in FLOAT_BINOPS:
+        type_text, _, ops = tail.partition(" ")
+        type_ = parse_type(type_text)
+        lhs_text, rhs_text = _split2(fp, ops)
+        return BinaryInst(op, fp.operand(type_, lhs_text),
+                          fp.operand(type_, rhs_text))
+    if op in ("icmp", "fcmp"):
+        pred, _, rest2 = tail.partition(" ")
+        type_text, _, ops = rest2.strip().partition(" ")
+        type_ = parse_type(type_text)
+        lhs_text, rhs_text = _split2(fp, ops)
+        cls = ICmpInst if op == "icmp" else FCmpInst
+        return cls(pred, fp.operand(type_, lhs_text), fp.operand(type_, rhs_text))
+    if op == "select":
+        parts = _split_top(tail)
+        if len(parts) != 3:
+            raise ParseError("select needs 3 operands", fp.line_no, rest)
+        cond = fp.typed_operand(parts[0])
+        tval = fp.typed_operand(parts[1])
+        fval = fp.typed_operand(parts[2])
+        return SelectInst(cond, tval, fval)
+    if op == "phi":
+        type_text, _, pairs_text = tail.partition(" ")
+        type_ = parse_type(type_text)
+        phi = PhiInst(type_)
+        for pm in _PHI_PAIR_RE.finditer(pairs_text):
+            value = fp.operand(type_, pm.group("val"))
+            phi.add_incoming(value, fp.block(pm.group("block")))
+        return phi
+    if op in CAST_OPS:
+        src_text, _, to_text = tail.partition(" to ")
+        value = fp.typed_operand(src_text)
+        return CastInst(op, value, parse_type(to_text.strip()))
+    if op == "load":
+        parts = _split_top(tail)
+        if len(parts) != 2:
+            raise ParseError("load needs 'type, ptr'", fp.line_no, rest)
+        return LoadInst(fp.typed_operand(parts[1]))
+    if op == "store":
+        parts = _split_top(tail)
+        if len(parts) != 2:
+            raise ParseError("store needs 'value, ptr'", fp.line_no, rest)
+        return StoreInst(fp.typed_operand(parts[0]), fp.typed_operand(parts[1]))
+    if op == "gep":
+        parts = _split_top(tail)
+        if len(parts) != 2:
+            raise ParseError("gep needs 'ptr, index'", fp.line_no, rest)
+        return GEPInst(fp.typed_operand(parts[0]), fp.typed_operand(parts[1]))
+    if op == "alloca":
+        parts = _split_top(tail)
+        count = int(parts[1]) if len(parts) > 1 else 1
+        return AllocaInst(parse_type(parts[0]), count)
+    if op == "call":
+        m = re.match(r"([\w*]+)\s+@([\w.\-]+)\((.*)\)", tail)
+        if not m:
+            raise ParseError("malformed call", fp.line_no, rest)
+        type_ = parse_type(m.group(1))
+        args_text = m.group(3).strip()
+        args = [fp.typed_operand(p) for p in _split_top(args_text)] if args_text else []
+        return CallInst(m.group(2), args, type_)
+    if op == "br":
+        if tail.startswith("label"):
+            target = tail.split("%", 1)[1].strip()
+            return BranchInst(fp.block(target))
+        parts = _split_top(tail)
+        if len(parts) != 3:
+            raise ParseError("malformed condbr", fp.line_no, rest)
+        cond = fp.typed_operand(parts[0])
+        t_name = parts[1].split("%", 1)[1].strip()
+        f_name = parts[2].split("%", 1)[1].strip()
+        return CondBranchInst(cond, fp.block(t_name), fp.block(f_name))
+    if op == "ret":
+        if tail.strip() == "void":
+            return RetInst(None)
+        return RetInst(fp.typed_operand(tail))
+    if op == "unreachable" or rest.strip() == "unreachable":
+        return UnreachableInst()
+    raise ParseError(f"unknown instruction '{op}'", fp.line_no, rest)
+
+
+def _split2(fp: _FunctionParser, text: str) -> Tuple[str, str]:
+    parts = _split_top(text)
+    if len(parts) != 2:
+        raise ParseError("expected two operands", fp.line_no, text)
+    return parts[0], parts[1]
+
+
+def _split_top(text: str) -> List[str]:
+    """Split on commas that are not nested inside brackets/parens."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    last = "".join(current).strip()
+    if last:
+        parts.append(last)
+    return parts

@@ -1,0 +1,216 @@
+"""Type system for the repro IR.
+
+The type system mirrors the subset of LLVM types that GPU kernels in the
+paper's benchmarks need: fixed-width integers, IEEE floats, pointers into a
+flat address space, void, and function types.  Types are interned so they can
+be compared with ``is`` and used as dictionary keys cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self, IntType) and self.bits == 1
+
+    def size_bytes(self) -> int:
+        """Size of a value of this type in the simulated address space."""
+        raise NotImplementedError(f"{self!r} has no size")
+
+
+class VoidType(Type):
+    def __repr__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """Fixed-width two's-complement integer type (``i1``, ``i8``, ... )."""
+
+    _cache: Dict[int, "IntType"] = {}
+
+    def __new__(cls, bits: int) -> "IntType":
+        cached = cls._cache.get(bits)
+        if cached is not None:
+            return cached
+        if bits <= 0 or bits > 64:
+            raise ValueError(f"unsupported integer width: {bits}")
+        obj = super().__new__(cls)
+        obj.bits = bits
+        cls._cache[bits] = obj
+        return obj
+
+    bits: int
+
+    def __repr__(self) -> str:
+        return f"i{self.bits}"
+
+    def size_bytes(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.bits - 1)) if self.bits > 1 else 0
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.bits > 1 else 1
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` to this width, interpreted as signed."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.bits > 1 and value >= (1 << (self.bits - 1)):
+            value -= 1 << self.bits
+        return value
+
+    def to_unsigned(self, value: int) -> int:
+        return value & ((1 << self.bits) - 1)
+
+
+class FloatType(Type):
+    """IEEE floating point type (``f32`` or ``f64``)."""
+
+    _cache: Dict[int, "FloatType"] = {}
+
+    def __new__(cls, bits: int) -> "FloatType":
+        cached = cls._cache.get(bits)
+        if cached is not None:
+            return cached
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+        obj = super().__new__(cls)
+        obj.bits = bits
+        cls._cache[bits] = obj
+        return obj
+
+    bits: int
+
+    def __repr__(self) -> str:
+        return f"f{self.bits}"
+
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+
+class PointerType(Type):
+    """Pointer to values of ``pointee`` type in the flat address space."""
+
+    _cache: Dict[Type, "PointerType"] = {}
+
+    def __new__(cls, pointee: Type) -> "PointerType":
+        cached = cls._cache.get(pointee)
+        if cached is not None:
+            return cached
+        obj = super().__new__(cls)
+        obj.pointee = pointee
+        cls._cache[pointee] = obj
+        return obj
+
+    pointee: Type
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+    def size_bytes(self) -> int:
+        return 8
+
+
+class FunctionType(Type):
+    """Function signature type."""
+
+    _cache: Dict[Tuple[Type, Tuple[Type, ...]], "FunctionType"] = {}
+
+    def __new__(cls, ret: Type, params: Tuple[Type, ...]) -> "FunctionType":
+        params = tuple(params)
+        key = (ret, params)
+        cached = cls._cache.get(key)
+        if cached is not None:
+            return cached
+        obj = super().__new__(cls)
+        obj.ret = ret
+        obj.params = params
+        cls._cache[key] = obj
+        return obj
+
+    ret: Type
+    params: Tuple[Type, ...]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(p) for p in self.params)
+        return f"{self.ret!r} ({args})"
+
+
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def pointer(pointee: Type) -> PointerType:
+    """Convenience constructor for pointer types."""
+    return PointerType(pointee)
+
+
+_NAMED: Dict[str, Type] = {
+    "void": VOID,
+    "i1": I1,
+    "i8": I8,
+    "i16": I16,
+    "i32": I32,
+    "i64": I64,
+    "f32": F32,
+    "f64": F64,
+    # LLVM-flavoured aliases accepted by the parser.
+    "float": F32,
+    "double": F64,
+}
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its textual spelling (e.g. ``"i32"``, ``"f64*"``)."""
+    text = text.strip()
+    stars = 0
+    while text.endswith("*"):
+        stars += 1
+        text = text[:-1].strip()
+    base = _NAMED.get(text)
+    if base is None:
+        raise ValueError(f"unknown type: {text!r}")
+    for _ in range(stars):
+        base = PointerType(base)
+    return base

@@ -1,0 +1,54 @@
+"""Dead code elimination.
+
+Removes pure instructions with no uses, iterating so chains of dead
+computations collapse.  This is the pass that actually deletes the
+re-evaluations of conditions u&u proves redundant (paper Section III-B:
+"subsequent optimizations enabled by our approach result in dead code
+elimination opportunities").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction, PhiInst
+
+
+class DeadCodeElimination:
+    """Classic worklist DCE over pure, unused instructions."""
+
+    name = "dce"
+
+    def run(self, func: Function) -> bool:
+        changed = False
+        work: List[Instruction] = [
+            inst for block in func.blocks for inst in block.instructions]
+        while work:
+            inst = work.pop()
+            if inst.parent is None:
+                continue  # Already erased.
+            if not self._is_dead(inst):
+                continue
+            operands = [op for op in inst.operands
+                        if isinstance(op, Instruction)]
+            inst.erase_from_parent()
+            changed = True
+            work.extend(operands)
+        return changed
+
+    @staticmethod
+    def _is_dead(inst: Instruction) -> bool:
+        if inst.is_terminator:
+            return False
+        if isinstance(inst, PhiInst):
+            # A phi used only by itself (its own back-edge entry) is dead.
+            return all(u.user is inst for u in inst.uses)
+        if inst.is_used:
+            return False
+        return inst.is_pure
+
+
+def run_dce(func: Function) -> bool:
+    """Convenience wrapper."""
+    return DeadCodeElimination().run(func)

@@ -1,0 +1,213 @@
+"""Compile-time evaluation of instructions over constant operands.
+
+Shared by SCCP, instcombine and the branch folder in SimplifyCFG.  Integer
+semantics wrap to the operand width (matching the simulator); float
+semantics follow Python/IEEE doubles with binary32 rounding for ``f32``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..ir.constants import (Constant, ConstantFloat, ConstantInt, Undef,
+                            bool_const, const)
+from ..ir.instructions import (BinaryInst, CallInst, CastInst, FCmpInst,
+                               ICmpInst, Instruction, SelectInst)
+from ..ir.types import FloatType, IntType
+from ..ir.values import Value
+
+
+def fold_instruction(inst: Instruction) -> Optional[Constant]:
+    """Evaluate ``inst`` if all relevant operands are constants."""
+    if isinstance(inst, BinaryInst):
+        if isinstance(inst.lhs, ConstantInt) and isinstance(inst.rhs, ConstantInt):
+            return fold_int_binop(inst.opcode, inst.lhs, inst.rhs)
+        if isinstance(inst.lhs, ConstantFloat) and isinstance(inst.rhs, ConstantFloat):
+            return fold_float_binop(inst.opcode, inst.lhs, inst.rhs)
+        return None
+    if isinstance(inst, ICmpInst):
+        if isinstance(inst.lhs, ConstantInt) and isinstance(inst.rhs, ConstantInt):
+            return fold_icmp(inst.predicate, inst.lhs, inst.rhs)
+        return None
+    if isinstance(inst, FCmpInst):
+        if isinstance(inst.lhs, ConstantFloat) and isinstance(inst.rhs, ConstantFloat):
+            return fold_fcmp(inst.predicate, inst.lhs, inst.rhs)
+        return None
+    if isinstance(inst, SelectInst):
+        cond = inst.condition
+        if isinstance(cond, ConstantInt):
+            arm = inst.true_value if cond.value else inst.false_value
+            return arm if isinstance(arm, Constant) else None
+        return None
+    if isinstance(inst, CastInst):
+        if isinstance(inst.value, (ConstantInt, ConstantFloat)):
+            return fold_cast(inst.opcode, inst.value, inst.type)
+        return None
+    if isinstance(inst, CallInst):
+        if inst.is_pure and all(isinstance(a, (ConstantInt, ConstantFloat))
+                                for a in inst.operands):
+            return fold_intrinsic(inst)
+        return None
+    return None
+
+
+def fold_int_binop(opcode: str, lhs: ConstantInt, rhs: ConstantInt
+                   ) -> Optional[ConstantInt]:
+    type_ = lhs.type
+    assert isinstance(type_, IntType)
+    a, b = lhs.value, rhs.value
+    au, bu = lhs.unsigned(), rhs.unsigned()
+    if opcode == "add":
+        return ConstantInt(type_, a + b)
+    if opcode == "sub":
+        return ConstantInt(type_, a - b)
+    if opcode == "mul":
+        return ConstantInt(type_, a * b)
+    if opcode == "sdiv":
+        if b == 0:
+            return None
+        return ConstantInt(type_, _trunc_div(a, b))
+    if opcode == "udiv":
+        if bu == 0:
+            return None
+        return ConstantInt(type_, au // bu)
+    if opcode == "srem":
+        if b == 0:
+            return None
+        return ConstantInt(type_, a - _trunc_div(a, b) * b)
+    if opcode == "urem":
+        if bu == 0:
+            return None
+        return ConstantInt(type_, au % bu)
+    if opcode == "shl":
+        if not 0 <= bu < type_.bits:
+            return None
+        return ConstantInt(type_, au << bu)
+    if opcode == "lshr":
+        if not 0 <= bu < type_.bits:
+            return None
+        return ConstantInt(type_, au >> bu)
+    if opcode == "ashr":
+        if not 0 <= bu < type_.bits:
+            return None
+        return ConstantInt(type_, a >> bu)
+    if opcode == "and":
+        return ConstantInt(type_, au & bu)
+    if opcode == "or":
+        return ConstantInt(type_, au | bu)
+    if opcode == "xor":
+        return ConstantInt(type_, au ^ bu)
+    return None
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C-style truncating division (Python ``//`` floors)."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def fold_float_binop(opcode: str, lhs: ConstantFloat, rhs: ConstantFloat
+                     ) -> Optional[ConstantFloat]:
+    a, b = lhs.value, rhs.value
+    try:
+        if opcode == "fadd":
+            r = a + b
+        elif opcode == "fsub":
+            r = a - b
+        elif opcode == "fmul":
+            r = a * b
+        elif opcode == "fdiv":
+            r = math.inf if (b == 0.0 and a > 0) else (
+                -math.inf if (b == 0.0 and a < 0) else (
+                    math.nan if (b == 0.0) else a / b))
+        elif opcode == "frem":
+            r = math.fmod(a, b) if b != 0.0 else math.nan
+        else:
+            return None
+    except OverflowError:
+        return None
+    return ConstantFloat(lhs.type, r)  # type: ignore[arg-type]
+
+
+def fold_icmp(predicate: str, lhs: ConstantInt, rhs: ConstantInt
+              ) -> ConstantInt:
+    a, b = lhs.value, rhs.value
+    au, bu = lhs.unsigned(), rhs.unsigned()
+    table = {
+        "eq": a == b, "ne": a != b,
+        "slt": a < b, "sle": a <= b, "sgt": a > b, "sge": a >= b,
+        "ult": au < bu, "ule": au <= bu, "ugt": au > bu, "uge": au >= bu,
+    }
+    return bool_const(table[predicate])
+
+
+def fold_fcmp(predicate: str, lhs: ConstantFloat, rhs: ConstantFloat
+              ) -> ConstantInt:
+    a, b = lhs.value, rhs.value
+    unordered = math.isnan(a) or math.isnan(b)
+    ordered_result = {
+        "oeq": a == b, "one": a != b, "olt": a < b, "ole": a <= b,
+        "ogt": a > b, "oge": a >= b,
+    }
+    if predicate in ordered_result:
+        return bool_const(not unordered and ordered_result[predicate])
+    base = predicate[1:]
+    comp = {
+        "eq": a == b, "ne": a != b, "lt": a < b, "le": a <= b,
+        "gt": a > b, "ge": a >= b,
+    }[base]
+    return bool_const(unordered or comp)
+
+
+def fold_cast(opcode: str, value: Constant, to_type) -> Optional[Constant]:
+    if isinstance(value, ConstantInt):
+        if opcode in ("trunc", "bitcast"):
+            if isinstance(to_type, IntType):
+                return ConstantInt(to_type, value.unsigned())
+            return None
+        if opcode == "zext" and isinstance(to_type, IntType):
+            return ConstantInt(to_type, value.unsigned())
+        if opcode == "sext" and isinstance(to_type, IntType):
+            return ConstantInt(to_type, value.value)
+        if opcode in ("sitofp",) and isinstance(to_type, FloatType):
+            return ConstantFloat(to_type, float(value.value))
+        if opcode in ("uitofp",) and isinstance(to_type, FloatType):
+            return ConstantFloat(to_type, float(value.unsigned()))
+        return None
+    if isinstance(value, ConstantFloat):
+        if opcode == "fptosi" and isinstance(to_type, IntType):
+            if math.isnan(value.value) or math.isinf(value.value):
+                return None
+            return ConstantInt(to_type, int(value.value))
+        if opcode in ("fpext", "fptrunc") and isinstance(to_type, FloatType):
+            return ConstantFloat(to_type, value.value)
+        return None
+    return None
+
+
+def fold_intrinsic(inst: CallInst) -> Optional[Constant]:
+    name = inst.intrinsic.name
+    args = inst.operands
+    unary = {
+        "sqrt": math.sqrt, "fabs": abs, "exp": math.exp, "log": math.log,
+        "sin": math.sin, "cos": math.cos, "atan": math.atan,
+        "floor": math.floor,
+    }
+    try:
+        if name in unary and len(args) == 1 and isinstance(args[0], ConstantFloat):
+            return ConstantFloat(inst.type, unary[name](args[0].value))  # type: ignore[arg-type]
+        if name == "pow" and len(args) == 2 and \
+                all(isinstance(a, ConstantFloat) for a in args):
+            return ConstantFloat(inst.type, args[0].value ** args[1].value)  # type: ignore[attr-defined,arg-type]
+        if name in ("min", "max") and len(args) == 2 and \
+                all(isinstance(a, ConstantInt) for a in args):
+            fn = min if name == "min" else max
+            return ConstantInt(inst.type, fn(args[0].value, args[1].value))  # type: ignore[attr-defined,arg-type]
+        if name in ("fmin", "fmax") and len(args) == 2 and \
+                all(isinstance(a, ConstantFloat) for a in args):
+            fn = min if name == "fmin" else max
+            return ConstantFloat(inst.type, fn(args[0].value, args[1].value))  # type: ignore[attr-defined,arg-type]
+    except (ValueError, OverflowError):
+        return None
+    return None

@@ -1,0 +1,101 @@
+"""Unmerge profitability analysis — the paper's partial-unmerging extension.
+
+The paper proposes (Sections IV and VI) "selectively unmerging only those
+parts of the loop that enable subsequent optimizations" to keep code size,
+compile time and warp inefficiency under control.  This module implements
+the static profitability test that drives that mode:
+
+a merge block ``M`` is *profitable to unmerge* when duplicating its tail can
+actually feed the cleanup passes, i.e. when at least one of the provenance
+channels the duplication would open is in use:
+
+1. **Re-evaluated comparison**: a comparison computed upstream of ``M``
+   (inside the loop) is recomputed, with identical operands, in ``M``'s
+   tail — after duplication the branch fact folds the re-check (the
+   bezier-surface ``kn > 1`` pattern);
+2. **Phi-fed control**: a phi of ``M`` (transitively) feeds a comparison,
+   select, or branch condition in the tail — collapsing the phi gives each
+   path a concrete value to fold against (the XSBench ``upperLimit``/
+   ``lowerLimit`` pattern);
+3. **Phi-fed address**: a phi of ``M`` feeds a load/store address in the
+   tail — collapsing enables path-local redundant-load elimination (the
+   rainflow ``y[j]`` pattern).
+
+The test is deliberately conservative in the other direction: tails with
+none of these channels (pure accumulation chains, as in contract/ccs) are
+classified unprofitable, which is exactly where the paper observed u&u to
+only add cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import (CondBranchInst, FCmpInst, GEPInst, ICmpInst,
+                               Instruction, LoadInst, PhiInst, SelectInst,
+                               StoreInst)
+from ..ir.values import Value
+
+
+def merge_is_profitable(loop_blocks: List[BasicBlock], merge: BasicBlock,
+                        tail: List[BasicBlock]) -> bool:
+    """Decide whether tail-duplicating ``merge`` can enable optimizations."""
+    tail_ids = {id(b) for b in tail}
+    upstream = [b for b in loop_blocks if id(b) not in tail_ids]
+
+    if _reevaluated_comparison(upstream, tail):
+        return True
+    if _phi_feeds_interesting_use(merge, tail_ids):
+        return True
+    return False
+
+
+def _comparison_key(inst: Instruction):
+    if isinstance(inst, (ICmpInst, FCmpInst)):
+        return (inst.opcode, inst.predicate,
+                id(inst.operands[0]), id(inst.operands[1]))
+    return None
+
+
+def _reevaluated_comparison(upstream: List[BasicBlock],
+                            tail: List[BasicBlock]) -> bool:
+    upstream_keys: Set = set()
+    for block in upstream:
+        for inst in block.instructions:
+            key = _comparison_key(inst)
+            if key is not None:
+                upstream_keys.add(key)
+    if not upstream_keys:
+        return False
+    for block in tail:
+        for inst in block.instructions:
+            key = _comparison_key(inst)
+            if key is not None and key in upstream_keys:
+                return True
+    return False
+
+
+def _phi_feeds_interesting_use(merge: BasicBlock,
+                               tail_ids: Set[int]) -> bool:
+    """Transitive forward slice from the merge's phis, within the tail."""
+    frontier: List[Value] = list(merge.phis())
+    seen: Set[int] = {id(v) for v in frontier}
+    budget = 256  # The slice is small; bound it defensively.
+    while frontier and budget > 0:
+        value = frontier.pop()
+        for user in value.users():
+            if not isinstance(user, Instruction) or user.parent is None:
+                continue
+            if id(user.parent) not in tail_ids:
+                continue
+            if isinstance(user, (ICmpInst, FCmpInst, SelectInst,
+                                 CondBranchInst)):
+                return True
+            if isinstance(user, (LoadInst, StoreInst, GEPInst)):
+                return True
+            if id(user) not in seen:
+                seen.add(id(user))
+                frontier.append(user)
+                budget -= 1
+    return False

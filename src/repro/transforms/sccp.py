@@ -1,0 +1,220 @@
+"""Sparse conditional constant propagation (SCCP).
+
+Classic Wegman–Zadeck lattice propagation over SSA with CFG edge
+executability.  After u&u, many duplicated condition re-evaluations become
+constant *on their path*; SCCP is one of the "subsequent optimizations" the
+paper leans on (its compile-time analysis attributes most inflation to
+LLVM's IPSCCP processing the duplicated code, Section IV RQ2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.block import BasicBlock
+from ..ir.constants import Constant, ConstantFloat, ConstantInt, Undef
+from ..ir.function import Function
+from ..ir.instructions import (BranchInst, CondBranchInst, Instruction,
+                               PhiInst, RetInst, TerminatorInst)
+from ..ir.values import Argument, GlobalVariable, Value
+from .fold import fold_instruction
+
+# Lattice: TOP (undetermined) > constant > BOTTOM (overdefined).
+_TOP = "top"
+_BOTTOM = "bottom"
+
+
+class _Lattice:
+    __slots__ = ("state", "constant")
+
+    def __init__(self) -> None:
+        self.state = _TOP
+        self.constant: Optional[Constant] = None
+
+    def meet_constant(self, value: Constant) -> bool:
+        """Lower to ``value``; returns True if the cell changed."""
+        if self.state == _BOTTOM:
+            return False
+        if self.state == _TOP:
+            self.state = "const"
+            self.constant = value
+            return True
+        if self.constant is not value:
+            self.state = _BOTTOM
+            self.constant = None
+            return True
+        return False
+
+    def meet_bottom(self) -> bool:
+        if self.state == _BOTTOM:
+            return False
+        self.state = _BOTTOM
+        self.constant = None
+        return True
+
+
+class SparseConditionalConstantPropagation:
+    """The SCCP pass: propagates constants, prunes non-executable edges."""
+
+    name = "sccp"
+
+    def run(self, func: Function) -> bool:
+        cells: Dict[int, _Lattice] = {}
+        executable_edges: Set[Tuple[int, int]] = set()
+        executable_blocks: Set[int] = set()
+        block_work: List[BasicBlock] = [func.entry]
+        inst_work: List[Instruction] = []
+
+        def cell(value: Value) -> _Lattice:
+            c = cells.get(id(value))
+            if c is None:
+                c = _Lattice()
+                cells[id(value)] = c
+            return c
+
+        def value_of(value: Value) -> Tuple[str, Optional[Constant]]:
+            if isinstance(value, Constant) and not isinstance(value, Undef):
+                return "const", value
+            if isinstance(value, (Argument, GlobalVariable)):
+                return _BOTTOM, None
+            if isinstance(value, Undef):
+                return _TOP, None
+            c = cell(value)
+            return c.state if c.state != "const" else "const", c.constant
+
+        def push_users(inst: Instruction) -> None:
+            for user in inst.users():
+                if isinstance(user, Instruction) and user.parent is not None:
+                    if id(user.parent) in executable_blocks:
+                        inst_work.append(user)
+
+        def mark_edge(src: BasicBlock, dst: BasicBlock) -> None:
+            key = (id(src), id(dst))
+            if key in executable_edges:
+                return
+            executable_edges.add(key)
+            if id(dst) not in executable_blocks:
+                block_work.append(dst)
+            else:
+                # New edge into an already-visited block: revisit its phis.
+                inst_work.extend(dst.phis())
+
+        def visit_inst(inst: Instruction) -> None:
+            if isinstance(inst, TerminatorInst):
+                visit_terminator(inst)
+                return
+            if inst.type.is_void:
+                return
+            c = cell(inst)
+            if c.state == _BOTTOM:
+                return
+            if isinstance(inst, PhiInst):
+                changed = visit_phi(inst, c)
+            else:
+                changed = visit_compute(inst, c)
+            if changed:
+                push_users(inst)
+
+        def visit_phi(phi: PhiInst, c: _Lattice) -> bool:
+            block = phi.parent
+            assert block is not None
+            changed = False
+            for value, pred in phi.incoming():
+                if (id(pred), id(block)) not in executable_edges:
+                    continue
+                state, constant = value_of(value)
+                if state == _BOTTOM:
+                    changed |= c.meet_bottom()
+                    break
+                if state == "const":
+                    assert constant is not None
+                    changed |= c.meet_constant(constant)
+                    if c.state == _BOTTOM:
+                        break
+            return changed
+
+        def visit_compute(inst: Instruction, c: _Lattice) -> bool:
+            # If any operand is overdefined, the result usually is too;
+            # if all are constants, fold.
+            operand_states = [value_of(op) for op in inst.operands]
+            if any(s == _TOP for s, _ in operand_states):
+                return False  # Wait for operands to resolve.
+            if all(s == "const" for s, _ in operand_states) and inst.is_pure:
+                subst = _substituted_fold(inst, [k for _, k in operand_states])
+                if subst is not None:
+                    return c.meet_constant(subst)
+            return c.meet_bottom()
+
+        def visit_terminator(term: TerminatorInst) -> None:
+            block = term.parent
+            assert block is not None
+            if isinstance(term, BranchInst):
+                mark_edge(block, term.target)
+            elif isinstance(term, CondBranchInst):
+                state, constant = value_of(term.condition)
+                if state == "const" and isinstance(constant, ConstantInt):
+                    target = term.true_target if constant.value else term.false_target
+                    mark_edge(block, target)
+                elif state == _BOTTOM:
+                    mark_edge(block, term.true_target)
+                    mark_edge(block, term.false_target)
+                # TOP: neither edge executable yet.
+
+        # -- propagate to fixpoint ----------------------------------------
+        while block_work or inst_work:
+            while inst_work:
+                visit_inst(inst_work.pop())
+            if block_work:
+                block = block_work.pop()
+                if id(block) in executable_blocks:
+                    continue
+                executable_blocks.add(id(block))
+                for inst in block.instructions:
+                    visit_inst(inst)
+
+        # -- rewrite ------------------------------------------------------
+        changed = False
+        for block in func.blocks:
+            if id(block) not in executable_blocks:
+                continue
+            for inst in list(block.instructions):
+                if inst.type.is_void or isinstance(inst, TerminatorInst):
+                    continue
+                c = cells.get(id(inst))
+                if c is not None and c.state == "const" and inst.is_used:
+                    inst.replace_all_uses_with(c.constant)  # type: ignore[arg-type]
+                    changed = True
+            term = block.terminator
+            if isinstance(term, CondBranchInst):
+                # Prune edges SCCP proved non-executable even when the
+                # condition did not collapse to a constant cell (e.g. it is
+                # a constant value already).
+                state, constant = value_of(term.condition)
+                if state == "const" and isinstance(constant, ConstantInt) and \
+                        not isinstance(term.condition, ConstantInt):
+                    term.set_operand(0, constant)
+                    changed = True
+        return changed
+
+
+def _substituted_fold(inst: Instruction,
+                      constants: List[Optional[Constant]]) -> Optional[Constant]:
+    """Fold ``inst`` as if its operands were the given constants.
+
+    Avoids mutating the IR during analysis: temporarily swaps operands in,
+    folds, and restores.
+    """
+    originals = list(inst.operands)
+    try:
+        for i, konst in enumerate(constants):
+            if konst is not None:
+                inst.set_operand(i, konst)
+        return fold_instruction(inst)
+    finally:
+        for i, original in enumerate(originals):
+            inst.set_operand(i, original)
+
+
+def run_sccp(func: Function) -> bool:
+    """Convenience wrapper."""
+    return SparseConditionalConstantPropagation().run(func)

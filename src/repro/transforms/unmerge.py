@@ -1,0 +1,259 @@
+"""Control-flow unmerging (the paper's core transformation).
+
+Unmerging eliminates merge blocks inside a loop body by tail duplication
+(Section III-A.1, Figure 2): a block with multiple in-loop predecessors is
+duplicated — together with *everything reachable from it up to the back
+edge*, the paper's "aggressively duplicates the entire path leading to the
+initial loop header" — so that each predecessor continues into its own
+private copy.  Afterwards every root-to-backedge path through the body is a
+chain of single-predecessor blocks, which is precisely the shape on which
+GVN's branch facts, SCCP and load elimination can exploit control-flow
+provenance.
+
+Structural rules (matching the paper's implementation notes):
+
+* the loop header itself is never unmerged (it is the loop boundary);
+* inner-loop headers are never unmerged (their two predecessors are the
+  loop entry and their own latch; duplicating them would tear the inner
+  loop apart) — inner-loop *bodies* are unmerged by invoking the pass on
+  the inner loop, which the u&u driver does innermost-first;
+* when the duplicated tail contains a whole inner loop, the inner loop is
+  cloned wholesale (its back edge stays internal to each copy);
+* loop exits and the loop header act as region boundaries: they are not
+  duplicated, they just gain phi entries (LCSSA makes that sufficient);
+* phi nodes in duplicated merge blocks collapse to the incoming value of
+  the one predecessor that reaches each copy (the paper's footnote 1 on
+  "unraveling" phis when control decays to a single predecessor block);
+* a growth cap bounds the exponential worst case ``f(p, s, u)`` — hitting
+  it aborts the transformation for that loop, the analogue of the paper's
+  5-minute compile timeouts on ccs.
+
+The pass maintains its region (loop blocks plus clones) incrementally: loop
+analysis runs once per invocation, not once per duplication, keeping the
+pass linear in the amount of code it produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.cfg_utils import predecessor_map, reverse_postorder
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.block import BasicBlock
+from ..ir.clone import clone_blocks, map_value
+from ..ir.function import Function
+from ..ir.instructions import PhiInst
+from ..ir.values import Value
+from .lcssa import form_lcssa
+
+
+class UnmergeBudgetExceeded(Exception):
+    """The duplication grew past the instruction cap (compile "timeout")."""
+
+
+def unmerge_loop(func: Function, loop: Loop,
+                 max_instructions: int = 60_000,
+                 selective: bool = False) -> bool:
+    """Unmerge all control-flow merges in ``loop``'s body.
+
+    Returns True if the CFG changed.  Raises
+    :class:`UnmergeBudgetExceeded` when duplication outgrows
+    ``max_instructions`` summed over the function (the IR is left in a
+    valid, partially-unmerged state).
+
+    ``selective=True`` enables the paper's *partial unmerging* extension
+    (Section VI): only merge blocks whose duplication can feed the cleanup
+    passes are duplicated (see :mod:`repro.transforms.profitability`).
+    """
+    form_lcssa(func, loop)
+    header = loop.header
+    changed = False
+
+    # Region and inner-loop bookkeeping, maintained incrementally.  Blocks
+    # of nested loops are never unmerge candidates here: their merges belong
+    # to the inner loop's own unmerge invocation (the u&u driver runs
+    # innermost-first), and duplicating across an inner back edge would tear
+    # the inner loop apart.
+    region: Set[int] = {id(b) for b in loop.blocks}
+    loop_info = LoopInfo.compute(func)
+    inner_blocks: Set[int] = set()
+    for nested in loop_info.loops:
+        if nested.header is not header and loop.contains(nested.header):
+            inner_blocks.update(id(b) for b in nested.blocks)
+
+    skipped: Set[int] = set()
+    while True:
+        merge = _find_merge_block(func, header, region, inner_blocks,
+                                  skipped)
+        if merge is None:
+            return changed
+        if selective:
+            from .profitability import merge_is_profitable
+
+            loop_blocks = [b for b in func.blocks if id(b) in region]
+            tail = _tail_blocks(header, merge, region)
+            if not merge_is_profitable(loop_blocks, merge, tail):
+                skipped.add(id(merge))
+                continue
+        _duplicate_tail(func, header, merge, region, inner_blocks)
+        changed = True
+        if func.instruction_count() > max_instructions:
+            raise UnmergeBudgetExceeded(
+                f"loop {loop.loop_id}: unmerged body exceeded "
+                f"{max_instructions} instructions")
+
+
+def _find_merge_block(func: Function, header: BasicBlock, region: Set[int],
+                      inner_blocks: Set[int],
+                      skipped: Optional[Set[int]] = None
+                      ) -> Optional[BasicBlock]:
+    """Next unmergeable block: in-region, outside inner loops, >= 2
+    in-region predecessors.  Deterministic: first match in reverse
+    postorder.  Blocks in ``skipped`` (judged unprofitable by the
+    selective mode) are passed over."""
+    preds = predecessor_map(func)
+    for block in reverse_postorder(func):
+        if id(block) not in region or block is header:
+            continue
+        if id(block) in inner_blocks:
+            continue  # Belongs to a nested loop: not ours to unmerge.
+        if skipped is not None and id(block) in skipped:
+            continue
+        in_region_preds = [p for p in preds[block] if id(p) in region]
+        if len(in_region_preds) >= 2:
+            return block
+    return None
+
+
+def _duplicate_tail(func: Function, header: BasicBlock, merge: BasicBlock,
+                    region: Set[int], inner_blocks: Set[int]) -> None:
+    """Give each in-region predecessor of ``merge`` its own copy of the tail.
+
+    The tail is every block reachable from ``merge`` inside the region
+    without crossing the back edge into ``header``.  The first predecessor
+    keeps the original tail; each further predecessor gets a clone.
+    """
+    preds = predecessor_map(func)
+    in_region_preds = [p for p in preds[merge] if id(p) in region]
+    assert len(in_region_preds) >= 2
+
+    tail = _tail_blocks(header, merge, region)
+    tail_ids = {id(b) for b in tail}
+
+    # Out-of-tail targets (the header and exit blocks) whose phis must gain
+    # entries for cloned predecessors.
+    boundary_edges: List[Tuple[BasicBlock, BasicBlock]] = []
+    for block in tail:
+        for succ in block.successors():
+            if id(succ) not in tail_ids:
+                boundary_edges.append((block, succ))
+
+    keeper, *others = in_region_preds
+    for j, pred in enumerate(others, start=1):
+        clones, vmap = clone_blocks(func, tail, f"p{j}")
+        for original, clone in zip(tail, clones):
+            region.add(id(clone))
+            if id(original) in inner_blocks:
+                inner_blocks.add(id(clone))
+        # Rewire this predecessor into its private copy.
+        term = pred.terminator
+        assert term is not None
+        new_merge = vmap[id(merge)]
+        assert isinstance(new_merge, BasicBlock)
+        term.replace_successor(merge, new_merge)
+        # Collapse the cloned merge block's phis to this predecessor's
+        # incoming values.
+        for original_phi in merge.phis():
+            cloned = vmap[id(original_phi)]
+            assert isinstance(cloned, PhiInst)
+            value = cloned.incoming_for(pred)
+            cloned.replace_all_uses_with(value)
+            cloned.erase_from_parent()
+            vmap[id(original_phi)] = value
+        # Deeper cloned blocks may also have had predecessors outside the
+        # tail; those edges still target the *original* blocks, so their
+        # cloned phis must drop the stale incoming entries.
+        clone_ids = {id(c) for c in clones}
+        for original in tail[1:]:
+            clone = vmap[id(original)]
+            assert isinstance(clone, BasicBlock)
+            for phi in list(clone.phis()):
+                for i in reversed(range(len(phi.incoming_blocks))):
+                    if id(phi.incoming_blocks[i]) not in clone_ids:
+                        phi.remove_operand(i)
+                        del phi.incoming_blocks[i]
+                unique = phi.is_trivial()
+                if unique is not None:
+                    phi.replace_all_uses_with(unique)
+                    phi.erase_from_parent()
+                    original_key = _clone_source(vmap, phi)
+                    if original_key is not None:
+                        vmap[original_key] = unique
+        # Boundary targets (header / exits) gain phi entries per clone.
+        for block, succ in boundary_edges:
+            mapped_block = vmap[id(block)]
+            assert isinstance(mapped_block, BasicBlock)
+            for phi in succ.phis():
+                value = phi.incoming_for(block)
+                phi.add_incoming(map_value(vmap, value), mapped_block)
+
+    # The original merge keeps only the first predecessor: drop the other
+    # incoming entries, then collapse now-trivial phis.
+    for phi in list(merge.phis()):
+        for pred in others:
+            phi.remove_incoming(pred)
+        unique = phi.is_trivial()
+        if unique is not None:
+            phi.replace_all_uses_with(unique)
+            phi.erase_from_parent()
+
+
+def _clone_source(vmap: Dict[int, Value], clone: Value) -> Optional[int]:
+    """Find the vmap key whose value is ``clone`` (reverse lookup)."""
+    for key, value in vmap.items():
+        if value is clone:
+            return key
+    return None
+
+
+def _tail_blocks(header: BasicBlock, merge: BasicBlock,
+                 region: Set[int]) -> List[BasicBlock]:
+    """Blocks reachable from ``merge`` inside the region, not via the header.
+
+    Returned in deterministic DFS discovery order with ``merge`` first.
+    """
+    order: List[BasicBlock] = []
+    seen = {id(merge), id(header)}
+    stack = [merge]
+    while stack:
+        block = stack.pop()
+        order.append(block)
+        for succ in reversed(block.successors()):
+            if id(succ) in seen or id(succ) not in region:
+                continue
+            seen.add(id(succ))
+            stack.append(succ)
+    return order
+
+
+class UnmergePass:
+    """Unmerge one specific loop (the paper's *unmerge* config)."""
+
+    name = "unmerge"
+
+    def __init__(self, loop_id: str, max_instructions: int = 60_000) -> None:
+        self.loop_id = loop_id
+        self.max_instructions = max_instructions
+
+    def run(self, func: Function) -> bool:
+        loop_info = LoopInfo.compute(func)
+        loop = loop_info.by_id(self.loop_id)
+        if loop is None:
+            return False
+        claimed = set(func.attributes.get("uu_claimed_loops", ()))
+        claimed.add(self.loop_id)
+        func.attributes["uu_claimed_loops"] = claimed
+        try:
+            return unmerge_loop(func, loop, self.max_instructions)
+        except UnmergeBudgetExceeded:
+            return True

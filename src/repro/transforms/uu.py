@@ -1,0 +1,134 @@
+"""The combined *unroll-and-unmerge* (u&u) pass — the paper's contribution.
+
+Applies, to one loop identified by its deterministic id:
+
+1. loop unrolling by the requested factor (each copy keeps its exit check);
+2. control-flow unmerging of the widened loop, innermost loops first — in
+   loop nests, inner loops are *unmerged but not unrolled*, matching the
+   paper's default (Section III-C);
+
+and records the loop as claimed so the baseline unroller keeps its hands off
+(the pipeline interaction behind the paper's `coordinates` observation).
+
+Loops containing convergent operations (``syncthreads``) are skipped, as are
+loops carrying an explicit unroll pragma (``loop_pragmas`` function
+attribute) — both rules straight from Section III-C.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..analysis.convergence import loop_is_convergent
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.function import Function
+from .unmerge import UnmergeBudgetExceeded, unmerge_loop
+from .unroll import can_unroll, unroll_loop
+
+
+class UnrollAndUnmerge:
+    """u&u on a single loop of a function."""
+
+    name = "uu"
+
+    def __init__(self, loop_id: str, factor: int,
+                 max_instructions: int = 200_000,
+                 unroll_inner: bool = False) -> None:
+        self.loop_id = loop_id
+        self.factor = factor
+        self.max_instructions = max_instructions
+        self.unroll_inner = unroll_inner
+
+    def run(self, func: Function) -> bool:
+        loop_info = LoopInfo.compute(func)
+        loop = loop_info.by_id(self.loop_id)
+        if loop is None:
+            return False
+        return apply_uu(func, loop, self.factor,
+                        max_instructions=self.max_instructions,
+                        unroll_inner=self.unroll_inner)
+
+
+def apply_uu(func: Function, loop: Loop, factor: int,
+             max_instructions: int = 200_000,
+             unroll_inner: bool = False,
+             selective: bool = False) -> bool:
+    """Run u&u on ``loop``; returns True if the IR changed.
+
+    ``selective=True`` enables partial unmerging (the paper's Section VI
+    extension): only profitably-unmergeable merge blocks are duplicated.
+    """
+    if not uu_applicable(func, loop):
+        return False
+    header = loop.header
+    claimed = set(func.attributes.get("uu_claimed_loops", ()))
+    claimed.add(loop.loop_id)
+    func.attributes["uu_claimed_loops"] = claimed
+
+    changed = False
+    if factor >= 2 and can_unroll(loop):
+        if unroll_inner:
+            # Optional mode: unroll every inner loop by the same factor
+            # before the outer loop (paper: "the pass is capable of
+            # unrolling nested loops as well").
+            for inner in _nested_loops_innermost_first(func, header):
+                if inner.header is header or not can_unroll(inner):
+                    continue
+                if loop_is_convergent(inner):
+                    continue
+                unroll_loop(func, inner, factor)
+                changed = True
+        loop_info = LoopInfo.compute(func)
+        loop = _loop_by_header(loop_info, header)
+        if loop is None:
+            return changed
+        unroll_loop(func, loop, factor)
+        changed = True
+
+    # Unmerge the widened outer loop and every nested loop, deepest first.
+    # Iterate by header: unmerging one loop clones blocks and invalidates
+    # previously computed Loop objects, so each target is re-discovered.
+    headers = [l.header for l in _nested_loops_innermost_first(func, header)]
+    for target_header in headers:
+        loop_info = LoopInfo.compute(func)
+        target = _loop_by_header(loop_info, target_header)
+        if target is None:
+            continue
+        try:
+            changed |= unmerge_loop(func, target, max_instructions,
+                                    selective=selective)
+        except UnmergeBudgetExceeded:
+            changed = True
+            break
+    return changed
+
+
+def uu_applicable(func: Function, loop: Loop) -> bool:
+    """The paper's legality filters: no convergent ops, no user pragma."""
+    if loop_is_convergent(loop):
+        return False
+    pragmas = func.attributes.get("loop_pragmas", {})
+    if isinstance(pragmas, dict) and loop.loop_id in pragmas:
+        return False
+    return True
+
+
+def _loop_by_header(loop_info: LoopInfo, header) -> Optional[Loop]:
+    for loop in loop_info.loops:
+        if loop.header is header:
+            return loop
+    return None
+
+
+def _nested_loops_innermost_first(func: Function, header) -> List[Loop]:
+    """The loop led by ``header`` plus all loops nested in it, deepest first.
+
+    Recomputed from scratch because unrolling/unmerging clones inner loops.
+    """
+    loop_info = LoopInfo.compute(func)
+    outer = _loop_by_header(loop_info, header)
+    if outer is None:
+        return []
+    nested = [l for l in loop_info.loops
+              if l is outer or outer.contains(l.header)]
+    return sorted(nested, key=lambda l: -l.depth)

@@ -1,0 +1,193 @@
+"""Additional analysis coverage: cost model, paths, CFG utilities."""
+
+import pytest
+
+from repro.analysis import (LoopInfo, block_cost, count_paths, function_size,
+                            instruction_cost, loop_size, postorder,
+                            reverse_postorder, split_edge, topological_order)
+from repro.analysis.cfg_utils import blocks_reaching, predecessor_map
+from repro.ir import parse_function, verify_function
+
+
+class TestCostModel:
+    def test_phis_and_plain_branches_are_free(self):
+        f = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %i
+}
+""")
+        loop_block = f.blocks[1]
+        phi = loop_block.phis()[0]
+        assert instruction_cost(phi) == 0
+        entry_br = f.entry.instructions[-1]
+        assert instruction_cost(entry_br) == 0
+
+    def test_expensive_ops_cost_more(self):
+        f = parse_function("""
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %s = add i64 %a, %b
+  %d = sdiv i64 %a, %b
+  ret i64 %d
+}
+""")
+        add, div = f.entry.instructions[0], f.entry.instructions[1]
+        assert instruction_cost(div) > instruction_cost(add)
+
+    def test_loop_size_sums_blocks(self):
+        f = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %sq = mul i64 %i, %i
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %sq
+}
+""")
+        loop = LoopInfo.compute(f).loops[0]
+        assert loop_size(loop) == sum(block_cost(b) for b in loop.blocks)
+        assert function_size(f) >= loop_size(loop)
+
+
+class TestPathCounting:
+    def test_nested_branches_multiply(self):
+        f = parse_function("""
+define i64 @f(i64 %n, i1 %c1, i1 %c2) {
+entry:
+  br label %h
+h:
+  %i = phi i64 [ 0, %entry ], [ %next, %m2 ]
+  %cc = icmp slt i64 %i, %n
+  br i1 %cc, label %b1, label %x
+b1:
+  br i1 %c1, label %a1, label %a2
+a1:
+  br label %m1
+a2:
+  br label %m1
+m1:
+  br i1 %c2, label %d1, label %d2
+d1:
+  br label %m2
+d2:
+  br label %m2
+m2:
+  %next = add i64 %i, 1
+  br label %h
+x:
+  ret i64 %i
+}
+""")
+        info = LoopInfo.compute(f)
+        assert count_paths(info.loops[0], info) == 4
+
+    def test_limit_caps_explosion(self):
+        f = parse_function("""
+define i64 @f(i64 %n, i1 %c) {
+entry:
+  br label %h
+h:
+  %i = phi i64 [ 0, %entry ], [ %next, %m ]
+  %cc = icmp slt i64 %i, %n
+  br i1 %cc, label %b, label %x
+b:
+  br i1 %c, label %a1, label %a2
+a1:
+  br label %m
+a2:
+  br label %m
+m:
+  %next = add i64 %i, 1
+  br label %h
+x:
+  ret i64 %i
+}
+""")
+        info = LoopInfo.compute(f)
+        assert count_paths(info.loops[0], info, limit=1) == 1
+
+
+class TestCFGUtils:
+    FUNC = """
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  ret void
+}
+"""
+
+    def test_orders(self):
+        f = parse_function(self.FUNC)
+        rpo = reverse_postorder(f)
+        po = postorder(f)
+        assert rpo[0] is f.entry
+        assert po[-1] is f.entry
+        assert list(reversed(po)) == rpo
+
+    def test_topological_order(self):
+        f = parse_function(self.FUNC)
+        order = topological_order(list(f.blocks))
+        pos = {id(b): i for i, b in enumerate(order)}
+        for block in f.blocks:
+            for succ in block.successors():
+                assert pos[id(block)] < pos[id(succ)]
+
+    def test_topological_rejects_cycles(self):
+        f = parse_function("""
+define void @f() {
+entry:
+  br label %a
+a:
+  br label %b
+b:
+  br label %a
+}
+""")
+        with pytest.raises(ValueError):
+            topological_order(list(f.blocks))
+
+    def test_blocks_reaching(self):
+        f = parse_function(self.FUNC)
+        bb = {b.name: b for b in f.blocks}
+        preds = predecessor_map(f)
+        reaching = blocks_reaching([bb["join"]], preds)
+        assert {id(b) for b in f.blocks} == reaching
+        reaching_a = blocks_reaching([bb["a"]], preds)
+        assert id(bb["b"]) not in reaching_a
+
+    def test_split_edge(self):
+        f = parse_function("""
+define i64 @f(i1 %c) {
+entry:
+  br i1 %c, label %t, label %join
+t:
+  br label %join
+join:
+  %r = phi i64 [ 1, %t ], [ 2, %entry ]
+  ret i64 %r
+}
+""")
+        bb = {b.name: b for b in f.blocks}
+        mid = split_edge(bb["entry"], bb["join"])
+        verify_function(f)
+        phi = bb["join"].phis()[0]
+        assert phi.has_incoming_for(mid)
+        assert not phi.has_incoming_for(bb["entry"])

@@ -1,0 +1,50 @@
+"""Full differential sweep: every benchmark, every loop, core configs.
+
+This is the heavyweight correctness net promised in DESIGN.md Section 5:
+transforms must be semantics-preserving on every benchmark workload.  To
+keep the default test run fast it checks u&u at factor 2 plus unmerge for
+*all* apps; the benchmarks/ harness covers factors 4/8 on everything as a
+side effect of regenerating the figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import all_benchmarks
+from repro.harness import ExperimentRunner
+
+BENCHES = all_benchmarks()
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(max_instructions=4000, compile_timeout=30)
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=[b.name for b in BENCHES])
+def test_uu_factor2_all_loops(bench, runner):
+    base = runner.baseline(bench)
+    assert base.outputs_match_baseline, "baseline diverged from raw module"
+    for loop_id in bench.loop_ids():
+        cell = runner.cell(bench, "uu", loop_id, 2)
+        if cell.timed_out:
+            continue
+        assert cell.outputs_match_baseline, f"{bench.name} {loop_id}"
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=[b.name for b in BENCHES])
+def test_unmerge_all_loops(bench, runner):
+    runner.baseline(bench)
+    for loop_id in bench.loop_ids():
+        cell = runner.cell(bench, "unmerge", loop_id, 1)
+        if cell.timed_out:
+            continue
+        assert cell.outputs_match_baseline, f"{bench.name} {loop_id}"
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=[b.name for b in BENCHES])
+def test_heuristic_all_apps(bench, runner):
+    runner.baseline(bench)
+    cell = runner.heuristic_cell(bench)
+    assert not cell.timed_out
+    assert cell.outputs_match_baseline, bench.name

@@ -1,0 +1,346 @@
+"""Golden-model tests: every benchmark kernel vs a NumPy reference.
+
+Differential testing (baseline vs transformed) catches transform bugs but
+would miss a benchmark whose kernel computes nonsense from the start.  Each
+test here re-derives the workload with the benchmark's own seed and checks
+the *unoptimized* simulated outputs against an independent NumPy/Python
+model of what the kernel's docstring promises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import benchmark_by_name
+from repro.bench import (bezier_surface, bn, bspline_vgh, ccs, clink,
+                         complex_bench, contract, coordinates, haccmk,
+                         lavamd, libor, mandelbrot, qtclustering, quicksort,
+                         rainflow, xsbench)
+
+
+def outputs_of(name):
+    bench = benchmark_by_name(name)
+    module = bench.build_module()
+    outputs, _ = bench.run(module)
+    rng = np.random.default_rng(bench.seed)
+    return bench, outputs, rng
+
+
+class TestXSBench:
+    def test_grid_search_matches_searchsorted(self):
+        bench, outputs, rng = outputs_of("XSBench")
+        egrid = np.sort(rng.random(xsbench.GRIDPOINTS))
+        rng.random(xsbench.GRIDPOINTS * xsbench.NUCLIDES)  # xs draw.
+        quarries = rng.random(xsbench.LOOKUPS) * 0.98 + 0.01
+        # The loop computes the classic lower-bound binary search with
+        # while(length > 1); reproduce it exactly.
+        for q, got in zip(quarries, outputs["found"]):
+            lower, upper, length = 0, xsbench.GRIDPOINTS, xsbench.GRIDPOINTS
+            while length > 1:
+                mid = lower + length // 2
+                if egrid[mid] > q:
+                    upper = mid
+                else:
+                    lower = mid
+                length = upper - lower
+            assert got == lower
+
+    def test_macro_accumulation(self):
+        bench, outputs, rng = outputs_of("XSBench")
+        egrid = np.sort(rng.random(xsbench.GRIDPOINTS))
+        xs = rng.random(xsbench.GRIDPOINTS * xsbench.NUCLIDES)
+        quarries = rng.random(xsbench.LOOKUPS) * 0.98 + 0.01
+        found = outputs["found"]
+        for gid in range(xsbench.LOOKUPS):
+            idx = found[gid]
+            e0, e1 = egrid[idx], egrid[idx + 1]
+            frac = (quarries[gid] - e0) / (e1 - e0)
+            acc = 0.0
+            for nuc in range(xsbench.NUCLIDES):
+                base = nuc * xsbench.GRIDPOINTS + idx
+                micro = xs[base] + frac * (xs[base + 1] - xs[base])
+                acc += micro if micro > 0.5 else micro * 0.5
+            assert outputs["macro"][gid] == pytest.approx(acc, rel=1e-12)
+
+
+class TestComplex:
+    def test_binary_exponentiation(self):
+        bench, outputs, rng = outputs_of("complex")
+        a0 = rng.random(complex_bench.THREADS) * 0.2 + 0.9
+        for gid in range(complex_bench.THREADS):
+            n, a, c = gid, a0[gid], 1.0
+            a_new, c_new = 1.0, 0.0
+            while n > 0:
+                if n & 1:
+                    a_new *= a
+                    c_new = c_new * a + c
+                c *= (a + 1.0)
+                a *= a
+                n >>= 1
+            assert outputs["out"][gid] == pytest.approx(a_new + c_new,
+                                                        rel=1e-12)
+
+
+class TestMandelbrot:
+    def test_escape_counts(self):
+        bench, outputs, rng = outputs_of("mandelbrot")
+        cr = rng.random(mandelbrot.THREADS) * 3.0 - 2.0
+        ci = rng.random(mandelbrot.THREADS) * 2.4 - 1.2
+        for gid in range(mandelbrot.THREADS):
+            x = y = 0.0
+            esc = 0
+            count = 0
+            for _ in range(mandelbrot.MAX_ITER):
+                x2, y2 = x * x, y * y
+                if esc == 0 and x2 + y2 > 4.0:
+                    esc = 1
+                if esc == 0:
+                    y = 2.0 * x * y + ci[gid]
+                    x = x2 - y2 + cr[gid]
+                    count += 1
+            assert outputs["iters"][gid] == count
+
+
+class TestQuicksort:
+    def test_partition_invariant(self):
+        bench, outputs, rng = outputs_of("quicksort")
+        original = rng.random(quicksort.SEGMENT * quicksort.THREADS)
+        data = outputs["data"]
+        for t in range(quicksort.THREADS):
+            seg_before = original[t * quicksort.SEGMENT:
+                                  (t + 1) * quicksort.SEGMENT]
+            seg_after = data[t * quicksort.SEGMENT:
+                             (t + 1) * quicksort.SEGMENT]
+            # The segment is a permutation of the input (swaps + the
+            # insertion pass over the first 12 elements preserve content).
+            assert np.allclose(np.sort(seg_before), np.sort(seg_after))
+            pivot_pos = outputs["pivots"][t]
+            assert 0 <= pivot_pos <= quicksort.SEGMENT
+
+
+class TestCCS:
+    def test_correlation_is_sum_of_squares(self):
+        bench, outputs, rng = outputs_of("ccs")
+        expr = rng.random(ccs.GENES * ccs.SAMPLES)
+        mat = expr.reshape(ccs.GENES, ccs.SAMPLES)
+        for gid in range(ccs.THREADS):
+            row = mat[gid]
+            mean = row.sum() / 16.0
+            var = ((row - mean) ** 2).sum()
+            assert outputs["corr"][gid] == pytest.approx(var, rel=1e-9)
+
+
+class TestContract:
+    def test_contraction_is_row_dot(self):
+        bench, outputs, rng = outputs_of("contract")
+        a = (rng.random(contract.DIM * contract.DIM) - 0.5)
+        b = (rng.random(contract.DIM * contract.DIM) - 0.5)
+        A = a.reshape(contract.DIM, contract.DIM)
+        B = b.reshape(contract.DIM, contract.DIM)
+        for gid in range(contract.THREADS):
+            row = gid % contract.DIM
+            expected = sum(A[row, i] * B[i, j]
+                           for i in range(contract.DIM)
+                           for j in range(contract.DIM))
+            assert outputs["out"][gid] == pytest.approx(expected, rel=1e-9)
+
+
+class TestBezier:
+    def test_blend_is_binomialish_product(self):
+        bench, outputs, rng = outputs_of("bezier-surface")
+        k_of = rng.integers(2, bezier_surface.DEGREE - 1,
+                            bezier_surface.THREADS)
+        for gid in range(bezier_surface.THREADS):
+            nn = bezier_surface.DEGREE
+            kn = int(k_of[gid])
+            nkn = bezier_surface.DEGREE - kn
+            blend = 1.0
+            while nn >= 1:
+                blend *= nn
+                nn -= 1
+                if kn > 1:
+                    blend /= kn
+                    kn -= 1
+                if nkn > 1:
+                    blend /= nkn
+                    nkn -= 1
+            assert outputs["blends"][gid] == pytest.approx(blend, rel=1e-9)
+
+
+class TestRainflow:
+    def test_turning_point_extraction(self):
+        bench, outputs, rng = outputs_of("rainflow")
+        x = rng.random(rainflow.SIGNAL_LEN * rainflow.THREADS)
+        for t in range(rainflow.THREADS):
+            sig = x[t * rainflow.SIGNAL_LEN:(t + 1) * rainflow.SIGNAL_LEN]
+            y = np.zeros(rainflow.SIGNAL_LEN)
+            y[0] = sig[0]
+            j = 0
+            i = 1
+            while i < rainflow.SIGNAL_LEN - 1:
+                if sig[i] > y[j] and sig[i] > sig[i + 1]:
+                    j += 1
+                    y[j] = sig[i]
+                if sig[i] < y[j] and sig[i] < sig[i + 1]:
+                    j += 1
+                    y[j] = sig[i]
+                i += 1
+            assert outputs["counts"][t] == j
+            assert np.allclose(outputs["y"][t * rainflow.SIGNAL_LEN:
+                                            t * rainflow.SIGNAL_LEN + j + 1],
+                               y[:j + 1])
+
+
+class TestCoordinates:
+    def test_iterative_refinement(self):
+        bench, outputs, rng = outputs_of("coordinates")
+        xs = rng.random(coordinates.THREADS) * 180 - 90
+        ys = rng.random(coordinates.THREADS) * 360 - 180
+        for gid in range(coordinates.THREADS):
+            phi = ys[gid] * 0.5
+            for _ in range(coordinates.ITERS):
+                s = phi * 0.9 + xs[gid] * 0.01
+                phi = phi * 0.98 + s * 0.015 + ys[gid] * 0.001
+            assert outputs["lat"][gid] == pytest.approx(phi, rel=1e-9)
+
+
+class TestHaccmk:
+    def test_force_accumulation(self):
+        bench, outputs, rng = outputs_of("haccmk")
+        px = rng.random(haccmk.NEIGHBOURS)
+        py = rng.random(haccmk.NEIGHBOURS)
+        mass = rng.random(haccmk.NEIGHBOURS) + 0.5
+        for gid in range(4):  # Spot-check a few threads.
+            x0, y0 = px[gid], py[gid]
+            f = 0.0
+            for j in range(haccmk.NEIGHBOURS):
+                dx, dy = px[j] - x0, py[j] - y0
+                r2 = dx * dx + dy * dy
+                if r2 < 1.0:
+                    f += mass[j] * (1.0 / (r2 + 0.01)) * dx
+                else:
+                    f += 0.0001 * dx
+            assert outputs["fx"][gid] == pytest.approx(f, rel=1e-9)
+
+
+class TestLibor:
+    def test_knockout_payoff(self):
+        bench, outputs, rng = outputs_of("libor")
+        z = rng.standard_normal(libor.THREADS * libor.MATURITIES) * 0.5
+        rates0 = rng.random(libor.THREADS) * 0.05 + 0.02
+        for gid in range(8):
+            rate, disc = rates0[gid], 1.0
+            dead, acc = 0, 0.0
+            for m in range(libor.MATURITIES):
+                shock = z[gid * libor.MATURITIES + m]
+                rate = rate * (1.0 + shock * 0.1)
+                disc = disc / (1.0 + rate * 0.25)
+                if dead == 0:
+                    if disc < 0.82:
+                        dead = 1
+                    else:
+                        acc += disc * (rate - 0.04)
+            assert outputs["payoff"][gid] == pytest.approx(acc, rel=1e-9)
+
+
+class TestBN:
+    def test_count_kernel(self):
+        bench, outputs, rng = outputs_of("bn")
+        data = rng.integers(0, 6, bn.NODES * bn.STATES)
+        data[rng.random(bn.NODES * bn.STATES) < 0.4] = 0
+        mat = data.reshape(bn.NODES, bn.STATES)
+        for gid in range(bn.THREADS):
+            total, zero_run = 0, 0
+            for v in mat[gid]:
+                if v > 0:
+                    total += v
+                    zero_run = 0
+                else:
+                    zero_run += 1
+            assert outputs["counts"][gid] == total + zero_run
+
+
+class TestClink:
+    def test_sticky_saturation(self):
+        bench, outputs, rng = outputs_of("clink")
+        xs = rng.random(clink.THREADS * clink.STEPS) * 2.0
+        w = rng.random(clink.THREADS) + 0.5
+        for gid in range(8):
+            h = cell = 0.0
+            sat = 0
+            for t in range(clink.STEPS):
+                xin = xs[gid * clink.STEPS + t]
+                gate = xin * w[gid] + h * 0.5
+                if sat != 0:
+                    cell *= 0.9
+                elif gate > 2.5:
+                    sat = 1
+                    cell *= 0.9
+                else:
+                    cell += gate * 0.25
+                h = cell * 0.5
+            assert outputs["hidden"][gid] == pytest.approx(h, rel=1e-9)
+
+
+class TestQTClustering:
+    def test_membership_counts(self):
+        bench, outputs, rng = outputs_of("qtclustering")
+        px = rng.random(qtclustering.POINTS)
+        py = rng.random(qtclustering.POINTS)
+        for gid in range(qtclustering.THREADS):
+            cx = px[gid % qtclustering.POINTS]
+            cy = py[gid % qtclustering.POINTS]
+            count, full = 0, 0
+            for j in range(qtclustering.POINTS):
+                if full:
+                    continue
+                d2 = (px[j] - cx) ** 2 + (py[j] - cy) ** 2
+                if d2 < 0.1:
+                    count += 1
+                    if count >= qtclustering.CAPACITY:
+                        full = 1
+            assert outputs["members"][gid] == count
+
+
+class TestLavaMD:
+    def test_pair_accumulation(self):
+        bench, outputs, rng = outputs_of("lavaMD")
+        qx = rng.random(lavamd.PER_BOX)
+        qv = rng.random(lavamd.PER_BOX) - 0.5
+        for gid in range(8):
+            x0 = qx[gid % lavamd.PER_BOX]
+            a, near = 0.0, 0
+            for j in range(lavamd.PER_BOX):
+                dx = qx[j] - x0
+                r2 = dx * dx
+                if r2 < 0.25:
+                    a += np.exp(-r2 * 2.0) * qv[j]
+                    near += 1
+                elif near > 8:
+                    a += 0.0001
+                else:
+                    a += dx * 0.001
+            assert outputs["acc"][gid] == pytest.approx(a, rel=1e-9)
+
+
+class TestBspline:
+    def test_weight_recurrence(self):
+        bench, outputs, rng = outputs_of("bspline-vgh")
+        coefs = rng.random(bspline_vgh.GRID)
+        pos = rng.random(bspline_vgh.THREADS) * (bspline_vgh.GRID - 8) + 2
+        for gid in range(8):
+            x = pos[gid]
+            ix = int(x)
+            fx = x - ix
+            c0 = coefs[gid % bspline_vgh.GRID]
+            val = grad = 0.0
+            w = 1
+            while w <= 8:
+                if 0 <= ix < bspline_vgh.GRID - 4:
+                    val = val * fx + c0 * w
+                    grad = grad + c0 * fx
+                else:
+                    val *= 0.5
+                    grad += 0.125
+                w <<= 1
+            assert outputs["vals"][gid] == pytest.approx(val, rel=1e-9)
+            assert outputs["grads"][gid] == pytest.approx(grad, rel=1e-9)

@@ -1,0 +1,97 @@
+"""Benchmark-suite integration tests.
+
+The heavyweight differential sweep lives in the benchmarks/ harness; here we
+check structural invariants for all 16 analogs plus full differential
+correctness on a representative subset (kept small for test-suite runtime).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import all_benchmarks, benchmark_by_name, benchmark_names
+from repro.harness import ExperimentRunner
+from repro.ir import verify_module
+
+EXPECTED_NAMES = [
+    "bezier-surface", "bn", "bspline-vgh", "ccs", "clink", "complex",
+    "contract", "coordinates", "haccmk", "lavaMD", "libor", "mandelbrot",
+    "qtclustering", "quicksort", "rainflow", "XSBench",
+]
+
+
+class TestRegistry:
+    def test_all_16_table1_rows_present(self):
+        assert benchmark_names() == EXPECTED_NAMES
+
+    def test_lookup_by_name(self):
+        bench = benchmark_by_name("XSBench")
+        assert bench.name == "XSBench"
+        with pytest.raises(KeyError):
+            benchmark_by_name("nope")
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_module_builds_and_verifies(self, name):
+        bench = benchmark_by_name(name)
+        module = bench.build_module()
+        verify_module(module)
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_has_loops_and_metadata(self, name):
+        bench = benchmark_by_name(name)
+        assert bench.loop_ids(), "benchmark must expose at least one loop"
+        assert bench.category
+        assert bench.command_line
+        assert bench.paper.baseline_ms > 0
+
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_runs_deterministically(self, name):
+        bench = benchmark_by_name(name)
+        module = bench.build_module()
+        out1, counters1 = bench.run(module)
+        module2 = bench.build_module()
+        out2, counters2 = bench.run(module2)
+        for key in out1:
+            assert np.array_equal(out1[key], out2[key])
+        assert counters1.cycles == counters2.cycles
+
+
+class TestDifferentialSubset:
+    """Per-loop transform correctness on three representative apps."""
+
+    @pytest.mark.parametrize("name", ["XSBench", "complex", "mandelbrot"])
+    def test_all_configs_preserve_outputs(self, name):
+        runner = ExperimentRunner(max_instructions=4000, compile_timeout=30)
+        bench = benchmark_by_name(name)
+        base = runner.baseline(bench)
+        assert base.outputs_match_baseline  # vs the unoptimized module.
+        for loop_id in bench.loop_ids():
+            for config, factor in [("uu", 2), ("unroll", 2), ("unmerge", 1)]:
+                cell = runner.cell(bench, config, loop_id, factor)
+                if cell.timed_out:
+                    continue
+                assert cell.outputs_match_baseline, (
+                    f"{name} {loop_id} {config}@{factor} changed outputs")
+
+    def test_heuristic_preserves_outputs(self):
+        runner = ExperimentRunner(max_instructions=4000, compile_timeout=30)
+        for name in ("rainflow", "bspline-vgh"):
+            bench = benchmark_by_name(name)
+            runner.baseline(bench)
+            cell = runner.heuristic_cell(bench)
+            assert cell.outputs_match_baseline
+
+
+class TestPaperAnchors:
+    def test_paper_numbers_match_table1(self):
+        # Spot-check the Table I constants carried from the paper.
+        xs = benchmark_by_name("XSBench")
+        assert xs.paper.baseline_ms == 137.21
+        assert xs.paper.heuristic_ms == 121.72
+        assert xs.paper.compute_percent == 87.62
+        cx = benchmark_by_name("complex")
+        assert cx.paper.baseline_ms == 2199.23
+        assert cx.paper.heuristic_ms == 2730.95
+        bs = benchmark_by_name("bspline-vgh")
+        assert bs.paper.baseline_ms / bs.paper.heuristic_ms > 1.7

@@ -1,0 +1,57 @@
+"""CLI driver tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (["list"], ["run-uu", "--factor", "4"],
+                     ["run-unroll"], ["run-unmerge"],
+                     ["run-heuristic", "--verbose"],
+                     ["table1"], ["fig6"], ["fig7"], ["fig8"], ["indepth"],
+                     ["ptx", "--app", "complex"]):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_ptx_requires_app(self):
+        with pytest.raises(SystemExit):
+            main(["ptx"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list", "--app", "complex"]) == 0
+        out = capsys.readouterr().out
+        assert "complex" in out
+        assert "complex_pow:0" in out
+
+    def test_run_unmerge_single_app(self, capsys):
+        assert main(["run-unmerge", "--app", "complex"]) == 0
+        out = capsys.readouterr().out
+        assert "complex_pow:0" in out
+        assert "yes" in out          # Outputs matched the baseline.
+
+    def test_heuristic_verbose(self, capsys):
+        assert main(["run-heuristic", "--app", "complex",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "factor=" in out
+
+    def test_ptx_output(self, capsys):
+        assert main(["ptx", "--app", "complex",
+                     "--kernel", "complex_pow"]) == 0
+        out = capsys.readouterr().out
+        assert ".visible .entry complex_pow" in out
+        assert "selp" in out         # The baseline predication shows up.
+
+    def test_table1_single_app(self, capsys):
+        assert main(["table1", "--app", "complex"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out and "complex" in out

@@ -1,0 +1,180 @@
+"""PTX-style backend tests, including the paper's Listing 4/5 shape."""
+
+import pytest
+
+from repro.bench import benchmark_by_name
+from repro.codegen import lower_function, render
+from repro.codegen.regs import RegisterFile, register_class
+from repro.ir import parse_function
+from repro.ir import types as T
+from repro.transforms import compile_module
+
+
+class TestRegisterClasses:
+    def test_classes(self):
+        assert register_class(T.I64) == "rd"
+        assert register_class(T.PointerType(T.F64)) == "rd"
+        assert register_class(T.I32) == "r"
+        assert register_class(T.F64) == "fd"
+        assert register_class(T.F32) == "f"
+        assert register_class(T.I1) == "p"
+
+    def test_sequential_assignment(self):
+        regs = RegisterFile()
+
+        class Fake:
+            def __init__(self, t):
+                self.type = t
+
+        a, b = Fake(T.I64), Fake(T.I64)
+        assert regs.get(a) == "%rd1"
+        assert regs.get(b) == "%rd2"
+        assert regs.get(a) == "%rd1"          # Stable.
+        assert regs.fresh(T.I64) == "%rd3"
+        assert regs.declarations()["rd"] == 3
+
+
+SMALL = """
+define i64 @f(i64 %x, i64 %y) {
+entry:
+  %c = icmp sgt i64 %x, %y
+  %m = select i1 %c, i64 %x, i64 %y
+  ret i64 %m
+}
+"""
+
+
+class TestLowering:
+    def test_setp_selp_forms(self):
+        f = parse_function(SMALL)
+        asm = lower_function(f)
+        text = render(asm)
+        assert "setp.sgt.s64" in text
+        assert "selp.b64" in text
+        assert "st.param.s64" in text and "ret;" in text
+        assert asm.count_opcode("selp") == 1
+        assert asm.count_opcode("setp") == 1
+
+    def test_gep_lowers_to_shl_add(self):
+        f = parse_function("""
+define f64 @f(f64* %p, i64 %i) {
+entry:
+  %g = gep f64* %p, i64 %i
+  %v = load f64, f64* %g
+  ret f64 %v
+}
+""")
+        text = render(lower_function(f))
+        assert "shl.b64" in text          # index * 8 as in paper Listing 4.
+        assert "ld.global.f64" in text
+
+    def test_phi_becomes_edge_moves(self):
+        f = parse_function("""
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i64 [ 1, %a ], [ 2, %b ]
+  ret i64 %r
+}
+""")
+        asm = lower_function(f)
+        assert asm.count_opcode("mov") >= 2   # One mov per incoming edge.
+
+    def test_phi_swap_uses_scratch(self):
+        # Swapping phis requires a cycle-breaking scratch register.
+        f = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %a = phi i64 [ 0, %entry ], [ %b, %loop ]
+  %b = phi i64 [ 1, %entry ], [ %a, %loop ]
+  %n1 = add i64 %a, %b
+  %c = icmp slt i64 %n1, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %a
+}
+""")
+        asm = lower_function(f)
+        text = render(asm)
+        # Functional smoke: renders without losing either phi.
+        assert asm.count_opcode("mov") >= 3
+        assert "$L_f_1" in text
+
+    def test_special_registers(self):
+        f = parse_function("""
+define i64 @f() {
+entry:
+  %t = call i64 @tid.x()
+  ret i64 %t
+}
+""")
+        text = render(lower_function(f))
+        assert "%tid.x" in text
+
+    def test_syncthreads(self):
+        f = parse_function("""
+define void @f() {
+entry:
+  call void @syncthreads()
+  ret void
+}
+""")
+        assert "bar.sync" in render(lower_function(f))
+
+    def test_fallthrough_branch_elided(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  br label %next
+next:
+  ret i64 %x
+}
+""")
+        asm = lower_function(f)
+        assert asm.count_opcode("bra") == 0
+
+
+class TestPaperListings:
+    """The Listing 4 vs Listing 5 story at the assembly level."""
+
+    def _asm(self, config, **kw):
+        bench = benchmark_by_name("XSBench")
+        module = bench.build_module()
+        compile_module(module, config, max_instructions=8000, **kw)
+        return lower_function(module.get_function("grid_search"))
+
+    def test_baseline_is_selp_heavy(self):
+        base = self._asm("baseline")
+        # Listing 4: the predicated baseline uses selp pairs.
+        assert base.count_opcode("selp") >= 2
+
+    def test_uu_trades_selp_for_branches(self):
+        base = self._asm("baseline")
+        uu = self._asm("uu", loop_id="grid_search:0", factor=2)
+        # Paper Section V: conditionally executed jumps replace selp
+        # instructions; per loop iteration fewer selp remain.
+        base_selp_density = base.count_opcode("selp") / max(
+            base.instruction_count(), 1)
+        uu_selp_density = uu.count_opcode("selp") / max(
+            uu.instruction_count(), 1)
+        assert uu_selp_density < base_selp_density
+        assert uu.count_opcode("bra") > base.count_opcode("bra")
+
+    def test_uu_eliminates_the_subtraction(self):
+        base = self._asm("baseline")
+        uu = self._asm("uu", loop_id="grid_search:0", factor=2)
+        # Paper: "the subtraction is eliminated in our version" — fewer
+        # sub instructions per loop body copy.
+        base_subs = base.count_opcode("sub")
+        uu_subs = uu.count_opcode("sub")
+        # The baseline's runtime-unrolled loop has one sub per copy; u&u
+        # keeps subs only on the false paths.
+        assert uu_subs / max(uu.instruction_count(), 1) < \
+            base_subs / max(base.instruction_count(), 1)

@@ -1,0 +1,182 @@
+"""DCE and SCCP unit tests."""
+
+import pytest
+
+from repro.ir import ConstantInt, parse_function, verify_function
+from repro.transforms import run_dce, run_sccp
+from repro.transforms.simplifycfg import run_simplifycfg
+
+
+class TestDCE:
+    def test_unused_pure_instruction_removed(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  %dead = add i64 %x, 1
+  %dead2 = mul i64 %dead, 2
+  ret i64 %x
+}
+""")
+        assert run_dce(f)
+        verify_function(f)
+        assert len(f.entry.instructions) == 1
+
+    def test_chain_collapses(self):
+        f = parse_function("""
+define void @f(i64 %x) {
+entry:
+  %a = add i64 %x, 1
+  %b = add i64 %a, 1
+  %c = add i64 %b, 1
+  ret void
+}
+""")
+        run_dce(f)
+        assert len(f.entry.instructions) == 1
+
+    def test_stores_never_removed(self):
+        f = parse_function("""
+define void @f(f64* %p) {
+entry:
+  store f64 1.0, f64* %p
+  ret void
+}
+""")
+        assert not run_dce(f)
+        assert len(f.entry.instructions) == 2
+
+    def test_used_value_kept(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  %a = add i64 %x, 1
+  ret i64 %a
+}
+""")
+        assert not run_dce(f)
+
+    def test_self_referential_phi_removed(self):
+        f = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %dead = phi i64 [ 0, %entry ], [ %dead, %loop ]
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %i
+}
+""")
+        assert run_dce(f)
+        verify_function(f)
+        assert len(f.blocks[1].phis()) == 1
+
+
+class TestSCCP:
+    def test_constant_chain_folds(self):
+        f = parse_function("""
+define i64 @f() {
+entry:
+  %a = add i64 2, 3
+  %b = mul i64 %a, 4
+  %c = sub i64 %b, 10
+  ret i64 %c
+}
+""")
+        run_sccp(f)
+        run_dce(f)
+        ret = f.entry.instructions[-1]
+        assert isinstance(ret.value, ConstantInt)
+        assert ret.value.value == 10
+
+    def test_conditional_constant_propagation(self):
+        # SCCP's signature ability: %x is 7 on both arms, so the phi is 7.
+        f = parse_function("""
+define i64 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %x = phi i64 [ 7, %a ], [ 7, %b ]
+  %y = add i64 %x, 1
+  ret i64 %y
+}
+""")
+        run_sccp(f)
+        ret = [i for b in f.blocks for i in b.instructions][-1]
+        assert isinstance(ret.value, ConstantInt)
+        assert ret.value.value == 8
+
+    def test_dead_branch_not_executed(self):
+        # The false edge is non-executable, so the phi only sees 1.
+        f = parse_function("""
+define i64 @f() {
+entry:
+  br i1 1, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %x = phi i64 [ 1, %a ], [ 2, %b ]
+  ret i64 %x
+}
+""")
+        run_sccp(f)
+        ret = [i for b in f.blocks for i in b.instructions][-1]
+        assert isinstance(ret.value, ConstantInt)
+        assert ret.value.value == 1
+
+    def test_full_unroll_chain_folds(self):
+        # The pattern behind full unrolling: constants flow down a chain of
+        # cloned headers.  The unroll factor exceeds the trip count (1), so
+        # the back edge is never marked executable, every exit check folds,
+        # and the loop dissolves.
+        f = parse_function("""
+define i64 @f() {
+entry:
+  br label %h0
+h0:
+  %i0 = phi i64 [ 0, %entry ], [ %i2, %l1 ]
+  %c0 = icmp slt i64 %i0, 1
+  br i1 %c0, label %l0, label %exit
+l0:
+  %i1 = add i64 %i0, 1
+  br label %h1
+h1:
+  %c1 = icmp slt i64 %i1, 1
+  br i1 %c1, label %l1, label %exit
+l1:
+  %i2 = add i64 %i1, 1
+  br label %h0
+exit:
+  %r = phi i64 [ %i0, %h0 ], [ %i1, %h1 ]
+  ret i64 %r
+}
+""")
+        run_sccp(f)
+        run_simplifycfg(f)
+        run_dce(f)
+        verify_function(f)
+        # Loop dissolved: straight-line code returning 1.
+        ret = [i for b in f.blocks for i in b.instructions][-1]
+        assert isinstance(ret.value, ConstantInt)
+        assert ret.value.value == 1
+
+    def test_overdefined_stays(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  %a = add i64 %x, 1
+  ret i64 %a
+}
+""")
+        run_sccp(f)
+        ret = f.entry.instructions[-1]
+        assert not isinstance(ret.value, ConstantInt)

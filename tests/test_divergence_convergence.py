@@ -1,0 +1,123 @@
+"""Divergence (tid-taint) and convergence analysis tests."""
+
+import pytest
+
+from repro.analysis import (DivergenceInfo, LoopInfo, convergent_instructions,
+                            function_has_convergent, loop_has_divergent_branch,
+                            loop_is_convergent)
+from repro.ir import parse_function
+
+
+class TestConvergence:
+    def test_syncthreads_is_convergent(self):
+        f = parse_function("""
+define void @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  call void @syncthreads()
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret void
+}
+""")
+        assert function_has_convergent(f)
+        loop = LoopInfo.compute(f).loops[0]
+        assert loop_is_convergent(loop)
+        assert len(convergent_instructions(loop)) == 1
+
+    def test_math_intrinsics_not_convergent(self):
+        f = parse_function("""
+define f64 @f(f64 %x) {
+entry:
+  %s = call f64 @sqrt(f64 %x)
+  ret f64 %s
+}
+""")
+        assert not function_has_convergent(f)
+
+
+DIVERGENT_FUNC = """
+define i64 @f(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %ctaid = call i64 @ctaid.x()
+  %ntid = call i64 @ntid.x()
+  %blockoff = mul i64 %ctaid, %ntid
+  %gid = add i64 %tid, %blockoff
+  %uniform = add i64 %ctaid, 5
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %merge ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %out
+body:
+  %bit = and i64 %gid, 1
+  %odd = icmp eq i64 %bit, 1
+  br i1 %odd, label %a, label %b
+a:
+  br label %merge
+b:
+  br label %merge
+merge:
+  %v = phi i64 [ 1, %a ], [ 2, %b ]
+  %next = add i64 %i, 1
+  br label %loop
+out:
+  ret i64 %i
+}
+"""
+
+
+class TestDivergence:
+    def test_tid_is_divergent_ctaid_uniform(self):
+        f = parse_function(DIVERGENT_FUNC)
+        info = DivergenceInfo.compute(f)
+        by_name = {i.name: i for i in f.instructions() if i.name}
+        assert info.is_divergent(by_name["tid"])
+        assert not info.is_divergent(by_name["ctaid"])
+        assert not info.is_divergent(by_name["uniform"])
+
+    def test_taint_propagates_through_arithmetic(self):
+        f = parse_function(DIVERGENT_FUNC)
+        info = DivergenceInfo.compute(f)
+        by_name = {i.name: i for i in f.instructions() if i.name}
+        assert info.is_divergent(by_name["gid"])
+        assert info.is_divergent(by_name["odd"])
+
+    def test_phi_sync_dependence(self):
+        # %v merges under a divergent branch: divergent even though its
+        # incoming values are constants.
+        f = parse_function(DIVERGENT_FUNC)
+        info = DivergenceInfo.compute(f)
+        by_name = {i.name: i for i in f.instructions() if i.name}
+        assert info.is_divergent(by_name["v"])
+
+    def test_loop_filter_flags_in_body_branch(self):
+        f = parse_function(DIVERGENT_FUNC)
+        info = DivergenceInfo.compute(f)
+        loop = LoopInfo.compute(f).loops[0]
+        assert loop_has_divergent_branch(loop, info)
+
+    def test_divergent_args_seed(self):
+        f = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  %x = add i64 %n, 1
+  ret i64 %x
+}
+""")
+        plain = DivergenceInfo.compute(f)
+        seeded = DivergenceInfo.compute(f, {"n"})
+        x = next(i for i in f.instructions() if i.name == "x")
+        assert not plain.is_divergent(x)
+        assert seeded.is_divergent(x)
+
+    def test_divergent_branches_listing(self):
+        f = parse_function(DIVERGENT_FUNC)
+        info = DivergenceInfo.compute(f)
+        branches = info.divergent_branches()
+        assert any(b.name == "body" for b in branches)

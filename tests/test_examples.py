@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end-to-end; the sweep-heavy ones (which take minutes)
+are checked for compilability so they cannot rot silently.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "select" in out              # The baseline's selp view.
+        assert "identical results" in out
+
+    def test_ptx_listings(self):
+        out = run_example("ptx_listings.py")
+        assert "selp.b64" in out
+        assert "Listing-5 analogue" in out
+        assert "total" in out
+
+    def test_custom_kernel_tuning(self):
+        out = run_example("custom_kernel_tuning.py")
+        assert "heuristic:" in out
+        assert "u&u@2" in out
+        assert "f(p, s, 2)" in out
+
+
+class TestHeavyExamplesCompile:
+    @pytest.mark.parametrize("name", ["xsbench_counters.py",
+                                      "divergence_pitfall.py"])
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)

@@ -1,0 +1,147 @@
+"""Tests for constant folding primitives, pass manager, and pipelines."""
+
+import time
+
+import pytest
+
+from repro.ir import (ConstantFloat, ConstantInt, Module, parse_function,
+                      parse_module, verify_module)
+from repro.ir import types as T
+from repro.transforms import (CONFIGS, CompileTimeout, DeadCodeElimination,
+                              FixpointPassManager, PassManager, SimplifyCFG,
+                              build_pipeline, compile_module)
+from repro.transforms.fold import (fold_fcmp, fold_icmp, fold_int_binop,
+                                   fold_float_binop)
+
+
+class TestIntFold:
+    def test_wrapping_add(self):
+        a = ConstantInt(T.I8, 120)
+        b = ConstantInt(T.I8, 10)
+        assert fold_int_binop("add", a, b).value == -126
+
+    def test_sdiv_truncates(self):
+        a = ConstantInt(T.I64, -7)
+        b = ConstantInt(T.I64, 2)
+        assert fold_int_binop("sdiv", a, b).value == -3
+
+    def test_srem_sign(self):
+        a = ConstantInt(T.I64, -7)
+        b = ConstantInt(T.I64, 3)
+        assert fold_int_binop("srem", a, b).value == -1
+
+    def test_division_by_zero_not_folded(self):
+        a = ConstantInt(T.I64, 1)
+        z = ConstantInt(T.I64, 0)
+        assert fold_int_binop("sdiv", a, z) is None
+        assert fold_int_binop("urem", a, z) is None
+
+    def test_unsigned_ops(self):
+        a = ConstantInt(T.I8, -1)     # 255 unsigned.
+        b = ConstantInt(T.I8, 2)
+        assert fold_int_binop("udiv", a, b).value == 127
+        assert fold_int_binop("lshr", a, ConstantInt(T.I8, 4)).value == 15
+
+    def test_oversized_shift_not_folded(self):
+        a = ConstantInt(T.I8, 1)
+        assert fold_int_binop("shl", a, ConstantInt(T.I8, 9)) is None
+
+    @pytest.mark.parametrize("pred,expected", [
+        ("slt", True), ("sgt", False), ("eq", False), ("ne", True),
+        ("ult", False), ("ugt", True),  # -1 is huge unsigned.
+    ])
+    def test_icmp(self, pred, expected):
+        a = ConstantInt(T.I64, -1)
+        b = ConstantInt(T.I64, 1)
+        assert fold_icmp(pred, a, b).value == (1 if expected else 0)
+
+
+class TestFloatFold:
+    def test_arith(self):
+        a = ConstantFloat(T.F64, 1.5)
+        b = ConstantFloat(T.F64, 2.0)
+        assert fold_float_binop("fmul", a, b).value == 3.0
+
+    def test_nan_unordered_compare(self):
+        nan = ConstantFloat(T.F64, float("nan"))
+        one = ConstantFloat(T.F64, 1.0)
+        assert fold_fcmp("olt", nan, one).value == 0
+        assert fold_fcmp("ult", nan, one).value == 1
+        assert fold_fcmp("une", nan, nan).value == 1
+
+
+SIMPLE = """
+define i64 @f(i64 %x) {
+entry:
+  %dead = add i64 %x, 0
+  ret i64 %x
+}
+"""
+
+
+class TestPassManager:
+    def test_stats_recorded(self):
+        f = parse_function(SIMPLE)
+        pm = PassManager([DeadCodeElimination(), SimplifyCFG()])
+        pm.run_function(f)
+        assert pm.stats.runs["dce"] == 1
+        assert pm.stats.times["dce"] >= 0
+        assert pm.stats.changes.get("dce") == 1
+        assert pm.stats.dominant_pass() in ("dce", "simplifycfg")
+
+    def test_fixpoint_stops(self):
+        f = parse_function(SIMPLE)
+        pm = FixpointPassManager([DeadCodeElimination()], max_iterations=8)
+        pm.run_function(f)
+        # First round removes the dead add, second confirms no change.
+        assert pm.stats.runs["dce"] == 2
+
+    def test_deadline_raises(self):
+        f = parse_function(SIMPLE)
+        pm = PassManager([DeadCodeElimination()])
+        pm.deadline = time.perf_counter() - 1.0
+        with pytest.raises(CompileTimeout):
+            pm.run_function(f)
+
+    def test_verify_each_catches_breakage(self):
+        class Vandal:
+            name = "vandal"
+
+            def run(self, func):
+                func.entry.instructions[-1].erase_from_parent()
+                return True
+
+        f = parse_function(SIMPLE)
+        pm = PassManager([Vandal()], verify_each=True)
+        with pytest.raises(AssertionError, match="vandal"):
+            pm.run_function(f)
+
+
+class TestPipelines:
+    def test_all_configs_buildable(self):
+        for config in CONFIGS:
+            pipeline = build_pipeline(config, loop_id="f:0", factor=2)
+            assert pipeline.passes
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            build_pipeline("o9000")
+
+    def test_per_loop_configs_require_loop_id(self):
+        for config in ("uu", "unroll", "unmerge"):
+            with pytest.raises(ValueError):
+                build_pipeline(config)
+
+    def test_compile_module_reports(self):
+        module = parse_module(SIMPLE, "m")
+        result = compile_module(module, "baseline")
+        assert result.config == "baseline"
+        assert result.code_size > 0
+        assert result.compile_seconds > 0
+        assert not result.timed_out
+
+    def test_compile_timeout_flag(self):
+        module = parse_module(SIMPLE, "m")
+        result = compile_module(module, "baseline", timeout_seconds=-1.0)
+        assert result.timed_out
+        verify_module(module)  # Timed-out modules stay structurally valid.

@@ -1,0 +1,197 @@
+"""Frontend tests: AST lowering, SSA construction, operators."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import (And, Assign, Break, Call, Cast, For, GlobalTid,
+                            If, Index, KernelDef, Lit, LoweringError, Not, Or,
+                            Param, Return, Store, V, While, lower_kernels)
+from repro.gpu import Memory, SimtMachine
+from repro.ir import verify_module
+from repro.analysis import LoopInfo
+
+
+def run_kernel(kernel, args, lanes=1, bufs=()):
+    module = lower_kernels([kernel], "test")
+    verify_module(module)
+    mem = Memory()
+    addrs = {}
+    for name, dtype, count, init in bufs:
+        addrs[name] = mem.alloc(name, dtype, count, init)
+    machine = SimtMachine(module, mem)
+    resolved = [addrs.get(a, a) for a in args]
+    ret, _ = machine.run_function(kernel.name, resolved, lanes=lanes)
+    return ret, mem
+
+
+class TestScalars:
+    def test_return_arithmetic(self):
+        k = KernelDef("k", [Param("x", "i64")],
+                      [Return(V("x") * 2 + 1)], ret_type="i64")
+        ret, _ = run_kernel(k, [20])
+        assert ret[0] == 41
+
+    def test_float_int_mixing(self):
+        k = KernelDef("k", [Param("x", "f64"), Param("n", "i64")],
+                      [Return(V("x") * V("n"))], ret_type="f64")
+        ret, _ = run_kernel(k, [2.5, 4])
+        assert ret[0] == 10.0
+
+    def test_cast(self):
+        k = KernelDef("k", [Param("x", "f64")],
+                      [Return(Cast("i64", V("x") * 2.0))], ret_type="i64")
+        ret, _ = run_kernel(k, [3.7])
+        assert ret[0] == 7
+
+    def test_comparison_chain(self):
+        k = KernelDef("k", [Param("x", "i64")],
+                      [If(And(V("x") > 2, V("x") < 10),
+                          [Return(Lit(1, "i64"))]),
+                       Return(Lit(0, "i64"))], ret_type="i64")
+        assert run_kernel(k, [5])[0][0] == 1
+        assert run_kernel(k, [1])[0][0] == 0
+        assert run_kernel(k, [12])[0][0] == 0
+
+    def test_or_and_not(self):
+        k = KernelDef("k", [Param("x", "i64")],
+                      [If(Or(V("x") < 0, Not(V("x") < 100)),
+                          [Return(Lit(1, "i64"))]),
+                       Return(Lit(0, "i64"))], ret_type="i64")
+        assert run_kernel(k, [-5])[0][0] == 1
+        assert run_kernel(k, [500])[0][0] == 1
+        assert run_kernel(k, [50])[0][0] == 0
+
+
+class TestControlFlow:
+    def test_if_else_value(self):
+        k = KernelDef("k", [Param("x", "i64")],
+                      [Assign("r", Lit(0, "i64")),
+                       If(V("x") > 0,
+                          [Assign("r", V("x") * 2)],
+                          [Assign("r", 0 - V("x"))]),
+                       Return(V("r"))], ret_type="i64")
+        assert run_kernel(k, [5])[0][0] == 10
+        assert run_kernel(k, [-5])[0][0] == 5
+
+    def test_while_loop_ssa(self):
+        k = KernelDef("k", [Param("n", "i64")],
+                      [Assign("acc", Lit(0, "i64")),
+                       Assign("i", Lit(0, "i64")),
+                       While(V("i") < V("n"), [
+                           Assign("acc", V("acc") + V("i")),
+                           Assign("i", V("i") + 1),
+                       ]),
+                       Return(V("acc"))], ret_type="i64")
+        assert run_kernel(k, [10])[0][0] == 45
+        assert run_kernel(k, [0])[0][0] == 0
+
+    def test_for_loop(self):
+        k = KernelDef("k", [Param("n", "i64")],
+                      [Assign("acc", Lit(0, "i64")),
+                       For("i", Lit(0, "i64"), V("n"), [
+                           Assign("acc", V("acc") + V("i") * V("i")),
+                       ]),
+                       Return(V("acc"))], ret_type="i64")
+        assert run_kernel(k, [5])[0][0] == 30
+
+    def test_for_with_step(self):
+        k = KernelDef("k", [Param("n", "i64")],
+                      [Assign("acc", Lit(0, "i64")),
+                       For("i", Lit(0, "i64"), V("n"), [
+                           Assign("acc", V("acc") + 1),
+                       ], step=Lit(3)),
+                       Return(V("acc"))], ret_type="i64")
+        assert run_kernel(k, [10])[0][0] == 4  # i = 0,3,6,9.
+
+    def test_break(self):
+        k = KernelDef("k", [Param("n", "i64")],
+                      [Assign("i", Lit(0, "i64")),
+                       While(V("i") < V("n"), [
+                           If(V("i") >= 5, [Break()]),
+                           Assign("i", V("i") + 1),
+                       ]),
+                       Return(V("i"))], ret_type="i64")
+        assert run_kernel(k, [100])[0][0] == 5
+        assert run_kernel(k, [3])[0][0] == 3
+
+    def test_nested_loops(self):
+        k = KernelDef("k", [Param("n", "i64")],
+                      [Assign("acc", Lit(0, "i64")),
+                       For("i", Lit(0, "i64"), V("n"), [
+                           For("j", Lit(0, "i64"), V("i"), [
+                               Assign("acc", V("acc") + 1),
+                           ]),
+                       ]),
+                       Return(V("acc"))], ret_type="i64")
+        assert run_kernel(k, [5])[0][0] == 10
+
+    def test_loop_ids_match_source_order(self):
+        k = KernelDef("k", [Param("n", "i64")],
+                      [Assign("a", Lit(0, "i64")),
+                       While(V("a") < V("n"), [Assign("a", V("a") + 1)]),
+                       Assign("b", Lit(0, "i64")),
+                       While(V("b") < V("n"), [Assign("b", V("b") + 2)]),
+                       Return(V("a") + V("b"))], ret_type="i64")
+        module = lower_kernels([k], "t")
+        info = LoopInfo.compute(module.get_function("k"))
+        assert len(info.loops) == 2
+        assert sorted(l.loop_id for l in info.loops) == ["k:0", "k:1"]
+
+
+class TestMemory:
+    def test_load_store(self):
+        k = KernelDef("k",
+                      [Param("src", "f64*", restrict=True),
+                       Param("dst", "f64*", restrict=True)],
+                      [Assign("gid", GlobalTid()),
+                       Store("dst", V("gid"), Index("src", V("gid")) * 2.0)])
+        data = np.arange(4, dtype=np.float64)
+        _, mem = run_kernel(k, ["src", "dst"], lanes=4,
+                            bufs=[("src", "f64", 4, data),
+                                  ("dst", "f64", 4, None)])
+        assert np.array_equal(mem.read_back("dst"), data * 2)
+
+    def test_restrict_attribute_recorded(self):
+        k = KernelDef("k", [Param("p", "f64*", restrict=True),
+                            Param("q", "f64*")], [Return(None)])
+        module = lower_kernels([k], "t")
+        f = module.get_function("k")
+        assert f.attributes["restrict_args"] == ("p",)
+
+
+class TestPragmas:
+    def test_pragma_lowered_to_attribute(self):
+        k = KernelDef("k", [Param("n", "i64")],
+                      [Assign("i", Lit(0, "i64")),
+                       While(V("i") < V("n"), [Assign("i", V("i") + 1)]),
+                       Return(V("i"))],
+                      ret_type="i64", loop_pragmas={0: "unroll"})
+        module = lower_kernels([k], "t")
+        f = module.get_function("k")
+        assert f.attributes["loop_pragmas"] == {"k:0": "unroll"}
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        k = KernelDef("k", [], [Return(V("nope"))], ret_type="i64")
+        with pytest.raises(LoweringError):
+            lower_kernels([k], "t")
+
+    def test_type_conflict_coerced_or_rejected(self):
+        # Re-assignment with a different type is coerced to the declared one.
+        k = KernelDef("k", [Param("n", "i64")],
+                      [Assign("x", Lit(1.5, "f64")),
+                       Assign("x", V("n")),
+                       Return(V("x"))], ret_type="f64")
+        ret, _ = run_kernel(k, [3])
+        assert ret[0] == 3.0
+
+    def test_missing_return_value(self):
+        k = KernelDef("k", [], [], ret_type="i64")
+        with pytest.raises(LoweringError):
+            lower_kernels([k], "t")
+
+    def test_break_outside_loop(self):
+        k = KernelDef("k", [], [Break()])
+        with pytest.raises(LoweringError):
+            lower_kernels([k], "t")

@@ -1,0 +1,290 @@
+"""GVN (with branch facts) and instcombine unit tests."""
+
+import pytest
+
+from repro.ir import ConstantInt, parse_function, verify_function
+from repro.transforms import (run_dce, run_gvn, run_instcombine,
+                              run_simplifycfg)
+
+
+def last_ret(func):
+    for block in func.blocks:
+        term = block.terminator
+        if term is not None and term.opcode == "ret":
+            return term
+    raise AssertionError("no ret")
+
+
+class TestValueNumbering:
+    def test_redundant_computation_removed(self):
+        f = parse_function("""
+define i64 @f(i64 %x, i64 %y) {
+entry:
+  %a = add i64 %x, %y
+  %b = add i64 %x, %y
+  %r = mul i64 %a, %b
+  ret i64 %r
+}
+""")
+        run_gvn(f)
+        verify_function(f)
+        mul = f.entry.instructions[-2]
+        assert mul.operands[0] is mul.operands[1]
+
+    def test_commutative_operands_number_identically(self):
+        f = parse_function("""
+define i64 @f(i64 %x, i64 %y) {
+entry:
+  %a = add i64 %x, %y
+  %b = add i64 %y, %x
+  %r = sub i64 %a, %b
+  ret i64 %r
+}
+""")
+        run_gvn(f)
+        run_instcombine(f)
+        ret = last_ret(f)
+        assert isinstance(ret.value, ConstantInt)
+        assert ret.value.value == 0
+
+    def test_dedup_across_dominating_blocks(self):
+        f = parse_function("""
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  %a = add i64 %x, 1
+  br i1 %c, label %t, label %e
+t:
+  %b = add i64 %x, 1
+  ret i64 %b
+e:
+  ret i64 %a
+}
+""")
+        run_gvn(f)
+        verify_function(f)
+        ret = f.blocks[1].terminator
+        assert ret.value is f.entry.instructions[0]
+
+    def test_no_dedup_across_siblings(self):
+        # Sibling blocks do not dominate each other: both adds must stay.
+        f = parse_function("""
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  %a = add i64 %x, 1
+  br label %join
+e:
+  %b = add i64 %x, 1
+  br label %join
+join:
+  %r = phi i64 [ %a, %t ], [ %b, %e ]
+  ret i64 %r
+}
+""")
+        run_gvn(f)
+        verify_function(f)
+        assert len(f.blocks[1].instructions) == 2
+        assert len(f.blocks[2].instructions) == 2
+
+    def test_impure_not_deduped(self):
+        f = parse_function("""
+define f64 @f(f64* %p) {
+entry:
+  %a = load f64, f64* %p
+  store f64 0.0, f64* %p
+  %b = load f64, f64* %p
+  %r = fadd f64 %a, %b
+  ret f64 %r
+}
+""")
+        run_gvn(f)
+        loads = [i for i in f.entry.instructions if i.opcode == "load"]
+        assert len(loads) == 2
+
+
+class TestBranchFacts:
+    def test_condition_known_true_in_then_block(self):
+        f = parse_function("""
+define i1 @f(i64 %x) {
+entry:
+  %c = icmp sgt i64 %x, 1
+  br i1 %c, label %t, label %e
+t:
+  ret i1 %c
+e:
+  ret i1 %c
+}
+""")
+        run_gvn(f)
+        t_ret = f.blocks[1].terminator
+        e_ret = f.blocks[2].terminator
+        assert isinstance(t_ret.value, ConstantInt) and t_ret.value.value == 1
+        assert isinstance(e_ret.value, ConstantInt) and e_ret.value.value == 0
+
+    def test_recomputed_comparison_folds(self):
+        # The bezier-surface mechanism (paper Listing 2 / Figure 5): once
+        # `kn > 1` is known false and kn is unchanged, the re-check folds.
+        f = parse_function("""
+define i64 @f(i64 %kn) {
+entry:
+  %c1 = icmp sgt i64 %kn, 1
+  br i1 %c1, label %a, label %b
+b:
+  %c2 = icmp sgt i64 %kn, 1
+  br i1 %c2, label %dead, label %alive
+a:
+  ret i64 1
+dead:
+  ret i64 2
+alive:
+  ret i64 3
+}
+""")
+        run_gvn(f)
+        run_simplifycfg(f)
+        verify_function(f)
+        names = {blk.name for blk in f.blocks}
+        assert "dead" not in names
+
+    def test_negated_comparison_folds(self):
+        f = parse_function("""
+define i1 @f(i64 %x) {
+entry:
+  %c = icmp sgt i64 %x, 1
+  br i1 %c, label %t, label %e
+t:
+  %n = icmp sle i64 %x, 1
+  ret i1 %n
+e:
+  ret i1 0
+}
+""")
+        run_gvn(f)
+        t_ret = f.blocks[1].terminator
+        assert isinstance(t_ret.value, ConstantInt)
+        assert t_ret.value.value == 0
+
+    def test_equality_fact_substitutes_constant(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  %c = icmp eq i64 %x, 5
+  br i1 %c, label %t, label %e
+t:
+  %y = add i64 %x, 1
+  ret i64 %y
+e:
+  ret i64 0
+}
+""")
+        run_gvn(f)
+        run_instcombine(f)
+        t_ret = f.blocks[1].terminator
+        assert isinstance(t_ret.value, ConstantInt)
+        assert t_ret.value.value == 6
+
+    def test_fact_dies_at_merge(self):
+        # The paper's core observation: a control-flow merge destroys the
+        # provenance, so the re-check cannot fold.
+        f = parse_function("""
+define i1 @f(i64 %x) {
+entry:
+  %c = icmp sgt i64 %x, 1
+  br i1 %c, label %t, label %e
+t:
+  br label %join
+e:
+  br label %join
+join:
+  %c2 = icmp sgt i64 %x, 1
+  ret i1 %c2
+}
+""")
+        run_gvn(f)
+        ret = f.blocks[3].terminator
+        # c2 may be deduped to %c but must NOT fold to a constant.
+        assert not isinstance(ret.value, ConstantInt)
+
+
+class TestInstCombine:
+    def test_sub_of_add_cancels(self):
+        # The XSBench mechanism (paper Section V): (lower + half) - lower.
+        f = parse_function("""
+define i64 @f(i64 %lower, i64 %half) {
+entry:
+  %mid = add i64 %lower, %half
+  %len = sub i64 %mid, %lower
+  ret i64 %len
+}
+""")
+        run_instcombine(f)
+        ret = last_ret(f)
+        assert ret.value is f.args[1]
+
+    @pytest.mark.parametrize("expr,expected_arg", [
+        ("add i64 %x, 0", 0),
+        ("mul i64 %x, 1", 0),
+        ("sdiv i64 %x, 1", 0),
+        ("and i64 %x, %x", 0),
+        ("or i64 %x, 0", 0),
+        ("xor i64 %x, 0", 0),
+        ("shl i64 %x, 0", 0),
+    ])
+    def test_identities(self, expr, expected_arg):
+        f = parse_function(f"""
+define i64 @f(i64 %x) {{
+entry:
+  %r = {expr}
+  ret i64 %r
+}}
+""")
+        run_instcombine(f)
+        assert last_ret(f).value is f.args[expected_arg]
+
+    def test_x_minus_x_is_zero(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  %r = sub i64 %x, %x
+  ret i64 %r
+}
+""")
+        run_instcombine(f)
+        ret = last_ret(f)
+        assert isinstance(ret.value, ConstantInt) and ret.value.value == 0
+
+    def test_select_same_arms(self):
+        f = parse_function("""
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  %r = select i1 %c, i64 %x, i64 %x
+  ret i64 %r
+}
+""")
+        run_instcombine(f)
+        assert last_ret(f).value is f.args[0]
+
+    def test_double_boolean_negation(self):
+        f = parse_function("""
+define i1 @f(i1 %c) {
+entry:
+  %n = xor i1 %c, 1
+  %nn = xor i1 %n, 1
+  ret i1 %nn
+}
+""")
+        run_instcombine(f)
+        assert last_ret(f).value is f.args[0]
+
+    def test_constant_folding(self):
+        f = parse_function("""
+define i64 @f() {
+entry:
+  %a = mul i64 6, 7
+  ret i64 %a
+}
+""")
+        run_instcombine(f)
+        ret = last_ret(f)
+        assert isinstance(ret.value, ConstantInt) and ret.value.value == 42

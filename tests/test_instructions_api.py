@@ -1,0 +1,178 @@
+"""Instruction API tests: metadata, value keys, predicates, phi surgery."""
+
+import pytest
+
+from repro.ir import (BinaryInst, BranchInst, CallInst, CondBranchInst,
+                      ConstantInt, FCmpInst, ICmpInst, IRBuilder, Module,
+                      PhiInst, SelectInst, const, parse_function)
+from repro.ir import types as T
+from repro.ir.instructions import (FCMP_NEGATED, ICMP_NEGATED, ICMP_SWAPPED,
+                                   INTRINSICS)
+
+
+def fresh_block():
+    m = Module("t")
+    f = m.add_function("f", T.FunctionType(T.I64, (T.I64, T.I64)), ["a", "b"])
+    block = f.add_block("entry")
+    return f, block, IRBuilder(block)
+
+
+class TestMetadata:
+    def test_purity(self):
+        f, block, b = fresh_block()
+        add = b.add(f.args[0], f.args[1])
+        assert add.is_pure
+        p = b.alloca(T.F64)
+        st = b.store(1.0, p)
+        assert not st.is_pure
+        ld = b.load(p)
+        assert not ld.is_pure
+
+    def test_convergence(self):
+        f, block, b = fresh_block()
+        bar = b.syncthreads()
+        assert bar.is_convergent
+        sq = b.call("sqrt", [const(T.F64, 2.0)])
+        assert not sq.is_convergent
+        assert sq.is_pure
+
+    def test_categories(self):
+        f, block, b = fresh_block()
+        assert b.add(f.args[0], 1).category == "int"
+        assert b.fadd(const(T.F64, 1.0), 2.0).category == "fp"
+        c = b.icmp("eq", f.args[0], 0)
+        assert b.select(c, f.args[0], f.args[1]).category == "misc"
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryInst("frobnicate", ConstantInt(T.I64, 1),
+                       ConstantInt(T.I64, 2))
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryInst("add", ConstantInt(T.I64, 1), ConstantInt(T.I32, 2))
+        with pytest.raises(TypeError):
+            ICmpInst("eq", ConstantInt(T.I64, 1), ConstantInt(T.I32, 1))
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(ValueError):
+            CallInst("warp_vote", [])
+
+
+class TestValueKeys:
+    def test_commutative_canonicalisation(self):
+        f, block, b = fresh_block()
+        x = b.add(f.args[0], f.args[1])
+        y = b.add(f.args[1], f.args[0])
+        assert x.value_key() == y.value_key()
+        s1 = b.sub(f.args[0], f.args[1])
+        s2 = b.sub(f.args[1], f.args[0])
+        assert s1.value_key() != s2.value_key()
+
+    def test_predicate_in_key(self):
+        f, block, b = fresh_block()
+        lt = b.icmp("slt", f.args[0], f.args[1])
+        gt = b.icmp("sgt", f.args[0], f.args[1])
+        assert lt.value_key() != gt.value_key()
+
+    def test_impure_has_no_key(self):
+        f, block, b = fresh_block()
+        p = b.alloca(T.F64)
+        ld = b.load(p)
+        assert ld.value_key() is None
+
+    def test_phi_has_no_key(self):
+        f, block, b = fresh_block()
+        phi = b.phi(T.I64)
+        assert phi.value_key() is None
+
+
+class TestPredicateTables:
+    def test_negations_are_involutions(self):
+        for pred, neg in ICMP_NEGATED.items():
+            assert ICMP_NEGATED[neg] == pred
+        for pred, neg in FCMP_NEGATED.items():
+            assert FCMP_NEGATED[neg] == pred
+
+    def test_swaps_are_involutions(self):
+        for pred, swapped in ICMP_SWAPPED.items():
+            assert ICMP_SWAPPED[swapped] == pred
+
+    def test_negated_predicate_methods(self):
+        f, block, b = fresh_block()
+        cmp = b.icmp("sgt", f.args[0], f.args[1])
+        assert cmp.negated_predicate() == "sle"
+        fcmp = b.fcmp("ogt", const(T.F64, 1.0), const(T.F64, 2.0))
+        assert fcmp.negated_predicate() == "ule"
+
+
+class TestPhiSurgery:
+    def test_incoming_management(self):
+        f = parse_function("""
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i64 [ 1, %a ], [ 2, %b ]
+  ret i64 %r
+}
+""")
+        phi = f.blocks[3].phis()[0]
+        a = f.blocks[1]
+        assert phi.has_incoming_for(a)
+        assert phi.incoming_for(a).value == 1
+        phi.remove_incoming(a)
+        assert not phi.has_incoming_for(a)
+        assert len(phi.incoming_blocks) == 1
+        assert phi.is_trivial().value == 2
+
+    def test_trivial_with_self_reference(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  br label %loop
+loop:
+  %p = phi i64 [ %x, %entry ], [ %p, %loop ]
+  %c = icmp slt i64 %p, 10
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %p
+}
+""")
+        phi = f.blocks[1].phis()[0]
+        assert phi.is_trivial() is f.args[0]
+
+
+class TestTerminators:
+    def test_successor_replacement(self):
+        f = parse_function("""
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret void
+b:
+  ret void
+}
+""")
+        term = f.entry.terminator
+        a, b = f.blocks[1], f.blocks[2]
+        term.replace_successor(a, b)
+        assert term.true_target is b and term.false_target is b
+        with pytest.raises(ValueError):
+            term.replace_successor(a, b)   # a no longer a successor.
+
+    def test_condbr_requires_bool(self):
+        f, block, b = fresh_block()
+        other = f.add_block("other")
+        with pytest.raises(TypeError):
+            CondBranchInst(f.args[0], other, other)
+
+    def test_intrinsic_registry_sanity(self):
+        assert INTRINSICS["syncthreads"].convergent
+        assert not INTRINSICS["sqrt"].convergent
+        assert INTRINSICS["tid.x"].pure

@@ -1,0 +1,98 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import types as T
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert T.IntType(32) is T.IntType(32)
+        assert T.IntType(32) is T.I32
+
+    def test_float_types_are_interned(self):
+        assert T.FloatType(64) is T.F64
+
+    def test_pointer_types_are_interned(self):
+        assert T.PointerType(T.F64) is T.PointerType(T.F64)
+        assert T.PointerType(T.F64) is not T.PointerType(T.F32)
+
+    def test_function_types_are_interned(self):
+        a = T.FunctionType(T.VOID, (T.I64, T.F64))
+        b = T.FunctionType(T.VOID, (T.I64, T.F64))
+        assert a is b
+
+    def test_nested_pointers(self):
+        pp = T.PointerType(T.PointerType(T.I32))
+        assert pp.pointee.pointee is T.I32
+
+
+class TestProperties:
+    def test_predicates(self):
+        assert T.I1.is_bool
+        assert T.I32.is_integer and not T.I32.is_bool
+        assert T.F32.is_float
+        assert T.PointerType(T.I8).is_pointer
+        assert T.VOID.is_void
+
+    def test_sizes(self):
+        assert T.I8.size_bytes() == 1
+        assert T.I32.size_bytes() == 4
+        assert T.I64.size_bytes() == 8
+        assert T.F32.size_bytes() == 4
+        assert T.F64.size_bytes() == 8
+        assert T.PointerType(T.F64).size_bytes() == 8
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            T.IntType(0)
+        with pytest.raises(ValueError):
+            T.IntType(128)
+        with pytest.raises(ValueError):
+            T.FloatType(16)
+
+
+class TestWrapping:
+    def test_wrap_signed(self):
+        assert T.I8.wrap(127) == 127
+        assert T.I8.wrap(128) == -128
+        assert T.I8.wrap(255) == -1
+        assert T.I8.wrap(256) == 0
+        assert T.I8.wrap(-129) == 127
+
+    def test_wrap_i1(self):
+        assert T.I1.wrap(0) == 0
+        assert T.I1.wrap(1) == 1
+        assert T.I1.wrap(2) == 0
+
+    def test_to_unsigned(self):
+        assert T.I8.to_unsigned(-1) == 255
+        assert T.I64.to_unsigned(-1) == (1 << 64) - 1
+
+    def test_bounds(self):
+        assert T.I32.min_signed == -(1 << 31)
+        assert T.I32.max_signed == (1 << 31) - 1
+        assert T.I32.max_unsigned == (1 << 32) - 1
+
+
+class TestParseType:
+    def test_scalars(self):
+        assert T.parse_type("i64") is T.I64
+        assert T.parse_type("f32") is T.F32
+        assert T.parse_type("void") is T.VOID
+
+    def test_llvm_aliases(self):
+        assert T.parse_type("double") is T.F64
+        assert T.parse_type("float") is T.F32
+
+    def test_pointers(self):
+        assert T.parse_type("f64*") is T.PointerType(T.F64)
+        assert T.parse_type("i32**") is T.PointerType(T.PointerType(T.I32))
+
+    def test_whitespace_tolerated(self):
+        assert T.parse_type(" i64 ") is T.I64
+        assert T.parse_type("f64 *") is T.PointerType(T.F64)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            T.parse_type("i128")

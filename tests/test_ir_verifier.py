@@ -1,0 +1,144 @@
+"""Verifier tests: each structural invariant is individually violated."""
+
+import pytest
+
+from repro.ir import (BranchInst, IRBuilder, Module, PhiInst, RetInst,
+                      VerificationError, const, parse_function,
+                      verify_function)
+from repro.ir import types as T
+
+
+def simple_func():
+    m = Module("t")
+    f = m.add_function("f", T.FunctionType(T.I64, (T.I64,)), ["x"])
+    entry = f.add_block("entry")
+    b = IRBuilder(entry)
+    y = b.add(f.args[0], 1, "y")
+    b.ret(y)
+    return f, entry, y
+
+
+class TestStructure:
+    def test_valid_function_passes(self):
+        f, _, _ = simple_func()
+        verify_function(f)
+
+    def test_missing_terminator(self):
+        f, entry, y = simple_func()
+        entry.instructions[-1].erase_from_parent()
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(f)
+
+    def test_empty_block(self):
+        f, entry, _ = simple_func()
+        f.add_block("empty")
+        with pytest.raises(VerificationError, match="empty"):
+            verify_function(f)
+
+    def test_terminator_mid_block(self):
+        f, entry, y = simple_func()
+        ret = entry.instructions[-1]
+        entry.remove_instruction(ret)
+        entry.insert(0, ret)
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_phi_after_non_phi(self):
+        f, entry, y = simple_func()
+        phi = PhiInst(T.I64)
+        entry.insert(1, phi)  # After the add.
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+
+class TestPhis:
+    def test_phi_incoming_must_match_preds(self):
+        f = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %next
+}
+""")
+        verify_function(f)
+        phi = f.blocks[1].phis()[0]
+        phi.remove_incoming(f.blocks[0])  # Drop the entry edge entry.
+        with pytest.raises(VerificationError, match="incoming"):
+            verify_function(f)
+
+
+class TestDominance:
+    def test_use_before_def_in_block(self):
+        f, entry, y = simple_func()
+        b = IRBuilder(entry)
+        # Create z = y + 1 then move it before y.
+        ret = entry.instructions[-1]
+        from repro.ir import BinaryInst
+
+        z = BinaryInst("add", y, const(T.I64, 1))
+        z.name = "z"
+        entry.insert(0, z)  # Before y's definition.
+        with pytest.raises(VerificationError, match="before its"):
+            verify_function(f)
+
+    def test_use_not_dominated_across_blocks(self):
+        f = parse_function("""
+define i64 @f(i64 %n, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i64 %n, 1
+  br label %join
+b:
+  br label %join
+join:
+  ret i64 %n
+}
+""")
+        verify_function(f)
+        # Now make `join` return %x, which block a does not dominate join.
+        join = f.blocks[3]
+        x = f.blocks[1].instructions[0]
+        ret = join.instructions[-1]
+        ret.set_operand(0, x)
+        with pytest.raises(VerificationError, match="dominated"):
+            verify_function(f)
+
+    def test_phi_incoming_checked_at_pred_end(self):
+        # A phi may use a value that dominates the predecessor even if it
+        # does not dominate the phi's block through other paths.
+        f = parse_function("""
+define i64 @f(i64 %n, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %x = add i64 %n, 1
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i64 [ %x, %a ], [ %n, %b ]
+  ret i64 %r
+}
+""")
+        verify_function(f)
+
+    def test_unreachable_block_exempt(self):
+        f = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  ret i64 %n
+dead:
+  %x = add i64 %y, 1
+  %y = add i64 %n, 2
+  br label %dead
+}
+""")
+        # Dominance violations inside unreachable code are tolerated.
+        verify_function(f)

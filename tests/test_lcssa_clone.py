@@ -1,0 +1,141 @@
+"""LCSSA and region-cloning tests."""
+
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.gpu import SimtMachine
+from repro.ir import (Module, clone_blocks, parse_function, verify_function)
+from repro.ir.instructions import PhiInst
+from repro.transforms import form_lcssa
+
+LOOP_WITH_OUTSIDE_USE = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %sq = mul i64 %i, %i
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %header, label %exit
+exit:
+  %use = add i64 %sq, 100
+  ret i64 %use
+}
+"""
+
+
+class TestLCSSA:
+    def test_outside_use_routed_through_exit_phi(self):
+        f = parse_function(LOOP_WITH_OUTSIDE_USE)
+        loop = LoopInfo.compute(f).loops[0]
+        assert form_lcssa(f, loop)
+        verify_function(f)
+        exit_block = [b for b in f.blocks if b.name == "exit"][0]
+        phis = exit_block.phis()
+        assert len(phis) == 1
+        use = exit_block.instructions[-2]
+        assert use.operands[0] is phis[0]
+
+    def test_idempotent(self):
+        f = parse_function(LOOP_WITH_OUTSIDE_USE)
+        loop = LoopInfo.compute(f).loops[0]
+        form_lcssa(f, loop)
+        exit_block = [b for b in f.blocks if b.name == "exit"][0]
+        n_phis = len(exit_block.phis())
+        loop = LoopInfo.compute(f).loops[0]
+        form_lcssa(f, loop)
+        assert len(exit_block.phis()) == n_phis
+
+    def test_follower_loop_header_circulates_value(self):
+        # The exit block of loop 0 is the header of loop 1: the LCSSA phi
+        # must circulate itself along loop 1's back edge, not re-read the
+        # (dynamically stale) definition.  Regression test for the bn bug.
+        text = """
+define i64 @f(i64 %n) {
+entry:
+  br label %h0
+h0:
+  %i = phi i64 [ 0, %entry ], [ %inext, %h0 ]
+  %sq = mul i64 %i, %i
+  %inext = add i64 %i, 1
+  %c0 = icmp slt i64 %inext, %n
+  br i1 %c0, label %h0, label %h1
+h1:
+  %k = phi i64 [ 0, %h0 ], [ %knext, %h1 ]
+  %acc = phi i64 [ 0, %h0 ], [ %nacc, %h1 ]
+  %nacc = add i64 %acc, %sq
+  %knext = add i64 %k, 1
+  %c1 = icmp slt i64 %knext, 4
+  br i1 %c1, label %h1, label %out
+out:
+  ret i64 %nacc
+}
+"""
+        f = parse_function(text)
+        loop0 = LoopInfo.compute(f).by_id("f:0")
+        form_lcssa(f, loop0)
+        verify_function(f)
+        h1 = [b for b in f.blocks if b.name == "h1"][0]
+        lcssa_phis = [p for p in h1.phis() if p.name.endswith(".lcssa")]
+        assert lcssa_phis
+        phi = lcssa_phis[0]
+        back = phi.incoming_for(h1)
+        assert back is phi, "back edge must circulate the phi itself"
+
+
+class TestCloneBlocks:
+    def test_internal_edges_remapped(self):
+        f = parse_function("""
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %p = add i64 %x, 1
+  br label %join
+b:
+  %q = add i64 %x, 2
+  br label %join
+join:
+  %r = phi i64 [ %p, %a ], [ %q, %b ]
+  ret i64 %r
+}
+""")
+        region = f.blocks[1:]  # a, b, join.
+        clones, vmap = clone_blocks(f, region, "copy")
+        assert len(clones) == 3
+        # Cloned phi points at cloned values and cloned blocks.
+        join_clone = clones[2]
+        phi = join_clone.phis()[0]
+        assert phi.incoming_blocks[0] is clones[0]
+        assert phi.operands[0] is vmap[id(region[0].instructions[0])]
+
+    def test_external_values_shared(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  %base = mul i64 %x, 10
+  br label %tail
+tail:
+  %r = add i64 %base, 1
+  ret i64 %r
+}
+""")
+        clones, vmap = clone_blocks(f, [f.blocks[1]], "copy")
+        cloned_add = clones[0].instructions[0]
+        # %base is outside the region: shared, not cloned.
+        assert cloned_add.operands[0] is f.entry.instructions[0]
+
+    def test_clone_names_unique(self):
+        f = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  br label %tail
+tail:
+  %r = add i64 %x, 1
+  ret i64 %r
+}
+""")
+        clones, _ = clone_blocks(f, [f.blocks[1]], "c1")
+        names = [i.name for b in f.blocks for i in b.instructions if i.name]
+        assert len(names) == len(set(names))

@@ -1,0 +1,241 @@
+"""Loop analysis tests: discovery, nesting, latches, exits, trip counts."""
+
+import pytest
+
+from repro.analysis import (LoopInfo, constant_trip_count, count_paths,
+                            estimate_unmerged_size, find_induction,
+                            loop_size)
+from repro.ir import parse_function
+
+SIMPLE_LOOP = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %next
+}
+"""
+
+NESTED = """
+define i64 @f(i64 %n, i64 %m) {
+entry:
+  br label %outer
+outer:
+  %i = phi i64 [ 0, %entry ], [ %inext, %outer.latch ]
+  %ci = icmp slt i64 %i, %n
+  br i1 %ci, label %inner, label %exit
+inner:
+  %j = phi i64 [ 0, %outer ], [ %jnext, %inner ]
+  %jnext = add i64 %j, 1
+  %cj = icmp slt i64 %jnext, %m
+  br i1 %cj, label %inner, label %outer.latch
+outer.latch:
+  %inext = add i64 %i, 1
+  br label %outer
+exit:
+  ret i64 %i
+}
+"""
+
+BRANCHY_LOOP = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %latch ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %even = icmp eq i64 %i, 0
+  br i1 %even, label %a, label %b
+a:
+  br label %latch
+b:
+  br label %latch
+latch:
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %i
+}
+"""
+
+
+class TestDiscovery:
+    def test_single_loop(self):
+        f = parse_function(SIMPLE_LOOP)
+        info = LoopInfo.compute(f)
+        assert len(info.loops) == 1
+        loop = info.loops[0]
+        assert loop.header.name == "header"
+        assert loop.loop_id == "f:0"
+        assert loop.depth == 1
+        assert loop.is_innermost
+
+    def test_nested_loops(self):
+        f = parse_function(NESTED)
+        info = LoopInfo.compute(f)
+        assert len(info.loops) == 2
+        outer = info.by_id("f:0")
+        inner = info.by_id("f:1")
+        assert outer.header.name == "outer"
+        assert inner.header.name == "inner"
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.depth == 2
+        assert not outer.is_innermost
+
+    def test_innermost_first_order(self):
+        f = parse_function(NESTED)
+        info = LoopInfo.compute(f)
+        order = info.innermost_first()
+        assert order[0].depth == 2
+        assert order[1].depth == 1
+
+    def test_loop_for_block(self):
+        f = parse_function(NESTED)
+        info = LoopInfo.compute(f)
+        bb = {b.name: b for b in f.blocks}
+        assert info.loop_for(bb["inner"]).header.name == "inner"
+        assert info.loop_for(bb["outer.latch"]).header.name == "outer"
+        assert info.loop_for(bb["exit"]) is None
+
+
+class TestStructure:
+    def test_latch_and_exits(self):
+        f = parse_function(BRANCHY_LOOP)
+        info = LoopInfo.compute(f)
+        loop = info.loops[0]
+        assert loop.single_latch().name == "latch"
+        assert [b.name for b in loop.exiting_blocks()] == ["header"]
+        assert [b.name for b in loop.exit_blocks()] == ["exit"]
+
+    def test_preheader(self):
+        f = parse_function(SIMPLE_LOOP)
+        loop = LoopInfo.compute(f).loops[0]
+        assert loop.preheader().name == "entry"
+
+    def test_ensure_preheader_creates_block(self):
+        # Entry branches conditionally to the header: no dedicated preheader.
+        f = parse_function("""
+define i64 @f(i64 %n, i1 %c) {
+entry:
+  br i1 %c, label %header, label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %next = add i64 %i, 1
+  %cc = icmp slt i64 %next, %n
+  br i1 %cc, label %header, label %exit
+exit:
+  ret i64 %next
+}
+""")
+        loop = LoopInfo.compute(f).loops[0]
+        pre = loop.ensure_preheader()
+        assert pre.name != "entry"
+        assert pre.successors()[0] is loop.header
+        from repro.ir import verify_function
+
+        verify_function(f)
+
+
+class TestPathCounting:
+    def test_straight_body_is_one_path(self):
+        f = parse_function(SIMPLE_LOOP)
+        loop = LoopInfo.compute(f).loops[0]
+        assert count_paths(loop) == 1
+
+    def test_diamond_body_is_two_paths(self):
+        f = parse_function(BRANCHY_LOOP)
+        loop = LoopInfo.compute(f).loops[0]
+        assert count_paths(loop) == 2
+
+    def test_estimate_formula(self):
+        # f(p, s, u) = sum_{i<u} p^i * s  (paper Section III-A).
+        assert estimate_unmerged_size(2, 10, 1) == 10
+        assert estimate_unmerged_size(2, 10, 2) == 30
+        assert estimate_unmerged_size(2, 10, 3) == 70
+        assert estimate_unmerged_size(4, 5, 3) == 5 + 20 + 80
+        assert estimate_unmerged_size(1, 7, 4) == 28
+
+    def test_estimate_capped(self):
+        assert estimate_unmerged_size(10, 1000, 30, cap=1 << 20) == 1 << 20
+
+
+class TestTripCount:
+    def test_counted_loop(self):
+        f = parse_function(SIMPLE_LOOP)
+        loop = LoopInfo.compute(f).loops[0]
+        ind = find_induction(loop)
+        assert ind is not None
+        assert ind.step.value == 1
+        # do-while shape: body runs n times for n >= 1... the exit compares
+        # %next (i+1) < n, so trip count is n-? — just check a concrete n
+        # via the known closed form: continue while i+1 < n starting i=0.
+        # With symbolic n the count is unknown:
+        assert constant_trip_count(loop) is None
+
+    def test_constant_bounds(self):
+        f = parse_function("""
+define i64 @f() {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %i, 9
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %i
+}
+""")
+        loop = LoopInfo.compute(f).loops[0]
+        # continue while i < 9, i from 0 step 1 -> 10 traversals of header?
+        # The closed form counts iterations with the condition evaluated on
+        # %i: i = 0..9 continues while i<9 -> 9... the helper computes the
+        # for-style count.
+        assert constant_trip_count(loop) == 9
+
+    def test_decrementing_loop(self):
+        f = parse_function("""
+define i64 @f() {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 16, %entry ], [ %next, %header ]
+  %next = sub i64 %i, 2
+  %c = icmp sgt i64 %i, 0
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %i
+}
+""")
+        loop = LoopInfo.compute(f).loops[0]
+        assert constant_trip_count(loop) == 8
+
+    def test_non_counted_loop_returns_none(self):
+        f = parse_function(BRANCHY_LOOP)
+        loop = LoopInfo.compute(f).loops[0]
+        assert constant_trip_count(loop) is None
+
+    def test_zero_trip(self):
+        f = parse_function("""
+define i64 @f() {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 5, %entry ], [ %next, %header ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %i, 3
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %i
+}
+""")
+        loop = LoopInfo.compute(f).loops[0]
+        assert constant_trip_count(loop) == 0

@@ -1,0 +1,126 @@
+"""Memory subsystem and instruction-cache model tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.icache import InstructionCache
+from repro.gpu.memory import Memory, SEGMENT_BYTES
+from repro.gpu.timing import charge, cycles_to_ms, issue_cost, load_latency
+
+
+class TestMemoryAllocation:
+    def test_alloc_alignment_and_disjointness(self):
+        mem = Memory()
+        a = mem.alloc("a", "f64", 10)
+        b = mem.alloc("b", "i64", 10)
+        assert a % 256 == 0
+        assert b >= a + 10 * 8
+
+    def test_initializer_copied(self):
+        mem = Memory()
+        data = np.ones(4)
+        mem.alloc("a", "f64", 4, data)
+        data[0] = 99.0  # Host-side mutation must not leak into the device.
+        assert mem.read_back("a")[0] == 1.0
+
+    def test_initializer_size_checked(self):
+        mem = Memory()
+        with pytest.raises(ValueError):
+            mem.alloc("a", "f64", 4, np.ones(5))
+
+    def test_dtypes(self):
+        mem = Memory()
+        mem.alloc("a", "i32", 4, np.array([1, 2, 3, 4]))
+        assert mem.buffer("a").elem_size == 4
+        mem.alloc("b", "f32", 4)
+        assert mem.buffer("b").elem_size == 4
+
+
+class TestLoadStore:
+    def test_masked_lanes_untouched(self):
+        mem = Memory()
+        base = mem.alloc("a", "f64", 32, np.arange(32, dtype=np.float64))
+        addrs = base + np.arange(32, dtype=np.int64) * 8
+        mask = np.zeros(32, dtype=bool)
+        mask[:4] = True
+        vals, _ = mem.load(addrs, mask, 8)
+        assert list(vals[:4]) == [0.0, 1.0, 2.0, 3.0]
+        assert not vals[4:].any()  # Inactive lanes read as zero fill.
+
+    def test_store_masked(self):
+        mem = Memory()
+        base = mem.alloc("a", "f64", 8)
+        addrs = base + np.arange(8, dtype=np.int64) * 8
+        mask = np.array([True, False] * 4)
+        mem.store(addrs, np.full(8, 7.0), mask, 8)
+        out = mem.read_back("a")
+        assert list(out) == [7.0, 0.0] * 4
+
+    def test_traffic_stats(self):
+        mem = Memory()
+        base = mem.alloc("a", "f64", 32)
+        addrs = base + np.arange(32, dtype=np.int64) * 8
+        mask = np.ones(32, dtype=bool)
+        mem.load(addrs, mask, 8)
+        mem.store(addrs, np.zeros(32), mask, 8)
+        assert mem.stats.load_requests == 1
+        assert mem.stats.store_requests == 1
+        assert mem.stats.bytes_loaded == 32 * 8
+        assert mem.stats.bytes_stored == 32 * 8
+
+    def test_empty_mask_is_free(self):
+        mem = Memory()
+        base = mem.alloc("a", "f64", 4)
+        addrs = np.full(32, base, dtype=np.int64)
+        _, tx = mem.load(addrs, np.zeros(32, dtype=bool), 8)
+        assert tx == 0
+        assert mem.stats.load_requests == 0
+
+
+class TestICache:
+    def test_hit_after_miss(self):
+        ic = InstructionCache(capacity=100)
+        first = ic.access(1, 20)
+        second = ic.access(1, 20)
+        assert first > 0
+        assert second == 0
+        assert ic.hits == 1 and ic.misses == 1
+
+    def test_lru_eviction(self):
+        ic = InstructionCache(capacity=40)
+        ic.access(1, 20)
+        ic.access(2, 20)
+        ic.access(3, 20)   # Evicts 1.
+        assert ic.access(1, 20) > 0
+        assert ic.misses == 4
+
+    def test_stall_scales_with_block_size(self):
+        ic = InstructionCache(capacity=10_000)
+        small = ic.access(1, 4)
+        big = ic.access(2, 400)
+        assert big > small
+
+    def test_thrash_accumulates_stalls(self):
+        ic = InstructionCache(capacity=64)
+        for _ in range(10):
+            for block in range(8):
+                ic.access(block, 32)
+        assert ic.misses >= 40  # Working set 256 > 64: constant misses.
+
+
+class TestTiming:
+    def test_issue_cost_tiers(self):
+        assert issue_cost("int", "add") < issue_cost("int", "sdiv")
+        assert issue_cost("fp", "fdiv") > issue_cost("fp", "fadd")
+        assert issue_cost("special", "call", "exp") > \
+            issue_cost("special", "call", "fabs")
+
+    def test_load_latency_grows_with_transactions(self):
+        assert load_latency(1) < load_latency(8) < load_latency(32)
+        assert load_latency(0) == 0
+
+    def test_cycles_to_ms(self):
+        assert cycles_to_ms(1.38e9) == pytest.approx(1000.0)
+
+    def test_full_warp_charge_is_cost(self):
+        assert charge(10, 32) == pytest.approx(10.0)

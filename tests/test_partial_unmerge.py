@@ -1,0 +1,141 @@
+"""Partial (selective) unmerging tests — the paper's Section VI extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.gpu import SimtMachine
+from repro.ir import Module, parse_function, verify_function
+from repro.transforms import merge_is_profitable, unmerge_loop, unroll_loop
+from repro.transforms.unmerge import _tail_blocks
+
+# A loop whose merge feeds a re-evaluated comparison: profitable.
+PROFITABLE = """
+define i64 @f(i64 %kn0, i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %merge ]
+  %kn = phi i64 [ %kn0, %entry ], [ %nkn, %merge ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %big = icmp sgt i64 %kn, 1
+  br i1 %big, label %dec, label %keep
+dec:
+  %knm1 = sub i64 %kn, 1
+  br label %merge
+keep:
+  br label %merge
+merge:
+  %nkn = phi i64 [ %knm1, %dec ], [ %kn, %keep ]
+  %recheck = icmp sgt i64 %nkn, 1
+  %bonus = select i1 %recheck, i64 1, i64 0
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %kn
+}
+"""
+
+# Pure accumulation in the merge tail: nothing for the cleanup passes.
+UNPROFITABLE = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %merge ]
+  %acc = phi i64 [ 0, %entry ], [ %nacc2, %merge ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %bit = and i64 %i, 1
+  %odd = icmp eq i64 %bit, 1
+  br i1 %odd, label %a, label %b
+a:
+  br label %merge
+b:
+  br label %merge
+merge:
+  %v = phi i64 [ 3, %a ], [ 5, %b ]
+  %nacc = add i64 %acc, %v
+  %nacc2 = add i64 %nacc, %i
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %acc
+}
+"""
+
+
+def _loop_and_tail(text):
+    mod = Module("t")
+    f = parse_function(text, mod)
+    loop = LoopInfo.compute(f).loops[0]
+    merge = [b for b in f.blocks if b.name == "merge"][0]
+    region = {id(b) for b in loop.blocks}
+    tail = _tail_blocks(loop.header, merge, region)
+    return mod, f, loop, merge, tail
+
+
+class TestProfitability:
+    def test_reevaluated_comparison_profitable(self):
+        _, f, loop, merge, tail = _loop_and_tail(PROFITABLE)
+        assert merge_is_profitable(loop.blocks, merge, tail)
+
+    def test_pure_accumulation_unprofitable(self):
+        _, f, loop, merge, tail = _loop_and_tail(UNPROFITABLE)
+        # %v feeds only adds: no comparison/select/memory in the slice.
+        assert not merge_is_profitable(loop.blocks, merge, tail)
+
+
+class TestSelectiveUnmerge:
+    def test_unprofitable_merge_left_alone(self):
+        mod = Module("t")
+        f = parse_function(UNPROFITABLE, mod)
+        loop = LoopInfo.compute(f).loops[0]
+        before = len(f.blocks)
+        changed = unmerge_loop(f, loop, selective=True)
+        assert not changed
+        assert len(f.blocks) == before
+
+    def test_profitable_merge_still_duplicated(self):
+        mod = Module("t")
+        f = parse_function(PROFITABLE, mod)
+        loop = LoopInfo.compute(f).loops[0]
+        assert unmerge_loop(f, loop, selective=True)
+        verify_function(f)
+        fresh = LoopInfo.compute(f).loops[0]
+        assert len(fresh.latches()) == 2
+
+    @pytest.mark.parametrize("text,n", [(PROFITABLE, 7), (UNPROFITABLE, 6)])
+    def test_semantics_preserved(self, text, n):
+        mod0 = Module("t0")
+        parse_function(text, mod0)
+        args = [5, n] if "kn0" in text else [n]
+        expected, _ = SimtMachine(mod0).run_function("f", args, lanes=1)
+
+        mod = Module("t")
+        f = parse_function(text, mod)
+        loop = LoopInfo.compute(f).loops[0]
+        unroll_loop(f, loop, 3)
+        fresh = [l for l in LoopInfo.compute(f).loops
+                 if l.header.name == "header"][0]
+        unmerge_loop(f, fresh, selective=True)
+        verify_function(f)
+        got, _ = SimtMachine(mod).run_function("f", args, lanes=1)
+        assert int(got[0]) == int(expected[0])
+
+    def test_selective_produces_less_code(self):
+        def size(selective):
+            mod = Module("t")
+            f = parse_function(UNPROFITABLE, mod)
+            loop = LoopInfo.compute(f).loops[0]
+            unroll_loop(f, loop, 4)
+            fresh = [l for l in LoopInfo.compute(f).loops
+                     if l.header.name == "header"][0]
+            unmerge_loop(f, fresh, selective=selective)
+            verify_function(f)
+            return f.instruction_count()
+
+        assert size(selective=True) < size(selective=False)

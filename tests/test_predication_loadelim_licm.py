@@ -1,0 +1,331 @@
+"""Predication (if-conversion), load elimination and LICM tests."""
+
+import pytest
+
+from repro.ir import parse_function, verify_function
+from repro.transforms import (run_dce, run_licm, run_load_elim,
+                              run_predication, run_simplifycfg)
+
+
+def count_op(func, opcode):
+    return sum(1 for i in func.instructions() if i.opcode == opcode)
+
+
+class TestPredication:
+    def test_diamond_becomes_selects(self):
+        # The XSBench baseline shape: both selp instructions of Listing 4.
+        f = parse_function("""
+define i64 @f(i64 %mid, i64 %upper, i64 %lower, i1 %gt) {
+entry:
+  br i1 %gt, label %t, label %e
+t:
+  br label %join
+e:
+  br label %join
+join:
+  %nu = phi i64 [ %mid, %t ], [ %upper, %e ]
+  %nl = phi i64 [ %lower, %t ], [ %mid, %e ]
+  %r = sub i64 %nu, %nl
+  ret i64 %r
+}
+""")
+        assert run_predication(f)
+        run_simplifycfg(f)
+        verify_function(f)
+        assert len(f.blocks) == 1
+        assert count_op(f, "select") == 2
+
+    def test_triangle_with_speculatable_body(self):
+        # The `complex` baseline shape (paper Listing 7): the conditional
+        # multiply-adds become selects.
+        f = parse_function("""
+define f64 @f(f64 %a_new, f64 %a, f64 %c_new, f64 %c, i1 %odd) {
+entry:
+  br i1 %odd, label %t, label %join
+t:
+  %an = fmul f64 %a_new, %a
+  %cn0 = fmul f64 %c_new, %a
+  %cn = fadd f64 %cn0, %c
+  br label %join
+join:
+  %ra = phi f64 [ %an, %t ], [ %a_new, %entry ]
+  %rc = phi f64 [ %cn, %t ], [ %c_new, %entry ]
+  %r = fadd f64 %ra, %rc
+  ret f64 %r
+}
+""")
+        assert run_predication(f)
+        verify_function(f)
+        run_simplifycfg(f)
+        assert len(f.blocks) == 1
+        assert count_op(f, "select") == 2
+
+    def test_loads_not_speculated(self):
+        f = parse_function("""
+define f64 @f(f64* %p, f64 %x, i1 %c) {
+entry:
+  br i1 %c, label %t, label %join
+t:
+  %v = load f64, f64* %p
+  br label %join
+join:
+  %r = phi f64 [ %v, %t ], [ %x, %entry ]
+  ret f64 %r
+}
+""")
+        assert not run_predication(f)
+        assert len(f.blocks) == 3
+
+    def test_stores_not_speculated(self):
+        f = parse_function("""
+define void @f(f64* %p, i1 %c) {
+entry:
+  br i1 %c, label %t, label %join
+t:
+  store f64 1.0, f64* %p
+  br label %join
+join:
+  ret void
+}
+""")
+        assert not run_predication(f)
+
+    def test_division_not_speculated(self):
+        f = parse_function("""
+define i64 @f(i64 %x, i64 %y, i1 %c) {
+entry:
+  br i1 %c, label %t, label %join
+t:
+  %d = sdiv i64 %x, %y
+  br label %join
+join:
+  %r = phi i64 [ %d, %t ], [ %x, %entry ]
+  ret i64 %r
+}
+""")
+        assert not run_predication(f)
+
+    def test_cost_threshold_respected(self):
+        body = "\n".join(
+            f"  %v{i} = fadd f64 %x, {float(i)}" for i in range(20))
+        uses = " ".join("")
+        f = parse_function(f"""
+define f64 @f(f64 %x, i1 %c) {{
+entry:
+  br i1 %c, label %t, label %join
+t:
+{body}
+  %sum = fadd f64 %v0, %v19
+  br label %join
+join:
+  %r = phi f64 [ %sum, %t ], [ %x, %entry ]
+  ret f64 %r
+}}
+""")
+        from repro.transforms import Predication
+
+        assert not Predication(threshold=16).run(f)
+        assert Predication(threshold=1000).run(f)
+
+
+class TestLoadElimination:
+    def test_repeated_load_removed(self):
+        f = parse_function("""
+define f64 @f(f64* %p) {
+entry:
+  %a = load f64, f64* %p
+  %b = load f64, f64* %p
+  %r = fadd f64 %a, %b
+  ret f64 %r
+}
+""")
+        assert run_load_elim(f)
+        assert count_op(f, "load") == 1
+
+    def test_store_forwarding(self):
+        f = parse_function("""
+define f64 @f(f64* %p, f64 %x) {
+entry:
+  store f64 %x, f64* %p
+  %v = load f64, f64* %p
+  ret f64 %v
+}
+""")
+        assert run_load_elim(f)
+        ret = f.entry.terminator
+        assert ret.value is f.args[1]
+
+    def test_aliasing_store_invalidates(self):
+        f = parse_function("""
+define f64 @f(f64* %p, f64* %q) {
+entry:
+  %a = load f64, f64* %p
+  store f64 0.0, f64* %q
+  %b = load f64, f64* %p
+  %r = fadd f64 %a, %b
+  ret f64 %r
+}
+""")
+        assert not run_load_elim(f)
+        assert count_op(f, "load") == 2
+
+    def test_restrict_args_do_not_alias(self):
+        f = parse_function("""
+define f64 @f(f64* %p, f64* %q) {
+entry:
+  %a = load f64, f64* %p
+  store f64 0.0, f64* %q
+  %b = load f64, f64* %p
+  %r = fadd f64 %a, %b
+  ret f64 %r
+}
+""")
+        f.attributes["restrict_args"] = ("p", "q")
+        assert run_load_elim(f)
+        assert count_op(f, "load") == 1
+
+    def test_availability_flows_single_pred_only(self):
+        # Availability dies at merges: the paper's motivation for unmerging.
+        f = parse_function("""
+define f64 @f(f64* %p, i1 %c) {
+entry:
+  %a = load f64, f64* %p
+  br i1 %c, label %t, label %e
+t:
+  %x = load f64, f64* %p
+  br label %join
+e:
+  br label %join
+join:
+  %y = load f64, f64* %p
+  %r = fadd f64 %x, %y
+  ret f64 %r
+}
+""")
+        run_load_elim(f)
+        # %x (single-pred chain from entry) eliminated, %y (merge) kept.
+        assert count_op(f, "load") == 2
+        join = [b for b in f.blocks if b.name == "join"][0]
+        assert any(i.opcode == "load" for i in join.instructions)
+
+
+class TestLICM:
+    def test_invariant_computation_hoisted(self):
+        f = parse_function("""
+define i64 @f(i64 %n, i64 %a, i64 %b) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %inv = mul i64 %a, %b
+  %next = add i64 %i, %inv
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %next
+}
+""")
+        assert run_licm(f)
+        verify_function(f)
+        header = [b for b in f.blocks if b.name == "header"][0]
+        assert not any(i.opcode == "mul" for i in header.instructions)
+
+    def test_variant_not_hoisted(self):
+        f = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %sq = mul i64 %i, %i
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %sq
+}
+""")
+        assert not run_licm(f)
+
+    def test_trapping_op_not_hoisted(self):
+        f = parse_function("""
+define i64 @f(i64 %n, i64 %a, i64 %b) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %inv = sdiv i64 %a, %b
+  %next = add i64 %i, %inv
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %next
+}
+""")
+        assert not run_licm(f)
+
+    def test_invariant_load_hoisted_without_stores(self):
+        f = parse_function("""
+define f64 @f(f64* %p, i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %acc = phi f64 [ 0.0, %entry ], [ %nacc, %header ]
+  %v = load f64, f64* %p
+  %nacc = fadd f64 %acc, %v
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %header, label %exit
+exit:
+  ret f64 %nacc
+}
+""")
+        assert run_licm(f)
+        header = [b for b in f.blocks if b.name == "header"][0]
+        assert not any(i.opcode == "load" for i in header.instructions)
+
+    def test_load_not_hoisted_past_aliasing_store(self):
+        f = parse_function("""
+define f64 @f(f64* %p, f64* %q, i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %v = load f64, f64* %p
+  %g = gep f64* %q, i64 %i
+  store f64 %v, f64* %g
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %header, label %exit
+exit:
+  ret f64 %v
+}
+""")
+        # p and q may alias (no restrict): the load stays put.
+        run_licm(f)
+        header = [b for b in f.blocks if b.name == "header"][0]
+        assert any(i.opcode == "load" for i in header.instructions)
+
+    def test_conditional_code_not_hoisted(self):
+        f = parse_function("""
+define i64 @f(i64 %n, i64 %a, i1 %c) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %latch ]
+  br i1 %c, label %maybe, label %latch
+maybe:
+  %inv = mul i64 %a, %a
+  br label %latch
+latch:
+  %x = phi i64 [ %inv, %maybe ], [ 0, %header ]
+  %next = add i64 %i, 1
+  %cc = icmp slt i64 %next, %n
+  br i1 %cc, label %header, label %exit
+exit:
+  ret i64 %x
+}
+""")
+        # %inv is in a block that does not dominate the latch: kept inside.
+        assert not run_licm(f)

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Three families:
+
+* random straight-line integer programs: the cleanup pipeline preserves
+  interpreter semantics;
+* random branchy loop kernels (frontend-generated): unroll / unmerge / u&u
+  preserve per-lane results for every factor;
+* random CFGs: our dominator tree matches networkx's.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import DominatorTree, LoopInfo
+from repro.frontend import (Assign, BinOp, If, KernelDef, Lit, Param, Return,
+                            V, While)
+from repro.frontend.lower import lower_kernels
+from repro.gpu import SimtMachine
+from repro.ir import Module, verify_function
+from repro.transforms import (run_dce, run_gvn, run_instcombine, run_sccp,
+                              run_simplifycfg, unmerge_loop, unroll_loop)
+
+# ---------------------------------------------------------------------------
+# Straight-line expression programs
+# ---------------------------------------------------------------------------
+
+_INT_OPS = ["+", "-", "*", "&", "|", "^"]
+
+
+def _expr(draw, depth, num_vars):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return V(f"x{draw(st.integers(0, num_vars - 1))}")
+        return Lit(draw(st.integers(-100, 100)), "i64")
+    op = draw(st.sampled_from(_INT_OPS))
+    return BinOp(op, _expr(draw, depth - 1, num_vars),
+                 _expr(draw, depth - 1, num_vars))
+
+
+@st.composite
+def straightline_program(draw):
+    num_vars = draw(st.integers(1, 3))
+    stmts = [Assign(f"x{i}", Lit(draw(st.integers(-50, 50)), "i64"))
+             for i in range(num_vars)]
+    for _ in range(draw(st.integers(1, 6))):
+        target = f"x{draw(st.integers(0, num_vars - 1))}"
+        stmts.append(Assign(target, _expr(draw, 2, num_vars)))
+    result = _expr(draw, 2, num_vars)
+    stmts.append(Return(result))
+    return KernelDef("prog", [Param("seed", "i64")], stmts, ret_type="i64")
+
+
+def _interpret(kernel) -> int:
+    module = lower_kernels([kernel], "prop")
+    ret, _ = SimtMachine(module).run_function("prog", [0], lanes=1)
+    return int(ret[0])
+
+
+def _interpret_optimized(kernel) -> int:
+    module = lower_kernels([kernel], "prop")
+    func = module.get_function("prog")
+    for _ in range(3):
+        run_instcombine(func)
+        run_gvn(func)
+        run_sccp(func)
+        run_simplifycfg(func)
+        run_dce(func)
+        verify_function(func)
+    ret, _ = SimtMachine(module).run_function("prog", [0], lanes=1)
+    return int(ret[0])
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(straightline_program())
+def test_cleanup_pipeline_preserves_straightline_semantics(kernel):
+    assert _interpret(kernel) == _interpret_optimized(kernel)
+
+
+# ---------------------------------------------------------------------------
+# Branchy loop kernels under unroll / unmerge / u&u
+# ---------------------------------------------------------------------------
+
+@st.composite
+def loop_kernel(draw):
+    """A bounded while-loop with 1-2 data-dependent diamonds in its body."""
+    trip = draw(st.integers(0, 9))
+    num_ifs = draw(st.integers(1, 2))
+    body = []
+    for k in range(num_ifs):
+        divisor = draw(st.integers(2, 4))
+        then = [Assign("acc", _expr_simple(draw, k))]
+        els = [Assign("acc", V("acc") + Lit(draw(st.integers(-5, 5)), "i64"))]
+        body.append(If(BinOp("%", V("i"), Lit(divisor, "i64"))
+                       == Lit(0, "i64"), then, els))
+    body.append(Assign("i", V("i") + 1))
+    stmts = [
+        Assign("acc", Lit(draw(st.integers(-10, 10)), "i64")),
+        Assign("i", Lit(0, "i64")),
+        While(V("i") < Lit(trip, "i64"), body),
+        Return(V("acc")),
+    ]
+    return KernelDef("prog", [Param("seed", "i64")], stmts, ret_type="i64")
+
+
+def _expr_simple(draw, salt):
+    base = V("acc") * Lit(draw(st.integers(-2, 3)), "i64")
+    return base + Lit(salt + draw(st.integers(0, 7)), "i64")
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(loop_kernel(), st.sampled_from([2, 3, 4, 5]))
+def test_unroll_preserves_loop_semantics(kernel, factor):
+    expected = _interpret(kernel)
+    module = lower_kernels([kernel], "prop")
+    func = module.get_function("prog")
+    loops = LoopInfo.compute(func).loops
+    if not loops:
+        return
+    unroll_loop(func, loops[0], factor)
+    verify_function(func)
+    ret, _ = SimtMachine(module).run_function("prog", [0], lanes=1)
+    assert int(ret[0]) == expected
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(loop_kernel())
+def test_unmerge_preserves_loop_semantics(kernel):
+    expected = _interpret(kernel)
+    module = lower_kernels([kernel], "prop")
+    func = module.get_function("prog")
+    loops = LoopInfo.compute(func).loops
+    if not loops:
+        return
+    unmerge_loop(func, loops[0], 60_000)
+    verify_function(func)
+    ret, _ = SimtMachine(module).run_function("prog", [0], lanes=1)
+    assert int(ret[0]) == expected
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(loop_kernel(), st.sampled_from([2, 3]))
+def test_uu_plus_cleanup_preserves_loop_semantics(kernel, factor):
+    expected = _interpret(kernel)
+    module = lower_kernels([kernel], "prop")
+    func = module.get_function("prog")
+    loops = LoopInfo.compute(func).loops
+    if not loops:
+        return
+    unroll_loop(func, loops[0], factor)
+    fresh = [l for l in LoopInfo.compute(func).loops
+             if l.header is loops[0].header]
+    if fresh:
+        unmerge_loop(func, fresh[0], 60_000)
+    for _ in range(2):
+        run_instcombine(func)
+        run_gvn(func)
+        run_sccp(func)
+        run_simplifycfg(func)
+        run_dce(func)
+    verify_function(func)
+    ret, _ = SimtMachine(module).run_function("prog", [0], lanes=1)
+    assert int(ret[0]) == expected
+
+
+# ---------------------------------------------------------------------------
+# Random CFG dominators vs networkx
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_cfg(draw):
+    n = draw(st.integers(2, 10))
+    edges = set()
+    # A spine guarantees reachability; extra edges add merges/back edges.
+    for i in range(n - 1):
+        edges.add((i, i + 1))
+    for _ in range(draw(st.integers(0, 2 * n))):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            edges.add((a, b))
+    return n, sorted(edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cfg())
+def test_dominators_match_networkx(cfg):
+    n, edges = cfg
+    from repro.ir import BranchInst, CondBranchInst, Module, RetInst
+    from repro.ir import types as T
+    from repro.ir.constants import const
+
+    mod = Module("cfg")
+    func = mod.add_function("f", T.FunctionType(T.VOID, (T.I1,)), ["c"])
+    blocks = [func.add_block(f"b{i}") for i in range(n)]
+    succs = {}
+    for a, b in edges:
+        succs.setdefault(a, []).append(b)
+    for i, block in enumerate(blocks):
+        out = succs.get(i, [])
+        if not out:
+            block.append(RetInst(None))
+        elif len(out) == 1:
+            block.append(BranchInst(blocks[out[0]]))
+        else:
+            # Chain conditional branches for >2 successors.
+            current = block
+            remaining = list(out)
+            while len(remaining) > 2:
+                nxt = func.add_block(f"b{i}x")
+                current.append(CondBranchInst(func.args[0],
+                                              blocks[remaining.pop()], nxt))
+                current = nxt
+            current.append(CondBranchInst(func.args[0],
+                                          blocks[remaining[0]],
+                                          blocks[remaining[1]]))
+
+    g = nx.DiGraph()
+    for block in func.blocks:
+        g.add_node(block.name)
+        for succ in block.successors():
+            g.add_edge(block.name, succ.name)
+    reference = nx.immediate_dominators(g, func.entry.name)
+    dt = DominatorTree.compute(func)
+    for block in func.blocks:
+        if not dt.is_reachable(block):
+            assert block.name not in reference
+            continue
+        idom = dt.idom(block)
+        if block is func.entry:
+            assert idom is None
+        else:
+            assert reference[block.name] == idom.name

@@ -1,0 +1,73 @@
+"""SVG chart rendering tests."""
+
+import pytest
+
+from repro.harness.fig6 import Fig6Point
+from repro.harness.fig7 import Fig7Row
+from repro.harness.fig8 import ScatterPoint
+from repro.harness.figures_svg import fig6_svg, fig7_svg, fig8_svg
+from repro.harness.svg import (BarGroup, ScatterSeries, grouped_bar_chart,
+                               scatter_chart, _nice_ticks)
+
+
+class TestPrimitives:
+    def test_nice_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 10.0 + 1e-9
+        assert len(ticks) >= 3
+
+    def test_bar_chart_is_valid_svg(self):
+        groups = [BarGroup("a", [1.0, 2.0]), BarGroup("b", [0.5, None])]
+        svg = grouped_bar_chart(groups, ["s1", "s2"], "T", "y")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") >= 3      # Background + 3 bars.
+        assert "T" in svg
+
+    def test_bar_chart_log_scale(self):
+        groups = [BarGroup("a", [0.2, 5.0])]
+        svg = grouped_bar_chart(groups, ["s"], "T", "y", log_scale=True)
+        assert "<svg" in svg
+
+    def test_scatter_has_diagonal_and_points(self):
+        series = [ScatterSeries("u=2", [(1.0, 1.1), (2.0, 0.9)])]
+        svg = scatter_chart(series, "T", "x", "y")
+        assert svg.count("<circle") >= 3    # 2 points + legend marker.
+        assert "stroke-dasharray" in svg    # The diagonal.
+
+    def test_text_escaped(self):
+        svg = grouped_bar_chart([BarGroup("a<b", [1.0])], ["s&t"], "T", "y")
+        assert "a&lt;b" in svg
+        assert "s&amp;t" in svg
+
+
+def _p(app, loop, factor, value):
+    return Fig6Point(app, loop, factor, value, value, value, True)
+
+
+class TestFigureAdapters:
+    def test_fig6_svg(self):
+        points = [_p("appA", "l:0", 2, 1.2), _p("appA", "l:0", 4, 1.1),
+                  _p("appA", "l:0", 8, 0.4), _p("appA", None, None, 1.15)]
+        svg = fig6_svg(points, "speedup")
+        assert "<svg" in svg and "appA" in svg
+        assert "heuristic" in svg
+
+    def test_fig6_svg_skips_infinite(self):
+        points = [_p("appA", "l:0", 2, float("inf")),
+                  _p("appA", None, None, 1.0)]
+        svg = fig6_svg(points, "speedup")
+        assert "<svg" in svg
+
+    def test_fig7_svg(self):
+        rows = [Fig7Row("appA", 2, 1.3, 1.0, 1.1),
+                Fig7Row("appA", 4, 1.5, 1.1, 1.1)]
+        svg = fig7_svg(rows)
+        assert "u&amp;u" in svg
+
+    def test_fig8_svg(self):
+        points = [ScatterPoint("appA", "l:0", f, 1.0 + f / 10, 1.0)
+                  for f in (2, 4, 8)]
+        svg = fig8_svg(points, "unroll")
+        assert "u=2" in svg and "u=8" in svg
+        assert svg.count("<circle") >= 6

@@ -1,0 +1,230 @@
+"""Control-flow unmerging tests: structure, phis, semantics, budget."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LoopInfo, predecessor_map
+from repro.gpu import SimtMachine
+from repro.ir import Module, parse_function, verify_function
+from repro.transforms import UnmergeBudgetExceeded, unmerge_loop, unroll_loop
+
+DIAMOND_LOOP = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %merge ]
+  %acc = phi i64 [ 0, %entry ], [ %nacc, %merge ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %bit = and i64 %i, 1
+  %odd = icmp eq i64 %bit, 1
+  br i1 %odd, label %a, label %b
+a:
+  %x3 = mul i64 %i, 3
+  br label %merge
+b:
+  %x5 = mul i64 %i, 5
+  br label %merge
+merge:
+  %add = phi i64 [ %x3, %a ], [ %x5, %b ]
+  %nacc = add i64 %acc, %add
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %acc
+}
+"""
+
+TWO_DIAMONDS = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %m2 ]
+  %acc = phi i64 [ 0, %entry ], [ %nacc2, %m2 ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %bit = and i64 %i, 1
+  %odd = icmp eq i64 %bit, 1
+  br i1 %odd, label %a1, label %b1
+a1:
+  br label %m1
+b1:
+  br label %m1
+m1:
+  %v1 = phi i64 [ 3, %a1 ], [ 5, %b1 ]
+  %nacc = add i64 %acc, %v1
+  %big = icmp sgt i64 %i, 4
+  br i1 %big, label %a2, label %b2
+a2:
+  br label %m2
+b2:
+  br label %m2
+m2:
+  %v2 = phi i64 [ 7, %a2 ], [ 11, %b2 ]
+  %nacc2 = add i64 %nacc, %v2
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %acc
+}
+"""
+
+
+def unmerge(text, budget=60_000):
+    mod = Module("t")
+    f = parse_function(text, mod)
+    loop = LoopInfo.compute(f).loops[0]
+    unmerge_loop(f, loop, budget)
+    verify_function(f)
+    return mod, f
+
+
+def interpret(mod, n):
+    ret, _ = SimtMachine(mod).run_function("f", [n], lanes=1)
+    return int(ret[0])
+
+
+class TestStructure:
+    def test_no_in_loop_merges_remain(self):
+        mod, f = unmerge(DIAMOND_LOOP)
+        info = LoopInfo.compute(f)
+        loop = info.loops[0]
+        preds = predecessor_map(f)
+        for block in loop.blocks:
+            if block is loop.header:
+                continue
+            in_loop = [p for p in preds[block] if loop.contains(p)]
+            assert len(in_loop) <= 1, f"{block.name} still merges"
+
+    def test_merge_phis_collapsed(self):
+        mod, f = unmerge(DIAMOND_LOOP)
+        loop = LoopInfo.compute(f).loops[0]
+        for block in loop.blocks:
+            if block is not loop.header:
+                assert not block.phis(), f"phi left in {block.name}"
+
+    def test_header_gains_latch_entries(self):
+        mod, f = unmerge(DIAMOND_LOOP)
+        loop = LoopInfo.compute(f).loops[0]
+        # Two unmerged paths -> two latches into the header.
+        assert len(loop.latches()) == 2
+        for phi in loop.header.phis():
+            assert len(phi.incoming_blocks) == 3  # preheader + 2 latches.
+
+    def test_straight_loop_unchanged(self):
+        text = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %header, label %exit
+exit:
+  ret i64 %next
+}
+"""
+        mod = Module("t")
+        f = parse_function(text, mod)
+        before = len(f.blocks)
+        loop = LoopInfo.compute(f).loops[0]
+        assert not unmerge_loop(f, loop)
+        assert len(f.blocks) == before
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("text", [DIAMOND_LOOP, TWO_DIAMONDS],
+                             ids=["one-diamond", "two-diamonds"])
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 9])
+    def test_unmerge_preserves_results(self, text, n):
+        mod0 = Module("t0")
+        parse_function(text, mod0)
+        expected = interpret(mod0, n)
+        mod, f = unmerge(text)
+        assert interpret(mod, n) == expected
+
+    @pytest.mark.parametrize("factor", [2, 3, 4])
+    @pytest.mark.parametrize("n", [0, 1, 4, 9])
+    def test_unroll_then_unmerge_preserves_results(self, factor, n):
+        mod0 = Module("t0")
+        parse_function(TWO_DIAMONDS, mod0)
+        expected = interpret(mod0, n)
+
+        mod = Module("t")
+        f = parse_function(TWO_DIAMONDS, mod)
+        loop = LoopInfo.compute(f).loops[0]
+        unroll_loop(f, loop, factor)
+        verify_function(f)
+        fresh = [l for l in LoopInfo.compute(f).loops
+                 if l.header.name == "header"][0]
+        unmerge_loop(f, fresh)
+        verify_function(f)
+        assert interpret(mod, n) == expected
+
+
+class TestPathExplosion:
+    def test_two_diamonds_make_four_paths(self):
+        mod, f = unmerge(TWO_DIAMONDS)
+        loop = LoopInfo.compute(f).loops[0]
+        # 2 conditions -> 4 distinct latch paths.
+        assert len(loop.latches()) == 4
+
+    def test_budget_cap_raises(self):
+        mod = Module("t")
+        f = parse_function(TWO_DIAMONDS, mod)
+        loop = LoopInfo.compute(f).loops[0]
+        unroll_loop(f, loop, 8)
+        fresh = [l for l in LoopInfo.compute(f).loops
+                 if l.header.name == "header"][0]
+        with pytest.raises(UnmergeBudgetExceeded):
+            unmerge_loop(f, fresh, max_instructions=200)
+        # IR must remain valid after the abort.
+        verify_function(f)
+
+
+class TestInnerLoops:
+    def test_inner_loop_header_not_unmerged(self):
+        text = """
+define i64 @f(i64 %n, i64 %m) {
+entry:
+  br label %outer
+outer:
+  %i = phi i64 [ 0, %entry ], [ %inext, %olatch ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %olatch ]
+  %ci = icmp slt i64 %i, %n
+  br i1 %ci, label %inner, label %exit
+inner:
+  %j = phi i64 [ 0, %outer ], [ %jnext, %inner ]
+  %a1 = phi i64 [ %acc, %outer ], [ %anext, %inner ]
+  %anext = add i64 %a1, %j
+  %jnext = add i64 %j, 1
+  %cj = icmp slt i64 %jnext, %m
+  br i1 %cj, label %inner, label %olatch
+olatch:
+  %acc2 = add i64 %anext, 1
+  %inext = add i64 %i, 1
+  br label %outer
+exit:
+  ret i64 %acc
+}
+"""
+        mod0 = Module("t0")
+        parse_function(text, mod0)
+        expected = interpret_nm(mod0, 3, 4)
+
+        mod = Module("t")
+        f = parse_function(text, mod)
+        outer = LoopInfo.compute(f).by_id("f:0")
+        unmerge_loop(f, outer)
+        verify_function(f)
+        assert interpret_nm(mod, 3, 4) == expected
+
+
+def interpret_nm(mod, n, m):
+    ret, _ = SimtMachine(mod).run_function("f", [n, m], lanes=1)
+    return int(ret[0])

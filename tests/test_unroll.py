@@ -1,0 +1,158 @@
+"""Loop unrolling tests: structure and semantics preservation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.ir import Module, parse_function, verify_function
+from repro.gpu import SimtMachine
+from repro.transforms import run_dce, run_sccp, run_simplifycfg, unroll_loop
+from repro.transforms.unroll import BaselineUnroll
+
+SUM_LOOP = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %header.cont ]
+  %acc = phi i64 [ 0, %entry ], [ %nacc, %header.cont ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %header.cont, label %exit
+header.cont:
+  %sq = mul i64 %i, %i
+  %nacc = add i64 %acc, %sq
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %acc
+}
+"""
+
+BRANCHY = """
+define i64 @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %latch ]
+  %acc = phi i64 [ 0, %entry ], [ %nacc, %latch ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %bit = and i64 %i, 1
+  %odd = icmp eq i64 %bit, 1
+  br i1 %odd, label %a, label %b
+a:
+  %x3 = mul i64 %i, 3
+  br label %latch
+b:
+  %x5 = mul i64 %i, 5
+  br label %latch
+latch:
+  %add = phi i64 [ %x3, %a ], [ %x5, %b ]
+  %nacc = add i64 %acc, %add
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %acc
+}
+"""
+
+
+def interpret(text: str, factor: int, n: int) -> int:
+    mod = Module("t")
+    f = parse_function(text, mod)
+    if factor > 1:
+        loop = LoopInfo.compute(f).loops[0]
+        unroll_loop(f, loop, factor)
+        verify_function(f)
+    ret, _ = SimtMachine(mod).run_function("f", [n], lanes=1)
+    return int(ret[0])
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("factor", [2, 3, 4, 5, 8])
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 16, 23])
+    def test_sum_loop(self, factor, n):
+        assert interpret(SUM_LOOP, factor, n) == interpret(SUM_LOOP, 1, n)
+
+    @pytest.mark.parametrize("factor", [2, 3, 4, 8])
+    @pytest.mark.parametrize("n", [0, 1, 5, 12])
+    def test_branchy_loop(self, factor, n):
+        assert interpret(BRANCHY, factor, n) == interpret(BRANCHY, 1, n)
+
+
+class TestStructure:
+    def test_block_count_scales(self):
+        mod = Module("t")
+        f = parse_function(BRANCHY, mod)
+        before = len(f.blocks)
+        loop = LoopInfo.compute(f).loops[0]
+        region = unroll_loop(f, loop, 3)
+        verify_function(f)
+        # 5 loop blocks cloned twice more.
+        assert len(f.blocks) == before + 2 * 5
+        assert len(region) == 15
+
+    def test_factor_one_is_noop(self):
+        mod = Module("t")
+        f = parse_function(SUM_LOOP, mod)
+        before = len(f.blocks)
+        loop = LoopInfo.compute(f).loops[0]
+        unroll_loop(f, loop, 1)
+        assert len(f.blocks) == before
+
+    def test_cloned_headers_have_no_phis(self):
+        mod = Module("t")
+        f = parse_function(SUM_LOOP, mod)
+        loop = LoopInfo.compute(f).loops[0]
+        unroll_loop(f, loop, 4)
+        for block in f.blocks:
+            if block.name.startswith("header.u"):
+                if "cont" not in block.name:
+                    assert not block.phis(), block.name
+
+
+class TestFullUnrollThroughSCCP:
+    def test_constant_trip_count_dissolves(self):
+        # Unrolling past the trip count + SCCP + SimplifyCFG = full unroll.
+        text = SUM_LOOP.replace("%i, %n", "%i, 3").replace(
+            "(i64 %n)", "(i64 %unused)")
+        mod = Module("t")
+        f = parse_function(text, mod)
+        loop = LoopInfo.compute(f).loops[0]
+        unroll_loop(f, loop, 4)
+        run_sccp(f)
+        run_simplifycfg(f)
+        run_dce(f)
+        verify_function(f)
+        assert not LoopInfo.compute(f).loops  # Loop dissolved.
+        ret, _ = SimtMachine(mod).run_function("f", [0], lanes=1)
+        assert int(ret[0]) == 0 + 1 + 4
+
+
+class TestBaselineUnroll:
+    def test_claimed_loops_skipped(self):
+        mod = Module("t")
+        f = parse_function(SUM_LOOP, mod)
+        f.attributes["uu_claimed_loops"] = {"f:0"}
+        before = len(f.blocks)
+        BaselineUnroll().run(f)
+        assert len(f.blocks) == before
+
+    def test_pragma_loops_skipped(self):
+        mod = Module("t")
+        f = parse_function(SUM_LOOP, mod)
+        f.attributes["loop_pragmas"] = {"f:0": "unroll"}
+        before = len(f.blocks)
+        BaselineUnroll().run(f)
+        assert len(f.blocks) == before
+
+    def test_runtime_unroll_applies_to_small_innermost(self):
+        mod = Module("t")
+        f = parse_function(SUM_LOOP, mod)
+        before = len(f.blocks)
+        assert BaselineUnroll().run(f)
+        assert len(f.blocks) > before
+        verify_function(f)
+        ret, _ = SimtMachine(mod).run_function("f", [9], lanes=1)
+        assert int(ret[0]) == sum(i * i for i in range(9))
