@@ -1,9 +1,11 @@
 """Shared fixtures for the exhibit-regeneration benchmarks.
 
-One :class:`ExperimentRunner` is shared across the whole session so each
+One :class:`ParallelRunner` is shared across the whole session so each
 (app, config, loop, factor) cell is compiled and simulated exactly once no
-matter how many exhibits consume it.  Text artifacts are written to
-``results/`` next to the repository root.
+matter how many exhibits consume it; cells persist in the cache under
+``results/.cellcache/`` so later sessions reuse them (``REPRO_JOBS`` and
+``REPRO_CACHE_DIR`` override worker count and location).  Text artifacts
+are written to ``results/`` next to the repository root.
 """
 
 import pathlib
@@ -11,14 +13,14 @@ import pathlib
 import pytest
 
 from repro.bench import all_benchmarks
-from repro.harness import ExperimentRunner
+from repro.harness import ParallelRunner
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return ExperimentRunner(max_instructions=8000, compile_timeout=20.0)
+    return ParallelRunner(max_instructions=8000, compile_timeout=20.0)
 
 
 @pytest.fixture(scope="session")

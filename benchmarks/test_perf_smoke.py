@@ -1,0 +1,40 @@
+"""Interpreter performance guard.
+
+The pre-decoded fast-path interpreter (see ``repro.gpu.machine``) is what
+keeps the full sweep tractable; an accidental return to per-instruction
+``isinstance`` dispatch would show up here as a multi-x slowdown long
+before anyone notices sweeps crawling.  The budget was recorded on the
+reference container (best-of-5 ~0.02-0.05 s); the pre-decode rewrite runs
+~3-7x under it, while the old dispatch loop exceeded it.  Set
+``REPRO_SKIP_PERF=1`` to skip on slow or heavily-loaded machines.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench import benchmark_by_name
+
+#: Recorded best-of-5 wall-clock budget (seconds) for one XSBench workload
+#: run (build excluded) on the reference container.
+XSBENCH_RUN_BUDGET_S = 0.10
+#: Allowed slack over the budget before the guard fails.
+SLACK = 1.5
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SKIP_PERF") == "1",
+                    reason="REPRO_SKIP_PERF=1")
+def test_xsbench_simulation_within_budget():
+    bench = benchmark_by_name("XSBench")
+    module = bench.build_module()
+    bench.run(module)  # Warm-up: numpy dispatch caches, allocator.
+    best = min(
+        (lambda t0: (bench.run(module), time.perf_counter() - t0)[1])(
+            time.perf_counter())
+        for _ in range(5))
+    limit = XSBENCH_RUN_BUDGET_S * SLACK
+    assert best <= limit, (
+        f"XSBench simulation best-of-5 took {best:.3f}s, over the "
+        f"{limit:.3f}s guard ({SLACK}x the recorded {XSBENCH_RUN_BUDGET_S}s "
+        f"budget) — did the interpreter fast path regress?")

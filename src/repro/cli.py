@@ -14,6 +14,11 @@ provides the same operations:
     python -m repro fig6 | fig7 | fig8        # regenerate the figures
     python -m repro indepth                   # Section V counter analyses
     python -m repro ptx --app XSBench --kernel grid_search [--config uu ...]
+    python -m repro cache stats|clear         # persistent cell cache
+
+Sweeps fan out over worker processes (``--jobs/-j``, default all cores)
+and reuse cells from the persistent cache under ``results/.cellcache/``
+(``--no-cache`` bypasses it).
 """
 
 from __future__ import annotations
@@ -25,11 +30,15 @@ from typing import List, Optional
 from .bench import all_benchmarks, benchmark_by_name
 from .harness import ExperimentRunner
 from .harness import fig6, fig7, fig8, indepth, table1
+from .harness.cache import CellCache
+from .harness.parallel import ParallelRunner
 
 
 def _runner(args) -> ExperimentRunner:
-    return ExperimentRunner(max_instructions=args.max_instructions,
-                            compile_timeout=args.timeout)
+    return ParallelRunner(max_instructions=args.max_instructions,
+                          compile_timeout=args.timeout,
+                          jobs=getattr(args, "jobs", None),
+                          use_cache=not getattr(args, "no_cache", False))
 
 
 def _benches(args) -> List:
@@ -49,6 +58,8 @@ def cmd_list(args) -> int:
 
 def _per_loop_sweep(args, config: str, factor: int) -> int:
     runner = _runner(args)
+    runner.prefetch(_benches(args), configs=("baseline", config),
+                    factors=(factor,))
     print(f"{'app':<16} {'loop':<24} {'u':>3} {'speedup':>8} "
           f"{'size':>7} {'ok':>4}")
     print("-" * 68)
@@ -81,6 +92,7 @@ def cmd_run_unmerge(args) -> int:
 
 def cmd_run_heuristic(args) -> int:
     runner = _runner(args)
+    runner.prefetch(_benches(args), configs=("baseline", "uu_heuristic"))
     print(f"{'app':<16} {'speedup':>8} {'size':>7} {'compile':>8} {'ok':>4}")
     print("-" * 50)
     for bench in _benches(args):
@@ -134,6 +146,19 @@ def cmd_indepth(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    cache = CellCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached cells from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cell cache at {stats['root']}")
+    print(f"  entries: {stats['entries']}")
+    print(f"  size:    {stats['bytes'] / 1024:.1f} KiB")
+    return 0
+
+
 def cmd_ptx(args) -> int:
     from .codegen import lower_function, render
     from .transforms import compile_module
@@ -157,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--timeout", type=float, default=20.0,
                         help="per-compilation wall-clock budget in seconds")
     common.add_argument("--app", help="restrict to one benchmark")
+    common.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes for sweeps "
+                             "(default: REPRO_JOBS or all cores)")
+    common.add_argument("--no-cache", action="store_true",
+                        help="ignore the persistent cell cache")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("indepth", parents=[common],
                    help="Section V counter analyses") \
         .set_defaults(fn=cmd_indepth)
+
+    p = sub.add_parser("cache", help="persistent cell-cache maintenance")
+    p.add_argument("action", choices=["stats", "clear"],
+                   help="show cache statistics or delete every entry")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("ptx", parents=[common],
                        help="print PTX-style assembly for a kernel")

@@ -20,6 +20,17 @@ Executes IR functions the way a V100-class GPU would at warp granularity:
   divergence (`complex`) a net loss;
 * loads pay a latency that grows with uncoalesced transactions, and
   entering a non-resident basic block pays instruction-fetch stalls.
+
+Execution is driven by a *pre-decoded* program: the first launch of a
+function decodes every basic block once into a flat dispatch list (operand
+readers, result writers, precomputed issue costs, per-edge phi moves), so
+the per-warp-step hot loop performs no isinstance chains, attribute
+resolution, or cost-table lookups.  The decoded form charges cycles through
+the exact same :func:`repro.gpu.timing.charge`/``issue_cost`` calls as the
+original tree-walking interpreter, so counters and cycle counts are
+bit-identical — only the Python interpreter overhead is removed.  Decoding
+assumes the module's IR is not mutated between launches of the same
+machine (fresh machines are built per compile in the harness).
 """
 
 from __future__ import annotations
@@ -49,6 +60,47 @@ from .timing import charge, issue_cost, load_latency, store_cost
 WARP_SIZE = 32
 
 ArgValue = Union[int, float]
+
+#: Reverse-postorder index for blocks outside the computed order.
+_UNKNOWN_RPO = 1 << 30
+
+#: Pre-resolved issue costs for the fixed-cost control/phi charges.
+_PHI_COST = issue_cost("misc", "phi")
+_BR_COST = issue_cost("control", "br")
+_CONDBR_COST = issue_cost("control", "condbr")
+_RET_COST = issue_cost("control", "ret")
+
+# Step kinds in a decoded block's dispatch list.
+_K_VALUE = 0   # Computes a value and writes it to the destination slot.
+_K_LOAD = 1    # Memory load (latency charged inside the step closure).
+_K_STORE = 2   # Memory store.
+_K_VOID = 3    # Timing-only (e.g. syncthreads).
+
+# Terminator kinds.
+_T_BR = 0
+_T_CONDBR = 1
+_T_RET = 2
+_T_UNREACHABLE = 3
+_T_MISSING = 4
+
+#: numpy implementations of the math intrinsics (evaluated under
+#: ``np.errstate(all="ignore")`` exactly like the tree-walking interpreter).
+_INTRINSIC_IMPLS = {
+    "sqrt": lambda a: np.sqrt(np.maximum(a[0], 0.0)),
+    "fabs": lambda a: np.abs(a[0]),
+    "exp": lambda a: np.exp(np.clip(a[0], -700, 700)),
+    "log": lambda a: np.log(np.maximum(a[0], 1e-300)),
+    "sin": lambda a: np.sin(a[0]),
+    "cos": lambda a: np.cos(a[0]),
+    "atan": lambda a: np.arctan(a[0]),
+    "floor": lambda a: np.floor(a[0]),
+    "pow": lambda a: np.power(np.abs(a[0]), a[1]),
+    "fma": lambda a: a[0] * a[1] + a[2],
+    "min": lambda a: np.minimum(a[0], a[1]),
+    "fmin": lambda a: np.minimum(a[0], a[1]),
+    "max": lambda a: np.maximum(a[0], a[1]),
+    "fmax": lambda a: np.maximum(a[0], a[1]),
+}
 
 
 class SimulationError(Exception):
@@ -100,6 +152,40 @@ class _WarpContext:
         self.ret_values: Optional[np.ndarray] = None
 
 
+class _Edge:
+    """A decoded CFG edge: target block, epoch bump, and phi moves."""
+
+    __slots__ = ("target", "bump_epoch", "moves")
+
+    def __init__(self, target: "_DecodedBlock", bump_epoch: int,
+                 moves: List) -> None:
+        self.target = target
+        self.bump_epoch = bump_epoch
+        self.moves = moves              # [(writer, reader), ...] per phi.
+
+
+class _DecodedBlock:
+    """One basic block, pre-decoded into a flat dispatch list.
+
+    ``steps`` holds ``(category, cost, kind, run, write)`` tuples for the
+    non-phi, non-terminator instructions; ``term``/``term_kind`` describe
+    the terminator.  All operand readers, result writers, and issue costs
+    are resolved once at decode time.
+    """
+
+    __slots__ = ("block_id", "name", "size", "rpo", "steps", "term_kind",
+                 "term")
+
+    def __init__(self, block: BasicBlock, rpo: int) -> None:
+        self.block_id = id(block)
+        self.name = block.name
+        self.size = len(block.instructions)
+        self.rpo = rpo
+        self.steps: List[Tuple] = []
+        self.term_kind = _T_MISSING
+        self.term = None
+
+
 class SimtMachine:
     """Executes kernels from a module against a simulated memory."""
 
@@ -111,6 +197,7 @@ class SimtMachine:
         self._icache_capacity = icache_capacity
         self.max_cycles = max_cycles
         self._global_addrs: Dict[str, int] = {}
+        self._decoded: Dict[int, _DecodedBlock] = {}
         self._materialize_globals()
 
     def _materialize_globals(self) -> None:
@@ -135,8 +222,7 @@ class SimtMachine:
             raise SimulationError(
                 f"@{func.name} expects {len(func.args)} args, got {len(args)}")
         total = Counters()
-        rpo_index = {id(b): i
-                     for i, b in enumerate(reverse_postorder(func))}
+        entry = self._decode(func)
         ret_all: List[np.ndarray] = []
         fetch_stalls = 0
         for block_idx in range(grid_dim):
@@ -151,7 +237,7 @@ class SimtMachine:
                 active = lane_ids < block_dim
                 ctx = _WarpContext(lane_ids, block_idx, block_dim, grid_dim,
                                    active)
-                counters = self._run_warp(func, rpo_index, ctx, args,
+                counters = self._run_warp(func, entry, ctx, args,
                                           active, icache)
                 total.merge(counters)
                 fetch_stalls += icache.stall_cycles
@@ -183,8 +269,232 @@ class SimtMachine:
             ret = ret[:lanes]
         return ret, result.counters
 
+    # -- decode ---------------------------------------------------------------
+    def _decode(self, func: Function) -> _DecodedBlock:
+        """Pre-decode ``func`` into dispatch lists; returns the entry block.
+
+        Cached per function: the first launch decodes, later launches (and
+        every warp/group step) reuse the flat form.
+        """
+        cached = self._decoded.get(id(func))
+        if cached is not None:
+            return cached
+        rpo_index = {id(b): i
+                     for i, b in enumerate(reverse_postorder(func))}
+        dblocks: Dict[int, _DecodedBlock] = {
+            id(block): _DecodedBlock(block,
+                                     rpo_index.get(id(block), _UNKNOWN_RPO))
+            for block in func.blocks}
+        for block in func.blocks:
+            self._decode_block(block, dblocks[id(block)], dblocks)
+        entry = dblocks[id(func.entry)]
+        self._decoded[id(func)] = entry
+        return entry
+
+    def _decode_block(self, block: BasicBlock, db: _DecodedBlock,
+                      dblocks: Dict[int, _DecodedBlock]) -> None:
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                continue  # Materialised on edges.
+            if isinstance(inst, BranchInst):
+                db.term_kind = _T_BR
+                db.term = self._decode_edge(block, db, inst.target, dblocks)
+                return
+            if isinstance(inst, CondBranchInst):
+                db.term_kind = _T_CONDBR
+                db.term = (
+                    self._reader(inst.condition),
+                    self._decode_edge(block, db, inst.true_target, dblocks),
+                    self._decode_edge(block, db, inst.false_target, dblocks))
+                return
+            if isinstance(inst, RetInst):
+                db.term_kind = _T_RET
+                if inst.value is not None:
+                    db.term = (self._reader(inst.value),
+                               _storage_dtype(inst.value.type))
+                else:
+                    db.term = (None, None)
+                return
+            if isinstance(inst, UnreachableInst):
+                db.term_kind = _T_UNREACHABLE
+                return
+            db.steps.append(self._decode_step(inst))
+
+    def _decode_edge(self, src: BasicBlock, src_db: _DecodedBlock,
+                     dst: BasicBlock,
+                     dblocks: Dict[int, _DecodedBlock]) -> _Edge:
+        target = dblocks[id(dst)]
+        bump = 1 if target.rpo <= src_db.rpo else 0  # Back edge.
+        # Parallel-copy phi moves: one (writer, incoming reader) per phi.
+        moves = [(self._writer(phi), self._reader(phi.incoming_for(src)))
+                 for phi in dst.phis()]
+        return _Edge(target, bump, moves)
+
+    def _decode_step(self, inst: Instruction) -> Tuple:
+        category = inst.category
+        intrinsic = inst.intrinsic.name if isinstance(inst, CallInst) else ""
+        cost = issue_cost(category, inst.opcode, intrinsic)
+
+        if isinstance(inst, LoadInst):
+            read_ptr = self._reader(inst.pointer)
+            elem = inst.type.size_bytes()
+            dtype = _storage_dtype(inst.type)
+            write = self._writer(inst)
+            memory = self.memory
+
+            def run_load(ctx, arg_values, mask, active, counters):
+                addrs = read_ptr(ctx, arg_values)
+                raw, transactions = memory.load(addrs, mask, elem)
+                latency = charge(load_latency(transactions), active)
+                counters.cycles += latency
+                counters.memory_stall_cycles += latency
+                write(ctx, raw.astype(dtype), mask)
+
+            return (category, cost, _K_LOAD, run_load, None)
+
+        if isinstance(inst, StoreInst):
+            read_ptr = self._reader(inst.pointer)
+            read_val = self._reader(inst.value)
+            elem = inst.value.type.size_bytes()
+            memory = self.memory
+
+            def run_store(ctx, arg_values, mask, active, counters):
+                addrs = read_ptr(ctx, arg_values)
+                values = read_val(ctx, arg_values)
+                transactions = memory.store(addrs, values, mask, elem)
+                counters.cycles += charge(store_cost(transactions), active)
+
+            return (category, cost, _K_STORE, run_store, None)
+
+        if inst.type.is_void:
+            # e.g. syncthreads: only the issue timing is charged.
+            return (category, cost, _K_VOID, None, None)
+
+        return (category, cost, _K_VALUE, self._value_fn(inst),
+                self._writer(inst))
+
+    def _value_fn(self, inst: Instruction):
+        """Closure computing one instruction's value (operands pre-bound)."""
+        if isinstance(inst, BinaryInst):
+            opcode, type_ = inst.opcode, inst.type
+            rl, rr = self._reader(inst.lhs), self._reader(inst.rhs)
+            return lambda ctx, args: _binary_op(opcode, rl(ctx, args),
+                                                rr(ctx, args), type_)
+        if isinstance(inst, ICmpInst):
+            pred = inst.predicate
+            rl, rr = self._reader(inst.lhs), self._reader(inst.rhs)
+            return lambda ctx, args: _icmp_op(pred, rl(ctx, args),
+                                              rr(ctx, args))
+        if isinstance(inst, FCmpInst):
+            pred = inst.predicate
+            rl, rr = self._reader(inst.lhs), self._reader(inst.rhs)
+            return lambda ctx, args: _fcmp_op(pred, rl(ctx, args),
+                                              rr(ctx, args))
+        if isinstance(inst, SelectInst):
+            rc = self._reader(inst.condition)
+            rt = self._reader(inst.true_value)
+            rf = self._reader(inst.false_value)
+            return lambda ctx, args: np.where(
+                rc(ctx, args).astype(bool), rt(ctx, args), rf(ctx, args))
+        if isinstance(inst, CastInst):
+            opcode, to_type = inst.opcode, inst.type
+            from_type = inst.value.type
+            rv = self._reader(inst.value)
+            return lambda ctx, args: _cast_op(opcode, rv(ctx, args),
+                                              to_type, from_type)
+        if isinstance(inst, GEPInst):
+            rb = self._reader(inst.pointer)
+            ri = self._reader(inst.index)
+            elem = inst.element_type.size_bytes()
+            return lambda ctx, args: (
+                rb(ctx, args) + ri(ctx, args).astype(np.int64) * elem)
+        if isinstance(inst, AllocaInst):
+            return lambda ctx, args: self._alloca_addr(inst, ctx)
+        if isinstance(inst, CallInst):
+            return self._intrinsic_fn(inst)
+
+        def bad(ctx, args, _inst=inst):
+            raise SimulationError(f"cannot execute {_inst!r}")
+        return bad
+
+    def _intrinsic_fn(self, inst: CallInst):
+        name = inst.intrinsic.name
+        if name == "tid.x":
+            return lambda ctx, args: ctx.lane_ids.copy()
+        if name == "ctaid.x":
+            return lambda ctx, args: np.full(WARP_SIZE, ctx.block_idx,
+                                             dtype=np.int64)
+        if name == "ntid.x":
+            return lambda ctx, args: np.full(WARP_SIZE, ctx.block_dim,
+                                             dtype=np.int64)
+        if name == "nctaid.x":
+            return lambda ctx, args: np.full(WARP_SIZE, ctx.grid_dim,
+                                             dtype=np.int64)
+        impl = _INTRINSIC_IMPLS.get(name)
+        if impl is None:
+            def unknown(ctx, args, _name=name):
+                raise SimulationError(f"unimplemented intrinsic @{_name}")
+            return unknown
+        readers = tuple(self._reader(a) for a in inst.operands)
+
+        def run(ctx, args):
+            values = [r(ctx, args) for r in readers]
+            with np.errstate(all="ignore"):
+                return impl(values)
+        return run
+
+    def _reader(self, value: Value):
+        """Closure reading one operand's per-lane vector.
+
+        Constants, undef, and global addresses materialise once at decode
+        time into shared read-only arrays (no consumer mutates operand
+        vectors); arguments and SSA values resolve through the per-warp
+        context exactly like the tree-walking interpreter did.
+        """
+        if isinstance(value, (ConstantInt, ConstantFloat)):
+            arr = np.full(WARP_SIZE, value.value,
+                          dtype=_storage_dtype(value.type))
+            arr.setflags(write=False)
+            return lambda ctx, args: arr
+        if isinstance(value, Undef):
+            arr = np.zeros(WARP_SIZE, dtype=_storage_dtype(value.type))
+            arr.setflags(write=False)
+            return lambda ctx, args: arr
+        if isinstance(value, Argument):
+            vid = id(value)
+            return lambda ctx, args: args[vid]
+        if isinstance(value, GlobalVariable):
+            arr = np.full(WARP_SIZE, self._global_addrs[value.name],
+                          dtype=np.int64)
+            arr.setflags(write=False)
+            return lambda ctx, args: arr
+        vid, vname = id(value), value.name
+
+        def read(ctx, args):
+            stored = ctx.values.get(vid)
+            if stored is None:
+                raise SimulationError(f"use of undefined value %{vname}")
+            return stored
+        return read
+
+    @staticmethod
+    def _writer(inst: Value):
+        """Closure writing an instruction's result under the active mask."""
+        dtype = _storage_dtype(inst.type)
+        iid = id(inst)
+
+        def write(ctx, value, mask):
+            if value.dtype != dtype:
+                value = value.astype(dtype)
+            slot = ctx.values.get(iid)
+            if slot is None:
+                slot = np.zeros(WARP_SIZE, dtype=dtype)
+                ctx.values[iid] = slot
+            slot[mask] = value[mask]
+        return write
+
     # -- warp execution ------------------------------------------------------
-    def _run_warp(self, func: Function, rpo_index: Dict[int, int],
+    def _run_warp(self, func: Function, entry: _DecodedBlock,
                   ctx: _WarpContext, args: Sequence[ArgValue],
                   initial_mask: np.ndarray,
                   icache: InstructionCache) -> Counters:
@@ -198,8 +508,8 @@ class SimtMachine:
         """
         counters = Counters()
         arg_values = self._bind_args(func, args)
-        groups: List[Tuple[int, BasicBlock, np.ndarray]] = [
-            (0, func.entry, initial_mask.copy())]
+        groups: List[Tuple[int, _DecodedBlock, np.ndarray]] = [
+            (0, entry, initial_mask.copy())]
 
         while groups:
             if counters.cycles > self.max_cycles:
@@ -207,150 +517,103 @@ class SimtMachine:
                     f"@{func.name}: exceeded {self.max_cycles} cycles "
                     "(runaway kernel?)")
             # Merge groups standing at the same block.
-            merged: Dict[int, Tuple[int, BasicBlock, np.ndarray]] = {}
-            for epoch, block, mask in groups:
-                existing = merged.get(id(block))
+            merged: Dict[int, Tuple[int, _DecodedBlock, np.ndarray]] = {}
+            for epoch, db, mask in groups:
+                existing = merged.get(db.block_id)
                 if existing is None:
-                    merged[id(block)] = (epoch, block, mask)
+                    merged[db.block_id] = (epoch, db, mask)
                 else:
-                    merged[id(block)] = (max(existing[0], epoch), block,
-                                         existing[2] | mask)
+                    merged[db.block_id] = (max(existing[0], epoch), db,
+                                           existing[2] | mask)
             groups = list(merged.values())
             # Schedule the laggard: min (epoch, rpo).
-            groups.sort(key=lambda g: (g[0], rpo_index.get(id(g[1]), 1 << 30)),
-                        reverse=True)
-            epoch, block, mask = groups.pop()
+            groups.sort(key=lambda g: (g[0], g[1].rpo), reverse=True)
+            epoch, db, mask = groups.pop()
             if not mask.any():
                 continue
-            counters.cycles += icache.access(
-                id(block), len(block.instructions))
-            self._exec_block(func, block, epoch, mask, ctx, arg_values,
-                             counters, rpo_index, groups)
+            counters.cycles += icache.access(db.block_id, db.size)
+            self._exec_decoded(func, db, epoch, mask, ctx, arg_values,
+                               counters, groups)
         return counters
 
-    def _exec_block(self, func: Function, block: BasicBlock, epoch: int,
-                    mask: np.ndarray, ctx: _WarpContext,
-                    arg_values: Dict[int, np.ndarray], counters: Counters,
-                    rpo_index: Dict[int, int], groups: List) -> None:
-        """Execute one block for one group; successors re-enter ``groups``."""
+    def _exec_decoded(self, func: Function, db: _DecodedBlock, epoch: int,
+                      mask: np.ndarray, ctx: _WarpContext,
+                      arg_values: Dict[int, np.ndarray], counters: Counters,
+                      groups: List) -> None:
+        """Execute one decoded block for one group."""
         active = int(np.count_nonzero(mask))
-        block_rpo = rpo_index.get(id(block), 1 << 30)
+        note_issue = counters.note_issue
+        for category, cost, kind, run, write in db.steps:
+            note_issue(category, active)
+            counters.cycles += charge(cost, active)
+            if kind == _K_VALUE:
+                write(ctx, run(ctx, arg_values), mask)
+            elif kind != _K_VOID:
+                run(ctx, arg_values, mask, active, counters)
 
-        def follow(target: BasicBlock, edge_mask: np.ndarray) -> None:
-            self._edge_moves(block, target, edge_mask, ctx, arg_values,
-                             counters)
-            next_epoch = epoch
-            if rpo_index.get(id(target), 1 << 30) <= block_rpo:
-                next_epoch += 1  # Back edge: next loop iteration.
-            groups.append((next_epoch, target, edge_mask))
-
-        for inst in block.instructions:
-            if isinstance(inst, PhiInst):
-                continue  # Materialised on edges.
-            if isinstance(inst, BranchInst):
-                counters.note_issue("control", active)
-                counters.cycles += charge(issue_cost("control", "br"), active)
-                counters.branches += 1
-                follow(inst.target, mask)
-                return
-            if isinstance(inst, CondBranchInst):
-                counters.note_issue("control", active)
-                counters.cycles += charge(issue_cost("control", "condbr"),
-                                          active)
-                counters.branches += 1
-                cond = self._eval(inst.condition, ctx,
-                                  arg_values).astype(bool)
-                t_mask = mask & cond
-                f_mask = mask & ~cond
-                t_any = bool(t_mask.any())
-                f_any = bool(f_mask.any())
-                if t_any and f_any:
-                    counters.divergent_branches += 1
-                    follow(inst.true_target, t_mask)
-                    follow(inst.false_target, f_mask)
-                elif t_any:
-                    follow(inst.true_target, t_mask)
-                elif f_any:
-                    follow(inst.false_target, f_mask)
-                return
-            if isinstance(inst, RetInst):
-                counters.note_issue("control", active)
-                counters.cycles += charge(issue_cost("control", "ret"),
-                                          active)
-                if inst.value is not None:
-                    value = self._eval(inst.value, ctx, arg_values)
-                    if ctx.ret_values is None:
-                        dtype = _storage_dtype(inst.value.type)
-                        ctx.ret_values = np.zeros(WARP_SIZE, dtype=dtype)
-                    ctx.ret_values[mask] = value[mask]
-                return
-            if isinstance(inst, UnreachableInst):
-                raise SimulationError(
-                    f"@{func.name}: executed unreachable in {block.name}")
-            self._exec_compute(inst, mask, ctx, arg_values, counters, active)
+        term_kind = db.term_kind
+        if term_kind == _T_BR:
+            note_issue("control", active)
+            counters.cycles += charge(_BR_COST, active)
+            counters.branches += 1
+            self._follow(db.term, epoch, mask, ctx, arg_values, counters,
+                         groups)
+            return
+        if term_kind == _T_CONDBR:
+            note_issue("control", active)
+            counters.cycles += charge(_CONDBR_COST, active)
+            counters.branches += 1
+            read_cond, true_edge, false_edge = db.term
+            cond = read_cond(ctx, arg_values).astype(bool)
+            t_mask = mask & cond
+            f_mask = mask & ~cond
+            t_any = bool(t_mask.any())
+            f_any = bool(f_mask.any())
+            if t_any and f_any:
+                counters.divergent_branches += 1
+                self._follow(true_edge, epoch, t_mask, ctx, arg_values,
+                             counters, groups)
+                self._follow(false_edge, epoch, f_mask, ctx, arg_values,
+                             counters, groups)
+            elif t_any:
+                self._follow(true_edge, epoch, t_mask, ctx, arg_values,
+                             counters, groups)
+            elif f_any:
+                self._follow(false_edge, epoch, f_mask, ctx, arg_values,
+                             counters, groups)
+            return
+        if term_kind == _T_RET:
+            note_issue("control", active)
+            counters.cycles += charge(_RET_COST, active)
+            read_value, dtype = db.term
+            if read_value is not None:
+                value = read_value(ctx, arg_values)
+                if ctx.ret_values is None:
+                    ctx.ret_values = np.zeros(WARP_SIZE, dtype=dtype)
+                ctx.ret_values[mask] = value[mask]
+            return
+        if term_kind == _T_UNREACHABLE:
+            raise SimulationError(
+                f"@{func.name}: executed unreachable in {db.name}")
         raise SimulationError(
-            f"@{func.name}: block {block.name} has no terminator")
+            f"@{func.name}: block {db.name} has no terminator")
+
+    def _follow(self, edge: _Edge, epoch: int, mask: np.ndarray,
+                ctx: _WarpContext, arg_values: Dict[int, np.ndarray],
+                counters: Counters, groups: List) -> None:
+        """Run the edge's phi moves and park the group at the target."""
+        moves = edge.moves
+        if moves and mask.any():
+            active = int(np.count_nonzero(mask))
+            # Parallel-copy semantics: read all incomings before writing.
+            staged = [(write, read(ctx, arg_values)) for write, read in moves]
+            for write, value in staged:
+                counters.note_issue("misc", active)  # One mov per phi.
+                counters.cycles += charge(_PHI_COST, active)
+                write(ctx, value, mask)
+        groups.append((epoch + edge.bump_epoch, edge.target, mask))
 
     # -- instruction semantics ------------------------------------------------
-    def _exec_compute(self, inst: Instruction, mask: np.ndarray,
-                      ctx: _WarpContext, arg_values: Dict[int, np.ndarray],
-                      counters: Counters, active: int) -> None:
-        category = inst.category
-        intrinsic = inst.intrinsic.name if isinstance(inst, CallInst) else ""
-        counters.note_issue(category, active)
-        counters.cycles += charge(
-            issue_cost(category, inst.opcode, intrinsic), active)
-
-        if isinstance(inst, LoadInst):
-            addrs = self._eval(inst.pointer, ctx, arg_values)
-            elem = inst.type.size_bytes()
-            raw, transactions = self.memory.load(addrs, mask, elem)
-            latency = charge(load_latency(transactions), active)
-            counters.cycles += latency
-            counters.memory_stall_cycles += latency
-            value = raw.astype(_storage_dtype(inst.type))
-            self._write(inst, value, mask, ctx)
-            return
-        if isinstance(inst, StoreInst):
-            addrs = self._eval(inst.pointer, ctx, arg_values)
-            values = self._eval(inst.value, ctx, arg_values)
-            elem = inst.value.type.size_bytes()
-            transactions = self.memory.store(addrs, values, mask, elem)
-            counters.cycles += charge(store_cost(transactions), active)
-            return
-        if inst.type.is_void:
-            return  # e.g. syncthreads: timing already charged.
-
-        value = self._compute_value(inst, ctx, arg_values)
-        self._write(inst, value, mask, ctx)
-
-    def _compute_value(self, inst: Instruction, ctx: _WarpContext,
-                       arg_values: Dict[int, np.ndarray]) -> np.ndarray:
-        ev = lambda v: self._eval(v, ctx, arg_values)
-        if isinstance(inst, BinaryInst):
-            return _binary_op(inst.opcode, ev(inst.lhs), ev(inst.rhs),
-                              inst.type)
-        if isinstance(inst, ICmpInst):
-            return _icmp_op(inst.predicate, ev(inst.lhs), ev(inst.rhs))
-        if isinstance(inst, FCmpInst):
-            return _fcmp_op(inst.predicate, ev(inst.lhs), ev(inst.rhs))
-        if isinstance(inst, SelectInst):
-            cond = ev(inst.condition).astype(bool)
-            return np.where(cond, ev(inst.true_value), ev(inst.false_value))
-        if isinstance(inst, CastInst):
-            return _cast_op(inst.opcode, ev(inst.value), inst.type,
-                            inst.value.type)
-        if isinstance(inst, GEPInst):
-            base = ev(inst.pointer)
-            index = ev(inst.index)
-            elem = inst.element_type.size_bytes()
-            return base + index.astype(np.int64) * elem
-        if isinstance(inst, AllocaInst):
-            return self._alloca_addr(inst, ctx)
-        if isinstance(inst, CallInst):
-            return self._intrinsic(inst, ctx, arg_values)
-        raise SimulationError(f"cannot execute {inst!r}")
-
     def _alloca_addr(self, inst: AllocaInst, ctx: _WarpContext) -> np.ndarray:
         base = ctx.allocas.get(id(inst))
         if base is None:
@@ -363,64 +626,6 @@ class SimtMachine:
         stride = inst.count * elem
         return base + np.arange(WARP_SIZE, dtype=np.int64) * stride
 
-    def _intrinsic(self, inst: CallInst, ctx: _WarpContext,
-                   arg_values: Dict[int, np.ndarray]) -> np.ndarray:
-        name = inst.intrinsic.name
-        ev = lambda v: self._eval(v, ctx, arg_values)
-        if name == "tid.x":
-            return ctx.lane_ids.copy()
-        if name == "ctaid.x":
-            return np.full(WARP_SIZE, ctx.block_idx, dtype=np.int64)
-        if name == "ntid.x":
-            return np.full(WARP_SIZE, ctx.block_dim, dtype=np.int64)
-        if name == "nctaid.x":
-            return np.full(WARP_SIZE, ctx.grid_dim, dtype=np.int64)
-        args = [ev(a) for a in inst.operands]
-        with np.errstate(all="ignore"):
-            if name == "sqrt":
-                return np.sqrt(np.maximum(args[0], 0.0))
-            if name == "fabs":
-                return np.abs(args[0])
-            if name == "exp":
-                return np.exp(np.clip(args[0], -700, 700))
-            if name == "log":
-                return np.log(np.maximum(args[0], 1e-300))
-            if name == "sin":
-                return np.sin(args[0])
-            if name == "cos":
-                return np.cos(args[0])
-            if name == "atan":
-                return np.arctan(args[0])
-            if name == "floor":
-                return np.floor(args[0])
-            if name == "pow":
-                return np.power(np.abs(args[0]), args[1])
-            if name == "fma":
-                return args[0] * args[1] + args[2]
-            if name in ("min", "fmin"):
-                return np.minimum(args[0], args[1])
-            if name in ("max", "fmax"):
-                return np.maximum(args[0], args[1])
-        raise SimulationError(f"unimplemented intrinsic @{name}")
-
-    # -- phi edges -----------------------------------------------------------
-    def _edge_moves(self, src: BasicBlock, dst: BasicBlock, mask: np.ndarray,
-                    ctx: _WarpContext, arg_values: Dict[int, np.ndarray],
-                    counters: Counters) -> None:
-        phis = dst.phis()
-        if not phis or not mask.any():
-            return
-        active = int(np.count_nonzero(mask))
-        # Parallel-copy semantics: read all incomings before writing any.
-        staged: List[Tuple[PhiInst, np.ndarray]] = []
-        for phi in phis:
-            value = self._eval(phi.incoming_for(src), ctx, arg_values)
-            staged.append((phi, value))
-        for phi, value in staged:
-            counters.note_issue("misc", active)  # One mov per phi.
-            counters.cycles += charge(issue_cost("misc", "phi"), active)
-            self._write(phi, value, mask, ctx)
-
     # -- value plumbing --------------------------------------------------------
     def _bind_args(self, func: Function,
                    args: Sequence[ArgValue]) -> Dict[int, np.ndarray]:
@@ -429,39 +634,6 @@ class SimtMachine:
             dtype = _storage_dtype(arg.type)
             bound[id(arg)] = np.full(WARP_SIZE, value, dtype=dtype)
         return bound
-
-    def _eval(self, value: Value, ctx: _WarpContext,
-              arg_values: Dict[int, np.ndarray]) -> np.ndarray:
-        if isinstance(value, ConstantInt):
-            dtype = _storage_dtype(value.type)
-            return np.full(WARP_SIZE, value.value, dtype=dtype)
-        if isinstance(value, ConstantFloat):
-            dtype = _storage_dtype(value.type)
-            return np.full(WARP_SIZE, value.value, dtype=dtype)
-        if isinstance(value, Undef):
-            return np.zeros(WARP_SIZE, dtype=_storage_dtype(value.type))
-        if isinstance(value, Argument):
-            return arg_values[id(value)]
-        if isinstance(value, GlobalVariable):
-            addr = self._global_addrs[value.name]
-            return np.full(WARP_SIZE, addr, dtype=np.int64)
-        stored = ctx.values.get(id(value))
-        if stored is None:
-            raise SimulationError(
-                f"use of undefined value %{value.name}")
-        return stored
-
-    @staticmethod
-    def _write(inst: Value, value: np.ndarray, mask: np.ndarray,
-               ctx: _WarpContext) -> None:
-        dtype = _storage_dtype(inst.type)
-        if value.dtype != dtype:
-            value = value.astype(dtype)
-        slot = ctx.values.get(id(inst))
-        if slot is None:
-            slot = np.zeros(WARP_SIZE, dtype=dtype)
-            ctx.values[id(inst)] = slot
-        slot[mask] = value[mask]
 
 
 # ---------------------------------------------------------------------------

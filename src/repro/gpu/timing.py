@@ -12,6 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Version tag of the whole timing model.  Any change to the constants or
+#: formulas in this module (or to the icache/memory latency models built on
+#: them) must bump this tag: it is folded into the persistent cell-cache key
+#: (:mod:`repro.harness.cache`) so stale cached measurements self-invalidate.
+TIMING_MODEL_VERSION = "timing-v1"
+
 #: Simulated SM clock (V100 boost clock, Hz) used to convert cycles to ms.
 CLOCK_HZ = 1.38e9
 

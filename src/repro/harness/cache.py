@@ -1,0 +1,207 @@
+"""Persistent, content-addressed cache of experiment cells.
+
+Every measured cell (see :class:`repro.harness.experiment.Cell`) is a pure
+function of (a) the benchmark's unoptimized IR and workload description,
+(b) the pipeline configuration and its parameters, and (c) the simulator's
+timing model.  This module keys cells by the SHA-256 of exactly those
+inputs and stores results as JSON under ``results/.cellcache/``, so
+re-running ``python -m repro.harness.table1`` or any ``benchmarks/test_fig*``
+file after an unrelated edit is near-instant: only cells whose inputs
+actually changed are recomputed.
+
+Invalidation is structural, not temporal:
+
+* the key folds in the *printed baseline IR* plus the benchmark's workload
+  fingerprint (seed, launches, output buffers) — editing a kernel or its
+  launch geometry changes the key;
+* the key folds in :data:`repro.gpu.timing.TIMING_MODEL_VERSION` — bumping
+  the tag after a timing-model change orphans every old entry;
+* every entry records :data:`SCHEMA_VERSION`; bumping it (when the stored
+  shape of a ``Cell`` changes) makes old entries self-invalidate on read.
+
+Corrupted or truncated entries are treated as misses and deleted, never
+raised: a cache must only ever cost recomputation.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..gpu.counters import Counters
+from ..gpu.timing import TIMING_MODEL_VERSION
+from ..transforms.heuristic import HeuristicParams, LoopDecision
+from .experiment import Cell
+
+#: Bump when the on-disk entry layout changes; mismatched entries are
+#: discarded and recomputed.
+SCHEMA_VERSION = 1
+
+#: Environment override for the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_CELL_FIELDS = ("app", "config", "loop_id", "factor", "cycles", "code_size",
+                "compile_seconds", "outputs_match_baseline", "timed_out",
+                "error")
+
+
+def default_cache_dir() -> Path:
+    """``results/.cellcache`` at the repository root (env-overridable)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "results" / ".cellcache"
+
+
+# -- (de)serialization -------------------------------------------------------
+
+def cell_to_json(cell: Cell) -> Dict:
+    data = {name: getattr(cell, name) for name in _CELL_FIELDS}
+    data["counters"] = {f.name: getattr(cell.counters, f.name)
+                        for f in dataclasses.fields(Counters)}
+    data["heuristic_decisions"] = [dataclasses.asdict(d)
+                                   for d in cell.heuristic_decisions]
+    return data
+
+
+def cell_from_json(data: Dict) -> Cell:
+    counters = Counters(**data["counters"])
+    decisions = [LoopDecision(**d) for d in data["heuristic_decisions"]]
+    kwargs = {name: data[name] for name in _CELL_FIELDS}
+    return Cell(counters=counters, heuristic_decisions=decisions, **kwargs)
+
+
+def outputs_to_json(outputs: Dict[str, np.ndarray]) -> Dict:
+    return {
+        name: {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "data": base64.b64encode(np.ascontiguousarray(arr).tobytes())
+            .decode("ascii"),
+        }
+        for name, arr in outputs.items()
+    }
+
+
+def outputs_from_json(data: Dict) -> Dict[str, np.ndarray]:
+    outputs = {}
+    for name, spec in data.items():
+        arr = np.frombuffer(base64.b64decode(spec["data"]),
+                            dtype=np.dtype(spec["dtype"]))
+        outputs[name] = arr.reshape(spec["shape"]).copy()
+    return outputs
+
+
+class CellCache:
+    """Content-addressed persistent store of ``Cell`` results."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------------
+    @staticmethod
+    def make_key(baseline_ir: str, workload: str, config: str,
+                 loop_id: Optional[str], factor: int,
+                 heuristic: HeuristicParams, max_instructions: int,
+                 compile_timeout: Optional[float],
+                 verify_each: bool) -> str:
+        """SHA-256 over every input that determines a cell's result."""
+        heur = dataclasses.asdict(heuristic)
+        heur["divergent_args"] = list(heur["divergent_args"])
+        payload = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "timing": TIMING_MODEL_VERSION,
+            "ir": baseline_ir,
+            "workload": workload,
+            "config": config,
+            "loop_id": loop_id,
+            "factor": factor,
+            "heuristic": heur,
+            "max_instructions": max_instructions,
+            "compile_timeout": compile_timeout,
+            "verify_each": verify_each,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- storage -------------------------------------------------------------
+    def get(self, key: str
+            ) -> Optional[Tuple[Cell, Optional[Dict[str, np.ndarray]]]]:
+        """Load ``(cell, baseline_outputs_or_None)``; None on any miss.
+
+        Stale-schema, corrupted, or truncated entries are deleted and
+        reported as misses so they are transparently recomputed.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(raw)
+            if data.get("schema") != SCHEMA_VERSION:
+                raise ValueError("stale cache schema")
+            cell = cell_from_json(data["cell"])
+            outputs = data.get("outputs")
+            decoded = outputs_from_json(outputs) if outputs else None
+        except Exception:
+            # Corrupted/truncated/stale entry: drop it, recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cell, decoded
+
+    def put(self, key: str, cell: Cell,
+            outputs: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Store a cell (plus baseline outputs for anchor cells)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        data = {"schema": SCHEMA_VERSION, "cell": cell_to_json(cell)}
+        if outputs is not None:
+            data["outputs"] = outputs_to_json(outputs)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(data))
+        os.replace(tmp, path)  # Atomic: concurrent readers see old or new.
+
+    # -- maintenance ---------------------------------------------------------
+    def entries(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        files = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(files),
+            "bytes": sum(f.stat().st_size for f in files),
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

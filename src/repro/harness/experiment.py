@@ -15,6 +15,8 @@ Table I comes from the seeded noise model in :mod:`repro.harness.stats`.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -23,6 +25,7 @@ import numpy as np
 from ..bench.base import Benchmark
 from ..gpu.counters import Counters
 from ..transforms.heuristic import HeuristicParams
+from ..transforms.pass_manager import PassStatistics
 from ..transforms.pipeline import CompileResult, compile_module
 
 UNROLL_FACTORS = (2, 4, 8)
@@ -45,9 +48,17 @@ class Cell:
     #: Compilation hit its time budget (paper: ccs compile timeouts).
     #: Timed-out cells are excluded from the figures, as in the paper.
     timed_out: bool = False
+    #: Traceback text when the cell crashed instead of completing (parallel
+    #: sweeps isolate per-cell failures rather than killing the sweep).
+    error: Optional[str] = None
 
     def speedup_over(self, baseline: "Cell") -> float:
-        if self.cycles <= 0:
+        # Timed-out cells were never simulated (cycles == inf): they must
+        # not report a meaningful speedup regardless of what their cycles
+        # field holds, matching the paper's exclusion of timeout points.
+        if self.timed_out or baseline.timed_out:
+            return 0.0
+        if self.cycles <= 0 or not math.isfinite(self.cycles):
             return 0.0
         return baseline.cycles / self.cycles
 
@@ -75,6 +86,15 @@ class ExperimentRunner:
         self.verify_each = verify_each
         self._cache: Dict[Tuple[str, str, Optional[str], int], Cell] = {}
         self._baseline_outputs: Dict[str, Dict[str, np.ndarray]] = {}
+        #: Outputs of the *unoptimized* module, the baseline anchor's
+        #: reference (cached so the raw module is built and run only once).
+        self._raw_outputs: Dict[str, Dict[str, np.ndarray]] = {}
+        #: Wall-clock per phase across every cell this runner computed
+        #: (``python -m repro.harness.summary --profile`` reports these).
+        self.phase_seconds: Dict[str, float] = {
+            "compile": 0.0, "simulate": 0.0, "verify": 0.0}
+        #: Per-pass compile-time statistics aggregated over all cells.
+        self.pass_stats = PassStatistics()
 
     # -- cells -----------------------------------------------------------
     def cell(self, bench: Benchmark, config: str,
@@ -95,13 +115,24 @@ class ExperimentRunner:
 
     def _run(self, bench: Benchmark, config: str, loop_id: Optional[str],
              factor: int) -> Cell:
+        # One build serves both the anchor reference and the compiled cell:
+        # the pipeline optimizes the module in place, so the unoptimized
+        # reference run must happen first (its outputs are cached — later
+        # baseline recomputations skip it entirely).
         module = bench.build_module()
+        if config == "baseline" and bench.name not in self._raw_outputs:
+            start = time.perf_counter()
+            raw_outputs, _ = bench.run(module)
+            self.phase_seconds["simulate"] += time.perf_counter() - start
+            self._raw_outputs[bench.name] = raw_outputs
         compiled: CompileResult = compile_module(
             module, config, loop_id=loop_id, factor=factor,
             heuristic=self.heuristic,
             max_instructions=self.max_instructions,
             timeout_seconds=self.compile_timeout,
             verify_each=self.verify_each)
+        self.phase_seconds["compile"] += compiled.compile_seconds
+        self.pass_stats.merge(compiled.pass_stats)
         if compiled.timed_out:
             # The paper excluded compile-timeout points from its figures;
             # we do not simulate them either.
@@ -112,13 +143,16 @@ class ExperimentRunner:
                         counters=Counters(), outputs_match_baseline=True,
                         heuristic_decisions=compiled.heuristic_decisions,
                         timed_out=True)
+        start = time.perf_counter()
         outputs, counters = bench.run(module)
+        self.phase_seconds["simulate"] += time.perf_counter() - start
 
+        start = time.perf_counter()
         matches = True
         if config == "baseline":
             # Anchor correctness: the baseline pipeline itself must agree
             # with the unoptimized module's behaviour.
-            raw_outputs, _ = bench.run(bench.build_module())
+            raw_outputs = self._raw_outputs[bench.name]
             matches = all(np.array_equal(outputs[name], raw_outputs[name])
                           for name in outputs)
             self._baseline_outputs[bench.name] = outputs
@@ -130,6 +164,7 @@ class ExperimentRunner:
             matches = all(
                 np.array_equal(outputs[name], reference[name])
                 for name in outputs)
+        self.phase_seconds["verify"] += time.perf_counter() - start
 
         return Cell(
             app=bench.name,

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from ..bench import all_benchmarks
 from ..bench.base import Benchmark
 from .experiment import UNROLL_FACTORS, Cell, ExperimentRunner
+from .parallel import prefetch_if_parallel
 
 
 @dataclass
@@ -31,6 +32,8 @@ def series(runner: Optional[ExperimentRunner] = None,
            benches: Optional[List[Benchmark]] = None) -> List[Fig6Point]:
     runner = runner or ExperimentRunner()
     benches = benches if benches is not None else all_benchmarks()
+    prefetch_if_parallel(runner, benches,
+                         configs=("baseline", "uu", "uu_heuristic"))
     points: List[Fig6Point] = []
     for bench in benches:
         base = runner.baseline(bench)

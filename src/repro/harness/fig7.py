@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 from ..bench import all_benchmarks
 from ..bench.base import Benchmark
 from .experiment import UNROLL_FACTORS, ExperimentRunner
+from .parallel import prefetch_if_parallel
 
 
 @dataclass
@@ -28,6 +29,8 @@ def series(runner: Optional[ExperimentRunner] = None,
            benches: Optional[List[Benchmark]] = None) -> List[Fig7Row]:
     runner = runner or ExperimentRunner()
     benches = benches if benches is not None else all_benchmarks()
+    prefetch_if_parallel(runner, benches,
+                         configs=("baseline", "uu", "unroll", "unmerge"))
     rows: List[Fig7Row] = []
     for bench in benches:
         base = runner.baseline(bench)

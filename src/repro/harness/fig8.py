@@ -15,6 +15,7 @@ from typing import List, Optional
 from ..bench import all_benchmarks
 from ..bench.base import Benchmark
 from .experiment import UNROLL_FACTORS, ExperimentRunner
+from .parallel import prefetch_if_parallel
 
 
 @dataclass
@@ -39,6 +40,8 @@ def series(comparator: str,
         raise ValueError("comparator must be 'unroll' or 'unmerge'")
     runner = runner or ExperimentRunner()
     benches = benches if benches is not None else all_benchmarks()
+    prefetch_if_parallel(runner, benches,
+                         configs=("baseline", "uu", comparator))
     points: List[ScatterPoint] = []
     for bench in benches:
         base = runner.baseline(bench)

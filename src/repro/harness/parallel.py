@@ -1,0 +1,408 @@
+"""Parallel, persistently-cached sweep engine.
+
+The paper's evaluation is a large Cartesian sweep — every discoverable loop
+x u in {2,4,8} x five pipeline configurations x 16 applications.  The
+serial :class:`~repro.harness.experiment.ExperimentRunner` walks that space
+one cell at a time; this module fans the same cells out over a process
+pool and backs them with the content-addressed persistent cache of
+:mod:`repro.harness.cache`:
+
+* all ``(app, config, loop_id, factor)`` cells are enumerated up front and
+  deduplicated, so shared cells (every exhibit needs the baselines) are
+  computed once;
+* cells are dispatched one-per-task, *costliest first* (u=8 before u=4
+  before u=2, heuristic cells treated as u_max): long compilations start
+  immediately instead of straggling at the tail of the sweep;
+* a crashing cell is isolated — the worker returns the traceback and the
+  sweep records a failed :class:`Cell` (``error`` set, ``cycles == inf``)
+  instead of dying;
+* results are returned in deterministic enumeration order regardless of
+  completion order, and are bit-identical (cycles, code size, counters) to
+  the serial runner's, because workers run the very same
+  ``ExperimentRunner._run``.
+
+Worker count defaults to ``os.cpu_count()``, overridable with the
+``REPRO_JOBS`` environment variable or ``--jobs/-j`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bench import benchmark_by_name
+from ..bench.base import Benchmark
+from ..ir.printer import print_module
+from ..transforms.heuristic import HeuristicParams
+from .cache import CellCache
+from .experiment import UNROLL_FACTORS, Cell, ExperimentRunner
+
+#: Environment override for the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+ALL_CONFIGS = ("baseline", "uu", "unroll", "unmerge", "uu_heuristic")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """CLI value > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One enumerated sweep cell."""
+
+    app: str
+    config: str
+    loop_id: Optional[str]
+    factor: int
+
+    @property
+    def key(self) -> Tuple[str, str, Optional[str], int]:
+        return (self.app, self.config, self.loop_id, self.factor)
+
+
+def sweep_specs(bench: Benchmark,
+                configs: Optional[Sequence[str]] = None,
+                factors: Sequence[int] = UNROLL_FACTORS) -> List[CellSpec]:
+    """Enumerate one application's cells for the requested configs.
+
+    With the default arguments this is exactly the cell set of
+    ``ExperimentRunner.full_sweep`` (everything Figures 6-8 and Table I
+    need).  The baseline is always included: every other cell's
+    differential check and every ratio needs it.
+    """
+    configs = tuple(configs) if configs is not None else ALL_CONFIGS
+    specs = [CellSpec(bench.name, "baseline", None, 1)]
+    loop_ids = None
+    for config in configs:
+        if config in ("uu", "unroll", "unmerge"):
+            if loop_ids is None:
+                loop_ids = bench.loop_ids()
+            for loop_id in loop_ids:
+                if config == "unmerge":
+                    specs.append(CellSpec(bench.name, "unmerge", loop_id, 1))
+                else:
+                    for factor in factors:
+                        specs.append(
+                            CellSpec(bench.name, config, loop_id, factor))
+        elif config == "uu_heuristic":
+            specs.append(CellSpec(bench.name, "uu_heuristic", None, 1))
+    return specs
+
+
+def workload_fingerprint(bench: Benchmark) -> str:
+    """Stable description of the benchmark's measured workload.
+
+    The printed IR covers the kernels; this covers the launch geometry,
+    workload seed, and observable buffers, so editing e.g. a grid size
+    invalidates cached cells even though the kernels are unchanged.  (The
+    contents of ``setup()`` buffers are derived from the seed; a change to
+    the setup code itself warrants a ``SCHEMA_VERSION`` bump.)
+    """
+    return json.dumps({
+        "name": bench.name,
+        "seed": bench.seed,
+        "launches": [[l.kernel, l.grid_dim, l.block_dim,
+                      [list(a) if isinstance(a, tuple) else a
+                       for a in l.args]]
+                     for l in bench.launches()],
+        "outputs": bench.output_buffers(),
+    }, sort_keys=True)
+
+
+def _spec_cost(spec: CellSpec, u_max: int) -> int:
+    """Relative cost estimate used to schedule long cells first."""
+    if spec.config == "uu_heuristic":
+        return u_max + 1
+    if spec.config == "baseline":
+        return 1
+    return spec.factor
+
+
+# -- worker side -------------------------------------------------------------
+# Workers rebuild the benchmark from the registry by name and run the very
+# same serial ``ExperimentRunner._run``; everything crossing the process
+# boundary (names, params, Cell, numpy outputs) pickles cleanly.
+
+def _make_runner(params: Tuple) -> ExperimentRunner:
+    heuristic, max_instructions, compile_timeout, verify_each = params
+    return ExperimentRunner(heuristic=heuristic,
+                            max_instructions=max_instructions,
+                            compile_timeout=compile_timeout,
+                            verify_each=verify_each)
+
+
+def _worker_baseline(app: str, params: Tuple):
+    """Compute one application's baseline cell plus reference outputs."""
+    try:
+        bench = benchmark_by_name(app)
+        runner = _make_runner(params)
+        cell = runner.cell(bench, "baseline")
+        return ("ok", cell, runner._baseline_outputs.get(app))
+    except Exception:
+        return ("err", traceback.format_exc(), None)
+
+
+def _worker_cell(app: str, config: str, loop_id: Optional[str], factor: int,
+                 params: Tuple, reference: Optional[Dict[str, np.ndarray]]):
+    """Compute one non-baseline cell against shipped reference outputs."""
+    try:
+        bench = benchmark_by_name(app)
+        runner = _make_runner(params)
+        if reference is not None:
+            runner._baseline_outputs[app] = reference
+        return ("ok", runner._run(bench, config, loop_id, factor), None)
+    except Exception:
+        return ("err", traceback.format_exc(), None)
+
+
+def _failed_cell(spec: CellSpec, message: str) -> Cell:
+    from ..gpu.counters import Counters
+    return Cell(app=spec.app, config=spec.config, loop_id=spec.loop_id,
+                factor=spec.factor, cycles=float("inf"), code_size=0,
+                compile_seconds=0.0, counters=Counters(),
+                outputs_match_baseline=False, error=message)
+
+
+class ParallelRunner(ExperimentRunner):
+    """Drop-in :class:`ExperimentRunner` with fan-out and persistence.
+
+    Single-cell calls (``cell``/``baseline``/...) behave exactly like the
+    serial runner, except that results are transparently read from and
+    written to the persistent cell cache.  Sweep-shaped calls
+    (:meth:`prefetch`, :meth:`full_sweep`) enumerate their cells up front
+    and compute the misses on a process pool.
+    """
+
+    def __init__(self, heuristic: Optional[HeuristicParams] = None,
+                 max_instructions: int = 20_000,
+                 compile_timeout: Optional[float] = 20.0,
+                 verify_each: bool = False,
+                 jobs: Optional[int] = None,
+                 cache: Optional[CellCache] = None,
+                 use_cache: bool = True) -> None:
+        super().__init__(heuristic=heuristic,
+                         max_instructions=max_instructions,
+                         compile_timeout=compile_timeout,
+                         verify_each=verify_each)
+        self.jobs = resolve_jobs(jobs)
+        self.cache: Optional[CellCache] = (
+            cache if cache is not None else (CellCache() if use_cache
+                                             else None))
+        self._fingerprints: Dict[str, Tuple[str, str]] = {}
+
+    # -- cache plumbing ------------------------------------------------------
+    def _fingerprint(self, bench: Benchmark) -> Tuple[str, str]:
+        """(printed baseline IR, workload fingerprint), computed once."""
+        cached = self._fingerprints.get(bench.name)
+        if cached is None:
+            cached = (print_module(bench.build_module()),
+                      workload_fingerprint(bench))
+            self._fingerprints[bench.name] = cached
+        return cached
+
+    def _cache_key(self, bench: Benchmark, config: str,
+                   loop_id: Optional[str], factor: int) -> str:
+        ir, workload = self._fingerprint(bench)
+        return CellCache.make_key(
+            ir, workload, config, loop_id, factor, self.heuristic,
+            self.max_instructions, self.compile_timeout, self.verify_each)
+
+    def _load_cached(self, bench: Benchmark, spec_key: Tuple,
+                     cache_key: str) -> Optional[Cell]:
+        entry = self.cache.get(cache_key) if self.cache else None
+        if entry is None:
+            return None
+        cell, outputs = entry
+        if outputs is not None and bench.name not in self._baseline_outputs:
+            self._baseline_outputs[bench.name] = outputs
+        self._cache[spec_key] = cell
+        return cell
+
+    def _store(self, bench: Benchmark, cell: Cell, cache_key: str) -> None:
+        if self.cache is None or cell.error is not None:
+            return
+        outputs = (self._baseline_outputs.get(bench.name)
+                   if cell.config == "baseline" else None)
+        self.cache.put(cache_key, cell, outputs)
+
+    # -- serial-compatible single-cell API -----------------------------------
+    def cell(self, bench: Benchmark, config: str,
+             loop_id: Optional[str] = None, factor: int = 1) -> Cell:
+        spec_key = (bench.name, config, loop_id, factor)
+        cached = self._cache.get(spec_key)
+        if cached is not None:
+            return cached
+        if self.cache is not None:
+            cache_key = self._cache_key(bench, config, loop_id, factor)
+            hit = self._load_cached(bench, spec_key, cache_key)
+            if hit is not None:
+                return hit
+        result = self._run(bench, config, loop_id, factor)
+        self._cache[spec_key] = result
+        if self.cache is not None:
+            self._store(bench, result, cache_key)
+        return result
+
+    # -- sweeps --------------------------------------------------------------
+    def prefetch(self, benches: Sequence[Benchmark],
+                 configs: Optional[Sequence[str]] = None,
+                 factors: Sequence[int] = UNROLL_FACTORS,
+                 specs: Optional[Sequence[CellSpec]] = None) -> List[Cell]:
+        """Materialise a cell set (cache -> pool), deterministically ordered.
+
+        Returns cells in enumeration order; afterwards every enumerated
+        cell is resident in the in-memory cache, so the serial accessors
+        (and every figure/table generator) hit without recomputation.
+        """
+        benches = list(benches)
+        by_name = {b.name: b for b in benches}
+        if specs is None:
+            specs = [s for b in benches
+                     for s in sweep_specs(b, configs, factors)]
+        # Deduplicate while preserving enumeration order.
+        specs = list(dict.fromkeys(specs))
+
+        missing: List[Tuple[CellSpec, Optional[str]]] = []
+        for spec in specs:
+            if spec.key in self._cache:
+                continue
+            bench = by_name.get(spec.app)
+            cache_key = None
+            if bench is not None and self.cache is not None:
+                cache_key = self._cache_key(bench, spec.config, spec.loop_id,
+                                            spec.factor)
+                if self._load_cached(bench, spec.key, cache_key) is not None:
+                    continue
+            missing.append((spec, cache_key))
+
+        if missing:
+            if self.jobs <= 1:
+                self._compute_serial(missing, by_name)
+            else:
+                self._compute_parallel(missing, by_name)
+        return [self._cache[spec.key] for spec in specs]
+
+    def full_sweep(self, bench: Benchmark) -> Dict[str, List[Cell]]:
+        """Everything Figures 6-8 need, computed via the parallel engine."""
+        self.prefetch([bench])
+        return super().full_sweep(bench)
+
+    # -- execution strategies ------------------------------------------------
+    def _compute_serial(self, missing, by_name) -> None:
+        for spec, cache_key in missing:
+            bench = by_name.get(spec.app)
+            try:
+                if bench is None:
+                    bench = benchmark_by_name(spec.app)
+                cell = self._run(bench, spec.config, spec.loop_id,
+                                 spec.factor)
+            except Exception:
+                cell = _failed_cell(spec, traceback.format_exc())
+            self._cache[spec.key] = cell
+            if bench is not None and cache_key is not None:
+                self._store(bench, cell, cache_key)
+
+    def _compute_parallel(self, missing, by_name) -> None:
+        params = (self.heuristic, self.max_instructions,
+                  self.compile_timeout, self.verify_each)
+        baseline_specs = [(s, k) for s, k in missing
+                          if s.config == "baseline"]
+        other_specs = [(s, k) for s, k in missing if s.config != "baseline"]
+        # Apps whose reference outputs stage-2 workers will need.
+        needed_apps = list(dict.fromkeys(
+            [s.app for s, _ in baseline_specs] +
+            [s.app for s, _ in other_specs
+             if s.app not in self._baseline_outputs]))
+        failed_baselines: Dict[str, str] = {}
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            # Stage 1: baselines (reference outputs feed every other cell).
+            futures = {}
+            for app in needed_apps:
+                futures[pool.submit(_worker_baseline, app, params)] = app
+            for future in list(futures):
+                app = futures[future]
+                status, payload, outputs = future.result()
+                if status == "err":
+                    failed_baselines[app] = payload
+                    continue
+                if outputs is not None:
+                    self._baseline_outputs[app] = outputs
+                spec = CellSpec(app, "baseline", None, 1)
+                self._record(spec, payload, by_name)
+
+            for spec, cache_key in baseline_specs:
+                if spec.app in failed_baselines:
+                    self._cache[spec.key] = _failed_cell(
+                        spec, failed_baselines[spec.app])
+
+            # Stage 2: everything else, costliest first so u=8 and
+            # heuristic compilations never straggle at the tail.
+            u_max = self.heuristic.u_max
+            ordered = sorted(other_specs,
+                             key=lambda item: _spec_cost(item[0], u_max),
+                             reverse=True)
+            futures = {}
+            for spec, cache_key in ordered:
+                if spec.app in failed_baselines:
+                    self._cache[spec.key] = _failed_cell(
+                        spec, "baseline failed:\n" +
+                        failed_baselines[spec.app])
+                    continue
+                reference = self._baseline_outputs.get(spec.app)
+                futures[pool.submit(
+                    _worker_cell, spec.app, spec.config, spec.loop_id,
+                    spec.factor, params, reference)] = spec
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures[future]
+                    status, payload, _ = future.result()
+                    if status == "err":
+                        self._cache[spec.key] = _failed_cell(spec, payload)
+                    else:
+                        self._record(spec, payload, by_name)
+
+    def _record(self, spec: CellSpec, cell: Cell, by_name) -> None:
+        self._cache[spec.key] = cell
+        bench = by_name.get(spec.app)
+        if bench is None:
+            try:
+                bench = benchmark_by_name(spec.app)
+            except KeyError:
+                return
+        if self.cache is not None:
+            self._store(bench, cell,
+                        self._cache_key(bench, spec.config, spec.loop_id,
+                                        spec.factor))
+
+
+def prefetch_if_parallel(runner, benches,
+                         configs: Optional[Sequence[str]] = None,
+                         factors: Sequence[int] = UNROLL_FACTORS) -> None:
+    """Warm a runner's cell set if it supports batch prefetching.
+
+    The figure/table generators call this so a :class:`ParallelRunner`
+    computes their whole cell set in one fan-out while a plain
+    :class:`ExperimentRunner` keeps its serial behaviour untouched.
+    """
+    prefetch = getattr(runner, "prefetch", None)
+    if prefetch is not None:
+        prefetch(benches, configs=configs, factors=factors)

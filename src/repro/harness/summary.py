@@ -7,12 +7,14 @@ compile time increase over all applications for the heuristic are 1.05x,
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..bench import all_benchmarks
 from ..bench.base import Benchmark
 from .experiment import ExperimentRunner
+from .parallel import ParallelRunner, prefetch_if_parallel
 from .stats import geomean
 
 
@@ -50,6 +52,8 @@ def heuristic_summary(runner: Optional[ExperimentRunner] = None,
                       ) -> HeuristicSummary:
     runner = runner or ExperimentRunner()
     benches = benches if benches is not None else all_benchmarks()
+    prefetch_if_parallel(runner, benches,
+                         configs=("baseline", "uu_heuristic"))
     speedups, sizes, compiles = [], [], []
     improved = 0
     for bench in benches:
@@ -68,3 +72,60 @@ def heuristic_summary(runner: Optional[ExperimentRunner] = None,
         improved=improved,
         total=len(benches),
     )
+
+
+def format_profile(runner: ExperimentRunner) -> str:
+    """Phase and per-pass wall-clock breakdown of this runner's cells.
+
+    With ``--profile`` this is computed with ``jobs=1`` so the phase times
+    are honest single-process wall clock, not per-worker sums.
+    """
+    lines = ["Harness profile (wall-clock seconds, this run's cells only):"]
+    total = sum(runner.phase_seconds.values())
+    for phase in ("compile", "simulate", "verify"):
+        seconds = runner.phase_seconds[phase]
+        share = 100.0 * seconds / total if total else 0.0
+        lines.append(f"  {phase:<10} {seconds:>8.3f}s  {share:>5.1f}%")
+    lines.append(f"  {'total':<10} {total:>8.3f}s")
+    stats = runner.pass_stats
+    if stats.times:
+        lines.append("Per-pass compile time:")
+        for name in sorted(stats.times, key=stats.times.get, reverse=True):
+            lines.append(
+                f"  {name:<24} {stats.times[name]:>8.3f}s  "
+                f"{stats.runs.get(name, 0):>5} runs  "
+                f"{stats.changes.get(name, 0):>5} changed")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.summary",
+        description="Headline heuristic geomeans (paper Section IV).")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also print compile/simulate/verify and per-pass timing")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or all cores); "
+             "--profile forces 1 so phase times are meaningful")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the persistent cell cache")
+    args = parser.parse_args(argv)
+
+    if args.profile:
+        # Phase timings accumulate inside the worker that ran each cell;
+        # profile serially (and without cache hits) so they cover the run.
+        runner: ExperimentRunner = ExperimentRunner()
+    else:
+        runner = ParallelRunner(jobs=args.jobs,
+                                use_cache=not args.no_cache)
+    print(heuristic_summary(runner).format())
+    if args.profile:
+        print()
+        print(format_profile(runner))
+
+
+if __name__ == "__main__":
+    main()
