@@ -15,6 +15,9 @@ provides the same operations:
     python -m repro indepth                   # Section V counter analyses
     python -m repro ptx --app XSBench --kernel grid_search [--config uu ...]
     python -m repro cache stats|clear         # persistent cell cache
+    python -m repro fuzz run --seed 0 --count 200   # differential fuzzing
+    python -m repro fuzz reduce --seed 41           # shrink one failure
+    python -m repro fuzz corpus                     # re-check tests/corpus/
 
 Sweeps fan out over worker processes (``--jobs/-j``, default all cores)
 and reuse cells from the persistent cache under ``results/.cellcache/``
@@ -102,9 +105,20 @@ def cmd_run_heuristic(args) -> int:
         print(f"{bench.name:<16} {cell.speedup_over(base):>7.3f}x "
               f"{cell.size_ratio_over(base):>6.2f}x "
               f"{cell.compile_ratio_over(base):>7.2f}x {ok:>4}")
-        if args.verbose:
+        if args.verbose or args.report:
             for d in cell.heuristic_decisions:
-                print(f"    {d.loop_id}: factor={d.factor} ({d.reason})")
+                status = ""
+                if d.factor is not None:
+                    if d.applied is False:
+                        status = "  [SKIPPED: loop header not re-found]"
+                    elif d.applied:
+                        status = "  [applied]"
+                print(f"    {d.loop_id}: factor={d.factor} "
+                      f"({d.reason}){status}")
+            skipped = [d for d in cell.heuristic_decisions
+                       if d.factor is not None and d.applied is False]
+            if skipped:
+                print(f"    ! {len(skipped)} selected loop(s) were skipped")
     return 0
 
 
@@ -175,6 +189,96 @@ def cmd_ptx(args) -> int:
     return 0
 
 
+def _fuzz_reduce_and_save(seed: int, lanes: int, out_dir,
+                          name: Optional[str] = None) -> int:
+    """Shared reduce flow: regenerate, reduce, bisect, persist, report."""
+    from .fuzz.bisect import bisect_divergence
+    from .fuzz.corpus import save_regression
+    from .fuzz.generator import generate_kernel
+    from .fuzz.oracle import run_differential, subject_from_kernel
+    from .fuzz.reduce import block_count, first_failure, reduce_failure
+
+    kernel = generate_kernel(seed)
+    report = run_differential(subject_from_kernel(kernel, seed=seed),
+                              lanes=lanes)
+    spec = first_failure(report)
+    if spec is None:
+        print(f"seed {seed}: no divergence across "
+              f"{len(report.outcomes)} configs — nothing to reduce")
+        return 0
+    print(f"seed {seed}: reducing {spec.label} failure "
+          f"({block_count(kernel)} blocks)...")
+    reduced = reduce_failure(kernel, spec)
+    subject = subject_from_kernel(reduced, seed=seed)
+    found = bisect_divergence(subject, spec, lanes=lanes)
+    outcome = next(iter(run_differential(subject, lanes=lanes).failures),
+                   None)
+    meta = {
+        "seed": seed,
+        "config": spec.config,
+        "loop_id": spec.loop_id,
+        "factor": spec.factor,
+        "kind": outcome.kind if outcome else "unknown",
+        "detail": outcome.detail if outcome else "",
+        "culprit": found.culprit if found else None,
+        "blocks": block_count(reduced),
+        "source": "repro fuzz reduce",
+    }
+    stem = name or f"fuzz_seed{seed}_{spec.config}"
+    path = save_regression(subject.ir, stem, meta, out_dir)
+    culprit = f", culprit pass: {found.culprit}" if found else ""
+    print(f"reduced to {meta['blocks']} blocks{culprit}")
+    print(f"saved {path}")
+    return 1
+
+
+def cmd_fuzz_run(args) -> int:
+    from .fuzz.campaign import run_campaign
+
+    result = run_campaign(args.seed, args.count, jobs=args.jobs,
+                          lanes=args.lanes, bisect=not args.no_bisect,
+                          progress=print)
+    last = args.seed + args.count - 1
+    print(f"fuzzed {args.count} kernels (seeds {args.seed}..{last}): "
+          f"{result.checked_configs} config runs, "
+          f"{len(result.failures)} divergences, "
+          f"{len(result.errors)} harness errors")
+    if result.ok:
+        print("no divergences found")
+        return 0
+    for failure in result.failures:
+        print(f"  {failure.describe()}")
+    for error in result.errors:
+        print(f"  {error.splitlines()[0]} ...")
+    if args.save_corpus:
+        for seed in result.failing_seeds:
+            _fuzz_reduce_and_save(seed, args.lanes, args.out)
+    return 1
+
+
+def cmd_fuzz_reduce(args) -> int:
+    return _fuzz_reduce_and_save(args.seed, args.lanes, args.out, args.name)
+
+
+def cmd_fuzz_corpus(args) -> int:
+    from .fuzz.corpus import check_corpus, default_corpus_dir
+
+    directory = args.dir or default_corpus_dir()
+    reports = check_corpus(directory, lanes=args.lanes)
+    if not reports:
+        print(f"no corpus entries under {directory}")
+        return 0
+    failed = 0
+    for report in reports:
+        status = "ok" if report.ok else "FAIL"
+        print(f"{report.name:<40} {len(report.outcomes):>3} configs  "
+              f"{status}")
+        for outcome in report.failures:
+            failed += 1
+            print(f"    {outcome.describe()}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--max-instructions", type=int, default=8000,
@@ -214,6 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="heuristic u&u per app")
     p.add_argument("--verbose", action="store_true",
                    help="print per-loop heuristic decisions")
+    p.add_argument("--report", action="store_true",
+                   help="like --verbose, and flag selected loops whose "
+                        "transform was skipped (header not re-found)")
     p.set_defaults(fn=cmd_run_heuristic)
 
     sub.add_parser("table1", parents=[common],
@@ -233,6 +340,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=["stats", "clear"],
                    help="show cache statistics or delete every entry")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser("fuzz", help="differential fuzzing of the pipelines")
+    fsub = p.add_subparsers(dest="fuzz_action", required=True)
+    fr = fsub.add_parser("run", help="fuzz a seed range under every config")
+    fr.add_argument("--seed", type=int, default=0, help="first seed")
+    fr.add_argument("--count", type=int, default=100,
+                    help="number of kernels to generate")
+    fr.add_argument("-j", "--jobs", type=int, default=None,
+                    help="worker processes (default: REPRO_JOBS or cores)")
+    fr.add_argument("--lanes", type=int, default=32)
+    fr.add_argument("--no-bisect", action="store_true",
+                    help="skip pass-prefix bisection of failures")
+    fr.add_argument("--save-corpus", action="store_true",
+                    help="reduce each failure and persist it as a "
+                         "regression kernel")
+    fr.add_argument("--out", default=None,
+                    help="corpus directory (default: tests/corpus)")
+    fr.set_defaults(fn=cmd_fuzz_run)
+    fd = fsub.add_parser("reduce",
+                         help="shrink one failing seed to a minimal repro")
+    fd.add_argument("--seed", type=int, required=True)
+    fd.add_argument("--lanes", type=int, default=32)
+    fd.add_argument("--out", default=None,
+                    help="corpus directory (default: tests/corpus)")
+    fd.add_argument("--name", default=None, help="corpus entry name")
+    fd.set_defaults(fn=cmd_fuzz_reduce)
+    fc = fsub.add_parser("corpus",
+                         help="re-run the oracle over the corpus")
+    fc.add_argument("--dir", default=None)
+    fc.add_argument("--lanes", type=int, default=32)
+    fc.set_defaults(fn=cmd_fuzz_corpus)
 
     p = sub.add_parser("ptx", parents=[common],
                        help="print PTX-style assembly for a kernel")

@@ -1,0 +1,36 @@
+"""Differential fuzzing of the five pipeline configurations.
+
+The fuzzer hunts miscompiles: a seeded generator produces structured
+kernels (loops with multi-way merges, divergent branches, mixed int/float
+arithmetic, casts, pure intrinsics), a differential oracle compiles each
+kernel under every pipeline configuration of the paper and asserts
+bit-identical interpreter outputs against the *unoptimized* lowering, a
+pass-prefix bisector names the pass application that first diverges, and a
+delta-debugging reducer shrinks failures to minimal repros that are
+persisted under ``tests/corpus/`` as regression kernels.
+
+Entry points: ``repro fuzz run|reduce|corpus`` on the CLI, or
+:func:`run_campaign` / :func:`run_differential` from Python.
+"""
+
+from .bisect import BisectResult, bisect_divergence
+from .campaign import (CampaignResult, FailureRecord, fuzz_one, run_campaign)
+from .corpus import (CorpusEntry, check_corpus, default_corpus_dir,
+                     load_corpus, save_regression)
+from .generator import GeneratorConfig, generate_kernel
+from .oracle import (ConfigOutcome, ConfigSpec, KernelReport, Subject,
+                     config_specs, execute, run_differential,
+                     subject_from_kernel, subject_from_text)
+from .reduce import block_count, failure_matcher, reduce_failure, reduce_kernel
+
+__all__ = [
+    "BisectResult", "bisect_divergence",
+    "CampaignResult", "FailureRecord", "fuzz_one", "run_campaign",
+    "CorpusEntry", "check_corpus", "default_corpus_dir", "load_corpus",
+    "save_regression",
+    "GeneratorConfig", "generate_kernel",
+    "ConfigOutcome", "ConfigSpec", "KernelReport", "Subject",
+    "config_specs", "execute", "run_differential", "subject_from_kernel",
+    "subject_from_text",
+    "block_count", "failure_matcher", "reduce_failure", "reduce_kernel",
+]

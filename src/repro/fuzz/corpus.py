@@ -1,0 +1,86 @@
+"""Regression corpus: reduced fuzz failures persisted as printed IR.
+
+Every reduced repro is written to ``tests/corpus/<name>.ll`` — printed IR
+(round-trippable through :mod:`repro.ir.parser`, which strips ``;``
+comments) with a one-line JSON metadata header recording where the kernel
+came from and what it once broke::
+
+    ; repro-fuzz: {"bug": "fptosi-saturation", "seed": 41, ...}
+    define i64 @fuzz41(i64 %seed, f64 %noise) { ... }
+
+``tests/test_fuzz_corpus.py`` re-runs the differential oracle over every
+entry on each test run, so a fixed miscompile stays fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Environment override for the corpus directory.
+CORPUS_ENV = "REPRO_CORPUS_DIR"
+
+#: Metadata header prefix (the parser discards it as a comment).
+META_PREFIX = "; repro-fuzz:"
+
+
+def default_corpus_dir() -> Path:
+    """``tests/corpus`` at the repository root (env-overridable)."""
+    env = os.environ.get(CORPUS_ENV)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted regression kernel."""
+
+    name: str
+    path: Path
+    text: str                       # IR text, metadata header stripped
+    meta: Dict = field(default_factory=dict)
+
+
+def save_regression(ir_text: str, name: str, meta: Optional[Dict] = None,
+                    directory: Optional[Path] = None) -> Path:
+    """Persist ``ir_text`` as ``<name>.ll`` with a metadata header."""
+    directory = Path(directory) if directory is not None \
+        else default_corpus_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.ll"
+    header = f"{META_PREFIX} {json.dumps(meta or {}, sort_keys=True)}"
+    path.write_text(header + "\n" + ir_text.rstrip() + "\n")
+    return path
+
+
+def load_corpus(directory: Optional[Path] = None) -> List[CorpusEntry]:
+    """All ``*.ll`` entries, sorted by name; missing directory is empty."""
+    directory = Path(directory) if directory is not None \
+        else default_corpus_dir()
+    entries: List[CorpusEntry] = []
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("*.ll")):
+        text = path.read_text()
+        meta: Dict = {}
+        first_line, _, rest = text.partition("\n")
+        if first_line.startswith(META_PREFIX):
+            try:
+                meta = json.loads(first_line[len(META_PREFIX):])
+            except ValueError:
+                meta = {}
+            text = rest
+        entries.append(CorpusEntry(path.stem, path, text, meta))
+    return entries
+
+
+def check_corpus(directory: Optional[Path] = None, lanes: int = 32):
+    """Differential reports for every corpus entry (for tests and CLI)."""
+    from .oracle import run_differential, subject_from_text
+
+    return [run_differential(subject_from_text(e.text, e.name), lanes=lanes)
+            for e in load_corpus(directory)]

@@ -1,0 +1,346 @@
+"""Seeded generator of structured fuzz kernels.
+
+Kernels are frontend ASTs (:mod:`repro.frontend.ast`) designed to stress
+exactly the code the paper's transforms duplicate and the cleanup battery
+then rewrites: bounded loops containing multi-way merges (if/elif/else
+chains assigning the same variable — the unmerge trigger), lane-divergent
+branches on ``tid.x``, mixed i32/i64/f32/f64 arithmetic with explicit
+casts, pure math intrinsics, and constant-only subtrees that SCCP and
+instcombine will fold at compile time (driving the folder down the same
+code paths the interpreter takes at run time).
+
+Every generated kernel is **total and deterministic by construction**, so
+any cross-configuration output difference is a miscompile, never UB:
+
+* loops are ``For`` with literal bounds and positive literal steps, and
+  the induction variable is never reassigned in the body (``Break`` is the
+  only early exit) — termination is structural;
+* every operation has defined semantics in the folder/interpreter
+  contract (:mod:`repro.semantics`): integer ops wrap, ``sdiv``/``srem``
+  by zero yield 0, ``fptosi`` saturates, float ops are IEEE;
+* shift amounts are literals strictly below the operand width (the one
+  case the contract declares undefined);
+* there is no memory traffic: a kernel is a pure function of its scalar
+  parameters and the lane id, returning an ``i64`` hash of all live state.
+
+Generation is a pure function of the seed (``random.Random(seed)``), so a
+failing seed is a complete bug report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..frontend.ast import (Assign, BinOp, Break, Call, Cast, Cmp, Expr, For,
+                            If, KernelDef, Lit, Param, Return, Stmt, Var)
+
+INT_TYPES = ("i32", "i64")
+FLOAT_TYPES = ("f32", "f64")
+_BITS = {"i32": 32, "i64": 64}
+
+#: Unary float intrinsics with total numpy semantics (repro.semantics).
+UNARY_INTRINSICS = ("sqrt", "fabs", "exp", "log", "sin", "cos", "atan",
+                    "floor")
+BINARY_INTRINSICS = ("pow", "fmin", "fmax")
+INT_INTRINSICS = ("min", "max")
+
+#: Float literals that historically separate folder from interpreter:
+#: signed zeros (fdiv sign), values beyond every int range (fptosi
+#: saturation), subnormal-adjacent magnitudes, and infinities.
+SPECIAL_FLOATS = (0.0, -0.0, 1.0, -1.0, 0.5, -2.5, 3.5, 1e30, -1e30,
+                  1e-30, 6.0e9, -6.0e9, 9.3e18, float("inf"), float("-inf"))
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs bounding the shape of generated kernels."""
+
+    max_expr_depth: int = 3    # nesting of generated expressions
+    max_stmt_depth: int = 2    # nesting of loops/branches
+    max_loops: int = 2         # loops per kernel (possibly nested)
+    max_trip: int = 6          # literal trip-count bound
+    p_nan: float = 0.04        # probability of a literal NaN
+
+
+def generate_kernel(seed: int,
+                    config: GeneratorConfig = GeneratorConfig()) -> KernelDef:
+    """Deterministically generate one fuzz kernel for ``seed``."""
+    return _Gen(random.Random(seed), config, seed).build()
+
+
+class _Gen:
+    def __init__(self, rng: random.Random, cfg: GeneratorConfig,
+                 seed: int) -> None:
+        self.rng = rng
+        self.cfg = cfg
+        self.seed = seed
+        self.int_vars: Dict[str, str] = {}    # name -> "i32"/"i64"
+        self.float_vars: Dict[str, str] = {}  # name -> "f32"/"f64"
+        self.loops_left = cfg.max_loops
+        self.counter = 0
+
+    # -- helpers -------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def _pick(self, seq):
+        return seq[self.rng.randrange(len(seq))]
+
+    def _tid(self, type_: str) -> Expr:
+        return Cast(type_, Call("tid.x"))
+
+    # -- top level -----------------------------------------------------------
+    def build(self) -> KernelDef:
+        rng = self.rng
+        body: List[Stmt] = []
+
+        # Variable pool: the first int/float variables mix in the scalar
+        # parameters so constant folding cannot erase the whole kernel.
+        for i in range(rng.randint(2, 3)):
+            name, type_ = self._fresh("v"), self._pick(INT_TYPES)
+            if i == 0:
+                init: Expr = Cast(type_, BinOp("&", Var("seed"), Lit(1023)))
+            else:
+                init = Lit(rng.randint(-64, 64), type_)
+            body.append(Assign(name, init))
+            self.int_vars[name] = type_
+        for i in range(rng.randint(1, 2)):
+            name, type_ = self._fresh("f"), self._pick(FLOAT_TYPES)
+            if i == 0:
+                init = Cast(type_, Var("noise"))
+            else:
+                init = Lit(self._float_value(), type_)
+            body.append(Assign(name, init))
+            self.float_vars[name] = type_
+
+        for _ in range(rng.randint(3, 5)):
+            body.append(self._stmt(0))
+        body.append(Return(self._result_expr()))
+
+        return KernelDef(
+            name=f"fuzz{self.seed}",
+            params=[Param("seed", "i64"), Param("noise", "f64")],
+            body=body,
+            ret_type="i64",
+        )
+
+    def _result_expr(self) -> Expr:
+        """Hash every live variable into the i64 return value."""
+        names = sorted(self.int_vars)
+        acc: Expr = Cast("i64", Var(names[0]))
+        for name in names[1:]:
+            acc = BinOp("^", BinOp("*", acc, Lit(0x9E3779B97F4A7C15)),
+                        Cast("i64", Var(name)))
+        for name in sorted(self.float_vars):
+            # Scale then saturating-fptosi: NaN -> 0, huge -> clamped.
+            acc = BinOp("^", BinOp("*", acc, Lit(0x2545F4914F6CDD1D)),
+                        Cast("i64", BinOp("*", Var(name), Lit(4096.0))))
+        return acc
+
+    # -- statements ----------------------------------------------------------
+    def _block(self, depth: int, n: int) -> List[Stmt]:
+        return [self._stmt(depth) for _ in range(n)]
+
+    def _stmt(self, depth: int) -> Stmt:
+        roll = self.rng.random()
+        if (self.loops_left > 0 and depth < self.cfg.max_stmt_depth
+                and roll < 0.35):
+            return self._loop(depth)
+        if depth < self.cfg.max_stmt_depth and roll < 0.70:
+            return self._branch(depth)
+        return self._assign()
+
+    def _assign(self) -> Stmt:
+        rng = self.rng
+        if rng.random() < 0.45 and self.float_vars:
+            name = self._pick(sorted(self.float_vars))
+            return Assign(name, self._float_expr(self.float_vars[name], 0))
+        name = self._pick(sorted(self.int_vars))
+        return Assign(name, self._int_expr(self.int_vars[name], 0))
+
+    def _loop(self, depth: int) -> Stmt:
+        rng = self.rng
+        self.loops_left -= 1
+        var = self._fresh("i")
+        trip = rng.randint(2, self.cfg.max_trip)
+        step = Lit(2) if rng.random() < 0.2 else Lit(1)
+        body = self._block(depth + 1, rng.randint(1, 2))
+        # The loop always does work that depends on the induction variable,
+        # so unrolling genuinely changes the code the cleanup passes see.
+        name = self._pick(sorted(self.int_vars))
+        type_ = self.int_vars[name]
+        body.append(Assign(name, BinOp(
+            "+", Var(name),
+            Cast(type_, BinOp("*", Var(var), Lit(rng.randint(1, 5)))))))
+        if rng.random() < 0.25:
+            body.insert(rng.randrange(len(body)),
+                        If(self._condition(depth + 1), [Break()]))
+        return For(var, Lit(0), Lit(trip), body, step)
+
+    def _branch(self, depth: int) -> Stmt:
+        """If / if-else / if-elif-else — the multi-way merge shapes."""
+        rng = self.rng
+        cond = self._condition(depth)
+        then = self._block(depth + 1, rng.randint(1, 2))
+        roll = rng.random()
+        if roll < 0.3:
+            stmt = If(cond, then)
+        elif roll < 0.65:
+            stmt = If(cond, then, self._block(depth + 1, rng.randint(1, 2)))
+        else:
+            # 3-way (sometimes 4-way) merge: the unmerge transform's target.
+            arms = [then, self._block(depth + 1, 1), self._block(depth + 1, 1)]
+            if rng.random() < 0.3:
+                arms.append(self._block(depth + 1, 1))
+            chain: List[Stmt] = arms[-1]
+            for arm in reversed(arms[1:-1]):
+                chain = [If(self._condition(depth + 1), arm, chain)]
+            stmt = If(cond, arms[0], chain)
+        if rng.random() < 0.5:
+            # All arms assign the same variable: classic merge-point phi.
+            name = self._pick(sorted(self.int_vars))
+            type_ = self.int_vars[name]
+            for arm in self._arms(stmt):
+                arm.append(Assign(name, self._int_expr(type_, 2)))
+        return stmt
+
+    def _arms(self, stmt: If) -> List[List[Stmt]]:
+        arms = [stmt.then]
+        if len(stmt.els) == 1 and isinstance(stmt.els[0], If):
+            arms.extend(self._arms(stmt.els[0]))
+        elif stmt.els:
+            arms.append(stmt.els)
+        return arms
+
+    def _condition(self, depth: int) -> Expr:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.4:
+            # Lane-divergent: branches disagree inside the warp.
+            type_ = self._pick(INT_TYPES)
+            modulus = rng.randint(2, 8)
+            return Cmp(self._pick(("<", "<=", "==", "!=")),
+                       BinOp("%", self._tid(type_), Lit(modulus)),
+                       Lit(rng.randint(0, modulus - 1)))
+        if roll < 0.8 or not self.float_vars:
+            type_ = self._pick(INT_TYPES)
+            return Cmp(self._pick(("<", "<=", ">", ">=", "==", "!=")),
+                       self._int_expr(type_, 2), self._int_expr(type_, 2))
+        type_ = self._pick(FLOAT_TYPES)
+        return Cmp(self._pick(("<", "<=", ">", ">=")),
+                   self._float_expr(type_, 2), self._float_expr(type_, 2))
+
+    # -- expressions ---------------------------------------------------------
+    def _int_expr(self, type_: str, depth: int) -> Expr:
+        rng = self.rng
+        if depth >= self.cfg.max_expr_depth:
+            return self._int_atom(type_)
+        roll = rng.random()
+        if roll < 0.25:
+            return self._int_atom(type_)
+        if roll < 0.55:
+            op = self._pick(("+", "-", "*", "/", "%", "&", "|", "^"))
+            return BinOp(op, self._int_expr(type_, depth + 1),
+                         self._int_expr(type_, depth + 1))
+        if roll < 0.68:
+            # Literal shift amount strictly below the width (the contract's
+            # only undefined case is excluded by construction).
+            bits = _BITS[type_]
+            amount = self._pick((1, 2, 3, 5, 7, 13, bits - 1))
+            return BinOp(self._pick(("<<", ">>")),
+                         self._int_expr(type_, depth + 1), Lit(amount))
+        if roll < 0.80:
+            # Saturating fptosi of a float subtree.
+            ftype = self._pick(FLOAT_TYPES)
+            return Cast(type_, self._float_expr(ftype, depth + 1))
+        if roll < 0.88:
+            other = "i64" if type_ == "i32" else "i32"
+            return Cast(type_, self._int_expr(other, depth + 1))
+        if roll < 0.95:
+            return Call(self._pick(INT_INTRINSICS),
+                        (self._int_expr(type_, depth + 1),
+                         self._int_expr(type_, depth + 1)))
+        return self._int_const_expr(type_)
+
+    def _int_atom(self, type_: str) -> Expr:
+        rng = self.rng
+        names = [n for n, t in self.int_vars.items() if t == type_]
+        roll = rng.random()
+        if names and roll < 0.55:
+            return Var(self._pick(sorted(names)))
+        if roll < 0.75:
+            return Lit(self._int_value(type_), type_)
+        return self._tid(type_)
+
+    def _int_value(self, type_: str) -> int:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.7:
+            return rng.randint(-16, 16)
+        bits = _BITS[type_]
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        if roll < 0.85:
+            return self._pick((lo, hi, hi - 1, lo + 1, 0, -1))
+        return rng.randint(lo, hi)
+
+    def _int_const_expr(self, type_: str) -> Expr:
+        """Literal-only subtree: SCCP must fold it identically to runtime."""
+        op = self._pick(("+", "*", "/", "%", "^"))
+        return BinOp(op, Lit(self._int_value(type_), type_),
+                     Lit(self._int_value(type_), type_))
+
+    def _float_expr(self, type_: str, depth: int) -> Expr:
+        rng = self.rng
+        if depth >= self.cfg.max_expr_depth:
+            return self._float_atom(type_)
+        roll = rng.random()
+        if roll < 0.25:
+            return self._float_atom(type_)
+        if roll < 0.55:
+            op = self._pick(("+", "-", "*", "/", "%"))
+            return BinOp(op, self._float_expr(type_, depth + 1),
+                         self._float_expr(type_, depth + 1))
+        if roll < 0.70:
+            return Call(self._pick(UNARY_INTRINSICS),
+                        (self._float_expr(type_, depth + 1),))
+        if roll < 0.78:
+            return Call(self._pick(BINARY_INTRINSICS),
+                        (self._float_expr(type_, depth + 1),
+                         self._float_expr(type_, depth + 1)))
+        if roll < 0.86:
+            # Single-rounding sitofp from a (possibly huge) int subtree.
+            itype = self._pick(INT_TYPES)
+            return Cast(type_, self._int_expr(itype, depth + 1))
+        if roll < 0.93:
+            other = "f64" if type_ == "f32" else "f32"
+            return Cast(type_, self._float_expr(other, depth + 1))
+        return self._float_const_expr(type_)
+
+    def _float_atom(self, type_: str) -> Expr:
+        rng = self.rng
+        names = [n for n, t in self.float_vars.items() if t == type_]
+        if names and rng.random() < 0.6:
+            return Var(self._pick(sorted(names)))
+        return Lit(self._float_value(), type_)
+
+    def _float_value(self) -> float:
+        rng = self.rng
+        if rng.random() < self.cfg.p_nan:
+            return float("nan")
+        if rng.random() < 0.45:
+            return self._pick(SPECIAL_FLOATS)
+        return round(rng.uniform(-100.0, 100.0), 3)
+
+    def _float_const_expr(self, type_: str) -> Expr:
+        """Literal-only float subtree, biased toward signed-zero divisors."""
+        rng = self.rng
+        if rng.random() < 0.4:
+            divisor = self._pick((0.0, -0.0, 2.0, -4.0))
+            return BinOp("/", Lit(self._float_value(), type_),
+                         Lit(divisor, type_))
+        op = self._pick(("+", "-", "*", "/", "%"))
+        return BinOp(op, Lit(self._float_value(), type_),
+                     Lit(self._float_value(), type_))

@@ -1,0 +1,183 @@
+"""Delta-debugging reducer: shrink a failing kernel to a minimal repro.
+
+Reduction happens at the frontend-AST statement level, *before* lowering:
+greedy fixpoint over structural edits (delete a statement, replace a
+branch by one of its arms, hoist a loop body out of its loop, shrink a
+literal trip count), keeping an edit only when the candidate still fails
+the interestingness predicate.  Candidates that no longer lower (e.g. the
+hoisted body reads the deleted induction variable) are simply
+uninteresting.
+
+Every accepted edit strictly decreases the metric ``(statement count,
+sum of literal trip counts)``, so the loop terminates; edits are
+enumerated deterministically, so the same failure always reduces to the
+same repro.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..frontend import ast
+from ..frontend.lower import LoweringError
+from ..ir.verifier import VerificationError, verify_module
+from .oracle import (ConfigSpec, KernelReport, OracleError, config_specs,
+                     execute, run_config, subject_from_kernel)
+
+Interesting = Callable[[ast.KernelDef], bool]
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+def statement_count(stmts: List[ast.Stmt]) -> int:
+    total = 0
+    for stmt in stmts:
+        total += 1
+        if isinstance(stmt, ast.If):
+            total += statement_count(stmt.then) + statement_count(stmt.els)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            total += statement_count(stmt.body)
+    return total
+
+
+def _trip_sum(stmts: List[ast.Stmt]) -> int:
+    total = 0
+    for stmt in stmts:
+        if isinstance(stmt, ast.For):
+            if isinstance(stmt.stop, ast.Lit) and \
+                    isinstance(stmt.stop.value, int):
+                total += stmt.stop.value
+            total += _trip_sum(stmt.body)
+        elif isinstance(stmt, ast.While):
+            total += _trip_sum(stmt.body)
+        elif isinstance(stmt, ast.If):
+            total += _trip_sum(stmt.then) + _trip_sum(stmt.els)
+    return total
+
+
+def _metric(body: List[ast.Stmt]) -> Tuple[int, int]:
+    return (statement_count(body), _trip_sum(body))
+
+
+def block_count(kernel: ast.KernelDef) -> int:
+    """Basic blocks of the kernel's unoptimized lowering (repro size)."""
+    module = subject_from_kernel(kernel).build()
+    func = next(iter(module.functions.values()))
+    return len(func.blocks)
+
+
+# ---------------------------------------------------------------------------
+# Edit enumeration
+# ---------------------------------------------------------------------------
+
+def _variants(stmts: List[ast.Stmt]) -> List[List[ast.Stmt]]:
+    """All one-edit variants of a statement list, deterministic order.
+
+    Statement objects are shared between variants (lowering never mutates
+    the AST), so enumeration is cheap even for nested bodies.
+    """
+    out: List[List[ast.Stmt]] = []
+    for i, stmt in enumerate(stmts):
+        before, after = stmts[:i], stmts[i + 1:]
+        out.append(before + after)  # delete the statement
+        if isinstance(stmt, ast.If):
+            out.append(before + list(stmt.then) + after)
+            if stmt.els:
+                out.append(before + list(stmt.els) + after)
+            for v in _variants(stmt.then):
+                out.append(before + [ast.If(stmt.cond, v, stmt.els)] + after)
+            for v in _variants(stmt.els):
+                out.append(before + [ast.If(stmt.cond, stmt.then, v)] + after)
+        elif isinstance(stmt, ast.While):
+            out.append(before + list(stmt.body) + after)
+            for v in _variants(stmt.body):
+                out.append(before + [ast.While(stmt.cond, v)] + after)
+        elif isinstance(stmt, ast.For):
+            out.append(before + list(stmt.body) + after)
+            for v in _variants(stmt.body):
+                out.append(before + [ast.For(stmt.var, stmt.start, stmt.stop,
+                                             v, stmt.step)] + after)
+            if isinstance(stmt.stop, ast.Lit) and \
+                    isinstance(stmt.stop.value, int) and stmt.stop.value > 2:
+                shrunk = ast.Lit(2, stmt.stop.type_)
+                out.append(before + [ast.For(stmt.var, stmt.start, shrunk,
+                                             stmt.body, stmt.step)] + after)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Reduction
+# ---------------------------------------------------------------------------
+
+def reduce_kernel(kernel: ast.KernelDef, is_interesting: Interesting,
+                  max_attempts: int = 2000) -> ast.KernelDef:
+    """Greedy fixpoint reduction of ``kernel`` under ``is_interesting``.
+
+    ``max_attempts`` bounds the number of predicate evaluations (each one
+    is a full differential run); the best kernel found so far is returned
+    when the budget runs out.
+    """
+    best = kernel
+    best_metric = _metric(best.body)
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for body in _variants(best.body):
+            metric = _metric(body)
+            if metric >= best_metric:
+                continue
+            candidate = ast.KernelDef(best.name, best.params, body,
+                                      best.ret_type, dict(best.loop_pragmas))
+            attempts += 1
+            try:
+                interesting = is_interesting(candidate)
+            except (LoweringError, VerificationError, OracleError):
+                continue  # malformed candidate, never a smaller repro
+            if interesting:
+                best, best_metric = candidate, metric
+                progress = True
+                break
+            if attempts >= max_attempts:
+                break
+    return best
+
+
+def failure_matcher(spec: ConfigSpec) -> Interesting:
+    """Interesting iff some config with ``spec``'s (config, factor) fails.
+
+    Loop ids shift as statements are deleted, so the match deliberately
+    ignores ``loop_id``: the repro must preserve the *kind* of failure,
+    not the accidental loop numbering of the original kernel.  Only the
+    matching configurations are re-run — the predicate is evaluated once
+    per candidate edit, so it must stay cheap.
+    """
+    def check(kernel: ast.KernelDef) -> bool:
+        subject = subject_from_kernel(kernel)
+        module = subject.build()
+        verify_module(module)
+        reference = execute(module)
+        for candidate in config_specs(module):
+            if candidate.config != spec.config or \
+                    candidate.factor != spec.factor:
+                continue
+            if not run_config(subject, candidate, reference).ok:
+                return True
+        return False
+    return check
+
+
+def reduce_failure(kernel: ast.KernelDef, spec: ConfigSpec,
+                   max_attempts: int = 2000) -> ast.KernelDef:
+    """Shrink ``kernel`` while it keeps failing like ``spec``."""
+    return reduce_kernel(kernel, failure_matcher(spec), max_attempts)
+
+
+def first_failure(report: KernelReport) -> Optional[ConfigSpec]:
+    """The spec of the report's first failing outcome, if any."""
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            return outcome.spec
+    return None

@@ -52,6 +52,7 @@ from ..ir.instructions import (AllocaInst, BinaryInst, BranchInst, CallInst,
 from ..ir.module import Module
 from ..ir.types import FloatType, IntType, PointerType, Type
 from ..ir.values import Argument, GlobalVariable, Value
+from ..semantics import INTRINSIC_IMPLS, fptosi_arrays, storage_dtype
 from .counters import Counters
 from .icache import InstructionCache
 from .memory import Memory
@@ -84,23 +85,9 @@ _T_UNREACHABLE = 3
 _T_MISSING = 4
 
 #: numpy implementations of the math intrinsics (evaluated under
-#: ``np.errstate(all="ignore")`` exactly like the tree-walking interpreter).
-_INTRINSIC_IMPLS = {
-    "sqrt": lambda a: np.sqrt(np.maximum(a[0], 0.0)),
-    "fabs": lambda a: np.abs(a[0]),
-    "exp": lambda a: np.exp(np.clip(a[0], -700, 700)),
-    "log": lambda a: np.log(np.maximum(a[0], 1e-300)),
-    "sin": lambda a: np.sin(a[0]),
-    "cos": lambda a: np.cos(a[0]),
-    "atan": lambda a: np.arctan(a[0]),
-    "floor": lambda a: np.floor(a[0]),
-    "pow": lambda a: np.power(np.abs(a[0]), a[1]),
-    "fma": lambda a: a[0] * a[1] + a[2],
-    "min": lambda a: np.minimum(a[0], a[1]),
-    "fmin": lambda a: np.minimum(a[0], a[1]),
-    "max": lambda a: np.maximum(a[0], a[1]),
-    "fmax": lambda a: np.maximum(a[0], a[1]),
-}
+#: ``np.errstate(all="ignore")``): the shared folder/interpreter table of
+#: :mod:`repro.semantics`, so constant folding is bit-identical to runtime.
+_INTRINSIC_IMPLS = INTRINSIC_IMPLS
 
 
 class SimulationError(Exception):
@@ -108,13 +95,10 @@ class SimulationError(Exception):
 
 
 def _storage_dtype(type_: Type):
-    if isinstance(type_, IntType):
-        return np.bool_ if type_.bits == 1 else np.int64
-    if isinstance(type_, FloatType):
-        return np.float32 if type_.bits == 32 else np.float64
-    if isinstance(type_, PointerType):
-        return np.int64
-    raise SimulationError(f"no storage dtype for {type_!r}")
+    try:
+        return storage_dtype(type_)
+    except ValueError as exc:
+        raise SimulationError(str(exc)) from exc
 
 
 def _wrap_int(values: np.ndarray, bits: int) -> np.ndarray:
@@ -162,6 +146,13 @@ class _Edge:
         self.target = target
         self.bump_epoch = bump_epoch
         self.moves = moves              # [(writer, reader), ...] per phi.
+
+
+def _snapshot_reader(read):
+    """Wrap a reader to copy its result, detaching it from the live slot."""
+    def snapshot(ctx, args):
+        return read(ctx, args).copy()
+    return snapshot
 
 
 class _DecodedBlock:
@@ -326,8 +317,19 @@ class SimtMachine:
         target = dblocks[id(dst)]
         bump = 1 if target.rpo <= src_db.rpo else 0  # Back edge.
         # Parallel-copy phi moves: one (writer, incoming reader) per phi.
-        moves = [(self._writer(phi), self._reader(phi.incoming_for(src)))
-                 for phi in dst.phis()]
+        # Readers return the live value slot by reference, so when an
+        # incoming value is itself a phi of ``dst`` (e.g. unmerge resolving
+        # a clone's phi straight to a header phi: v1 <- v3 while the same
+        # edge writes v3), the staged read must snapshot the slot or the
+        # masked write to the sibling phi corrupts it mid-copy.
+        dst_phis = {id(phi) for phi in dst.phis()}
+        moves = []
+        for phi in dst.phis():
+            incoming = phi.incoming_for(src)
+            read = self._reader(incoming)
+            if id(incoming) in dst_phis:
+                read = _snapshot_reader(read)
+            moves.append((self._writer(phi), read))
         return _Edge(target, bump, moves)
 
     def _decode_step(self, inst: Instruction) -> Tuple:
@@ -651,8 +653,13 @@ def _binary_op(opcode: str, lhs: np.ndarray, rhs: np.ndarray,
         if opcode == "mul":
             return _wrap_int(lhs * rhs, bits)
         if opcode in ("sdiv", "srem"):
+            # Exact C-style truncating division in int64 (a float round
+            # trip would corrupt quotients beyond 2^53, diverging from the
+            # folder's exact arithmetic).
             safe = np.where(rhs == 0, 1, rhs)
-            quo = np.fix(lhs / safe).astype(np.int64)
+            quo = lhs // safe
+            rem = lhs - quo * safe
+            quo = quo + ((rem != 0) & ((lhs ^ safe) < 0))
             quo = np.where(rhs == 0, 0, quo)
             if opcode == "sdiv":
                 return _wrap_int(quo, bits)
@@ -671,10 +678,14 @@ def _binary_op(opcode: str, lhs: np.ndarray, rhs: np.ndarray,
             shift = np.clip(rhs, 0, 63)
             return _wrap_int(lhs << shift, bits)
         if opcode == "lshr":
+            # Reinterpret as unsigned at the *operand width*: an i8 -1 is
+            # 0xff, not 2^64-1 (the folder's `unsigned()` does the same).
             shift = np.clip(rhs, 0, 63)
+            u = lhs.astype(np.uint64)
+            if bits < 64:
+                u = u & np.uint64((1 << bits) - 1)
             return _wrap_int(
-                (lhs.astype(np.uint64) >> shift.astype(np.uint64))
-                .astype(np.int64), bits)
+                (u >> shift.astype(np.uint64)).astype(np.int64), bits)
         if opcode == "ashr":
             shift = np.clip(rhs, 0, 63)
             return _wrap_int(lhs >> shift, bits)
@@ -741,12 +752,20 @@ def _cast_op(opcode: str, value: np.ndarray, to_type: Type,
     if opcode in ("sitofp", "uitofp"):
         dtype = np.float32 if isinstance(to_type, FloatType) and \
             to_type.bits == 32 else np.float64
+        if opcode == "uitofp":
+            # Reinterpret the sign-wrapped storage as unsigned at the
+            # source width before the (single-rounding) conversion.
+            assert isinstance(from_type, IntType)
+            u = value.astype(np.int64).astype(np.uint64)
+            if from_type.bits < 64:
+                u = u & np.uint64((1 << from_type.bits) - 1)
+            return u.astype(dtype)
         return value.astype(dtype)
     if opcode == "fptosi":
-        with np.errstate(all="ignore"):
-            clipped = np.nan_to_num(value, nan=0.0,
-                                    posinf=2**62, neginf=-2**62)
-            return np.fix(clipped).astype(np.int64)
+        # Saturating contract (repro.semantics): NaN -> 0, out-of-range
+        # and ±inf clamp to the target width's signed min/max.
+        assert isinstance(to_type, IntType)
+        return fptosi_arrays(value, to_type)
     if opcode in ("fpext", "fptrunc"):
         dtype = np.float32 if isinstance(to_type, FloatType) and \
             to_type.bits == 32 else np.float64

@@ -41,8 +41,11 @@ from ..transforms.heuristic import HeuristicParams, LoopDecision
 from .experiment import Cell
 
 #: Bump when the on-disk entry layout changes; mismatched entries are
-#: discarded and recomputed.
-SCHEMA_VERSION = 1
+#: discarded and recomputed.  v2: folder/interpreter semantics unified
+#: (saturating fptosi, IEEE fdiv, exact sdiv) and LoopDecision gained the
+#: ``applied`` flag.  v3: interpreter phi parallel-copy fix (cells
+#: simulated with phi-to-phi edge moves could hold corrupted outputs).
+SCHEMA_VERSION = 3
 
 #: Environment override for the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

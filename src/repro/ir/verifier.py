@@ -9,7 +9,11 @@ Checks the structural invariants every pass must preserve:
   (uses in phis are checked at the end of the corresponding predecessor);
 * def-use bookkeeping is consistent in both directions;
 * types of stored values, branch conditions etc. line up (mostly enforced at
-  construction, re-checked here for rewired IR).
+  construction, re-checked here for rewired IR);
+* no shift by a constant amount >= the operand width: such shifts are
+  undefined in the folder/interpreter contract (:mod:`repro.semantics`) —
+  the folder refuses them while the interpreter would compute something,
+  so letting one survive a pass would be a latent differential miscompile.
 """
 
 from __future__ import annotations
@@ -17,12 +21,15 @@ from __future__ import annotations
 from typing import Dict, List, Set
 
 from .block import BasicBlock
-from .constants import Constant
+from .constants import Constant, ConstantInt
 from .function import Function
-from .instructions import (CondBranchInst, Instruction, PhiInst,
+from .instructions import (BinaryInst, CondBranchInst, Instruction, PhiInst,
                            TerminatorInst)
 from .module import Module
 from .values import Argument, GlobalVariable, Value
+
+#: Opcodes whose constant right operand must stay below the operand width.
+_SHIFT_OPS = ("shl", "lshr", "ashr")
 
 
 class VerificationError(Exception):
@@ -78,6 +85,14 @@ def _verify_block_structure(func: Function, block: BasicBlock,
     for inst in block.instructions:
         if inst.parent is not block:
             _fail(func, f"instruction {inst!r} has stale parent link")
+        if isinstance(inst, BinaryInst) and inst.opcode in _SHIFT_OPS and \
+                isinstance(inst.rhs, ConstantInt):
+            width = inst.type.bits  # type: ignore[attr-defined]
+            amount = inst.rhs.unsigned()
+            if amount >= width:
+                _fail(func,
+                      f"%{inst.name} in {block.name}: constant over-shift "
+                      f"({inst.opcode} of i{width} by {amount})")
     for succ in block.successors():
         if id(succ) not in block_set:
             _fail(func, f"block {block.name} branches to foreign block "

@@ -1,0 +1,190 @@
+"""The folder/interpreter value-semantics contract.
+
+Every operation that both the compile-time constant folder
+(:mod:`repro.transforms.fold`) and the SIMT interpreter
+(:mod:`repro.gpu.machine`) can evaluate must produce *bit-identical*
+results, otherwise a pass that folds a value the baseline pipeline leaves
+to runtime manifests as a miscompile under differential testing.  This
+module is the single source of truth for the semantics where the two
+sides historically drifted; both import from here.
+
+The documented contract:
+
+* **Integer arithmetic** wraps two's-complement at the operand width.
+  ``sdiv``/``srem`` truncate toward zero and are *exact* over the full
+  i64 range (no float round-trip); division by zero yields quotient 0 and
+  remainder 0 at runtime and refuses to fold.
+* **Shifts** are defined only for amounts in ``[0, width)``.  ``lshr``
+  reinterprets the value as unsigned *at its own width* before shifting.
+  Constant over-shifts are rejected by the IR verifier; the folder refuses
+  them.
+* **``fptosi``** saturates: NaN converts to 0, values beyond the target
+  range (including ±inf) clamp to the target width's signed min/max, and
+  finite in-range values truncate toward zero.  (CUDA's ``cvt.rzi`` has
+  the same saturating behaviour; LLVM's poison-on-overflow is replaced by
+  a total function so folding is always legal.)
+* **``sitofp``/``uitofp``** round via the target format in a single step
+  (numpy's correctly-rounded conversion), so folding a huge i64 constant
+  matches the runtime conversion bit-for-bit — no double rounding through
+  binary64.
+* **``fdiv``** is plain IEEE-754 division: the sign of a zero divisor is
+  honoured (``x / -0.0`` is ``-inf`` for positive finite ``x``), ``0/0``
+  and ``NaN`` operands produce NaN.  ``frem`` follows C ``fmod`` with
+  ``frem(x, 0) = frem(±inf, y) = NaN``.
+* **Pure math intrinsics** are evaluated with the *same numpy kernels at
+  the same storage dtype* on both sides (f32 values use the float32
+  routines), including the interpreter's total-function clamps:
+  ``sqrt(x<0) = 0``, ``exp`` clamps its argument to ±700, ``log`` clamps
+  to ``>= 1e-300``, and ``pow(a, b)`` computes ``|a| ** b``.
+
+``tests/test_fold_and_passes.py`` and the differential fuzzer
+(:mod:`repro.fuzz`) keep the two sides honest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .ir.types import FloatType, IntType, PointerType, Type
+
+#: numpy implementations of the pure math intrinsics.  The SIMT machine
+#: evaluates these over warp vectors; the constant folder evaluates them
+#: over 1-element arrays of the same storage dtype, which by construction
+#: yields the same bits.  All are run under ``np.errstate(all="ignore")``.
+INTRINSIC_IMPLS = {
+    "sqrt": lambda a: np.sqrt(np.maximum(a[0], 0.0)),
+    "fabs": lambda a: np.abs(a[0]),
+    "exp": lambda a: np.exp(np.clip(a[0], -700, 700)),
+    "log": lambda a: np.log(np.maximum(a[0], 1e-300)),
+    "sin": lambda a: np.sin(a[0]),
+    "cos": lambda a: np.cos(a[0]),
+    "atan": lambda a: np.arctan(a[0]),
+    "floor": lambda a: np.floor(a[0]),
+    "pow": lambda a: np.power(np.abs(a[0]), a[1]),
+    "fma": lambda a: a[0] * a[1] + a[2],
+    "min": lambda a: np.minimum(a[0], a[1]),
+    "fmin": lambda a: np.minimum(a[0], a[1]),
+    "max": lambda a: np.maximum(a[0], a[1]),
+    "fmax": lambda a: np.maximum(a[0], a[1]),
+}
+
+
+def storage_dtype(type_: Type):
+    """The numpy dtype a value of ``type_`` occupies in warp registers."""
+    if isinstance(type_, IntType):
+        return np.bool_ if type_.bits == 1 else np.int64
+    if isinstance(type_, FloatType):
+        return np.float32 if type_.bits == 32 else np.float64
+    if isinstance(type_, PointerType):
+        return np.int64
+    raise ValueError(f"no storage dtype for {type_!r}")
+
+
+# ---------------------------------------------------------------------------
+# fptosi: saturating float -> signed int conversion
+# ---------------------------------------------------------------------------
+
+def fptosi_arrays(value: np.ndarray, to_type: IntType) -> np.ndarray:
+    """Saturating truncation of a float vector to ``to_type``'s range.
+
+    NaN -> 0; values beyond the signed range of the target width
+    (including ±inf) clamp to min/max; finite in-range values truncate
+    toward zero.  The result is returned in the int64 storage
+    representation (already within the target width's signed range, so no
+    further wrapping is needed).
+    """
+    lo, hi = to_type.min_signed, to_type.max_signed
+    with np.errstate(all="ignore"):
+        v = value.astype(np.float64)
+        t = np.fix(v)
+        t = np.where(np.isnan(v), 0.0, t)
+        # float(lo) is a power of two, hence exact; float(hi) may round up
+        # to hi + 1 (e.g. 2^63 for i64), in which case t == float(hi)
+        # already means "out of range".
+        hi_f = float(hi)
+        over = (t > hi_f) if int(hi_f) == hi else (t >= hi_f)
+        under = t < float(lo)
+        safe = np.where(over | under, 0.0, t).astype(np.int64)
+        return np.where(over, np.int64(hi),
+                        np.where(under, np.int64(lo), safe))
+
+
+def fptosi_const(value: float, to_type: IntType) -> int:
+    """Scalar :func:`fptosi_arrays` (used by the constant folder)."""
+    out = fptosi_arrays(np.array([value], dtype=np.float64), to_type)
+    return int(out[0])
+
+
+# ---------------------------------------------------------------------------
+# int -> float conversions (single rounding step)
+# ---------------------------------------------------------------------------
+
+def int_to_float_const(value: int, unsigned_value: int, signed: bool,
+                       to_type: FloatType) -> float:
+    """``sitofp``/``uitofp`` of a constant, rounded once via numpy.
+
+    ``value`` is the signed (width-wrapped) payload, ``unsigned_value``
+    its unsigned reinterpretation.  Returning ``float(int)`` here would
+    double-round huge i64 constants through binary64 on the way to f32;
+    numpy's direct conversion matches the interpreter's ``astype``.
+    """
+    dtype = storage_dtype(to_type)
+    if signed:
+        out = np.array([value], dtype=np.int64).astype(dtype)
+    else:
+        out = np.array([unsigned_value], dtype=np.uint64).astype(dtype)
+    return float(out[0])
+
+
+# ---------------------------------------------------------------------------
+# IEEE float division / remainder
+# ---------------------------------------------------------------------------
+
+def fdiv_const(a: float, b: float) -> float:
+    """IEEE-754 division of two finite-or-not doubles (``np.divide``).
+
+    Unlike Python's ``/`` this is total: a zero divisor produces an
+    infinity whose sign is the XOR of the operand signs (``-0.0``
+    matters), and ``0/0`` or NaN operands produce NaN.
+    """
+    import math
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    return a / b
+
+
+def frem_const(a: float, b: float) -> float:
+    """C ``fmod`` semantics, total: ``frem(x, 0)`` and ``frem(±inf, y)``
+    are NaN (what ``np.fmod`` computes at runtime)."""
+    import math
+    if b == 0.0 or math.isinf(a):
+        return math.nan
+    return math.fmod(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Pure intrinsic evaluation over constants
+# ---------------------------------------------------------------------------
+
+def eval_intrinsic_const(name: str, args: Sequence[Union[int, float]],
+                         arg_types: Sequence[Type]) -> Optional[np.generic]:
+    """Evaluate one pure math intrinsic over scalar constants.
+
+    Arguments are lifted to 1-element arrays of their storage dtype and
+    run through the exact numpy kernel the interpreter uses, so f32
+    transcendentals fold to the float32 routine's bits, not a
+    double-rounded libm value.  Returns a numpy scalar, or None when the
+    intrinsic has no pure implementation here (e.g. SIMT geometry).
+    """
+    impl = INTRINSIC_IMPLS.get(name)
+    if impl is None:
+        return None
+    arrays = [np.array([v], dtype=storage_dtype(t))
+              for v, t in zip(args, arg_types)]
+    with np.errstate(all="ignore"):
+        out = impl(arrays)
+    return out[0]

@@ -2,7 +2,10 @@
 
 Shared by SCCP, instcombine and the branch folder in SimplifyCFG.  Integer
 semantics wrap to the operand width (matching the simulator); float
-semantics follow Python/IEEE doubles with binary32 rounding for ``f32``.
+semantics follow IEEE doubles with binary32 rounding for ``f32``.  Every
+case the SIMT interpreter can also reach follows the shared contract in
+:mod:`repro.semantics` — folding must be invisible under differential
+execution (see :mod:`repro.fuzz`).
 """
 
 from __future__ import annotations
@@ -16,6 +19,8 @@ from ..ir.instructions import (BinaryInst, CallInst, CastInst, FCmpInst,
                                ICmpInst, Instruction, SelectInst)
 from ..ir.types import FloatType, IntType
 from ..ir.values import Value
+from ..semantics import (eval_intrinsic_const, fdiv_const, fptosi_const,
+                         frem_const, int_to_float_const)
 
 
 def fold_instruction(inst: Instruction) -> Optional[Constant]:
@@ -118,11 +123,11 @@ def fold_float_binop(opcode: str, lhs: ConstantFloat, rhs: ConstantFloat
         elif opcode == "fmul":
             r = a * b
         elif opcode == "fdiv":
-            r = math.inf if (b == 0.0 and a > 0) else (
-                -math.inf if (b == 0.0 and a < 0) else (
-                    math.nan if (b == 0.0) else a / b))
+            # IEEE division, zero divisors included: the sign of -0.0
+            # selects the infinity's sign, 0/0 and NaN operands give NaN.
+            r = fdiv_const(a, b)
         elif opcode == "frem":
-            r = math.fmod(a, b) if b != 0.0 else math.nan
+            r = frem_const(a, b)
         else:
             return None
     except OverflowError:
@@ -170,16 +175,15 @@ def fold_cast(opcode: str, value: Constant, to_type) -> Optional[Constant]:
             return ConstantInt(to_type, value.unsigned())
         if opcode == "sext" and isinstance(to_type, IntType):
             return ConstantInt(to_type, value.value)
-        if opcode in ("sitofp",) and isinstance(to_type, FloatType):
-            return ConstantFloat(to_type, float(value.value))
-        if opcode in ("uitofp",) and isinstance(to_type, FloatType):
-            return ConstantFloat(to_type, float(value.unsigned()))
+        if opcode in ("sitofp", "uitofp") and isinstance(to_type, FloatType):
+            return ConstantFloat(to_type, int_to_float_const(
+                value.value, value.unsigned(), opcode == "sitofp", to_type))
         return None
     if isinstance(value, ConstantFloat):
         if opcode == "fptosi" and isinstance(to_type, IntType):
-            if math.isnan(value.value) or math.isinf(value.value):
-                return None
-            return ConstantInt(to_type, int(value.value))
+            # Saturating contract (repro.semantics): NaN -> 0, out-of-range
+            # and ±inf clamp to the target's signed min/max.
+            return ConstantInt(to_type, fptosi_const(value.value, to_type))
         if opcode in ("fpext", "fptrunc") and isinstance(to_type, FloatType):
             return ConstantFloat(to_type, value.value)
         return None
@@ -187,27 +191,28 @@ def fold_cast(opcode: str, value: Constant, to_type) -> Optional[Constant]:
 
 
 def fold_intrinsic(inst: CallInst) -> Optional[Constant]:
-    name = inst.intrinsic.name
+    """Fold a pure math intrinsic over constant operands.
+
+    Evaluation goes through :func:`repro.semantics.eval_intrinsic_const`,
+    i.e. the very numpy kernels (at the very storage dtypes) the SIMT
+    interpreter executes — including its total-function clamps
+    (``sqrt(x<0) = 0``, clamped ``exp``/``log``, ``pow(a,b) = |a|**b``) —
+    so an f32 ``sin`` folds to the float32 routine's bits, not to a
+    double-rounded libm value.
+    """
     args = inst.operands
-    unary = {
-        "sqrt": math.sqrt, "fabs": abs, "exp": math.exp, "log": math.log,
-        "sin": math.sin, "cos": math.cos, "atan": math.atan,
-        "floor": math.floor,
-    }
-    try:
-        if name in unary and len(args) == 1 and isinstance(args[0], ConstantFloat):
-            return ConstantFloat(inst.type, unary[name](args[0].value))  # type: ignore[arg-type]
-        if name == "pow" and len(args) == 2 and \
-                all(isinstance(a, ConstantFloat) for a in args):
-            return ConstantFloat(inst.type, args[0].value ** args[1].value)  # type: ignore[attr-defined,arg-type]
-        if name in ("min", "max") and len(args) == 2 and \
-                all(isinstance(a, ConstantInt) for a in args):
-            fn = min if name == "min" else max
-            return ConstantInt(inst.type, fn(args[0].value, args[1].value))  # type: ignore[attr-defined,arg-type]
-        if name in ("fmin", "fmax") and len(args) == 2 and \
-                all(isinstance(a, ConstantFloat) for a in args):
-            fn = min if name == "fmin" else max
-            return ConstantFloat(inst.type, fn(args[0].value, args[1].value))  # type: ignore[attr-defined,arg-type]
-    except (ValueError, OverflowError):
+    if not args:
+        return None  # SIMT geometry (tid.x & co) is pure but lane-varying.
+    if not all(isinstance(a, (ConstantInt, ConstantFloat)) for a in args):
         return None
+    out = eval_intrinsic_const(
+        inst.intrinsic.name,
+        [a.value for a in args],  # type: ignore[union-attr]
+        [a.type for a in args])
+    if out is None:
+        return None
+    if isinstance(inst.type, FloatType):
+        return ConstantFloat(inst.type, float(out))
+    if isinstance(inst.type, IntType):
+        return ConstantInt(inst.type, int(out))
     return None

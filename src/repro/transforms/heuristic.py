@@ -45,6 +45,11 @@ class LoopDecision:
     size: int
     factor: Optional[int]
     reason: str
+    #: Whether the selected transform actually mutated the IR: None for
+    #: unselected loops, False when the loop's header could no longer be
+    #: re-found after an earlier ``apply_uu`` relayout (or the transform
+    #: declined).  ``repro run-heuristic --report`` surfaces skips.
+    applied: Optional[bool] = None
 
 
 def choose_factor(paths: int, size: int, params: HeuristicParams
@@ -138,7 +143,12 @@ class HeuristicUU:
                     target = loop
                     break
             if target is None:
+                # The decision log must not claim success: record the skip
+                # instead of silently continuing.
+                decision.applied = False
                 continue
-            changed |= apply_uu(func, target, decision.factor,
-                                max_instructions=self.max_instructions)
+            did_apply = apply_uu(func, target, decision.factor,
+                                 max_instructions=self.max_instructions)
+            decision.applied = did_apply
+            changed |= did_apply
         return changed

@@ -55,7 +55,8 @@ class CompileResult:
     timed_out: bool = False
 
 
-def _cleanup_passes(branch_facts: bool = True) -> List:
+def cleanup_passes(branch_facts: bool = True) -> List:
+    """Fresh instances of the mid-pipeline cleanup battery (fixpointed)."""
     return [
         InstCombine(),
         GlobalValueNumbering(branch_facts=branch_facts),
@@ -63,6 +64,58 @@ def _cleanup_passes(branch_facts: bool = True) -> List:
         SparseConditionalConstantPropagation(),
         SimplifyCFG(),
         LoadElimination(),
+        DeadCodeElimination(),
+    ]
+
+
+# Backwards-compatible alias (pre-fuzz name).
+_cleanup_passes = cleanup_passes
+
+
+def transform_passes(config: str, *, loop_id: Optional[str] = None,
+                     factor: int = 1,
+                     heuristic: Optional[HeuristicParams] = None,
+                     max_instructions: int = 200_000) -> List:
+    """The experimental transform stage for ``config`` (possibly empty)."""
+    if config == "baseline":
+        return []
+    if config == "unroll":
+        if loop_id is None:
+            raise ValueError("unroll config requires a loop id")
+        return [UnrollPass(loop_id, factor)]
+    if config == "unmerge":
+        if loop_id is None:
+            raise ValueError("unmerge config requires a loop id")
+        return [UnmergePass(loop_id, max_instructions)]
+    if config == "uu":
+        if loop_id is None:
+            raise ValueError("uu config requires a loop id")
+        return [UnrollAndUnmerge(loop_id, factor, max_instructions)]
+    if config == "uu_heuristic":
+        return [HeuristicUU(heuristic or HeuristicParams(),
+                            max_instructions)]
+    raise ValueError(f"unknown configuration {config!r}")
+
+
+def late_passes() -> List:
+    """Fresh instances of the late pipeline stage.
+
+    Stock unroller (skips loops the transform claimed), light cleanup,
+    then late if-conversion producing the baseline's selp forms.
+    Deliberately *no* GVN/load-elim here: LLVM's late pipeline does not
+    re-run the branch-fact machinery over freshly unrolled code either —
+    which is exactly why plain unrolling misses the cross-iteration
+    redundancies u&u exposes (the paper's RQ3 contrast).
+    """
+    return [
+        BaselineUnroll(),
+        InstCombine(),
+        SparseConditionalConstantPropagation(),
+        SimplifyCFG(),
+        DeadCodeElimination(),
+        Predication(),
+        SimplifyCFG(),
+        InstCombine(),
         DeadCodeElimination(),
     ]
 
@@ -83,53 +136,21 @@ def build_pipeline(config: str, *, loop_id: Optional[str] = None,
     if config not in CONFIGS:
         raise ValueError(f"unknown configuration {config!r}")
 
-
-    passes: List = [SimplifyCFG()]
-
     # The experimental transform, placed early (paper Section IV-B).
-    if config == "unroll":
-        if loop_id is None:
-            raise ValueError("unroll config requires a loop id")
-        passes.append(UnrollPass(loop_id, factor))
-    elif config == "unmerge":
-        if loop_id is None:
-            raise ValueError("unmerge config requires a loop id")
-        passes.append(UnmergePass(loop_id, max_instructions))
-    elif config == "uu":
-        if loop_id is None:
-            raise ValueError("uu config requires a loop id")
-        passes.append(UnrollAndUnmerge(loop_id, factor, max_instructions))
-    elif config == "uu_heuristic":
-        passes.append(HeuristicUU(heuristic or HeuristicParams(),
-                                  max_instructions))
+    passes: List = [SimplifyCFG()]
+    passes.extend(transform_passes(config, loop_id=loop_id, factor=factor,
+                                   heuristic=heuristic,
+                                   max_instructions=max_instructions))
 
     # Mid-pipeline cleanup to a fixed point.
-    cleanup = FixpointPassManager(_cleanup_passes(branch_facts),
+    cleanup = FixpointPassManager(cleanup_passes(branch_facts),
                                   verify_each=verify_each)
-
-    # Stock unroller (skips loops the transform claimed), light cleanup,
-    # then late if-conversion producing the baseline's selp forms.
-    # Deliberately *no* GVN/load-elim here: LLVM's late pipeline does not
-    # re-run the branch-fact machinery over freshly unrolled code either —
-    # which is exactly why plain unrolling misses the cross-iteration
-    # redundancies u&u exposes (the paper's RQ3 contrast).
-    late: List = [
-        BaselineUnroll(),
-        InstCombine(),
-        SparseConditionalConstantPropagation(),
-        SimplifyCFG(),
-        DeadCodeElimination(),
-        Predication(),
-        SimplifyCFG(),
-        InstCombine(),
-        DeadCodeElimination(),
-    ]
 
     manager = PassManager(verify_each=verify_each)
     for p in passes:
         manager.add(p)
     manager.add(_NestedManager("cleanup", cleanup))
-    for p in late:
+    for p in late_passes():
         manager.add(p)
     return manager
 

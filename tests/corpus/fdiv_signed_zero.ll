@@ -1,0 +1,34 @@
+; repro-fuzz: {"bug": "fdiv by -0.0 mis-folded; frem(inf, y) crashed the folder", "configs": "all", "source": "handwritten regression"}
+; module fdiv_signed_zero
+define i64 @fdiv_signed_zero(i64 %seed, f64 %noise) {
+entry:
+  %v = fdiv f64 1.5, -0.0
+  %v.1 = fdiv f64 -0.0, 5.0
+  %v.2 = fdiv f32 0.0, -0.0
+  %v.3 = frem f64 inf, 2.0
+  %v.4 = fdiv f64 %noise, 0.0
+  %v.5 = fcmp olt f64 %v.1, 1.0
+  br i1 %v.5, label %if.then, label %if.end
+if.then:                ; preds: entry
+  %v.6 = fsub f64 %v.1, 2.0
+  br label %if.end
+if.end:                ; preds: entry, if.then
+  %b = phi f64 [ %v.1, %entry ], [ %v.6, %if.then ]
+  %v.7 = fmul f64 %v, 0.5
+  %v.8 = fptosi f64 %v.7 to i64
+  %v.9 = mul i64 %v.8, -7046029254386353131
+  %v.10 = fmul f64 %b, 4096.0
+  %v.11 = fptosi f64 %v.10 to i64
+  %v.12 = xor i64 %v.9, %v.11
+  %v.13 = mul i64 %v.12, -7046029254386353131
+  %v.14 = fptosi f32 %v.2 to i64
+  %v.15 = xor i64 %v.13, %v.14
+  %v.16 = mul i64 %v.15, -7046029254386353131
+  %v.17 = fptosi f64 %v.3 to i64
+  %v.18 = xor i64 %v.16, %v.17
+  %v.19 = mul i64 %v.18, -7046029254386353131
+  %v.20 = fmul f64 %v.4, 1e-305
+  %v.21 = fptosi f64 %v.20 to i64
+  %v.22 = xor i64 %v.19, %v.21
+  ret i64 %v.22
+}

@@ -1,0 +1,30 @@
+; repro-fuzz: {"bug": "fptosi truncated instead of saturating", "configs": "all", "source": "handwritten regression"}
+; module fptosi_saturation
+define i64 @fptosi_saturation(i64 %seed, f64 %noise) {
+entry:
+  %v = fptosi f64 3000000000000.0 to i32
+  %v.1 = fptosi f64 -3000000000000.0 to i32
+  %v.2 = fptosi f64 inf to i64
+  %v.3 = fptosi f32 nan to i32
+  %v.4 = fptosi f64 9.3e+18 to i64
+  %v.5 = fptosi f64 -9.3e+18 to i64
+  %v.6 = fmul f64 %noise, 1e+300
+  %v.7 = fptosi f64 %v.6 to i32
+  %v.8 = sext i32 %v to i64
+  %v.9 = mul i64 %v.8, -7046029254386353131
+  %v.10 = sext i32 %v.1 to i64
+  %v.11 = xor i64 %v.9, %v.10
+  %v.12 = mul i64 %v.11, -7046029254386353131
+  %v.13 = xor i64 %v.12, %v.2
+  %v.14 = mul i64 %v.13, -7046029254386353131
+  %v.15 = sext i32 %v.3 to i64
+  %v.16 = xor i64 %v.14, %v.15
+  %v.17 = mul i64 %v.16, -7046029254386353131
+  %v.18 = xor i64 %v.17, %v.4
+  %v.19 = mul i64 %v.18, -7046029254386353131
+  %v.20 = xor i64 %v.19, %v.5
+  %v.21 = mul i64 %v.20, -7046029254386353131
+  %v.22 = sext i32 %v.7 to i64
+  %v.23 = xor i64 %v.21, %v.22
+  ret i64 %v.23
+}

@@ -1,0 +1,219 @@
+; repro-fuzz: {"configs": "all", "seed": 7, "source": "generator anchor"}
+; module fuzz7
+define i64 @fuzz7(i64 %seed, f64 %noise) {
+entry:
+  %v = and i64 %seed, 1023
+  %v.1 = trunc i64 %v to i32
+  %v.2 = fptrunc f64 %noise to f32
+  %v.3 = call i64 @tid.x()
+  %v.4 = srem i64 %v.3, 2
+  %v.5 = icmp slt i64 %v.4, 0
+  br i1 %v.5, label %if.then, label %if.else
+if.then:                ; preds: entry
+  %v.6 = call i64 @tid.x()
+  %v.7 = trunc i64 %v.6 to i32
+  %v.8 = srem i32 %v.7, 2
+  %v.9 = icmp sle i32 %v.8, 1
+  br i1 %v.9, label %if.then.1, label %if.else.1
+if.end:                ; preds: if.end.1, if.end.2
+  %f4 = phi f32 [ %f4.1, %if.end.1 ], [ %f4.2, %if.end.2 ]
+  %f5 = phi f32 [ %f5.1, %if.end.1 ], [ %f5.2, %if.end.2 ]
+  %v.43 = fptosi f32 %f4 to i64
+  %v.44 = trunc i64 %v.43 to i32
+  %v.45 = sdiv i64 -10, -4
+  %v.46 = call i64 @tid.x()
+  %v.47 = xor i64 -9188169845631956885, %v.46
+  %v.48 = and i64 %v.45, %v.47
+  %v.49 = sext i32 -40 to i64
+  %v.50 = fptosi f32 %f4 to i64
+  %v.51 = sub i64 %v.49, %v.50
+  %v.52 = and i64 %v.48, %v.51
+  %v.53 = or i32 -6, %v.44
+  %v.54 = icmp ne i32 %v.53, -7
+  br i1 %v.54, label %if.then.5, label %if.else.4
+if.else:                ; preds: entry
+  %v.18 = call i64 @tid.x()
+  %v.19 = srem i64 %v.18, 7
+  %v.20 = icmp sle i64 %v.19, 4
+  br i1 %v.20, label %if.then.2, label %if.else.2
+if.then.1:                ; preds: if.then
+  %v.10 = call f32 @exp(f32 %v.2)
+  %v.11 = fptosi f64 -40.047 to i32
+  %v.12 = fptosi f32 %v.10 to i32
+  %v.13 = or i32 %v.11, %v.12
+  %v.14 = shl i32 %v.13, 7
+  %v.15 = ashr i64 -52, 7
+  br label %if.end.1
+if.end.1:                ; preds: if.then.1, if.else.1
+  %f4.1 = phi f32 [ %v.2, %if.then.1 ], [ nan, %if.else.1 ]
+  %f5.1 = phi f32 [ %v.10, %if.then.1 ], [ nan, %if.else.1 ]
+  br label %if.end
+if.else.1:                ; preds: if.then
+  %v.16 = add i32 0, 2147483646
+  %v.17 = call i64 @max(i64 3, i64 -1002750821430351451)
+  br label %if.end.1
+if.then.2:                ; preds: if.else
+  %v.21 = frem f32 nan, nan
+  br label %if.end.2
+if.end.2:                ; preds: if.then.2, if.end.3
+  %f4.2 = phi f32 [ %v.2, %if.then.2 ], [ %f4.3, %if.end.3 ]
+  %f5.2 = phi f32 [ %v.21, %if.then.2 ], [ %f5.3, %if.end.3 ]
+  br label %if.end
+if.else.2:                ; preds: if.else
+  %v.22 = call i64 @tid.x()
+  %v.23 = trunc i64 %v.22 to i32
+  %v.24 = add i32 %v.23, %v.1
+  %v.25 = fptosi f64 -28.861 to i32
+  %v.26 = icmp ne i32 %v.24, %v.25
+  br i1 %v.26, label %if.then.3, label %if.else.3
+if.then.3:                ; preds: if.else.2
+  %v.27 = trunc i64 -52 to i32
+  %v.28 = srem i32 -1499283267, -2
+  %v.29 = call i32 @max(i32 %v.27, i32 %v.28)
+  %v.30 = trunc i64 -52 to i32
+  %v.31 = ashr i32 %v.30, 1
+  %v.32 = srem i32 %v.29, %v.31
+  br label %if.end.3
+if.end.3:                ; preds: if.then.3, if.end.4
+  %f4.3 = phi f32 [ %v.2, %if.then.3 ], [ %f4.4, %if.end.4 ]
+  %f5.3 = phi f32 [ nan, %if.then.3 ], [ %f5.4, %if.end.4 ]
+  br label %if.end.2
+if.else.3:                ; preds: if.else.2
+  %v.33 = call i64 @tid.x()
+  %v.34 = srem i64 %v.33, 3
+  %v.35 = icmp slt i64 %v.34, 1
+  br i1 %v.35, label %if.then.4, label %if.end.4
+if.then.4:                ; preds: if.else.3
+  %v.36 = call f32 @sqrt(f32 1.0000000031710769e-30)
+  %v.37 = fptrunc f64 0.5 to f32
+  %v.38 = call f32 @fabs(f32 %v.37)
+  %v.39 = fdiv f32 98.62100219726562, -82.822998046875
+  %v.40 = fmul f32 %v.38, %v.39
+  %v.41 = call i64 @tid.x()
+  %v.42 = mul i64 -52, %v.41
+  br label %if.end.4
+if.end.4:                ; preds: if.else.3, if.then.4
+  %f4.4 = phi f32 [ %v.2, %if.else.3 ], [ %v.40, %if.then.4 ]
+  %f5.4 = phi f32 [ nan, %if.else.3 ], [ %v.36, %if.then.4 ]
+  br label %if.end.3
+if.then.5:                ; preds: if.end
+  %v.55 = call i64 @tid.x()
+  %v.56 = trunc i64 %v.55 to i32
+  %v.57 = srem i32 %v.56, 2
+  %v.58 = icmp slt i32 %v.57, 0
+  br i1 %v.58, label %if.then.6, label %if.else.5
+if.end.5:                ; preds: if.end.6, if.end.9
+  %v1.3 = phi i32 [ %v1, %if.end.6 ], [ %v1.4, %if.end.9 ]
+  %v2.5 = phi i64 [ %v.79, %if.end.6 ], [ %v2.6, %if.end.9 ]
+  %v3.6 = phi i32 [ %v.78, %if.end.6 ], [ %v3.7, %if.end.9 ]
+  %f4.5 = phi f32 [ %f4, %if.end.6 ], [ %f4.9, %if.end.9 ]
+  %v.101 = sext i32 %v1.3 to i64
+  %v.102 = mul i64 %v.101, -7046029254386353131
+  %v.103 = xor i64 %v.102, %v2.5
+  %v.104 = mul i64 %v.103, -7046029254386353131
+  %v.105 = sext i32 %v3.6 to i64
+  %v.106 = xor i64 %v.104, %v.105
+  %v.107 = mul i64 %v.106, 2685821657736338717
+  %v.108 = fmul f32 %f4.5, 4096.0
+  %v.109 = fptosi f32 %v.108 to i64
+  %v.110 = xor i64 %v.107, %v.109
+  %v.111 = mul i64 %v.110, 2685821657736338717
+  %v.112 = fmul f32 %f5, 4096.0
+  %v.113 = fptosi f32 %v.112 to i64
+  %v.114 = xor i64 %v.111, %v.113
+  ret i64 %v.114
+if.else.4:                ; preds: if.end
+  %v.80 = call i64 @tid.x()
+  %v.81 = trunc i64 %v.80 to i32
+  %v.82 = srem i32 %v.81, 2
+  %v.83 = icmp eq i32 %v.82, 0
+  br i1 %v.83, label %if.then.9, label %if.else.8
+if.then.6:                ; preds: if.then.5
+  br label %if.end.6
+if.end.6:                ; preds: if.then.6, if.end.7
+  %v1 = phi i32 [ %v.44, %if.then.6 ], [ %v1.1, %if.end.7 ]
+  %v.72 = trunc i64 %v.52 to i32
+  %v.73 = call i64 @tid.x()
+  %v.74 = trunc i64 %v.73 to i32
+  %v.75 = sdiv i32 2147483647, %v.74
+  %v.76 = shl i32 %v1, 3
+  %v.77 = sdiv i32 %v.75, %v.76
+  %v.78 = call i32 @min(i32 %v.72, i32 %v.77)
+  %v.79 = srem i64 2245032509745296594, -1
+  br label %if.end.5
+if.else.5:                ; preds: if.then.5
+  %v.59 = call i64 @tid.x()
+  %v.60 = srem i64 %v.59, 6
+  %v.61 = icmp sle i64 %v.60, 5
+  br i1 %v.61, label %if.then.7, label %if.else.6
+if.then.7:                ; preds: if.else.5
+  br label %if.end.7
+if.end.7:                ; preds: if.then.7, if.end.8
+  %v1.1 = phi i32 [ 71987252, %if.then.7 ], [ %v1.2, %if.end.8 ]
+  br label %if.end.6
+if.else.6:                ; preds: if.else.5
+  %v.62 = call i64 @tid.x()
+  %v.63 = srem i64 %v.62, 6
+  %v.64 = icmp sle i64 %v.63, 5
+  br i1 %v.64, label %if.then.8, label %if.else.7
+if.then.8:                ; preds: if.else.6
+  %v.65 = fptosi f32 1.0000000031710769e-30 to i64
+  %v.66 = trunc i64 %v.65 to i32
+  %v.67 = frem f32 %f5, -50.30099868774414
+  %v.68 = fptosi f32 %v.67 to i32
+  %v.69 = add i32 %v.66, %v.68
+  br label %if.end.8
+if.end.8:                ; preds: if.then.8, if.else.7
+  %v1.2 = phi i32 [ %v.69, %if.then.8 ], [ %v.44, %if.else.7 ]
+  br label %if.end.7
+if.else.7:                ; preds: if.else.6
+  %v.70 = call i64 @tid.x()
+  %v.71 = trunc i64 %v.70 to i32
+  br label %if.end.8
+if.then.9:                ; preds: if.else.4
+  br label %while.cond
+if.end.9:                ; preds: while.end, while.end.1
+  %v1.4 = phi i32 [ %v1.5, %while.end ], [ %v.44, %while.end.1 ]
+  %v2.6 = phi i64 [ %v.89, %while.end ], [ %v.100, %while.end.1 ]
+  %v3.7 = phi i32 [ %v3.5, %while.end ], [ %v3.8, %while.end.1 ]
+  %f4.9 = phi f32 [ %f4, %while.end ], [ %f4.11, %while.end.1 ]
+  br label %if.end.5
+if.else.8:                ; preds: if.else.4
+  br label %while.cond.1
+while.cond:                ; preds: if.then.9, while.body
+  %i6 = phi i64 [ 0, %if.then.9 ], [ %v.88, %while.body ]
+  %v3.5 = phi i32 [ -40, %if.then.9 ], [ %v.87, %while.body ]
+  %v1.5 = phi i32 [ %v.44, %if.then.9 ], [ %v3.5, %while.body ]
+  %v.84 = icmp slt i64 %i6, 2
+  br i1 %v.84, label %while.body, label %while.end
+while.body:                ; preds: while.cond
+  %v.85 = mul i64 %i6, 4
+  %v.86 = trunc i64 %v.85 to i32
+  %v.87 = add i32 %v3.5, %v.86
+  %v.88 = add i64 %i6, 1
+  br label %while.cond
+while.end:                ; preds: while.cond
+  %v.89 = call i64 @min(i64 %v.52, i64 %v.52)
+  br label %if.end.9
+while.cond.1:                ; preds: if.else.8, while.body.1
+  %i7 = phi i64 [ 0, %if.else.8 ], [ %v.99, %while.body.1 ]
+  %v2.4 = phi i64 [ %v.52, %if.else.8 ], [ %v.98, %while.body.1 ]
+  %v3.8 = phi i32 [ -40, %if.else.8 ], [ %v.96, %while.body.1 ]
+  %f4.11 = phi f32 [ %f4, %if.else.8 ], [ %v.91, %while.body.1 ]
+  %v.90 = icmp slt i64 %i7, 4
+  br i1 %v.90, label %while.body.1, label %while.end.1
+while.body.1:                ; preds: while.cond.1
+  %v.91 = fdiv f32 -63.689998626708984, 2.0
+  %v.92 = call i64 @tid.x()
+  %v.93 = xor i64 -13, %v.92
+  %v.94 = call i64 @tid.x()
+  %v.95 = mul i64 %v.93, %v.94
+  %v.96 = trunc i64 %v.95 to i32
+  %v.97 = mul i64 %i7, 1
+  %v.98 = add i64 %v2.4, %v.97
+  %v.99 = add i64 %i7, 1
+  br label %while.cond.1
+while.end.1:                ; preds: while.cond.1
+  %v.100 = shl i64 %v2.4, 7
+  br label %if.end.9
+}

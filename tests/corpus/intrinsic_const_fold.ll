@@ -1,0 +1,33 @@
+; repro-fuzz: {"bug": "fold_intrinsic used libm doubles, diverging from the interpreter's clamped numpy float32 kernels", "configs": "all", "source": "handwritten regression"}
+; module intrinsic_const_fold
+define i64 @intrinsic_const_fold(i64 %seed, f64 %noise) {
+entry:
+  %v = call f64 @exp(f64 -800.0)
+  %v.1 = call f32 @pow(f32 -2.0, f32 3.0)
+  %v.2 = call f64 @sqrt(f64 -4.0)
+  %v.3 = call f32 @sin(f32 1.0000000150474662e+30)
+  %v.4 = call f64 @log(f64 0.0)
+  %v.5 = fmul f64 %noise, -500.0
+  %v.6 = call f64 @exp(f64 %v.5)
+  %v.7 = fmul f64 %v, 1e+300
+  %v.8 = fptosi f64 %v.7 to i64
+  %v.9 = mul i64 %v.8, -7046029254386353131
+  %v.10 = fptosi f32 %v.1 to i64
+  %v.11 = xor i64 %v.9, %v.10
+  %v.12 = mul i64 %v.11, -7046029254386353131
+  %v.13 = fptosi f64 %v.2 to i64
+  %v.14 = xor i64 %v.12, %v.13
+  %v.15 = mul i64 %v.14, -7046029254386353131
+  %v.16 = fpext f32 %v.3 to f64
+  %v.17 = fmul f64 %v.16, 4096.0
+  %v.18 = fptosi f64 %v.17 to i64
+  %v.19 = xor i64 %v.15, %v.18
+  %v.20 = mul i64 %v.19, -7046029254386353131
+  %v.21 = fptosi f64 %v.4 to i64
+  %v.22 = xor i64 %v.20, %v.21
+  %v.23 = mul i64 %v.22, -7046029254386353131
+  %v.24 = fmul f64 %v.6, 2.0
+  %v.25 = fptosi f64 %v.24 to i64
+  %v.26 = xor i64 %v.23, %v.25
+  ret i64 %v.26
+}

@@ -1,0 +1,50 @@
+; repro-fuzz: {"bug": "edge phi moves staged reads by reference; when unmerge resolves a clone's phi straight to a header phi the masked write to a sibling phi corrupted the staged value", "config": "unmerge", "culprit": "interpreter phi parallel-copy (exposed by unmerge)", "kind": "mismatch", "seed": 80, "source": "repro fuzz reduce"}
+; module fuzz80
+define i64 @fuzz80(i64 %seed, f64 %noise) {
+entry:
+  %v = fptrunc f64 %noise to f32
+  %v.1 = add i64 -4169877953204843554, 9223372036854775806
+  br label %while.cond
+while.cond:                ; preds: entry, if.end
+  %i7 = phi i64 [ 0, %entry ], [ %v.14, %if.end ]
+  %v3 = phi i64 [ 38, %entry ], [ %v.13, %if.end ]
+  %v1 = phi i64 [ %v.1, %entry ], [ %v1.1, %if.end ]
+  %f5 = phi f64 [ -89.122, %entry ], [ %v.11, %if.end ]
+  %v.2 = icmp slt i64 %i7, 2
+  br i1 %v.2, label %while.body, label %while.end
+while.body:                ; preds: while.cond
+  %v.3 = call i64 @tid.x()
+  %v.4 = add i64 %v.3, 30
+  %v.5 = icmp eq i64 30, %v.4
+  br i1 %v.5, label %if.then, label %if.else
+while.end:                ; preds: while.cond
+  %v.15 = mul i64 %v1, -7046029254386353131
+  %v.16 = xor i64 %v.15, 30
+  %v.17 = mul i64 %v.16, -7046029254386353131
+  %v.18 = xor i64 %v.17, %v3
+  %v.19 = mul i64 %v.18, 2685821657736338717
+  %v.20 = fmul f32 %v, 4096.0
+  %v.21 = fptosi f32 %v.20 to i64
+  %v.22 = xor i64 %v.19, %v.21
+  %v.23 = mul i64 %v.22, 2685821657736338717
+  %v.24 = fmul f64 %f5, 4096.0
+  %v.25 = fptosi f64 %v.24 to i64
+  %v.26 = xor i64 %v.23, %v.25
+  ret i64 %v.26
+if.then:                ; preds: while.body
+  %v.6 = call i64 @tid.x()
+  %v.7 = sub i64 %v.6, %v3
+  br label %if.end
+if.end:                ; preds: if.then, if.else
+  %v1.1 = phi i64 [ %v.7, %if.then ], [ %v3, %if.else ]
+  %v.8 = call f32 @fmin(f32 %v, f32 %v)
+  %v.9 = fptrunc f64 -74.519 to f32
+  %v.10 = fsub f32 %v.8, %v.9
+  %v.11 = fpext f32 %v.10 to f64
+  %v.12 = mul i64 %i7, 3
+  %v.13 = add i64 %v3, %v.12
+  %v.14 = add i64 %i7, 1
+  br label %while.cond
+if.else:                ; preds: while.body
+  br label %if.end
+}

@@ -1,0 +1,30 @@
+; repro-fuzz: {"bug": "interpreter sdiv/srem round-tripped through float64, corrupting quotients beyond 2^53", "configs": "all", "source": "handwritten regression"}
+; module sdiv_exact_large
+define i64 @sdiv_exact_large(i64 %seed, f64 %noise) {
+entry:
+  %v = or i64 %seed, 4611686018427400249
+  %v.1 = sdiv i64 %v, -7
+  %v.2 = srem i64 %v, 1000000007
+  %v.3 = sdiv i64 4611686018427487895, 3
+  %v.4 = sdiv i64 %v, 0
+  br label %while.cond
+while.cond:                ; preds: entry, while.body
+  %i = phi i64 [ 0, %entry ], [ %v.9, %while.body ]
+  %b = phi i64 [ %v.1, %entry ], [ %v.8, %while.body ]
+  %v.5 = icmp slt i64 %i, 3
+  br i1 %v.5, label %while.body, label %while.end
+while.body:                ; preds: while.cond
+  %v.6 = add i64 %i, 11
+  %v.7 = srem i64 %v, %v.6
+  %v.8 = add i64 %b, %v.7
+  %v.9 = add i64 %i, 1
+  br label %while.cond
+while.end:                ; preds: while.cond
+  %v.10 = mul i64 %b, -7046029254386353131
+  %v.11 = xor i64 %v.10, %v.2
+  %v.12 = mul i64 %v.11, -7046029254386353131
+  %v.13 = xor i64 %v.12, %v.3
+  %v.14 = mul i64 %v.13, -7046029254386353131
+  %v.15 = xor i64 %v.14, %v.4
+  ret i64 %v.15
+}

@@ -1,0 +1,43 @@
+; repro-fuzz: {"bug": "lshr at i8/i16 used the full 64-bit pattern instead of masking to the operand width", "configs": "all", "source": "handwritten regression"}
+; module corpus_shift
+define i64 @shift_widths(i64 %seed) {
+entry:
+  %v = trunc i64 %seed to i8
+  %v.1 = trunc i64 %seed to i16
+  %v.2 = shl i8 %v, 3
+  %v.3 = lshr i8 %v, 4
+  %v.4 = ashr i8 %v, 7
+  %v.5 = lshr i8 -1, 4
+  %v.6 = shl i16 -3, 13
+  %v.7 = lshr i16 %v.1, 15
+  %v.8 = ashr i1 1, 0
+  %v.9 = lshr i64 %seed, 1
+  %v.10 = shl i64 %seed, 63
+  %v.11 = ashr i64 -1, 63
+  %v.12 = sext i8 %v.2 to i64
+  %v.13 = sext i8 %v.3 to i64
+  %v.14 = mul i64 %v.12, -7046029254386353131
+  %v.15 = xor i64 %v.14, %v.13
+  %v.16 = sext i8 %v.4 to i64
+  %v.17 = mul i64 %v.15, -7046029254386353131
+  %v.18 = xor i64 %v.17, %v.16
+  %v.19 = sext i8 %v.5 to i64
+  %v.20 = mul i64 %v.18, -7046029254386353131
+  %v.21 = xor i64 %v.20, %v.19
+  %v.22 = sext i16 %v.6 to i64
+  %v.23 = mul i64 %v.21, -7046029254386353131
+  %v.24 = xor i64 %v.23, %v.22
+  %v.25 = sext i16 %v.7 to i64
+  %v.26 = mul i64 %v.24, -7046029254386353131
+  %v.27 = xor i64 %v.26, %v.25
+  %v.28 = sext i1 %v.8 to i64
+  %v.29 = mul i64 %v.27, -7046029254386353131
+  %v.30 = xor i64 %v.29, %v.28
+  %v.31 = mul i64 %v.30, -7046029254386353131
+  %v.32 = xor i64 %v.31, %v.9
+  %v.33 = mul i64 %v.32, -7046029254386353131
+  %v.34 = xor i64 %v.33, %v.10
+  %v.35 = mul i64 %v.34, -7046029254386353131
+  %v.36 = xor i64 %v.35, %v.11
+  ret i64 %v.36
+}

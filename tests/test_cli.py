@@ -55,3 +55,50 @@ class TestCommands:
         assert main(["table1", "--app", "complex"]) == 0
         out = capsys.readouterr().out
         assert "TABLE I" in out and "complex" in out
+
+
+class TestFuzzCommands:
+    def test_fuzz_commands_parse(self):
+        parser = build_parser()
+        for argv in (["fuzz", "run", "--seed", "3", "--count", "7",
+                      "-j", "2", "--no-bisect"],
+                     ["fuzz", "run", "--save-corpus", "--out", "/tmp/x"],
+                     ["fuzz", "reduce", "--seed", "5"],
+                     ["fuzz", "corpus", "--lanes", "8"]):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+    def test_fuzz_reduce_requires_seed(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "reduce"])
+
+    def test_fuzz_run_clean_seeds(self, capsys):
+        assert main(["fuzz", "run", "--seed", "0", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergences found" in out
+        assert "fuzzed 2 kernels" in out
+
+    def test_fuzz_reduce_clean_seed(self, capsys):
+        assert main(["fuzz", "reduce", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to reduce" in out
+
+    def test_fuzz_corpus_replays_entries(self, capsys):
+        assert main(["fuzz", "corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "fptosi_saturation" in out
+        assert "FAIL" not in out
+
+    def test_fuzz_corpus_empty_dir(self, capsys, tmp_path):
+        assert main(["fuzz", "corpus", "--dir", str(tmp_path)]) == 0
+        assert "no corpus entries" in capsys.readouterr().out
+
+
+class TestHeuristicReport:
+    def test_report_lists_decisions(self, capsys):
+        assert main(["run-heuristic", "--app", "complex",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "factor=" in out
+        # Every selected loop either applied or is flagged as skipped.
+        assert "[applied]" in out or "SKIPPED" in out

@@ -1,17 +1,19 @@
 """Tests for constant folding primitives, pass manager, and pipelines."""
 
+import math
 import time
 
 import pytest
 
+from repro.gpu.machine import SimtMachine
 from repro.ir import (ConstantFloat, ConstantInt, Module, parse_function,
                       parse_module, verify_module)
 from repro.ir import types as T
 from repro.transforms import (CONFIGS, CompileTimeout, DeadCodeElimination,
                               FixpointPassManager, PassManager, SimplifyCFG,
                               build_pipeline, compile_module)
-from repro.transforms.fold import (fold_fcmp, fold_icmp, fold_int_binop,
-                                   fold_float_binop)
+from repro.transforms.fold import (fold_cast, fold_fcmp, fold_icmp,
+                                   fold_int_binop, fold_float_binop)
 
 
 class TestIntFold:
@@ -145,3 +147,110 @@ class TestPipelines:
         result = compile_module(module, "baseline", timeout_seconds=-1.0)
         assert result.timed_out
         verify_module(module)  # Timed-out modules stay structurally valid.
+
+
+def _fdiv(a, b):
+    return fold_float_binop("fdiv", ConstantFloat(T.F64, a),
+                            ConstantFloat(T.F64, b)).value
+
+
+class TestIEEEDivisionFold:
+    """fdiv/frem folds follow IEEE 754, zero divisors included — the
+    interpreter's numpy semantics, not Python's ZeroDivisionError."""
+
+    def test_sign_of_zero_divisor_selects_infinity(self):
+        assert _fdiv(1.5, -0.0) == float("-inf")
+        assert _fdiv(1.5, 0.0) == float("inf")
+        assert _fdiv(-2.0, 0.0) == float("-inf")
+
+    def test_negative_zero_result_keeps_its_sign(self):
+        r = _fdiv(-0.0, 5.0)
+        assert r == 0.0
+        assert math.copysign(1.0, r) == -1.0
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(_fdiv(0.0, -0.0))
+        assert math.isnan(_fdiv(-0.0, 0.0))
+        assert math.isnan(_fdiv(float("nan"), 2.0))
+
+    def test_frem_is_total_on_infinite_numerator(self):
+        r = fold_float_binop("frem", ConstantFloat(T.F64, float("inf")),
+                             ConstantFloat(T.F64, 2.0)).value
+        assert math.isnan(r)
+
+
+class TestFptosiSaturation:
+    """fptosi folds saturate exactly like the interpreter."""
+
+    def _cast(self, value, to_type):
+        return fold_cast("fptosi", ConstantFloat(T.F64, value), to_type).value
+
+    def test_nan_is_zero(self):
+        assert self._cast(float("nan"), T.I32) == 0
+
+    def test_infinities_clamp(self):
+        assert self._cast(float("inf"), T.I32) == 2**31 - 1
+        assert self._cast(float("-inf"), T.I32) == -(2**31)
+
+    def test_out_of_range_clamps(self):
+        assert self._cast(3.0e12, T.I32) == 2**31 - 1
+        assert self._cast(-3.0e12, T.I32) == -(2**31)
+        assert self._cast(9.3e18, T.I64) == 2**63 - 1
+        assert self._cast(-9.3e18, T.I64) == -(2**63)
+
+    def test_int64_max_rounding_edge(self):
+        # float(2**63 - 1) rounds *up* to 2**63; the clamp must still
+        # produce INT64_MAX, not wrap.
+        assert self._cast(float(2**63 - 1), T.I64) == 2**63 - 1
+
+    def test_in_range_truncates_toward_zero(self):
+        assert self._cast(-123.9, T.I32) == -123
+        assert self._cast(123.9, T.I32) == 123
+
+
+SHIFT_KERNEL = """
+define {ty} @f({ty} %x, {ty} %s) {{
+entry:
+  %r = {op} {ty} %x, %s
+  ret {ty} %r
+}}
+"""
+
+
+def _signed(value, bits):
+    mask = (1 << bits) - 1
+    value &= mask
+    return value - (1 << bits) if value >> (bits - 1) else value
+
+
+class TestShiftAgreement:
+    """Folder and interpreter agree on shifts at every supported width.
+
+    Shift amounts arrive as runtime arguments so nothing folds in the
+    kernel; the folder is consulted directly on matching constants.
+    """
+
+    WIDTHS = [("i1", T.I1, 1), ("i8", T.I8, 8),
+              ("i32", T.I32, 32), ("i64", T.I64, 64)]
+
+    @pytest.mark.parametrize("op", ["shl", "lshr", "ashr"])
+    @pytest.mark.parametrize("ty,itype,bits", WIDTHS,
+                             ids=[w[0] for w in WIDTHS])
+    def test_machine_matches_folder(self, op, ty, itype, bits):
+        module = parse_module(SHIFT_KERNEL.format(ty=ty, op=op), "shift")
+        machine = SimtMachine(module)
+        func = module.functions["f"]
+        mask = (1 << bits) - 1
+        values = sorted({_signed(v, bits) for v in
+                         (0, 1, -1, 5, -7, (1 << (bits - 1)) - 1,
+                          -(1 << (bits - 1)))})
+        amounts = sorted({a for a in (0, 1, bits // 2, bits - 1)
+                          if a < bits})
+        for x in values:
+            for s in amounts:
+                ret, _ = machine.run_function(func, [x, s], 1)
+                folded = fold_int_binop(op, ConstantInt(itype, x),
+                                        ConstantInt(itype, s))
+                assert folded is not None, (ty, op, x, s)
+                assert int(ret[0]) & mask == folded.value & mask, \
+                    (ty, op, x, s, int(ret[0]), folded.value)

@@ -1,0 +1,119 @@
+"""Fuzz tooling tests: oracle, bisector, and reducer on a known miscompile.
+
+The miscompile is *injected*: ``repro.transforms.fold.fptosi_const`` is
+monkeypatched back to the pre-fix truncating behavior (C-cast wrapping
+instead of the interpreter's saturating contract).  Constant folding then
+disagrees with runtime execution on out-of-range ``fptosi`` — exactly the
+class of bug the fuzzing subsystem exists to catch — and the tools must
+(a) flag it, (b) name the folding pass, and (c) shrink the repro.
+"""
+
+import math
+
+import pytest
+
+from repro.frontend.ast import (Assign, BinOp, Call, Cast, Cmp, For, If,
+                                KernelDef, Lit, Param, Return, V)
+from repro.fuzz.bisect import bisect_divergence
+from repro.fuzz.oracle import (ConfigSpec, run_differential,
+                               subject_from_kernel)
+from repro.fuzz.reduce import (block_count, first_failure, reduce_failure,
+                               statement_count)
+
+#: The poisoned constant: far outside i32 range, so the saturating
+#: interpreter clamps to INT32_MAX while the buggy folder wraps.
+BIG = 3.0e12
+
+
+def _broken_fptosi(value, to_type):
+    """Pre-fix fold_cast behavior: truncate and wrap, no saturation."""
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    return int(value)  # ConstantInt wraps the overflow to the width
+
+
+def _poison_kernel() -> KernelDef:
+    """Small structured kernel whose only bug is the poisoned constant."""
+    body = [
+        Assign("a", Cast("i32", BinOp("&", V("seed"), Lit(255)))),
+        For("i", Lit(0), Lit(4),
+            [Assign("a", BinOp("+", V("a"), Cast("i32", V("i"))))]),
+        If(Cmp("<", Cast("i32", Call("tid.x")), Lit(7)),
+           [Assign("a", BinOp("*", V("a"), Lit(3)))],
+           [Assign("a", BinOp("-", V("a"), Lit(1)))]),
+        Assign("x", Cast("i32", Lit(BIG, "f64"))),
+        Return(BinOp("^", Cast("i64", V("a")), Cast("i64", V("x")))),
+    ]
+    return KernelDef("poison", [Param("seed", "i64"), Param("noise", "f64")],
+                     body, "i64")
+
+
+@pytest.fixture
+def broken_fold(monkeypatch):
+    monkeypatch.setattr("repro.transforms.fold.fptosi_const",
+                        _broken_fptosi)
+
+
+class TestOracleCatchesInjectedBug:
+    def test_clean_without_injection(self):
+        report = run_differential(subject_from_kernel(_poison_kernel()))
+        assert report.ok, "\n".join(o.describe() for o in report.failures)
+
+    def test_all_configs_mismatch_with_injection(self, broken_fold):
+        report = run_differential(subject_from_kernel(_poison_kernel()))
+        assert not report.ok
+        # The cleanup battery folds the constant in every configuration,
+        # including baseline: the unoptimized reference is the anchor.
+        baseline = next(o for o in report.outcomes
+                        if o.spec.config == "baseline")
+        assert not baseline.ok
+        assert baseline.kind == "mismatch"
+        assert "lane" in baseline.detail
+
+
+class TestBisector:
+    def test_names_the_folding_pass(self, broken_fold):
+        subject = subject_from_kernel(_poison_kernel())
+        result = bisect_divergence(subject, ConfigSpec("baseline"))
+        assert result is not None
+        assert result.kind == "mismatch"
+        # Both instcombine and SCCP fold casts; whichever runs first on
+        # the poisoned constant is the honest culprit.
+        assert result.culprit in ("instcombine", "sccp")
+        assert result.step >= 1
+        assert result.trail[result.step - 1] == result.culprit
+
+    def test_returns_none_when_clean(self):
+        subject = subject_from_kernel(_poison_kernel())
+        assert bisect_divergence(subject, ConfigSpec("baseline")) is None
+
+
+class TestReducer:
+    def test_shrinks_to_minimal_repro(self, broken_fold):
+        kernel = _poison_kernel()
+        report = run_differential(subject_from_kernel(kernel))
+        spec = first_failure(report)
+        assert spec is not None
+
+        reduced = reduce_failure(kernel, spec)
+        # The loop and the divergent branch are noise; only the poisoned
+        # cast and the return can remain interesting.
+        assert statement_count(reduced.body) < statement_count(kernel.body)
+        assert statement_count(reduced.body) <= 3
+        assert block_count(reduced) <= 15
+
+        # The reduced kernel still reproduces the failure...
+        failing = run_differential(subject_from_kernel(reduced))
+        assert not failing.ok
+        # ...and the bisector still names the same culprit on it.
+        found = bisect_divergence(subject_from_kernel(reduced), spec)
+        assert found is not None
+        assert found.culprit in ("instcombine", "sccp")
+
+    def test_reduction_is_deterministic(self, broken_fold):
+        kernel_a = _poison_kernel()
+        spec = first_failure(run_differential(subject_from_kernel(kernel_a)))
+        reduced_a = reduce_failure(kernel_a, spec)
+        reduced_b = reduce_failure(_poison_kernel(), spec)
+        assert statement_count(reduced_a.body) == \
+            statement_count(reduced_b.body)

@@ -270,3 +270,63 @@ spin:
         m.max_cycles = 10_000
         with pytest.raises(SimulationError, match="exceeded"):
             m.run_function("f", [], lanes=1)
+
+
+class TestPhiParallelCopy:
+    """Edge phi moves are a parallel copy: all incomings read before any
+    phi is written, even when an incoming *is* a sibling phi of the
+    target block (phi swaps/rotations — the shape unmerge produces when
+    it resolves a clone's phi straight to a header phi)."""
+
+    SWAP = """
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %a = phi i64 [ 1, %entry ], [ %b, %loop ]
+  %b = phi i64 [ 2, %entry ], [ %a, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  %hi = mul i64 %a, 10
+  %r = add i64 %hi, %b
+  ret i64 %r
+}
+"""
+
+    def test_phi_swap_round_trips(self):
+        m, _ = machine_for(self.SWAP)
+        # Each back edge swaps (a, b); after an even number of swaps the
+        # pair is back to (1, 2).
+        assert m.run_function("f", [3], lanes=1)[0][0] == 12  # 2 swaps
+        assert m.run_function("f", [2], lanes=1)[0][0] == 21  # 1 swap
+
+    def test_phi_rotation_divergent_lanes(self):
+        text = """
+define i64 @f(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %a = phi i64 [ %tid, %entry ], [ %b, %loop ]
+  %b = phi i64 [ 100, %entry ], [ %c2, %loop ]
+  %c2 = phi i64 [ 200, %entry ], [ %a, %loop ]
+  %next = add i64 %i, 1
+  %cond = icmp slt i64 %next, %n
+  br i1 %cond, label %loop, label %exit
+exit:
+  %h1 = mul i64 %a, 1000000
+  %h2 = mul i64 %b, 1000
+  %s = add i64 %h1, %h2
+  %r = add i64 %s, %c2
+  ret i64 %r
+}
+"""
+        m, _ = machine_for(text)
+        ret, _ = m.run_function("f", [4], lanes=2)
+        # 3 rotations of (tid, 100, 200): back to the start.
+        assert ret[0] == 0 * 1000000 + 100 * 1000 + 200
+        assert ret[1] == 1 * 1000000 + 100 * 1000 + 200

@@ -142,3 +142,42 @@ dead:
 """)
         # Dominance violations inside unreachable code are tolerated.
         verify_function(f)
+
+
+class TestOverShift:
+    """Constant shift amounts >= the operand width are rejected: the
+    folder refuses them while the interpreter would compute something,
+    so letting one survive a pass is a latent differential miscompile."""
+
+    def _shift_func(self, ty, amount):
+        return parse_function(f"""
+define {ty} @f({ty} %x) {{
+entry:
+  %r = shl {ty} %x, {amount}
+  ret {ty} %r
+}}
+""")
+
+    def test_over_shift_rejected(self):
+        f = self._shift_func("i8", 9)
+        with pytest.raises(VerificationError, match="over-shift"):
+            verify_function(f)
+
+    def test_exact_width_rejected(self):
+        f = self._shift_func("i8", 8)
+        with pytest.raises(VerificationError, match="over-shift"):
+            verify_function(f)
+
+    def test_width_minus_one_accepted(self):
+        verify_function(self._shift_func("i8", 7))
+        verify_function(self._shift_func("i64", 63))
+
+    def test_runtime_amount_not_flagged(self):
+        f = parse_function("""
+define i8 @f(i8 %x, i8 %s) {
+entry:
+  %r = lshr i8 %x, %s
+  ret i8 %r
+}
+""")
+        verify_function(f)

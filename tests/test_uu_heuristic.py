@@ -212,3 +212,46 @@ exit:
         off = select_loops(f, info, HeuristicParams(avoid_divergent=False))
         assert on[0].factor is None and "divergent" in on[0].reason
         assert off[0].factor is not None
+
+
+class TestAppliedFlag:
+    """LoopDecision.applied distinguishes planned from executed u&u."""
+
+    def test_selected_loops_report_applied(self):
+        f = parse_function(BRANCHY_LOOP)
+        pass_ = HeuristicUU(HeuristicParams())
+        assert pass_.run(f)
+        selected = [d for d in pass_.decisions if d.factor is not None]
+        assert selected
+        assert all(d.applied is True for d in selected)
+
+    def test_unselected_loops_stay_unmarked(self):
+        f = parse_function(CONVERGENT_LOOP)
+        pass_ = HeuristicUU(HeuristicParams())
+        pass_.run(f)
+        assert pass_.decisions
+        assert all(d.factor is None and d.applied is None
+                   for d in pass_.decisions)
+
+    def test_header_not_refound_marks_skip(self, monkeypatch):
+        """If relayout loses a selected header, the decision says so."""
+        from types import SimpleNamespace
+
+        f = parse_function(BRANCHY_LOOP)
+        real_compute = LoopInfo.compute
+        calls = {"n": 0}
+
+        def fake_compute(func):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return real_compute(func)   # selection sees the real loop
+            return SimpleNamespace(loops=[])  # re-find comes up empty
+
+        monkeypatch.setattr("repro.transforms.heuristic.LoopInfo",
+                            SimpleNamespace(compute=fake_compute))
+        pass_ = HeuristicUU(HeuristicParams())
+        assert pass_.run(f) is False        # nothing actually changed
+        selected = [d for d in pass_.decisions if d.factor is not None]
+        assert selected
+        assert all(d.applied is False for d in selected)
+        verify_function(f)                  # and the function is untouched
