@@ -15,6 +15,7 @@ import time
 import pytest
 
 from repro.bench import benchmark_by_name
+from repro.harness.benchinterp import _KERNELS, bench_kernel
 
 #: Recorded best-of-5 wall-clock budget (seconds) for one XSBench workload
 #: run (build excluded) on the reference container.
@@ -38,3 +39,26 @@ def test_xsbench_simulation_within_budget():
         f"XSBench simulation best-of-5 took {best:.3f}s, over the "
         f"{limit:.3f}s guard ({SLACK}x the recorded {XSBENCH_RUN_BUDGET_S}s "
         f"budget) — did the interpreter fast path regress?")
+
+
+#: Required batched-over-per-warp speedup on a uniform multi-warp launch.
+#: The reference container measures ~3.5-4x at 16 warps; 2x leaves
+#: headroom for noisy machines while still catching the failure mode
+#: that matters (the batched engine silently degenerating to per-warp
+#: execution, which would read ~1.0x).
+BATCHED_MIN_SPEEDUP = 2.0
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SKIP_PERF") == "1",
+                    reason="REPRO_SKIP_PERF=1")
+def test_batched_engine_speedup_on_uniform_launch():
+    name, needs_buf, text = _KERNELS[0]
+    assert name == "uniform"
+    # Warm-up launch (parse + numpy dispatch caches), then median-of-3
+    # per engine inside bench_kernel.
+    bench_kernel(name, needs_buf, text, warps=16, repeats=1, trips=50)
+    row = bench_kernel(name, needs_buf, text, warps=16, repeats=3)
+    assert row.speedup >= BATCHED_MIN_SPEEDUP, (
+        f"batched engine only {row.speedup:.2f}x over per-warp on a "
+        f"uniform 16-warp launch (floor {BATCHED_MIN_SPEEDUP}x) — is the "
+        f"launch still being executed as one lattice?")

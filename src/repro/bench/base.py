@@ -91,13 +91,15 @@ class Benchmark:
         return lower_kernels(self.kernels(), self.name)
 
     def run(self, module: Module,
-            icache_capacity: Optional[int] = None
+            icache_capacity: Optional[int] = None,
+            engine: Optional[str] = None
             ) -> Tuple[Dict[str, np.ndarray], Counters]:
         """Execute the workload on a fresh memory; returns outputs+counters."""
         rng = np.random.default_rng(self.seed)
         mem = Memory()
         buffers = self.setup(mem, rng)
-        machine = SimtMachine(module, mem, icache_capacity=icache_capacity)
+        machine = SimtMachine(module, mem, icache_capacity=icache_capacity,
+                              engine=engine)
         total = Counters()
         for launch in self.launches():
             args = [buffers[a[1]] if isinstance(a, tuple) and a[0] == "buf"

@@ -15,13 +15,17 @@ provides the same operations:
     python -m repro indepth                   # Section V counter analyses
     python -m repro ptx --app XSBench --kernel grid_search [--config uu ...]
     python -m repro cache stats|clear         # persistent cell cache
+    python -m repro summary [--profile]       # headline geomeans (+profile)
+    python -m repro bench-interp              # engine micro-benchmark
     python -m repro fuzz run --seed 0 --count 200   # differential fuzzing
     python -m repro fuzz reduce --seed 41           # shrink one failure
     python -m repro fuzz corpus                     # re-check tests/corpus/
 
 Sweeps fan out over worker processes (``--jobs/-j``, default all cores)
 and reuse cells from the persistent cache under ``results/.cellcache/``
-(``--no-cache`` bypasses it).
+(``--no-cache`` bypasses it).  ``--engine {batched,warp}`` (or
+``REPRO_ENGINE``) selects the SIMT execution engine; the engines are
+bit-identical, so this only affects wall-clock.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ import sys
 from typing import List, Optional
 
 from .bench import all_benchmarks, benchmark_by_name
+from .gpu.machine import ENGINES
 from .harness import ExperimentRunner
 from .harness import fig6, fig7, fig8, indepth, table1
 from .harness.cache import CellCache
@@ -41,7 +46,8 @@ def _runner(args) -> ExperimentRunner:
     return ParallelRunner(max_instructions=args.max_instructions,
                           compile_timeout=args.timeout,
                           jobs=getattr(args, "jobs", None),
-                          use_cache=not getattr(args, "no_cache", False))
+                          use_cache=not getattr(args, "no_cache", False),
+                          engine=getattr(args, "engine", None))
 
 
 def _benches(args) -> List:
@@ -279,6 +285,32 @@ def cmd_fuzz_corpus(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_summary(args) -> int:
+    from .harness.summary import format_profile, heuristic_summary
+
+    if args.profile:
+        # Phase timings accumulate inside the worker that ran each cell;
+        # profile serially (and without cache hits) so they cover the run.
+        runner: ExperimentRunner = ExperimentRunner(
+            max_instructions=args.max_instructions,
+            compile_timeout=args.timeout,
+            engine=getattr(args, "engine", None))
+    else:
+        runner = _runner(args)
+    print(heuristic_summary(runner, _benches(args)).format())
+    if args.profile:
+        print()
+        print(format_profile(runner))
+    return 0
+
+
+def cmd_bench_interp(args) -> int:
+    from .harness.benchinterp import run_report
+
+    print(run_report(warps=args.warps, repeats=args.repeats))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--max-instructions", type=int, default=8000,
@@ -291,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: REPRO_JOBS or all cores)")
     common.add_argument("--no-cache", action="store_true",
                         help="ignore the persistent cell cache")
+    common.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="SIMT execution engine (default: REPRO_ENGINE "
+                             "or 'batched'); engines are bit-identical, "
+                             "this only affects wall-clock")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -335,6 +371,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("indepth", parents=[common],
                    help="Section V counter analyses") \
         .set_defaults(fn=cmd_indepth)
+
+    p = sub.add_parser("summary", parents=[common],
+                       help="headline heuristic geomeans (paper Section IV)")
+    p.add_argument("--profile", action="store_true",
+                   help="also print phase/per-pass timing and the simulated "
+                        "cycle breakdown by opcode category (runs serially "
+                        "so the timings are honest wall clock)")
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("bench-interp",
+                       help="micro-benchmark the batched vs per-warp "
+                            "execution engines (warp-steps/sec)")
+    p.add_argument("--warps", type=int, default=8,
+                   help="warps per launch for the micro-kernels (default 8)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timed repeats per engine; the median is reported "
+                        "(default 3)")
+    p.set_defaults(fn=cmd_bench_interp)
 
     p = sub.add_parser("cache", help="persistent cell-cache maintenance")
     p.add_argument("action", choices=["stats", "clear"],

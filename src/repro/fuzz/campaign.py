@@ -14,10 +14,13 @@ for every divergence it finds.
 
 from __future__ import annotations
 
+import random
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
+
+import numpy as np
 
 from ..harness.parallel import resolve_jobs
 from .bisect import bisect_divergence
@@ -103,6 +106,15 @@ def _worker(payload: Tuple[int, int, bool]
             ) -> Tuple[int, int, List[FailureRecord], Optional[str]]:
     """Top-level (picklable) per-seed worker with failure isolation."""
     seed, lanes, bisect = payload
+    # Pool workers are reused across seeds, so any code consulting the
+    # global RNGs (``random``/numpy legacy) would otherwise see state that
+    # depends on which seeds this worker processed before this one.
+    # Re-seeding from the fuzz seed makes ``fuzz run --jobs N`` outcomes
+    # independent of worker scheduling (the generator itself already uses
+    # its own ``random.Random(seed)``, but pass/harness code must not be
+    # able to break determinism through the globals).
+    random.seed(seed)
+    np.random.seed(seed & 0xFFFFFFFF)
     try:
         checked, failures = fuzz_one(seed, lanes, bisect)
         return seed, checked, failures, None

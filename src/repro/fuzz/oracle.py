@@ -156,9 +156,15 @@ def default_args(func: Function) -> List:
     return args
 
 
-def execute(module: Module, lanes: int = LANES) -> Dict[str, np.ndarray]:
-    """Per-lane return values of every function, on one warp."""
-    machine = SimtMachine(module)
+def execute(module: Module, lanes: int = LANES,
+            engine: Optional[str] = None) -> Dict[str, np.ndarray]:
+    """Per-lane return values of every function, on one warp.
+
+    ``engine`` selects the execution engine; the engines are bit-identical
+    by contract, and single-warp subjects take the per-warp path anyway,
+    so the oracle treats them as interchangeable.
+    """
+    machine = SimtMachine(module, engine=engine)
     outputs: Dict[str, np.ndarray] = {}
     for name, func in module.functions.items():
         ret, _ = machine.run_function(func, default_args(func), lanes)
@@ -211,7 +217,8 @@ def config_specs(module: Module) -> List[ConfigSpec]:
 
 def run_config(subject: Subject, spec: ConfigSpec,
                reference: Dict[str, np.ndarray], lanes: int = LANES,
-               max_instructions: int = MAX_INSTRUCTIONS) -> ConfigOutcome:
+               max_instructions: int = MAX_INSTRUCTIONS,
+               engine: Optional[str] = None) -> ConfigOutcome:
     """Compile one configuration and compare its outputs to the reference."""
     module = subject.build()
     try:
@@ -225,7 +232,7 @@ def run_config(subject: Subject, spec: ConfigSpec,
         return ConfigOutcome(spec, False, "crash",
                              f"{type(exc).__name__}: {exc}")
     try:
-        outputs = execute(module, lanes)
+        outputs = execute(module, lanes, engine=engine)
     except Exception as exc:  # noqa: BLE001
         return ConfigOutcome(spec, False, "crash",
                              f"interpreting optimized IR: "
@@ -237,14 +244,15 @@ def run_config(subject: Subject, spec: ConfigSpec,
 
 
 def run_differential(subject: Subject, lanes: int = LANES,
-                     max_instructions: int = MAX_INSTRUCTIONS
-                     ) -> KernelReport:
+                     max_instructions: int = MAX_INSTRUCTIONS,
+                     engine: Optional[str] = None) -> KernelReport:
     """Check ``subject`` under every applicable configuration."""
     module = subject.build()
     verify_module(module)  # a broken *unoptimized* module is a subject bug
-    reference = execute(module, lanes)
+    reference = execute(module, lanes, engine=engine)
     report = KernelReport(subject.name, subject.seed)
     for spec in config_specs(module):
         report.outcomes.append(
-            run_config(subject, spec, reference, lanes, max_instructions))
+            run_config(subject, spec, reference, lanes, max_instructions,
+                       engine=engine))
     return report

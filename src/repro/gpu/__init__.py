@@ -1,14 +1,16 @@
 """SIMT GPU simulation substrate (the stand-in for the paper's V100)."""
 
-from .counters import Counters
+from .counters import CATEGORIES, Counters
 from .icache import InstructionCache
-from .machine import (LaunchResult, SimtMachine, SimulationError, WARP_SIZE)
+from .machine import (ENGINE_ENV, ENGINES, LaunchResult, SimtMachine,
+                      SimulationError, WARP_SIZE, resolve_engine)
 from .memory import Memory, MemoryStats, SEGMENT_BYTES
 from .timing import CLOCK_HZ, cycles_to_ms
 
 __all__ = [
     "SimtMachine", "LaunchResult", "SimulationError", "WARP_SIZE",
+    "ENGINE_ENV", "ENGINES", "resolve_engine",
     "Memory", "MemoryStats", "SEGMENT_BYTES",
-    "Counters", "InstructionCache",
+    "Counters", "CATEGORIES", "InstructionCache",
     "CLOCK_HZ", "cycles_to_ms",
 ]

@@ -1,0 +1,487 @@
+"""Launch-vectorized batched execution engine.
+
+Executes *all* warps of a kernel launch as one ``(n_warps, 32)`` numpy
+value lattice instead of looping over warps in Python.  Most HeCBench-style
+kernels are control-uniform across warps — every warp runs the same decoded
+block schedule, only the lane data differs — so one vectorized pass over
+the dispatch list replaces ``n_warps`` serial interpreter passes.
+
+Batching invariant
+------------------
+A batch stays together while every warp makes the *same* control decision:
+at each conditional branch the per-warp outcome is classified as
+``taken | not-taken | intra-warp-divergent``.  While the classification is
+uniform across all rows, every warp's group scheduler would behave
+identically (same blocks, same epochs, same merge/sort/pop sequence, same
+icache access stream), so one representative schedule — and one
+representative :class:`~repro.gpu.icache.InstructionCache` — stands in for
+all of them.  The moment warps disagree, the batch *splits* into per-class
+sub-batches (which keep running vectorized) and singleton classes *demote*
+onto :class:`~repro.gpu.machine.SimtMachine`'s per-warp path, resuming from
+the exact divergence point with their sliced register state, seeded
+counters, and a cloned icache.
+
+Bit-identicality contract
+-------------------------
+Return values, counters, and cycle totals equal the per-warp engine
+*exactly* (``tests/test_engine_equivalence.py``), which is what lets the
+persistent cell cache omit the engine from its keys and the fuzz oracle
+treat engines as interchangeable.  The two float-sensitive points:
+
+* per-warp cycle/stall accumulators are kept as ``(n,)`` float64 vectors
+  updated elementwise in the *same step order* as the serial engine, with
+  the same :func:`~repro.gpu.timing.charge` expression shape — IEEE doubles
+  make the per-row sums bit-identical;
+* the final reduction into the launch :class:`~repro.gpu.counters.Counters`
+  runs in original warp order (block-major), because float addition is not
+  associative.  Integer counters commute and aggregate directly.
+
+Memory transaction counting stays per-warp: loads/stores loop over the
+rows of the lattice calling :meth:`Memory.load`/:meth:`Memory.store` once
+per warp access, so coalescing statistics and latency charges match the
+serial engine per warp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .counters import Counters, N_CATEGORIES
+from .icache import InstructionCache
+from .memory import Memory
+from .timing import ACTIVITY_FRACTION, ISSUE_FIXED_FRACTION
+from .machine import (WARP_SIZE, SimulationError, _CAT_CONTROL, _CAT_MISC,
+                      _BR_COST, _CONDBR_COST, _PHI_COST, _RET_COST,
+                      _K_VALUE, _K_VOID, _T_BR, _T_CONDBR, _T_RET,
+                      _T_UNREACHABLE, _WarpContext, _geometry_vec)
+
+# Per-row conditional-branch classification (bit 1: any lane taken,
+# bit 0: any lane not taken).  A live mask row is never empty, so 0 cannot
+# occur; 3 is intra-warp divergence, which every row shares or the batch
+# splits.
+_CLS_DIVERGENT = 3
+_CLS_TAKEN = 2
+_CLS_NOT_TAKEN = 1
+
+
+class _BatchContext:
+    """Register state for a batch of warps: ``(n, 32)`` value lattices.
+
+    Mirrors :class:`~repro.gpu.machine._WarpContext` field-for-field so the
+    decoded readers/writers/intrinsics work on either; ``rows`` maps each
+    lattice row back to its original (block-major) warp index for the final
+    ordered reduction.
+    """
+
+    __slots__ = ("values", "lane_ids", "block_ids", "ctaid", "ntid",
+                 "nctaid", "block_dim", "grid_dim", "rows", "n", "allocas",
+                 "ret_values")
+
+    def __init__(self, lane_ids: np.ndarray, block_ids: np.ndarray,
+                 block_dim: int, grid_dim: int, rows: np.ndarray) -> None:
+        self.values: Dict[int, np.ndarray] = {}
+        self.lane_ids = lane_ids                  # (n, 32) in-block tids.
+        self.block_ids = block_ids                # (n,) owning block ids.
+        self.ctaid = np.broadcast_to(block_ids[:, None], lane_ids.shape)
+        self.ntid = _geometry_vec(block_dim)      # (32,) broadcasts up.
+        self.nctaid = _geometry_vec(grid_dim)
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.rows = rows                          # (n,) original warp rows.
+        self.n = lane_ids.shape[0]
+        self.allocas: Dict[int, np.ndarray] = {}  # inst id -> (n,) bases.
+        self.ret_values: Optional[np.ndarray] = None
+
+    def alloca_addrs(self, memory: Memory, inst) -> np.ndarray:
+        """Per-lane alloca base addresses, one buffer per warp row.
+
+        Allocation *order* differs from the serial engine (which allocates
+        lazily as each warp reaches the alloca), but every allocation is
+        256-byte aligned, so 32-byte-segment transaction counts — the only
+        address-derived quantity in the timing model — are unaffected.
+        """
+        bases = self.allocas.get(id(inst))
+        if bases is None:
+            dtype = repr(inst.element_type)
+            count = inst.count * WARP_SIZE
+            bases = np.empty(self.n, dtype=np.int64)
+            for pos in range(self.n):
+                bases[pos] = memory.alloc(
+                    f"__alloca_{inst.name}_{id(self):x}_{int(self.rows[pos])}",
+                    dtype, count)
+            self.allocas[id(inst)] = bases
+        elem = inst.element_type.size_bytes()
+        stride = inst.count * elem
+        return bases[:, None] + np.arange(WARP_SIZE, dtype=np.int64) * stride
+
+
+class _BatchState:
+    """One batch mid-execution: context, accumulators, schedule, icache."""
+
+    __slots__ = ("ctx", "cycles", "memory_stall", "cat_cycles", "icache",
+                 "groups")
+
+    def __init__(self, ctx: _BatchContext, cycles: np.ndarray,
+                 memory_stall: np.ndarray, cat_cycles: np.ndarray,
+                 icache: InstructionCache, groups: List) -> None:
+        self.ctx = ctx
+        self.cycles = cycles              # (n,) float64 per-warp cycles.
+        self.memory_stall = memory_stall  # (n,) float64 memory stalls.
+        self.cat_cycles = cat_cycles      # (n, N_CATEGORIES) float64.
+        self.icache = icache              # Representative for all rows.
+        self.groups = groups              # [(epoch, db, (n, 32) mask)].
+
+
+class _Results:
+    """Per-original-warp outcome sinks, reduced in warp order at the end."""
+
+    __slots__ = ("cycles", "memory_stall", "cat", "fetch", "ret")
+
+    def __init__(self, n: int) -> None:
+        self.cycles = [0.0] * n
+        self.memory_stall = [0.0] * n
+        self.cat = [[0.0] * N_CATEGORIES for _ in range(n)]
+        self.fetch = [0] * n
+        self.ret: List[Optional[np.ndarray]] = [None] * n
+
+
+def _note_batch(total: Counters, category: str, n: int,
+                active_sum: int) -> None:
+    """``Counters.note_issue`` for ``n`` warps at once (ints commute)."""
+    total.inst_executed += n
+    total.thread_inst_executed += active_sum
+    total.active_lane_sum += active_sum
+    if category == "misc":
+        total.inst_misc += active_sum
+    elif category == "control":
+        total.inst_control += active_sum
+    elif category == "int":
+        total.inst_int += active_sum
+    elif category == "fp":
+        total.inst_fp += active_sum
+    elif category == "load":
+        total.inst_load += active_sum
+    elif category == "store":
+        total.inst_store += active_sum
+
+
+def _merge_ints(total: Counters, counters: Counters) -> None:
+    """Fold a demoted warp's integer counters into the launch total.
+
+    Float fields (cycles, stalls, category cycles) go through the ordered
+    per-warp reduction instead, to match serial summation order.
+    """
+    for name in ("inst_executed", "thread_inst_executed", "active_lane_sum",
+                 "inst_misc", "inst_control", "inst_int", "inst_fp",
+                 "inst_load", "inst_store", "divergent_branches", "branches"):
+        setattr(total, name, getattr(total, name) + getattr(counters, name))
+
+
+def _issue_factor(actives: np.ndarray) -> np.ndarray:
+    """Vectorized ``charge`` factor, same expression shape as the scalar."""
+    return ISSUE_FIXED_FRACTION + ACTIVITY_FRACTION * actives / WARP_SIZE
+
+
+def run_launch_batched(machine, func, entry, grid_dim: int, block_dim: int,
+                       args: Sequence, total: Counters
+                       ) -> Tuple[List[np.ndarray], int]:
+    """Run one launch on the batched engine.
+
+    Fills ``total``'s integer counters as it goes, then reduces the float
+    accumulators in original warp order.  Returns ``(ret_all,
+    fetch_stalls)`` exactly as the serial loop in ``launch()`` would.
+    """
+    warps = (block_dim + WARP_SIZE - 1) // WARP_SIZE
+    n = grid_dim * warps
+    arg_values = machine._bind_args(func, args)
+    warp_lanes = (np.arange(warps, dtype=np.int64)[:, None] * WARP_SIZE
+                  + np.arange(WARP_SIZE, dtype=np.int64))
+    lane_ids = np.tile(warp_lanes, (grid_dim, 1))
+    block_ids = np.repeat(np.arange(grid_dim, dtype=np.int64), warps)
+    ctx = _BatchContext(lane_ids, block_ids, block_dim, grid_dim,
+                        np.arange(n))
+    icache = InstructionCache(machine._icache_capacity) \
+        if machine._icache_capacity else InstructionCache()
+    active = lane_ids < block_dim
+    state = _BatchState(ctx, np.zeros(n), np.zeros(n),
+                        np.zeros((n, N_CATEGORIES)), icache,
+                        [(0, entry, active)])
+    results = _Results(n)
+    worklist = [state]
+    while worklist:
+        _run_state(machine, func, worklist.pop(), arg_values, total,
+                   results, worklist)
+
+    # Ordered float reduction: serial `total.merge(per_warp_counters)` adds
+    # warp totals block-major; match that order bit-for-bit.
+    ret_all: List[np.ndarray] = []
+    fetch_stalls = 0
+    for w in range(n):
+        total.cycles += results.cycles[w]
+        total.memory_stall_cycles += results.memory_stall[w]
+        cat = results.cat[w]
+        for i in range(N_CATEGORIES):
+            total.cat_cycles[i] += cat[i]
+        fetch_stalls += results.fetch[w]
+        if results.ret[w] is not None:
+            ret_all.append(results.ret[w])
+    return ret_all, fetch_stalls
+
+
+def _run_state(machine, func, state: _BatchState, arg_values, total,
+               results: _Results, worklist: List[_BatchState]) -> None:
+    """Drive one batch: the serial group scheduler, lifted to the lattice.
+
+    Merge groups parked at the same block (ORing the (n, 32) masks), run
+    the laggard (min ``(epoch, rpo)``), and repeat — identical pop order to
+    what every row's serial scheduler would produce, by the batching
+    invariant.  Splits/demotes and abandons the state on cross-warp
+    divergence; records results when the schedule drains.
+    """
+    while state.groups:
+        if float(state.cycles.max()) > machine.max_cycles:
+            raise SimulationError(
+                f"@{func.name}: exceeded {machine.max_cycles} cycles "
+                "(runaway kernel?)")
+        merged: Dict[int, Tuple] = {}
+        for epoch, db, mask in state.groups:
+            existing = merged.get(db.block_id)
+            if existing is None:
+                merged[db.block_id] = (epoch, db, mask)
+            else:
+                merged[db.block_id] = (max(existing[0], epoch), db,
+                                       existing[2] | mask)
+        groups = list(merged.values())
+        groups.sort(key=lambda g: (g[0], g[1].rpo), reverse=True)
+        epoch, db, mask = groups.pop()
+        state.groups = groups
+        if not mask.any():
+            continue
+        state.cycles += state.icache.access(db.block_id, db.size)
+        pending = _exec_block(machine, func, db, epoch, mask, state,
+                              arg_values, total)
+        if pending is not None:
+            _split_state(machine, func, state, arg_values, pending, total,
+                         results, worklist)
+            return
+    _finish_state(state, results)
+
+
+def _exec_block(machine, func, db, epoch: int, mask: np.ndarray,
+                state: _BatchState, arg_values, total: Counters):
+    """Execute one decoded block for the whole batch.
+
+    Returns ``None`` when the batch stays together, or the pending
+    conditional-branch split ``(true_edge, false_edge, epoch, t_mask,
+    f_mask, cls)`` when warps disagree.
+    """
+    ctx = state.ctx
+    n = mask.shape[0]
+    actives = np.count_nonzero(mask, axis=1)
+    active_sum = int(actives.sum())
+    factor = _issue_factor(actives)
+    cycles = state.cycles
+    cat = state.cat_cycles
+    for category, cat_idx, cost, kind, run, brun, write in db.steps:
+        _note_batch(total, category, n, active_sum)
+        c = cost * factor
+        cycles += c
+        cat[:, cat_idx] += c
+        if kind == _K_VALUE:
+            write(ctx, run(ctx, arg_values), mask)
+        elif kind != _K_VOID:
+            brun(ctx, arg_values, mask, actives, state)
+
+    term_kind = db.term_kind
+    if term_kind == _T_BR:
+        _note_batch(total, "control", n, active_sum)
+        c = _BR_COST * factor
+        cycles += c
+        cat[:, _CAT_CONTROL] += c
+        total.branches += n
+        _follow_batch(db.term, epoch, mask, state, arg_values, total)
+        return None
+    if term_kind == _T_CONDBR:
+        _note_batch(total, "control", n, active_sum)
+        c = _CONDBR_COST * factor
+        cycles += c
+        cat[:, _CAT_CONTROL] += c
+        total.branches += n
+        read_cond, true_edge, false_edge = db.term
+        cond = read_cond(ctx, arg_values).astype(bool)
+        if cond.shape != mask.shape:
+            cond = np.broadcast_to(cond, mask.shape)
+        t_mask = mask & cond
+        f_mask = mask & ~cond
+        t_any = t_mask.any(axis=1)
+        f_any = f_mask.any(axis=1)
+        cls = (t_any.astype(np.int8) << 1) | f_any.astype(np.int8)
+        first = int(cls[0])
+        if bool((cls == first).all()):
+            if first == _CLS_DIVERGENT:
+                total.divergent_branches += n
+                _follow_batch(true_edge, epoch, t_mask, state, arg_values,
+                              total)
+                _follow_batch(false_edge, epoch, f_mask, state, arg_values,
+                              total)
+            elif first == _CLS_TAKEN:
+                _follow_batch(true_edge, epoch, t_mask, state, arg_values,
+                              total)
+            else:
+                _follow_batch(false_edge, epoch, f_mask, state, arg_values,
+                              total)
+            return None
+        return (true_edge, false_edge, epoch, t_mask, f_mask, cls)
+    if term_kind == _T_RET:
+        _note_batch(total, "control", n, active_sum)
+        c = _RET_COST * factor
+        cycles += c
+        cat[:, _CAT_CONTROL] += c
+        read_value, dtype = db.term
+        if read_value is not None:
+            value = read_value(ctx, arg_values)
+            if value.shape != mask.shape:
+                value = np.broadcast_to(value, mask.shape)
+            if ctx.ret_values is None:
+                ctx.ret_values = np.zeros(mask.shape, dtype=dtype)
+            ctx.ret_values[mask] = value[mask]
+        return None
+    if term_kind == _T_UNREACHABLE:
+        raise SimulationError(
+            f"@{func.name}: executed unreachable in {db.name}")
+    raise SimulationError(
+        f"@{func.name}: block {db.name} has no terminator")
+
+
+def _follow_batch(edge, epoch: int, mask: np.ndarray, state: _BatchState,
+                  arg_values, total: Counters) -> None:
+    """Batched ``_follow``: phi edge-moves over the lattice, then park."""
+    moves = edge.moves
+    ctx = state.ctx
+    if moves and mask.any():
+        actives = np.count_nonzero(mask, axis=1)
+        active_sum = int(actives.sum())
+        n = mask.shape[0]
+        c = _PHI_COST * _issue_factor(actives)
+        # Parallel-copy semantics: read all incomings before writing.
+        staged = [(write, read(ctx, arg_values)) for write, read in moves]
+        for write, value in staged:
+            _note_batch(total, "misc", n, active_sum)  # One mov per phi.
+            state.cycles += c
+            state.cat_cycles[:, _CAT_MISC] += c
+            write(ctx, value, mask)
+    state.groups.append((epoch + edge.bump_epoch, edge.target, mask))
+
+
+def _split_state(machine, func, state: _BatchState, arg_values, pending,
+                 total: Counters, results: _Results,
+                 worklist: List[_BatchState]) -> None:
+    """Partition a diverged batch by branch class and keep going.
+
+    Classes with >= 2 rows continue as sliced sub-batches (fancy-indexed
+    copies of every lattice, cloned icache); singletons demote to the
+    per-warp engine, which resumes from the divergence point.
+    """
+    true_edge, false_edge, epoch, t_mask, f_mask, cls = pending
+    for value in (_CLS_DIVERGENT, _CLS_TAKEN, _CLS_NOT_TAKEN):
+        idx = np.flatnonzero(cls == value)
+        if idx.size == 0:
+            continue
+        if idx.size == 1:
+            _demote_row(machine, func, state, int(idx[0]), value, true_edge,
+                        false_edge, epoch, t_mask, f_mask, arg_values,
+                        total, results)
+            continue
+        sub = _slice_state(state, idx)
+        if value == _CLS_DIVERGENT:
+            total.divergent_branches += int(idx.size)
+            _follow_batch(true_edge, epoch, t_mask[idx], sub, arg_values,
+                          total)
+            _follow_batch(false_edge, epoch, f_mask[idx], sub, arg_values,
+                          total)
+        elif value == _CLS_TAKEN:
+            _follow_batch(true_edge, epoch, t_mask[idx], sub, arg_values,
+                          total)
+        else:
+            _follow_batch(false_edge, epoch, f_mask[idx], sub, arg_values,
+                          total)
+        worklist.append(sub)
+
+
+def _slice_state(state: _BatchState, idx: np.ndarray) -> _BatchState:
+    """Sub-batch of ``state`` holding the rows in ``idx`` (copies)."""
+    octx = state.ctx
+    ctx = _BatchContext(octx.lane_ids[idx], octx.block_ids[idx],
+                        octx.block_dim, octx.grid_dim, octx.rows[idx])
+    ctx.values = {vid: arr[idx] for vid, arr in octx.values.items()}
+    ctx.allocas = {iid: bases[idx] for iid, bases in octx.allocas.items()}
+    if octx.ret_values is not None:
+        ctx.ret_values = octx.ret_values[idx]
+    return _BatchState(ctx, state.cycles[idx], state.memory_stall[idx],
+                       state.cat_cycles[idx], state.icache.clone(),
+                       [(e, db, m[idx]) for e, db, m in state.groups])
+
+
+def _demote_row(machine, func, state: _BatchState, row: int, cls: int,
+                true_edge, false_edge, epoch: int, t_mask: np.ndarray,
+                f_mask: np.ndarray, arg_values, total: Counters,
+                results: _Results) -> None:
+    """Hand one diverged warp to the per-warp engine, mid-flight.
+
+    Rebuilds a ``_WarpContext`` from the warp's lattice row, seeds a
+    ``Counters`` with its float accumulators so far, resolves the pending
+    conditional branch with the serial ``_follow``, and resumes the serial
+    scheduler loop on a cloned icache.
+    """
+    octx = state.ctx
+    lane_ids = octx.lane_ids[row].copy()
+    wctx = _WarpContext(lane_ids, int(octx.block_ids[row]), octx.block_dim,
+                        octx.grid_dim, lane_ids < octx.block_dim)
+    wctx.values = {vid: arr[row].copy()
+                   for vid, arr in octx.values.items()}
+    wctx.allocas = {iid: int(bases[row])
+                    for iid, bases in octx.allocas.items()}
+    if octx.ret_values is not None:
+        wctx.ret_values = octx.ret_values[row].copy()
+    counters = Counters()
+    counters.cycles = float(state.cycles[row])
+    counters.memory_stall_cycles = float(state.memory_stall[row])
+    counters.cat_cycles = [float(x) for x in state.cat_cycles[row]]
+    icache = state.icache.clone()
+    groups = [(e, db, m[row].copy()) for e, db, m in state.groups]
+    if cls == _CLS_DIVERGENT:
+        counters.divergent_branches += 1
+        machine._follow(true_edge, epoch, t_mask[row].copy(), wctx,
+                        arg_values, counters, groups)
+        machine._follow(false_edge, epoch, f_mask[row].copy(), wctx,
+                        arg_values, counters, groups)
+    elif cls == _CLS_TAKEN:
+        machine._follow(true_edge, epoch, t_mask[row].copy(), wctx,
+                        arg_values, counters, groups)
+    else:
+        machine._follow(false_edge, epoch, f_mask[row].copy(), wctx,
+                        arg_values, counters, groups)
+    machine._warp_loop(func, wctx, arg_values, groups, counters, icache)
+    orig = int(octx.rows[row])
+    results.cycles[orig] = counters.cycles
+    results.memory_stall[orig] = counters.memory_stall_cycles
+    results.cat[orig] = list(counters.cat_cycles)
+    results.fetch[orig] = icache.stall_cycles
+    results.ret[orig] = wctx.ret_values
+    _merge_ints(total, counters)
+
+
+def _finish_state(state: _BatchState, results: _Results) -> None:
+    """Record a drained batch's per-row outcomes into the result sinks."""
+    octx = state.ctx
+    fetch = state.icache.stall_cycles
+    ret = octx.ret_values
+    for pos in range(octx.n):
+        orig = int(octx.rows[pos])
+        results.cycles[orig] = float(state.cycles[pos])
+        results.memory_stall[orig] = float(state.memory_stall[pos])
+        results.cat[orig] = [float(x) for x in state.cat_cycles[pos]]
+        results.fetch[orig] = fetch
+        results.ret[orig] = ret[pos].copy() if ret is not None else None

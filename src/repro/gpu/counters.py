@@ -9,9 +9,23 @@ IPC, global-load throughput and the instruction-fetch stall fraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from .timing import CLOCK_HZ
+
+#: Opcode categories with per-category cycle accounting.  The first six are
+#: the breakdown ``repro summary --profile`` reports; ``special`` covers the
+#: tid/ctaid-style launch-geometry intrinsics.  Fetch stalls are charged by
+#: the icache model and tracked separately (``fetch_stall_cycles``), so
+#: ``sum(cat_cycles) + fetch_stall_cycles == cycles`` for one launch.
+CATEGORIES = ("int", "fp", "load", "store", "control", "misc", "special")
+CAT_INDEX = {name: i for i, name in enumerate(CATEGORIES)}
+N_CATEGORIES = len(CATEGORIES)
+
+
+def cat_index(category: str) -> int:
+    """Index of ``category`` in :data:`CATEGORIES` (unknown -> misc)."""
+    return CAT_INDEX.get(category, CAT_INDEX["misc"])
 
 
 @dataclass
@@ -37,6 +51,11 @@ class Counters:
     divergent_branches: int = 0
     branches: int = 0
     warp_size: int = 32
+    #: Cycle charges split by opcode category (indexed by :data:`CATEGORIES`).
+    #: Load entries include the exposed memory latency; fetch stalls live in
+    #: ``fetch_stall_cycles``, so the categories plus stalls sum to ``cycles``.
+    cat_cycles: List[float] = field(
+        default_factory=lambda: [0.0] * N_CATEGORIES)
 
     def note_issue(self, category: str, active: int) -> None:
         self.inst_executed += 1
@@ -101,6 +120,12 @@ class Counters:
                      "bytes_loaded", "bytes_stored", "load_transactions",
                      "store_transactions", "divergent_branches", "branches"):
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        for i, value in enumerate(other.cat_cycles):
+            self.cat_cycles[i] += value
+
+    def category_cycles(self) -> Dict[str, float]:
+        """Cycle charges by opcode category (see :data:`CATEGORIES`)."""
+        return dict(zip(CATEGORIES, self.cat_cycles))
 
     def summary(self) -> Dict[str, float]:
         return {

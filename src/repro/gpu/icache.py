@@ -26,6 +26,21 @@ class InstructionCache:
         self.misses = 0
         self.stall_cycles = 0
 
+    def clone(self) -> "InstructionCache":
+        """Independent copy with identical residency and statistics.
+
+        The batched engine runs one representative cache for every warp of a
+        batch (their access sequences are identical by construction); when a
+        warp demotes or a batch splits, each part continues from a clone.
+        """
+        copy = InstructionCache(self.capacity)
+        copy._resident = OrderedDict(self._resident)
+        copy._used = self._used
+        copy.hits = self.hits
+        copy.misses = self.misses
+        copy.stall_cycles = self.stall_cycles
+        return copy
+
     def access(self, block_id: int, block_size: int) -> int:
         """Charge one block entry; returns the fetch stall in cycles."""
         size = max(1, block_size)

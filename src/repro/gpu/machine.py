@@ -31,10 +31,25 @@ original tree-walking interpreter, so counters and cycle counts are
 bit-identical — only the Python interpreter overhead is removed.  Decoding
 assumes the module's IR is not mutated between launches of the same
 machine (fresh machines are built per compile in the harness).
+
+Two execution engines consume the decoded form (``REPRO_ENGINE`` selects;
+see :func:`resolve_engine`):
+
+* ``warp`` — the per-warp scheduler below: every warp of a launch runs the
+  decoded schedule on its own, one 32-lane numpy vector at a time;
+* ``batched`` (default) — :mod:`repro.gpu.batched`: all warps of a launch
+  execute as one ``(n_warps, 32)`` value lattice while their control
+  decisions agree across warps, and individual warps demote to this
+  module's per-warp path the moment they diverge.
+
+The engines are contractually **bit-identical** — same return values, same
+counters, same cycle totals (``tests/test_engine_equivalence.py`` enforces
+this) — which is why the persistent cell cache does not key on the engine.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -53,7 +68,7 @@ from ..ir.module import Module
 from ..ir.types import FloatType, IntType, PointerType, Type
 from ..ir.values import Argument, GlobalVariable, Value
 from ..semantics import INTRINSIC_IMPLS, fptosi_arrays, storage_dtype
-from .counters import Counters
+from .counters import Counters, cat_index
 from .icache import InstructionCache
 from .memory import Memory
 from .timing import charge, issue_cost, load_latency, store_cost
@@ -61,6 +76,23 @@ from .timing import charge, issue_cost, load_latency, store_cost
 WARP_SIZE = 32
 
 ArgValue = Union[int, float]
+
+#: Environment override for the default execution engine.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Supported execution engines (see module docstring).
+ENGINES = ("batched", "warp")
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Explicit value > ``REPRO_ENGINE`` > ``batched``."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip() or "batched"
+    engine = engine.lower()
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
 
 #: Reverse-postorder index for blocks outside the computed order.
 _UNKNOWN_RPO = 1 << 30
@@ -70,6 +102,12 @@ _PHI_COST = issue_cost("misc", "phi")
 _BR_COST = issue_cost("control", "br")
 _CONDBR_COST = issue_cost("control", "condbr")
 _RET_COST = issue_cost("control", "ret")
+
+#: Pre-resolved category indices for the per-category cycle breakdown.
+_CAT_CONTROL = cat_index("control")
+_CAT_MISC = cat_index("misc")
+_CAT_LOAD = cat_index("load")
+_CAT_STORE = cat_index("store")
 
 # Step kinds in a decoded block's dispatch list.
 _K_VALUE = 0   # Computes a value and writes it to the destination slot.
@@ -118,11 +156,24 @@ class LaunchResult:
     return_values: Optional[np.ndarray] = None
 
 
+def _geometry_vec(value: int) -> np.ndarray:
+    arr = np.full(WARP_SIZE, value, dtype=np.int64)
+    arr.setflags(write=False)
+    return arr
+
+
 class _WarpContext:
-    """Per-warp register state."""
+    """Per-warp register state.
+
+    The launch-geometry intrinsics (``ctaid``/``ntid``/``nctaid``) are
+    materialised as read-only arrays on the context, so the decoded
+    intrinsic readers work unchanged on both this context (``(32,)``
+    arrays) and the batched engine's ``(n, 32)`` lattice context.
+    """
 
     __slots__ = ("values", "lane_ids", "block_idx", "block_dim", "grid_dim",
-                 "active_init", "allocas", "ret_values")
+                 "ctaid", "ntid", "nctaid", "active_init", "allocas",
+                 "ret_values")
 
     def __init__(self, lane_ids: np.ndarray, block_idx: int, block_dim: int,
                  grid_dim: int, active_init: np.ndarray) -> None:
@@ -131,9 +182,25 @@ class _WarpContext:
         self.block_idx = block_idx
         self.block_dim = block_dim
         self.grid_dim = grid_dim
+        self.ctaid = _geometry_vec(block_idx)
+        self.ntid = _geometry_vec(block_dim)
+        self.nctaid = _geometry_vec(grid_dim)
         self.active_init = active_init
         self.allocas: Dict[int, int] = {}
         self.ret_values: Optional[np.ndarray] = None
+
+    def alloca_addrs(self, memory: Memory, inst: AllocaInst) -> np.ndarray:
+        """Per-lane base addresses of this warp's buffer for ``inst``."""
+        base = self.allocas.get(id(inst))
+        if base is None:
+            dtype = repr(inst.element_type)
+            count = inst.count * WARP_SIZE
+            base = memory.alloc(
+                f"__alloca_{inst.name}_{id(self):x}", dtype, count)
+            self.allocas[id(inst)] = base
+        elem = inst.element_type.size_bytes()
+        stride = inst.count * elem
+        return base + np.arange(WARP_SIZE, dtype=np.int64) * stride
 
 
 class _Edge:
@@ -158,10 +225,12 @@ def _snapshot_reader(read):
 class _DecodedBlock:
     """One basic block, pre-decoded into a flat dispatch list.
 
-    ``steps`` holds ``(category, cost, kind, run, write)`` tuples for the
-    non-phi, non-terminator instructions; ``term``/``term_kind`` describe
-    the terminator.  All operand readers, result writers, and issue costs
-    are resolved once at decode time.
+    ``steps`` holds ``(category, cat_idx, cost, kind, run, brun, write)``
+    tuples for the non-phi, non-terminator instructions — ``run`` is the
+    per-warp runner, ``brun`` the batched ``(n, 32)`` lattice runner for
+    memory steps (None for value/void steps, which are shape-generic);
+    ``term``/``term_kind`` describe the terminator.  All operand readers,
+    result writers, and issue costs are resolved once at decode time.
     """
 
     __slots__ = ("block_id", "name", "size", "rpo", "steps", "term_kind",
@@ -182,11 +251,13 @@ class SimtMachine:
 
     def __init__(self, module: Module, memory: Optional[Memory] = None,
                  icache_capacity: Optional[int] = None,
-                 max_cycles: int = 2_000_000_000) -> None:
+                 max_cycles: int = 2_000_000_000,
+                 engine: Optional[str] = None) -> None:
         self.module = module
         self.memory = memory if memory is not None else Memory()
         self._icache_capacity = icache_capacity
         self.max_cycles = max_cycles
+        self.engine = resolve_engine(engine)
         self._global_addrs: Dict[str, int] = {}
         self._decoded: Dict[int, _DecodedBlock] = {}
         self._materialize_globals()
@@ -214,26 +285,37 @@ class SimtMachine:
                 f"@{func.name} expects {len(func.args)} args, got {len(args)}")
         total = Counters()
         entry = self._decode(func)
-        ret_all: List[np.ndarray] = []
-        fetch_stalls = 0
-        for block_idx in range(grid_dim):
-            warps = (block_dim + WARP_SIZE - 1) // WARP_SIZE
-            for warp_idx in range(warps):
-                # Per-warp icache: warps spread across SMs, so each warp
-                # streams the kernel's code through its own front end.
-                icache = InstructionCache(self._icache_capacity) \
-                    if self._icache_capacity else InstructionCache()
-                base = warp_idx * WARP_SIZE
-                lane_ids = np.arange(base, base + WARP_SIZE, dtype=np.int64)
-                active = lane_ids < block_dim
-                ctx = _WarpContext(lane_ids, block_idx, block_dim, grid_dim,
-                                   active)
-                counters = self._run_warp(func, entry, ctx, args,
-                                          active, icache)
-                total.merge(counters)
-                fetch_stalls += icache.stall_cycles
-                if ctx.ret_values is not None:
-                    ret_all.append(ctx.ret_values)
+        warps = (block_dim + WARP_SIZE - 1) // WARP_SIZE
+        if self.engine == "batched" and grid_dim * warps > 1:
+            # Launch-vectorized engine: all warps execute as one (n, 32)
+            # lattice until their control decisions diverge (then they
+            # demote to the per-warp path below).  Single-warp launches
+            # gain nothing from batching and skip straight to it.
+            from .batched import run_launch_batched
+            ret_all, fetch_stalls = run_launch_batched(
+                self, func, entry, grid_dim, block_dim, args, total)
+        else:
+            ret_all = []
+            fetch_stalls = 0
+            for block_idx in range(grid_dim):
+                for warp_idx in range(warps):
+                    # Per-warp icache: warps spread across SMs, so each
+                    # warp streams the kernel's code through its own
+                    # front end.
+                    icache = InstructionCache(self._icache_capacity) \
+                        if self._icache_capacity else InstructionCache()
+                    base = warp_idx * WARP_SIZE
+                    lane_ids = np.arange(base, base + WARP_SIZE,
+                                         dtype=np.int64)
+                    active = lane_ids < block_dim
+                    ctx = _WarpContext(lane_ids, block_idx, block_dim,
+                                       grid_dim, active)
+                    counters = self._run_warp(func, entry, ctx, args,
+                                              active, icache)
+                    total.merge(counters)
+                    fetch_stalls += icache.stall_cycles
+                    if ctx.ret_values is not None:
+                        ret_all.append(ctx.ret_values)
         # Fetch stalls were charged into per-warp cycles as they occurred;
         # record the aggregate for the stall_inst_fetch metric.
         total.fetch_stall_cycles = fetch_stalls
@@ -334,6 +416,7 @@ class SimtMachine:
 
     def _decode_step(self, inst: Instruction) -> Tuple:
         category = inst.category
+        cat_idx = cat_index(category)
         intrinsic = inst.intrinsic.name if isinstance(inst, CallInst) else ""
         cost = issue_cost(category, inst.opcode, intrinsic)
 
@@ -350,9 +433,30 @@ class SimtMachine:
                 latency = charge(load_latency(transactions), active)
                 counters.cycles += latency
                 counters.memory_stall_cycles += latency
+                counters.cat_cycles[_CAT_LOAD] += latency
                 write(ctx, raw.astype(dtype), mask)
 
-            return (category, cost, _K_LOAD, run_load, None)
+            def brun_load(ctx, arg_values, mask, actives, state):
+                # One memory.load per warp row: transaction counting (and
+                # therefore the latency charge) is a per-warp-access
+                # quantity the coalescing model defines on 32-lane
+                # accesses, so it cannot be fused across warps.
+                addrs = read_ptr(ctx, arg_values)
+                if addrs.shape != mask.shape:
+                    addrs = np.broadcast_to(addrs, mask.shape)
+                out = np.zeros(mask.shape, dtype=dtype)
+                for w in range(mask.shape[0]):
+                    raw, transactions = memory.load(addrs[w], mask[w], elem)
+                    latency = charge(load_latency(transactions),
+                                     int(actives[w]))
+                    state.cycles[w] += latency
+                    state.memory_stall[w] += latency
+                    state.cat_cycles[w, _CAT_LOAD] += latency
+                    out[w] = raw.astype(dtype)
+                write(ctx, out, mask)
+
+            return (category, cat_idx, cost, _K_LOAD, run_load, brun_load,
+                    None)
 
         if isinstance(inst, StoreInst):
             read_ptr = self._reader(inst.pointer)
@@ -364,16 +468,33 @@ class SimtMachine:
                 addrs = read_ptr(ctx, arg_values)
                 values = read_val(ctx, arg_values)
                 transactions = memory.store(addrs, values, mask, elem)
-                counters.cycles += charge(store_cost(transactions), active)
+                c = charge(store_cost(transactions), active)
+                counters.cycles += c
+                counters.cat_cycles[_CAT_STORE] += c
 
-            return (category, cost, _K_STORE, run_store, None)
+            def brun_store(ctx, arg_values, mask, actives, state):
+                addrs = read_ptr(ctx, arg_values)
+                values = read_val(ctx, arg_values)
+                if addrs.shape != mask.shape:
+                    addrs = np.broadcast_to(addrs, mask.shape)
+                if values.shape != mask.shape:
+                    values = np.broadcast_to(values, mask.shape)
+                for w in range(mask.shape[0]):
+                    transactions = memory.store(addrs[w], values[w],
+                                                mask[w], elem)
+                    c = charge(store_cost(transactions), int(actives[w]))
+                    state.cycles[w] += c
+                    state.cat_cycles[w, _CAT_STORE] += c
+
+            return (category, cat_idx, cost, _K_STORE, run_store, brun_store,
+                    None)
 
         if inst.type.is_void:
             # e.g. syncthreads: only the issue timing is charged.
-            return (category, cost, _K_VOID, None, None)
+            return (category, cat_idx, cost, _K_VOID, None, None, None)
 
-        return (category, cost, _K_VALUE, self._value_fn(inst),
-                self._writer(inst))
+        return (category, cat_idx, cost, _K_VALUE, self._value_fn(inst),
+                None, self._writer(inst))
 
     def _value_fn(self, inst: Instruction):
         """Closure computing one instruction's value (operands pre-bound)."""
@@ -411,7 +532,8 @@ class SimtMachine:
             return lambda ctx, args: (
                 rb(ctx, args) + ri(ctx, args).astype(np.int64) * elem)
         if isinstance(inst, AllocaInst):
-            return lambda ctx, args: self._alloca_addr(inst, ctx)
+            memory = self.memory
+            return lambda ctx, args: ctx.alloca_addrs(memory, inst)
         if isinstance(inst, CallInst):
             return self._intrinsic_fn(inst)
 
@@ -421,17 +543,16 @@ class SimtMachine:
 
     def _intrinsic_fn(self, inst: CallInst):
         name = inst.intrinsic.name
+        # Launch-geometry intrinsics read precomputed read-only context
+        # arrays: (32,) on the per-warp context, (n, 32) on the batched one.
         if name == "tid.x":
-            return lambda ctx, args: ctx.lane_ids.copy()
+            return lambda ctx, args: ctx.lane_ids
         if name == "ctaid.x":
-            return lambda ctx, args: np.full(WARP_SIZE, ctx.block_idx,
-                                             dtype=np.int64)
+            return lambda ctx, args: ctx.ctaid
         if name == "ntid.x":
-            return lambda ctx, args: np.full(WARP_SIZE, ctx.block_dim,
-                                             dtype=np.int64)
+            return lambda ctx, args: ctx.ntid
         if name == "nctaid.x":
-            return lambda ctx, args: np.full(WARP_SIZE, ctx.grid_dim,
-                                             dtype=np.int64)
+            return lambda ctx, args: ctx.nctaid
         impl = _INTRINSIC_IMPLS.get(name)
         if impl is None:
             def unknown(ctx, args, _name=name):
@@ -481,16 +602,24 @@ class SimtMachine:
 
     @staticmethod
     def _writer(inst: Value):
-        """Closure writing an instruction's result under the active mask."""
+        """Closure writing an instruction's result under the active mask.
+
+        Shape-generic: slots take the mask's shape — ``(32,)`` per warp,
+        ``(n, 32)`` on the batched lattice — and values that come out of
+        an all-uniform-operand computation (e.g. constant + argument) are
+        broadcast up to it.
+        """
         dtype = _storage_dtype(inst.type)
         iid = id(inst)
 
         def write(ctx, value, mask):
             if value.dtype != dtype:
                 value = value.astype(dtype)
+            if value.shape != mask.shape:
+                value = np.broadcast_to(value, mask.shape)
             slot = ctx.values.get(iid)
             if slot is None:
-                slot = np.zeros(WARP_SIZE, dtype=dtype)
+                slot = np.zeros(mask.shape, dtype=dtype)
                 ctx.values[iid] = slot
             slot[mask] = value[mask]
         return write
@@ -512,7 +641,18 @@ class SimtMachine:
         arg_values = self._bind_args(func, args)
         groups: List[Tuple[int, _DecodedBlock, np.ndarray]] = [
             (0, entry, initial_mask.copy())]
+        self._warp_loop(func, ctx, arg_values, groups, counters, icache)
+        return counters
 
+    def _warp_loop(self, func: Function, ctx: _WarpContext,
+                   arg_values: Dict[int, np.ndarray], groups: List,
+                   counters: Counters, icache: InstructionCache) -> None:
+        """Drive ``groups`` to completion (the scheduler of ``_run_warp``).
+
+        Split out so the batched engine can *demote* a warp mid-flight:
+        it seeds ``counters``/``groups``/``ctx`` with the warp's state at
+        the divergence point and resumes here.
+        """
         while groups:
             if counters.cycles > self.max_cycles:
                 raise SimulationError(
@@ -536,7 +676,6 @@ class SimtMachine:
             counters.cycles += icache.access(db.block_id, db.size)
             self._exec_decoded(func, db, epoch, mask, ctx, arg_values,
                                counters, groups)
-        return counters
 
     def _exec_decoded(self, func: Function, db: _DecodedBlock, epoch: int,
                       mask: np.ndarray, ctx: _WarpContext,
@@ -545,9 +684,12 @@ class SimtMachine:
         """Execute one decoded block for one group."""
         active = int(np.count_nonzero(mask))
         note_issue = counters.note_issue
-        for category, cost, kind, run, write in db.steps:
+        cat_cycles = counters.cat_cycles
+        for category, cat_idx, cost, kind, run, _brun, write in db.steps:
             note_issue(category, active)
-            counters.cycles += charge(cost, active)
+            c = charge(cost, active)
+            counters.cycles += c
+            cat_cycles[cat_idx] += c
             if kind == _K_VALUE:
                 write(ctx, run(ctx, arg_values), mask)
             elif kind != _K_VOID:
@@ -556,14 +698,18 @@ class SimtMachine:
         term_kind = db.term_kind
         if term_kind == _T_BR:
             note_issue("control", active)
-            counters.cycles += charge(_BR_COST, active)
+            c = charge(_BR_COST, active)
+            counters.cycles += c
+            cat_cycles[_CAT_CONTROL] += c
             counters.branches += 1
             self._follow(db.term, epoch, mask, ctx, arg_values, counters,
                          groups)
             return
         if term_kind == _T_CONDBR:
             note_issue("control", active)
-            counters.cycles += charge(_CONDBR_COST, active)
+            c = charge(_CONDBR_COST, active)
+            counters.cycles += c
+            cat_cycles[_CAT_CONTROL] += c
             counters.branches += 1
             read_cond, true_edge, false_edge = db.term
             cond = read_cond(ctx, arg_values).astype(bool)
@@ -586,12 +732,16 @@ class SimtMachine:
             return
         if term_kind == _T_RET:
             note_issue("control", active)
-            counters.cycles += charge(_RET_COST, active)
+            c = charge(_RET_COST, active)
+            counters.cycles += c
+            cat_cycles[_CAT_CONTROL] += c
             read_value, dtype = db.term
             if read_value is not None:
                 value = read_value(ctx, arg_values)
+                if value.shape != mask.shape:
+                    value = np.broadcast_to(value, mask.shape)
                 if ctx.ret_values is None:
-                    ctx.ret_values = np.zeros(WARP_SIZE, dtype=dtype)
+                    ctx.ret_values = np.zeros(mask.shape, dtype=dtype)
                 ctx.ret_values[mask] = value[mask]
             return
         if term_kind == _T_UNREACHABLE:
@@ -607,26 +757,15 @@ class SimtMachine:
         moves = edge.moves
         if moves and mask.any():
             active = int(np.count_nonzero(mask))
+            c = charge(_PHI_COST, active)
             # Parallel-copy semantics: read all incomings before writing.
             staged = [(write, read(ctx, arg_values)) for write, read in moves]
             for write, value in staged:
                 counters.note_issue("misc", active)  # One mov per phi.
-                counters.cycles += charge(_PHI_COST, active)
+                counters.cycles += c
+                counters.cat_cycles[_CAT_MISC] += c
                 write(ctx, value, mask)
         groups.append((epoch + edge.bump_epoch, edge.target, mask))
-
-    # -- instruction semantics ------------------------------------------------
-    def _alloca_addr(self, inst: AllocaInst, ctx: _WarpContext) -> np.ndarray:
-        base = ctx.allocas.get(id(inst))
-        if base is None:
-            dtype = repr(inst.element_type)
-            count = inst.count * WARP_SIZE
-            base = self.memory.alloc(
-                f"__alloca_{inst.name}_{id(ctx):x}", dtype, count)
-            ctx.allocas[id(inst)] = base
-        elem = inst.element_type.size_bytes()
-        stride = inst.count * elem
-        return base + np.arange(WARP_SIZE, dtype=np.int64) * stride
 
     # -- value plumbing --------------------------------------------------------
     def _bind_args(self, func: Function,

@@ -45,7 +45,13 @@ from .experiment import Cell
 #: (saturating fptosi, IEEE fdiv, exact sdiv) and LoopDecision gained the
 #: ``applied`` flag.  v3: interpreter phi parallel-copy fix (cells
 #: simulated with phi-to-phi edge moves could hold corrupted outputs).
-SCHEMA_VERSION = 3
+#: v4: Counters gained the per-category ``cat_cycles`` breakdown.
+#:
+#: Note the execution engine (``REPRO_ENGINE``) is deliberately *not* part
+#: of the key: the batched and per-warp engines are bit-identical by
+#: contract (tests/test_engine_equivalence.py), so a cell computed under
+#: either is valid for both.
+SCHEMA_VERSION = 4
 
 #: Environment override for the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -79,11 +79,17 @@ class ExperimentRunner:
     def __init__(self, heuristic: Optional[HeuristicParams] = None,
                  max_instructions: int = 20_000,
                  compile_timeout: Optional[float] = 20.0,
-                 verify_each: bool = False) -> None:
+                 verify_each: bool = False,
+                 engine: Optional[str] = None) -> None:
         self.heuristic = heuristic or HeuristicParams()
         self.max_instructions = max_instructions
         self.compile_timeout = compile_timeout
         self.verify_each = verify_each
+        #: Execution engine for every simulation this runner performs.
+        #: Engines are bit-identical (cycles, counters, outputs), so the
+        #: choice never affects results — only sweep wall-clock — and the
+        #: persistent cell cache deliberately does not key on it.
+        self.engine = engine
         self._cache: Dict[Tuple[str, str, Optional[str], int], Cell] = {}
         self._baseline_outputs: Dict[str, Dict[str, np.ndarray]] = {}
         #: Outputs of the *unoptimized* module, the baseline anchor's
@@ -122,7 +128,7 @@ class ExperimentRunner:
         module = bench.build_module()
         if config == "baseline" and bench.name not in self._raw_outputs:
             start = time.perf_counter()
-            raw_outputs, _ = bench.run(module)
+            raw_outputs, _ = bench.run(module, engine=self.engine)
             self.phase_seconds["simulate"] += time.perf_counter() - start
             self._raw_outputs[bench.name] = raw_outputs
         compiled: CompileResult = compile_module(
@@ -144,7 +150,7 @@ class ExperimentRunner:
                         heuristic_decisions=compiled.heuristic_decisions,
                         timed_out=True)
         start = time.perf_counter()
-        outputs, counters = bench.run(module)
+        outputs, counters = bench.run(module, engine=self.engine)
         self.phase_seconds["simulate"] += time.perf_counter() - start
 
         start = time.perf_counter()

@@ -140,11 +140,12 @@ def _spec_cost(spec: CellSpec, u_max: int) -> int:
 # boundary (names, params, Cell, numpy outputs) pickles cleanly.
 
 def _make_runner(params: Tuple) -> ExperimentRunner:
-    heuristic, max_instructions, compile_timeout, verify_each = params
+    heuristic, max_instructions, compile_timeout, verify_each, engine = params
     return ExperimentRunner(heuristic=heuristic,
                             max_instructions=max_instructions,
                             compile_timeout=compile_timeout,
-                            verify_each=verify_each)
+                            verify_each=verify_each,
+                            engine=engine)
 
 
 def _worker_baseline(app: str, params: Tuple):
@@ -195,11 +196,13 @@ class ParallelRunner(ExperimentRunner):
                  verify_each: bool = False,
                  jobs: Optional[int] = None,
                  cache: Optional[CellCache] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 engine: Optional[str] = None) -> None:
         super().__init__(heuristic=heuristic,
                          max_instructions=max_instructions,
                          compile_timeout=compile_timeout,
-                         verify_each=verify_each)
+                         verify_each=verify_each,
+                         engine=engine)
         self.jobs = resolve_jobs(jobs)
         self.cache: Optional[CellCache] = (
             cache if cache is not None else (CellCache() if use_cache
@@ -320,7 +323,7 @@ class ParallelRunner(ExperimentRunner):
 
     def _compute_parallel(self, missing, by_name) -> None:
         params = (self.heuristic, self.max_instructions,
-                  self.compile_timeout, self.verify_each)
+                  self.compile_timeout, self.verify_each, self.engine)
         baseline_specs = [(s, k) for s, k in missing
                           if s.config == "baseline"]
         other_specs = [(s, k) for s, k in missing if s.config != "baseline"]

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from ..bench import all_benchmarks
 from ..bench.base import Benchmark
+from ..gpu.counters import CATEGORIES, N_CATEGORIES
 from .experiment import ExperimentRunner
 from .parallel import ParallelRunner, prefetch_if_parallel
 from .stats import geomean
@@ -95,7 +96,40 @@ def format_profile(runner: ExperimentRunner) -> str:
                 f"  {name:<24} {stats.times[name]:>8.3f}s  "
                 f"{stats.runs.get(name, 0):>5} runs  "
                 f"{stats.changes.get(name, 0):>5} changed")
+    category_lines = _format_category_cycles(runner)
+    if category_lines:
+        lines.extend(category_lines)
     return "\n".join(lines)
+
+
+def _format_category_cycles(runner: ExperimentRunner) -> List[str]:
+    """Simulated-cycle breakdown by opcode category over this run's cells.
+
+    Sourced from each cell's ``Counters.cat_cycles``, so interpreter (and
+    kernel) hot spots — int vs fp vs memory vs control time — are visible
+    without an external profiler.  Fetch stalls are charged by the icache
+    model, not an opcode category, and are reported as their own row.
+    """
+    totals = [0.0] * N_CATEGORIES
+    fetch = 0.0
+    cells = 0
+    for cell in runner._cache.values():
+        if cell.error is not None or cell.timed_out:
+            continue
+        for i, value in enumerate(cell.counters.cat_cycles):
+            totals[i] += value
+        fetch += cell.counters.fetch_stall_cycles
+        cells += 1
+    grand = sum(totals) + fetch
+    if cells == 0 or grand <= 0:
+        return []
+    lines = [f"Simulated cycles by opcode category ({cells} cells):"]
+    rows = sorted(zip(CATEGORIES, totals), key=lambda r: r[1], reverse=True)
+    for name, value in rows + [("fetch_stall", fetch)]:
+        share = 100.0 * value / grand
+        lines.append(f"  {name:<12} {value:>14.1f}  {share:>5.1f}%")
+    lines.append(f"  {'total':<12} {grand:>14.1f}")
+    return lines
 
 
 def main(argv: Optional[List[str]] = None) -> None:

@@ -1,0 +1,130 @@
+"""Bit-identicality contract between the two execution engines.
+
+The launch-vectorized ("batched") engine exists purely for wall-clock:
+it must produce byte-for-byte the same outputs and *exactly* the same
+Counters — cycles included, which are float sums and therefore sensitive
+to accumulation order — as the per-warp ("warp") engine.  That contract
+is what lets the persistent cell cache omit the engine from its keys and
+lets the fuzz oracle treat the engines as interchangeable.
+
+Coverage here is deliberately broad rather than deep:
+
+* every benchmark analog's full workload (real multi-launch geometry),
+* the same workloads after the heuristic u&u pipeline (optimized CFGs
+  stress unmerged/unrolled control flow),
+* every regression kernel in ``tests/corpus/`` at a multi-warp geometry
+  with a boundary warp (block_dim not a multiple of 32),
+* freshly fuzz-generated kernels, again multi-warp, so data-dependent
+  divergence exercises the demotion path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.bench import all_benchmarks
+from repro.frontend.lower import lower_kernels
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.generator import generate_kernel
+from repro.fuzz.oracle import default_args
+from repro.gpu import Counters, Memory, SimtMachine
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.transforms.pipeline import compile_module
+
+#: Multi-warp geometry with a boundary warp: 2 blocks x 3 warps, the
+#: last warp of each block only 16 lanes active.
+GRID_DIM = 2
+BLOCK_DIM = 80
+
+BENCHMARKS = all_benchmarks()
+CORPUS = load_corpus()
+FUZZ_SEEDS = (3, 11, 27)
+
+
+def assert_counters_identical(batched: Counters, warp: Counters,
+                              label: str) -> None:
+    """Every field — float cycle accumulators included — must be equal."""
+    for f in dataclasses.fields(Counters):
+        b, w = getattr(batched, f.name), getattr(warp, f.name)
+        assert b == w, (f"{label}: Counters.{f.name} differs between "
+                        f"engines: batched={b!r} warp={w!r}")
+
+
+def assert_category_invariant(counters: Counters, label: str) -> None:
+    """cat_cycles + fetch stalls re-sum to total cycles (up to fp order)."""
+    total = sum(counters.cat_cycles) + counters.fetch_stall_cycles
+    assert math.isclose(total, counters.cycles, rel_tol=1e-9, abs_tol=1e-6), \
+        f"{label}: sum(cat_cycles)+fetch {total} != cycles {counters.cycles}"
+
+
+def launch_both(ir_text: str, name: str):
+    """Launch every function of ``ir_text`` under both engines."""
+    results = {}
+    for engine in ("batched", "warp"):
+        module = parse_module(ir_text, name)
+        machine = SimtMachine(module, Memory(), engine=engine)
+        per_func = {}
+        for fname, func in module.functions.items():
+            result = machine.launch(func, GRID_DIM, BLOCK_DIM,
+                                    default_args(func))
+            ret = result.return_values
+            per_func[fname] = (None if ret is None else ret.tobytes(),
+                               result.counters)
+        results[engine] = per_func
+    return results
+
+
+def check_text_kernel(ir_text: str, name: str) -> None:
+    results = launch_both(ir_text, name)
+    assert results["batched"].keys() == results["warp"].keys()
+    for fname in results["batched"]:
+        ret_b, counters_b = results["batched"][fname]
+        ret_w, counters_w = results["warp"][fname]
+        label = f"{name}:@{fname}"
+        assert ret_b == ret_w, f"{label}: return values differ"
+        assert_counters_identical(counters_b, counters_w, label)
+        assert_category_invariant(counters_b, label)
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_benchmark_baseline_bit_identical(bench):
+    out_b, counters_b = bench.run(bench.build_module(), engine="batched")
+    out_w, counters_w = bench.run(bench.build_module(), engine="warp")
+    assert out_b.keys() == out_w.keys()
+    for buf_name in out_b:
+        assert out_b[buf_name].tobytes() == out_w[buf_name].tobytes(), \
+            f"{bench.name}: output buffer {buf_name} differs between engines"
+    assert_counters_identical(counters_b, counters_w, bench.name)
+    assert_category_invariant(counters_b, bench.name)
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_benchmark_heuristic_bit_identical(bench):
+    outs, counters = {}, {}
+    for engine in ("batched", "warp"):
+        module = bench.build_module()
+        compile_module(module, "uu_heuristic")
+        outs[engine], counters[engine] = bench.run(module, engine=engine)
+    for buf_name in outs["batched"]:
+        assert outs["batched"][buf_name].tobytes() == \
+            outs["warp"][buf_name].tobytes(), \
+            f"{bench.name}/uu_heuristic: buffer {buf_name} differs"
+    assert_counters_identical(counters["batched"], counters["warp"],
+                              f"{bench.name}/uu_heuristic")
+
+
+@pytest.mark.skipif(not CORPUS, reason="no corpus entries")
+@pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+def test_corpus_bit_identical(entry):
+    check_text_kernel(entry.text, entry.name)
+
+
+@pytest.mark.parametrize("seed", FUZZ_SEEDS)
+def test_fuzzed_kernels_bit_identical(seed):
+    kernel = generate_kernel(seed)
+    module = lower_kernels([kernel], f"fuzz{seed}")
+    check_text_kernel(print_module(module), f"fuzz{seed}")
