@@ -62,3 +62,80 @@ def test_batched_engine_speedup_on_uniform_launch():
         f"batched engine only {row.speedup:.2f}x over per-warp on a "
         f"uniform 16-warp launch (floor {BATCHED_MIN_SPEEDUP}x) — is the "
         f"launch still being executed as one lattice?")
+
+
+#: Ratio floor for the tracing-disabled run against the uninstrumented
+#: interpreter's recorded envelope: the disabled obs path must cost under
+#: 3% end-to-end, so it has to fit the very same budget the pre-obs
+#: interpreter guard uses (which itself carries 1.5x slack on a budget
+#: the fast path beats 3-7x — a >3% structural regression of the disabled
+#: path, e.g. per-block object construction, blows through it while
+#: scheduler noise does not).
+OBS_DISABLED_MAX_OVERHEAD = 0.03
+
+
+def test_obs_disabled_path_does_no_work():
+    """With no session installed, the obs hooks must construct nothing.
+
+    The <3% disabled-overhead contract is enforced structurally: a full
+    compile + simulate with ``REPRO_TRACE`` off may touch the obs layer
+    only through ``is None`` tests, so remark construction, session
+    emission, and trace-event recording are patched to raise.  Any code
+    path that does observable work while disabled fails loudly here,
+    independent of machine speed.
+    """
+    from unittest import mock
+
+    from repro.obs import session as obs_session
+    from repro.obs.session import ObsSession
+    from repro.obs.trace import Tracer
+    from repro.transforms.pipeline import compile_module
+
+    assert obs_session.active() is None, "a test leaked a live session"
+
+    def forbid(name):
+        def _raise(*args, **kwargs):
+            raise AssertionError(
+                f"{name} ran with tracing disabled — the obs disabled "
+                "path must be a bare `is None` test")
+        return _raise
+
+    bench = benchmark_by_name("bspline-vgh")
+    module = bench.build_module()
+    with mock.patch.object(obs_session, "Remark",
+                           side_effect=forbid("Remark()")), \
+            mock.patch.object(ObsSession, "emit", forbid("ObsSession.emit")), \
+            mock.patch.object(Tracer, "complete", forbid("Tracer.complete")):
+        compile_module(module, "uu_heuristic")
+        bench.run(module)
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SKIP_PERF") == "1",
+                    reason="REPRO_SKIP_PERF=1")
+def test_obs_disabled_simulation_within_budget():
+    """Tracing-disabled simulation must fit the pre-obs timing envelope.
+
+    Identical measurement to ``test_xsbench_simulation_within_budget``
+    (same workload, same recorded budget), asserted separately so a
+    disabled-path obs regression is named as such rather than reading as
+    a generic interpreter slowdown.  See ``OBS_DISABLED_MAX_OVERHEAD``
+    for why the shared envelope bounds the <3% contract.
+    """
+    from repro.obs import session as obs_session
+
+    assert obs_session.active() is None
+    assert not os.environ.get(obs_session.ENV_VAR), (
+        "REPRO_TRACE is set; this guard measures the disabled path")
+    bench = benchmark_by_name("XSBench")
+    module = bench.build_module()
+    bench.run(module)  # Warm-up.
+    best = min(
+        (lambda t0: (bench.run(module), time.perf_counter() - t0)[1])(
+            time.perf_counter())
+        for _ in range(5))
+    limit = XSBENCH_RUN_BUDGET_S * SLACK
+    assert best <= limit, (
+        f"XSBench with tracing disabled took {best:.3f}s best-of-5, over "
+        f"the {limit:.3f}s envelope — the obs disabled path is supposed "
+        f"to cost <{OBS_DISABLED_MAX_OVERHEAD:.0%}; is something doing "
+        "work without checking the session slot?")

@@ -17,6 +17,8 @@ provides the same operations:
     python -m repro cache stats|clear         # persistent cell cache
     python -m repro summary [--profile]       # headline geomeans (+profile)
     python -m repro bench-interp              # engine micro-benchmark
+    python -m repro remarks --app XSBench     # optimization-remark stream
+    python -m repro trace --app XSBench --out run.trace.json
     python -m repro fuzz run --seed 0 --count 200   # differential fuzzing
     python -m repro fuzz reduce --seed 41           # shrink one failure
     python -m repro fuzz corpus                     # re-check tests/corpus/
@@ -26,20 +28,87 @@ and reuse cells from the persistent cache under ``results/.cellcache/``
 (``--no-cache`` bypasses it).  ``--engine {batched,warp}`` (or
 ``REPRO_ENGINE``) selects the SIMT execution engine; the engines are
 bit-identical, so this only affects wall-clock.
+
+Observability (see :mod:`repro.obs`): every sweep command accepts
+``--trace-out run.trace.json`` (Chrome trace-event JSON, load in Perfetto
+or ``chrome://tracing``) and ``--remarks-out run.remarks.jsonl`` (the
+typed optimization-remark stream).  Traced runs bypass the persistent
+cache — a cache hit skips compilation, and an empty trace would lie.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from . import obs
 from .bench import all_benchmarks, benchmark_by_name
 from .gpu.machine import ENGINES
 from .harness import ExperimentRunner
 from .harness import fig6, fig7, fig8, indepth, table1
 from .harness.cache import CellCache
 from .harness.parallel import ParallelRunner
+
+ALL_CONFIG_CHOICES = ("baseline", "uu", "unroll", "unmerge", "uu_heuristic")
+
+
+@contextlib.contextmanager
+def _obs_session():
+    """Install an observability session for the duration of a command.
+
+    Sets ``REPRO_TRACE`` in the environment *before* yielding so pool
+    workers forked during the command opt in and ship their remarks,
+    trace events, and profiles home.  Nested use (e.g. ``repro remarks
+    --trace-out t.json``) folds the inner session into the outer one on
+    exit, so both consumers see the full stream.
+    """
+    prior_env = os.environ.get(obs.ENV_VAR)
+    prior = obs.active()
+    os.environ[obs.ENV_VAR] = "1"
+    session = obs.install()
+    try:
+        yield session
+    finally:
+        if prior is not None:
+            obs.install(prior)
+            prior.merge_payload(session.export_payload())
+        else:
+            obs.uninstall()
+        if prior_env is None:
+            os.environ.pop(obs.ENV_VAR, None)
+        else:
+            os.environ[obs.ENV_VAR] = prior_env
+
+
+def _default_remarks_path(trace_out: str) -> str:
+    """``run.trace.json`` -> ``run.trace.remarks.jsonl``."""
+    return str(Path(trace_out).with_suffix(".remarks.jsonl"))
+
+
+def _export_session(session, trace_out: Optional[str],
+                    remarks_out: Optional[str]) -> None:
+    if trace_out:
+        session.tracer.write(trace_out)
+        print(f"trace: {len(session.tracer.events)} events -> {trace_out}")
+        if remarks_out is None:
+            remarks_out = _default_remarks_path(trace_out)
+    if remarks_out:
+        count = obs.write_jsonl(session.remarks, remarks_out)
+        print(f"remarks: {count} -> {remarks_out}")
+    if not session.profile.is_empty():
+        print(session.profile.format())
+
+
+def _finish_sweep(runner) -> None:
+    """Per-sweep cache telemetry (hits/misses/puts this session)."""
+    cache = getattr(runner, "cache", None)
+    if cache is not None:
+        print(cache.session_line())
 
 
 def _runner(args) -> ExperimentRunner:
@@ -84,6 +153,7 @@ def _per_loop_sweep(args, config: str, factor: int) -> int:
             print(f"{bench.name:<16} {loop_id:<24} {factor:>3} "
                   f"{cell.speedup_over(base):>7.3f}x "
                   f"{cell.size_ratio_over(base):>6.2f}x {ok:>4}")
+    _finish_sweep(runner)
     return 0
 
 
@@ -112,38 +182,42 @@ def cmd_run_heuristic(args) -> int:
               f"{cell.size_ratio_over(base):>6.2f}x "
               f"{cell.compile_ratio_over(base):>7.2f}x {ok:>4}")
         if args.verbose or args.report:
-            for d in cell.heuristic_decisions:
-                status = ""
-                if d.factor is not None:
-                    if d.applied is False:
-                        status = "  [SKIPPED: loop header not re-found]"
-                    elif d.applied:
-                        status = "  [applied]"
-                print(f"    {d.loop_id}: factor={d.factor} "
-                      f"({d.reason}){status}")
+            # The report *is* the remark stream: the very same
+            # heuristic_remarks() that feeds --remarks-out renders each
+            # LoopDecision here, so the two can never drift apart.
+            for remark in obs.heuristic_remarks(cell.heuristic_decisions,
+                                                function=bench.name):
+                print("    " + obs.render_remark(remark))
             skipped = [d for d in cell.heuristic_decisions
                        if d.factor is not None and d.applied is False]
             if skipped:
                 print(f"    ! {len(skipped)} selected loop(s) were skipped")
+    _finish_sweep(runner)
     return 0
 
 
 def cmd_table1(args) -> int:
-    rows = table1.build_table(_runner(args), _benches(args))
+    runner = _runner(args)
+    rows = table1.build_table(runner, _benches(args))
     print(table1.format_table(rows))
+    _finish_sweep(runner)
     return 0
 
 
 def cmd_fig6(args) -> int:
-    points = fig6.series(_runner(args), _benches(args))
+    runner = _runner(args)
+    points = fig6.series(runner, _benches(args))
     for metric in ("speedup", "size_ratio", "compile_ratio"):
         print(fig6.format_figure(points, metric))
         print()
+    _finish_sweep(runner)
     return 0
 
 
 def cmd_fig7(args) -> int:
-    print(fig7.format_figure(fig7.series(_runner(args), _benches(args))))
+    runner = _runner(args)
+    print(fig7.format_figure(fig7.series(runner, _benches(args))))
+    _finish_sweep(runner)
     return 0
 
 
@@ -154,6 +228,7 @@ def cmd_fig8(args) -> int:
         print(fig8.format_figure(
             fig8.series(comparator, runner, benches), comparator))
         print()
+    _finish_sweep(runner)
     return 0
 
 
@@ -227,6 +302,7 @@ def _fuzz_reduce_and_save(seed: int, lanes: int, out_dir,
         "kind": outcome.kind if outcome else "unknown",
         "detail": outcome.detail if outcome else "",
         "culprit": found.culprit if found else None,
+        "culprit_remarks": found.remarks if found else [],
         "blocks": block_count(reduced),
         "source": "repro fuzz reduce",
     }
@@ -289,11 +365,15 @@ def cmd_summary(args) -> int:
     from .harness.summary import format_profile, heuristic_summary
 
     if args.profile:
-        # Phase timings accumulate inside the worker that ran each cell;
-        # profile serially (and without cache hits) so they cover the run.
-        runner: ExperimentRunner = ExperimentRunner(
+        # --profile disables the cache (a cache hit skips compilation, so
+        # its cell would contribute nothing to the timing breakdown) but
+        # keeps the parallel fan-out: workers ship their pass statistics
+        # and phase timings home with every result.
+        runner: ExperimentRunner = ParallelRunner(
             max_instructions=args.max_instructions,
             compile_timeout=args.timeout,
+            jobs=getattr(args, "jobs", None),
+            use_cache=False,
             engine=getattr(args, "engine", None))
     else:
         runner = _runner(args)
@@ -301,6 +381,37 @@ def cmd_summary(args) -> int:
     if args.profile:
         print()
         print(format_profile(runner))
+    _finish_sweep(runner)
+    return 0
+
+
+def _traced_sweep(args) -> None:
+    """Compute the requested app x config cells under the live session."""
+    args.no_cache = True  # Cached cells skip compilation: nothing to trace.
+    runner = _runner(args)
+    runner.prefetch(_benches(args), configs=("baseline", args.config))
+
+
+def cmd_remarks(args) -> int:
+    """Run one config under tracing and print its remark stream."""
+    with _obs_session() as session:
+        _traced_sweep(args)
+    for remark in session.remarks:
+        if args.json:
+            print(json.dumps(remark.to_json(), sort_keys=True))
+        else:
+            print(obs.render_remark(remark))
+    if not args.json:
+        print(f"({len(session.remarks)} remarks; rerun with --json for "
+              "the machine-readable stream)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one config under tracing and export a Chrome trace-event file."""
+    with _obs_session() as session:
+        _traced_sweep(args)
+    _export_session(session, args.out, getattr(args, "remarks_out", None))
     return 0
 
 
@@ -327,6 +438,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SIMT execution engine (default: REPRO_ENGINE "
                              "or 'batched'); engines are bit-identical, "
                              "this only affects wall-clock")
+    common.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of this run "
+                             "(open in Perfetto); also writes "
+                             "PATH-with-.remarks.jsonl unless --remarks-out "
+                             "is given.  Implies --no-cache.")
+    common.add_argument("--remarks-out", metavar="PATH", default=None,
+                        help="write the optimization-remark stream as "
+                             "JSONL.  Implies --no-cache.")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -379,6 +498,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "cycle breakdown by opcode category (runs serially "
                         "so the timings are honest wall clock)")
     p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("remarks", parents=[common],
+                       help="run one config under tracing and print the "
+                            "optimization-remark stream")
+    p.add_argument("--config", default="uu_heuristic",
+                   choices=list(ALL_CONFIG_CHOICES),
+                   help="pipeline configuration to trace "
+                        "(default: uu_heuristic)")
+    p.add_argument("--json", action="store_true",
+                   help="print raw JSONL instead of rendered lines")
+    p.set_defaults(fn=cmd_remarks)
+
+    p = sub.add_parser("trace", parents=[common],
+                       help="run one config under tracing and write a "
+                            "Chrome trace-event JSON (Perfetto-loadable)")
+    p.add_argument("--config", default="uu_heuristic",
+                   choices=list(ALL_CONFIG_CHOICES),
+                   help="pipeline configuration to trace "
+                        "(default: uu_heuristic)")
+    p.add_argument("--out", default="run.trace.json",
+                   help="trace file path (default: run.trace.json)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("bench-interp",
                        help="micro-benchmark the batched vs per-warp "
@@ -445,7 +586,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("ptx requires --app")
     if args.command != "ptx" and getattr(args, "loop", None):
         parser.error("--loop only applies to the ptx command")
-    return args.fn(args)
+    trace_out = getattr(args, "trace_out", None)
+    remarks_out = getattr(args, "remarks_out", None)
+    if not (trace_out or remarks_out):
+        return args.fn(args)
+    # Tracing observes compilation; a cache hit skips compilation
+    # entirely, so traced runs bypass the persistent cache.
+    args.no_cache = True
+    with _obs_session() as session:
+        rc = args.fn(args)
+    _export_session(session, trace_out, remarks_out)
+    return rc
 
 
 if __name__ == "__main__":

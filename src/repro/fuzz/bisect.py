@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..ir.verifier import VerificationError, verify_module
+from ..obs import session as obs
 from ..transforms.pipeline import cleanup_passes, late_passes, transform_passes
 from ..transforms.simplifycfg import SimplifyCFG
 from .oracle import (LANES, MAX_INSTRUCTIONS, ConfigSpec, Subject, compare,
@@ -40,10 +41,17 @@ class BisectResult:
     kind: str                    # mismatch | verifier | crash
     detail: str
     trail: List[str] = field(default_factory=list)
+    #: Optimization remarks the culprit application emitted (JSON dicts,
+    #: :meth:`repro.obs.Remark.to_json` shape) — what the pass *thought*
+    #: it did when it broke the module.
+    remarks: List[Dict] = field(default_factory=list)
 
     def describe(self) -> str:
-        return (f"step {self.step}/{len(self.trail)} ({self.culprit}): "
+        text = (f"step {self.step}/{len(self.trail)} ({self.culprit}): "
                 f"{self.kind} — {self.detail}")
+        for remark in self.remarks:
+            text += f"\n      remark: {remark.get('message', '?')}"
+        return text
 
 
 def bisect_divergence(subject: Subject, spec: ConfigSpec,
@@ -77,14 +85,23 @@ def bisect_divergence(subject: Subject, spec: ConfigSpec,
         return None
 
     def apply_and_check(pass_, func) -> Optional[BisectResult]:
-        try:
-            pass_.run(func)
-        except Exception as exc:  # noqa: BLE001
-            trail.append(pass_.name)
-            return BisectResult(pass_.name, len(trail), "crash",
-                                f"{type(exc).__name__}: {exc}", list(trail))
+        # Each application runs under a throwaway obs session so a guilty
+        # verdict carries the remarks the culprit emitted — independent of
+        # (and invisible to) any outer REPRO_TRACE session.
+        with obs.capture() as captured:
+            try:
+                pass_.run(func)
+            except Exception as exc:  # noqa: BLE001
+                trail.append(pass_.name)
+                return BisectResult(
+                    pass_.name, len(trail), "crash",
+                    f"{type(exc).__name__}: {exc}", list(trail),
+                    remarks=[r.to_json() for r in captured.remarks])
         trail.append(pass_.name)
-        return check(pass_.name)
+        result = check(pass_.name)
+        if result is not None:
+            result.remarks = [r.to_json() for r in captured.remarks]
+        return result
 
     # Pass instances are shared across functions, as in the real pipeline.
     head = [SimplifyCFG()] + transform_passes(
@@ -109,13 +126,16 @@ def bisect_divergence(subject: Subject, spec: ConfigSpec,
             for index, pass_ in enumerate(cleanup):
                 if clean_at.get(index) == version:
                     continue
-                try:
-                    changed = pass_.run(func)
-                except Exception as exc:  # noqa: BLE001
-                    trail.append(pass_.name)
-                    return BisectResult(pass_.name, len(trail), "crash",
-                                        f"{type(exc).__name__}: {exc}",
-                                        list(trail))
+                with obs.capture() as captured:
+                    try:
+                        changed = pass_.run(func)
+                    except Exception as exc:  # noqa: BLE001
+                        trail.append(pass_.name)
+                        return BisectResult(
+                            pass_.name, len(trail), "crash",
+                            f"{type(exc).__name__}: {exc}", list(trail),
+                            remarks=[r.to_json()
+                                     for r in captured.remarks])
                 trail.append(pass_.name)
                 if changed:
                     version += 1
@@ -123,6 +143,8 @@ def bisect_divergence(subject: Subject, spec: ConfigSpec,
                     iteration_changed = True
                     result = check(pass_.name)
                     if result is not None:
+                        result.remarks = [r.to_json()
+                                          for r in captured.remarks]
                         return result
                 else:
                     # No change means bit-identical IR: nothing to re-check.

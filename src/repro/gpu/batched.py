@@ -240,6 +240,7 @@ def _run_state(machine, func, state: _BatchState, arg_values, total,
     invariant.  Splits/demotes and abandons the state on cross-warp
     divergence; records results when the schedule drains.
     """
+    profile = machine.profile
     while state.groups:
         if float(state.cycles.max()) > machine.max_cycles:
             raise SimulationError(
@@ -260,9 +261,25 @@ def _run_state(machine, func, state: _BatchState, arg_values, total,
         if not mask.any():
             continue
         state.cycles += state.icache.access(db.block_id, db.size)
-        pending = _exec_block(machine, func, db, epoch, mask, state,
-                              arg_values, total)
+        if profile is None:
+            pending = _exec_block(machine, func, db, epoch, mask, state,
+                                  arg_values, total)
+        else:
+            # One sample per batched block execution: active lanes summed
+            # over all rows against the whole lattice's lane capacity,
+            # timestamped by the representative row's cycle count.
+            start_ts = float(state.cycles[0])
+            before = float(state.cycles.sum())
+            pending = _exec_block(machine, func, db, epoch, mask, state,
+                                  arg_values, total)
+            profile.note_block(db.name, float(state.cycles.sum()) - before,
+                               int(np.count_nonzero(mask)), mask.size,
+                               start_ts)
         if pending is not None:
+            if profile is not None:
+                cls = pending[5]
+                profile.note_split(db.name, len(set(cls.tolist())),
+                                   int(cls.size))
             _split_state(machine, func, state, arg_values, pending, total,
                          results, worklist)
             return
@@ -436,6 +453,9 @@ def _demote_row(machine, func, state: _BatchState, row: int, cls: int,
     scheduler loop on a cloned icache.
     """
     octx = state.ctx
+    if machine.profile is not None:
+        machine.profile.note_demotion(true_edge.target.name,
+                                      int(octx.rows[row]))
     lane_ids = octx.lane_ids[row].copy()
     wctx = _WarpContext(lane_ids, int(octx.block_ids[row]), octx.block_dim,
                         octx.grid_dim, lane_ids < octx.block_dim)

@@ -67,6 +67,7 @@ from ..ir.instructions import (AllocaInst, BinaryInst, BranchInst, CallInst,
 from ..ir.module import Module
 from ..ir.types import FloatType, IntType, PointerType, Type
 from ..ir.values import Argument, GlobalVariable, Value
+from ..obs import session as obs_session
 from ..semantics import INTRINSIC_IMPLS, fptosi_arrays, storage_dtype
 from .counters import Counters, cat_index
 from .icache import InstructionCache
@@ -258,6 +259,12 @@ class SimtMachine:
         self._icache_capacity = icache_capacity
         self.max_cycles = max_cycles
         self.engine = resolve_engine(engine)
+        #: Live execution profile, or None — resolved once here so the
+        #: hot loops pay a plain attribute test, not a session lookup.
+        #: Strictly observational: recording never feeds back into
+        #: scheduling, cycles, or outputs (the engine-equivalence suite
+        #: pins runs bit-identical with profiling on vs. off).
+        self.profile = obs_session.profile()
         self._global_addrs: Dict[str, int] = {}
         self._decoded: Dict[int, _DecodedBlock] = {}
         self._materialize_globals()
@@ -653,6 +660,7 @@ class SimtMachine:
         it seeds ``counters``/``groups``/``ctx`` with the warp's state at
         the divergence point and resumes here.
         """
+        profile = self.profile
         while groups:
             if counters.cycles > self.max_cycles:
                 raise SimulationError(
@@ -674,8 +682,20 @@ class SimtMachine:
             if not mask.any():
                 continue
             counters.cycles += icache.access(db.block_id, db.size)
-            self._exec_decoded(func, db, epoch, mask, ctx, arg_values,
-                               counters, groups)
+            if profile is None:
+                self._exec_decoded(func, db, epoch, mask, ctx, arg_values,
+                                   counters, groups)
+            else:
+                start_cycles = counters.cycles
+                self._exec_decoded(func, db, epoch, mask, ctx, arg_values,
+                                   counters, groups)
+                # Timestamps are warp-local cycle counts: samples from
+                # concurrent warps interleave on the timeline, which is
+                # exactly the resident-warp overlap picture an SM sees.
+                profile.note_block(db.name,
+                                   counters.cycles - start_cycles,
+                                   int(np.count_nonzero(mask)), WARP_SIZE,
+                                   start_cycles)
 
     def _exec_decoded(self, func: Function, db: _DecodedBlock, epoch: int,
                       mask: np.ndarray, ctx: _WarpContext,

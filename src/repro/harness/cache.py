@@ -113,8 +113,13 @@ class CellCache:
 
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Session counters: get() hits/misses and put() writes since this
+        #: CellCache was constructed.  ``repro`` prints them after each
+        #: sweep so a run's actual hit rate is visible, not just the
+        #: on-disk entry count.
         self.hits = 0
         self.misses = 0
+        self.puts = 0
 
     # -- keys ----------------------------------------------------------------
     @staticmethod
@@ -187,6 +192,7 @@ class CellCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(data))
         os.replace(tmp, path)  # Atomic: concurrent readers see old or new.
+        self.puts += 1
 
     # -- maintenance ---------------------------------------------------------
     def entries(self):
@@ -202,7 +208,15 @@ class CellCache:
             "bytes": sum(f.stat().st_size for f in files),
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "session_puts": self.puts,
         }
+
+    def session_line(self) -> str:
+        """One-line session hit/miss/put summary for per-sweep reporting."""
+        looked = self.hits + self.misses
+        rate = 100.0 * self.hits / looked if looked else 0.0
+        return (f"cache: {self.hits} hits / {self.misses} misses "
+                f"({rate:.0f}% hit rate), {self.puts} entries written")
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

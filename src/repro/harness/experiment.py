@@ -24,6 +24,7 @@ import numpy as np
 
 from ..bench.base import Benchmark
 from ..gpu.counters import Counters
+from ..obs import session as obs
 from ..transforms.heuristic import HeuristicParams
 from ..transforms.pass_manager import PassStatistics
 from ..transforms.pipeline import CompileResult, compile_module
@@ -121,6 +122,19 @@ class ExperimentRunner:
 
     def _run(self, bench: Benchmark, config: str, loop_id: Optional[str],
              factor: int) -> Cell:
+        # Remarks emitted while this cell compiles/runs carry its sweep
+        # coordinates; the cell itself becomes one trace span wrapping the
+        # per-pass and per-phase spans recorded underneath.
+        label = f"{bench.name}/{config}"
+        if loop_id is not None:
+            label += f"/{loop_id}x{factor}"
+        with obs.context(app=bench.name, config=config, sweep_loop=loop_id,
+                         sweep_factor=factor if loop_id else None), \
+                obs.span(label, cat="cell"):
+            return self._measure(bench, config, loop_id, factor)
+
+    def _measure(self, bench: Benchmark, config: str, loop_id: Optional[str],
+                 factor: int) -> Cell:
         # One build serves both the anchor reference and the compiled cell:
         # the pipeline optimizes the module in place, so the unoptimized
         # reference run must happen first (its outputs are cached — later
@@ -128,15 +142,17 @@ class ExperimentRunner:
         module = bench.build_module()
         if config == "baseline" and bench.name not in self._raw_outputs:
             start = time.perf_counter()
-            raw_outputs, _ = bench.run(module, engine=self.engine)
+            with obs.span("simulate-raw"):
+                raw_outputs, _ = bench.run(module, engine=self.engine)
             self.phase_seconds["simulate"] += time.perf_counter() - start
             self._raw_outputs[bench.name] = raw_outputs
-        compiled: CompileResult = compile_module(
-            module, config, loop_id=loop_id, factor=factor,
-            heuristic=self.heuristic,
-            max_instructions=self.max_instructions,
-            timeout_seconds=self.compile_timeout,
-            verify_each=self.verify_each)
+        with obs.span("compile"):
+            compiled: CompileResult = compile_module(
+                module, config, loop_id=loop_id, factor=factor,
+                heuristic=self.heuristic,
+                max_instructions=self.max_instructions,
+                timeout_seconds=self.compile_timeout,
+                verify_each=self.verify_each)
         self.phase_seconds["compile"] += compiled.compile_seconds
         self.pass_stats.merge(compiled.pass_stats)
         if compiled.timed_out:
@@ -150,7 +166,8 @@ class ExperimentRunner:
                         heuristic_decisions=compiled.heuristic_decisions,
                         timed_out=True)
         start = time.perf_counter()
-        outputs, counters = bench.run(module, engine=self.engine)
+        with obs.span("simulate"):
+            outputs, counters = bench.run(module, engine=self.engine)
         self.phase_seconds["simulate"] += time.perf_counter() - start
 
         start = time.perf_counter()

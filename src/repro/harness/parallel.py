@@ -39,6 +39,7 @@ import numpy as np
 from ..bench import benchmark_by_name
 from ..bench.base import Benchmark
 from ..ir.printer import print_module
+from ..obs import session as obs
 from ..transforms.heuristic import HeuristicParams
 from .cache import CellCache
 from .experiment import UNROLL_FACTORS, Cell, ExperimentRunner
@@ -148,28 +149,48 @@ def _make_runner(params: Tuple) -> ExperimentRunner:
                             engine=engine)
 
 
+def _worker_extras(runner: ExperimentRunner) -> Dict:
+    """Telemetry a worker ships home alongside its cell.
+
+    ``pass_stats``/``phase_seconds`` let a parallel ``summary --profile``
+    report the same merged per-pass breakdown the serial runner shows;
+    ``obs`` carries the worker's remark/trace/profile payload (None when
+    ``REPRO_TRACE`` is off).
+    """
+    return {"pass_stats": runner.pass_stats,
+            "phase_seconds": dict(runner.phase_seconds),
+            "obs": obs.end_worker()}
+
+
 def _worker_baseline(app: str, params: Tuple):
     """Compute one application's baseline cell plus reference outputs."""
+    # Reset the obs slot first: fork()ed workers inherit the parent's
+    # session object, and exporting it would re-ship every remark the
+    # parent had already collected.
+    obs.begin_worker()
     try:
         bench = benchmark_by_name(app)
         runner = _make_runner(params)
         cell = runner.cell(bench, "baseline")
-        return ("ok", cell, runner._baseline_outputs.get(app))
+        return ("ok", cell, runner._baseline_outputs.get(app),
+                _worker_extras(runner))
     except Exception:
-        return ("err", traceback.format_exc(), None)
+        return ("err", traceback.format_exc(), None, None)
 
 
 def _worker_cell(app: str, config: str, loop_id: Optional[str], factor: int,
                  params: Tuple, reference: Optional[Dict[str, np.ndarray]]):
     """Compute one non-baseline cell against shipped reference outputs."""
+    obs.begin_worker()
     try:
         bench = benchmark_by_name(app)
         runner = _make_runner(params)
         if reference is not None:
             runner._baseline_outputs[app] = reference
-        return ("ok", runner._run(bench, config, loop_id, factor), None)
+        cell = runner._run(bench, config, loop_id, factor)
+        return ("ok", cell, None, _worker_extras(runner))
     except Exception:
-        return ("err", traceback.format_exc(), None)
+        return ("err", traceback.format_exc(), None, None)
 
 
 def _failed_cell(spec: CellSpec, message: str) -> Cell:
@@ -334,6 +355,13 @@ class ParallelRunner(ExperimentRunner):
              if s.app not in self._baseline_outputs]))
         failed_baselines: Dict[str, str] = {}
 
+        # Telemetry is buffered per spec and folded in *enumeration* order
+        # after the pool drains: futures complete in nondeterministic
+        # order, and the merged remark stream / pass statistics must not
+        # depend on pool scheduling (the aggregation-determinism test in
+        # tests/test_obs.py pins jobs=1 vs jobs=N streams equal).
+        extras_by_spec: Dict[CellSpec, Dict] = {}
+
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             # Stage 1: baselines (reference outputs feed every other cell).
             futures = {}
@@ -341,7 +369,7 @@ class ParallelRunner(ExperimentRunner):
                 futures[pool.submit(_worker_baseline, app, params)] = app
             for future in list(futures):
                 app = futures[future]
-                status, payload, outputs = future.result()
+                status, payload, outputs, extras = future.result()
                 if status == "err":
                     failed_baselines[app] = payload
                     continue
@@ -349,6 +377,7 @@ class ParallelRunner(ExperimentRunner):
                     self._baseline_outputs[app] = outputs
                 spec = CellSpec(app, "baseline", None, 1)
                 self._record(spec, payload, by_name)
+                extras_by_spec[spec] = extras
 
             for spec, cache_key in baseline_specs:
                 if spec.app in failed_baselines:
@@ -377,11 +406,39 @@ class ParallelRunner(ExperimentRunner):
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     spec = futures[future]
-                    status, payload, _ = future.result()
+                    status, payload, _, extras = future.result()
                     if status == "err":
                         self._cache[spec.key] = _failed_cell(spec, payload)
                     else:
                         self._record(spec, payload, by_name)
+                        extras_by_spec[spec] = extras
+
+        # Deterministic fold: the enumerated order of ``missing`` (what the
+        # serial path would have computed in), then any stage-1 baselines
+        # that were computed only for their reference outputs.
+        for spec, _ in missing:
+            extras = extras_by_spec.pop(spec, None)
+            if extras:
+                self._absorb_extras(extras)
+        for app in needed_apps:
+            extras = extras_by_spec.pop(CellSpec(app, "baseline", None, 1),
+                                        None)
+            if extras:
+                self._absorb_extras(extras)
+
+    def _absorb_extras(self, extras: Dict) -> None:
+        """Fold one worker's telemetry into this runner (and its session)."""
+        stats = extras.get("pass_stats")
+        if stats is not None:
+            self.pass_stats.merge(stats)
+        for phase, seconds in (extras.get("phase_seconds") or {}).items():
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + seconds)
+        payload = extras.get("obs")
+        if payload:
+            session = obs.active()
+            if session is not None:
+                session.merge_payload(payload)
 
     def _record(self, spec: CellSpec, cell: Cell, by_name) -> None:
         self._cache[spec.key] = cell

@@ -76,12 +76,21 @@ def heuristic_summary(runner: Optional[ExperimentRunner] = None,
 
 
 def format_profile(runner: ExperimentRunner) -> str:
-    """Phase and per-pass wall-clock breakdown of this runner's cells.
+    """Phase and per-pass timing breakdown of this runner's cells.
 
-    With ``--profile`` this is computed with ``jobs=1`` so the phase times
-    are honest single-process wall clock, not per-worker sums.
+    Phase and pass statistics accumulate inside whichever process ran each
+    cell; parallel runners ship them home with every worker result and
+    merge them (``ParallelRunner._absorb_extras``), so the breakdown is
+    complete for ``--jobs N`` sweeps too — the times are then summed
+    worker CPU seconds rather than wall clock, and are labelled as such.
     """
-    lines = ["Harness profile (wall-clock seconds, this run's cells only):"]
+    jobs = getattr(runner, "jobs", 1)
+    if jobs > 1:
+        lines = [f"Harness profile (CPU seconds summed across {jobs} "
+                 "workers, this run's cells only):"]
+    else:
+        lines = ["Harness profile (wall-clock seconds, this run's cells "
+                 "only):"]
     total = sum(runner.phase_seconds.values())
     for phase in ("compile", "simulate", "verify"):
         seconds = runner.phase_seconds[phase]
@@ -141,20 +150,18 @@ def main(argv: Optional[List[str]] = None) -> None:
         help="also print compile/simulate/verify and per-pass timing")
     parser.add_argument(
         "-j", "--jobs", type=int, default=None,
-        help="worker processes (default: REPRO_JOBS or all cores); "
-             "--profile forces 1 so phase times are meaningful")
+        help="worker processes (default: REPRO_JOBS or all cores)")
     parser.add_argument(
         "--no-cache", action="store_true",
         help="ignore the persistent cell cache")
     args = parser.parse_args(argv)
 
-    if args.profile:
-        # Phase timings accumulate inside the worker that ran each cell;
-        # profile serially (and without cache hits) so they cover the run.
-        runner: ExperimentRunner = ExperimentRunner()
-    else:
-        runner = ParallelRunner(jobs=args.jobs,
-                                use_cache=not args.no_cache)
+    # --profile disables the cache (a cache hit skips compilation, so its
+    # cell would contribute nothing to the timing breakdown) but keeps the
+    # parallel fan-out: workers ship their pass statistics home.
+    runner = ParallelRunner(jobs=args.jobs,
+                            use_cache=not args.no_cache and
+                            not args.profile)
     print(heuristic_summary(runner).format())
     if args.profile:
         print()

@@ -1,0 +1,32 @@
+"""repro.obs — unified tracing, remarks, and execution profiling.
+
+One instrumentation layer for the whole reproduction:
+
+* :mod:`repro.obs.remarks` — typed applied/missed/analysis optimization
+  remarks with a JSONL stream format;
+* :mod:`repro.obs.trace` — Chrome trace-event (Perfetto) span export;
+* :mod:`repro.obs.profile` — per-block engine counters, occupancy
+  timeline, batched split/demote events;
+* :mod:`repro.obs.session` — the process-wide session slot, the
+  ``REPRO_TRACE`` opt-in, and cross-process payload aggregation.
+
+Everything is a no-op (one global ``is None`` test per hook) until a
+session is installed.
+"""
+
+from .profile import ExecutionProfile, OCCUPANCY_CAP
+from .remarks import (KINDS, Remark, heuristic_remarks, read_jsonl,
+                      render_remark, write_jsonl)
+from .session import (ENV_VAR, ObsSession, active, begin_worker, capture,
+                      context, emit, enabled, end_worker, install,
+                      maybe_install_from_env, profile, remark, span, tracer,
+                      uninstall)
+from .trace import Tracer
+
+__all__ = [
+    "ENV_VAR", "KINDS", "OCCUPANCY_CAP", "ExecutionProfile", "ObsSession",
+    "Remark", "Tracer", "active", "begin_worker", "capture", "context",
+    "emit", "enabled", "end_worker", "heuristic_remarks", "install",
+    "maybe_install_from_env", "profile", "read_jsonl", "remark",
+    "render_remark", "span", "tracer", "uninstall", "write_jsonl",
+]

@@ -1,0 +1,177 @@
+"""Structured optimization remarks.
+
+A :class:`Remark` is the unit of optimizer telemetry: one typed record per
+transform decision, in the spirit of LLVM's ``-Rpass`` /
+``--pass-remarks-output`` machinery.  Three kinds exist:
+
+``applied``
+    A transform fired.  Carries the inputs that justified it (for u&u:
+    the heuristic triple ``(p, s, u')`` and the predicted unmerged cost).
+``missed``
+    A transform considered a candidate and declined.  Carries the skip
+    reason verbatim (``"divergent branch"``, ``f(p,s,2) >= c``, ...).
+``analysis``
+    A fact worth surfacing that is neither: per-pass elimination counts,
+    unmerge budget exhaustion, and similar.
+
+Remarks serialize to JSON Lines — one object per line — so streams from
+parallel workers concatenate trivially and ``repro remarks`` can re-read
+them without a framing parser.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: The closed set of remark kinds; :func:`Remark.validate` rejects others.
+KINDS = ("applied", "missed", "analysis")
+
+
+@dataclasses.dataclass
+class Remark:
+    """One optimizer decision, serializable through JSONL."""
+
+    kind: str                     # one of KINDS
+    pass_name: str                # emitting pass ("uu", "gvn", "dce", ...)
+    function: str                 # kernel/function name
+    message: str                  # human-oriented one-liner
+    loop_id: Optional[str] = None  # "func:idx" when loop-scoped
+    #: Pass-specific payload: heuristic inputs, elimination counts, ...
+    args: Dict[str, object] = dataclasses.field(default_factory=dict)
+    #: Harness-stamped provenance: app, config, sweep loop_id/factor.
+    context: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def validate(self) -> "Remark":
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown remark kind {self.kind!r}")
+        return self
+
+    def to_json(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "kind": self.kind,
+            "pass": self.pass_name,
+            "function": self.function,
+            "message": self.message,
+        }
+        if self.loop_id is not None:
+            data["loop_id"] = self.loop_id
+        if self.args:
+            data["args"] = self.args
+        if self.context:
+            data["context"] = self.context
+        return data
+
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "Remark":
+        return Remark(
+            kind=data["kind"],
+            pass_name=data["pass"],
+            function=data["function"],
+            message=data["message"],
+            loop_id=data.get("loop_id"),
+            args=dict(data.get("args", {})),
+            context=dict(data.get("context", {})),
+        ).validate()
+
+
+# -- JSONL stream ------------------------------------------------------------
+
+def write_jsonl(remarks: Iterable[Remark], path) -> int:
+    """Write one JSON object per line; returns the number written."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for remark in remarks:
+            fh.write(json.dumps(remark.to_json(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> List[Remark]:
+    remarks = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                remarks.append(Remark.from_json(json.loads(line)))
+    return remarks
+
+
+# -- rendering ---------------------------------------------------------------
+
+_KIND_TAGS = {"applied": "applied", "missed": "missed ", "analysis": "note   "}
+
+
+def render_remark(remark: Remark) -> str:
+    """One-line human rendering, stable enough to grep."""
+    tag = _KIND_TAGS.get(remark.kind, remark.kind)
+    where = remark.loop_id or remark.function
+    line = f"[{tag}] {remark.pass_name:<12} {where:<24} {remark.message}"
+    if remark.args:
+        detail = " ".join(f"{k}={remark.args[k]}"
+                          for k in sorted(remark.args))
+        line += f"  ({detail})"
+    return line
+
+
+# -- heuristic bridging ------------------------------------------------------
+
+def _unmerged_cost(paths: int, size: int, factor: int,
+                   cap: int = 1 << 30) -> int:
+    """``f(p, s, u) = sum_{i=0}^{u-1} p^i * s`` — the paper's Eq. cost.
+
+    Mirrors ``repro.analysis.paths.estimate_unmerged_size`` without
+    importing it (obs must stay import-light so transforms can depend on
+    it without cycles).
+    """
+    total = 0
+    term = size
+    for _ in range(max(factor, 0)):
+        total += term
+        if total >= cap:
+            return cap
+        term *= paths
+    return total
+
+
+def heuristic_remarks(decisions: Sequence, function: Optional[str] = None
+                      ) -> List[Remark]:
+    """The single rendering of ``LoopDecision`` rows as remarks.
+
+    Both the ``uu`` pass's remark emission and ``run-heuristic --report``
+    go through here, so the report and the remark stream cannot drift
+    apart (they are the same objects).  ``decisions`` is duck-typed over
+    the ``LoopDecision`` fields (loop_id, paths, size, factor, reason,
+    applied) to avoid importing ``repro.transforms``.
+    """
+    remarks = []
+    for d in decisions:
+        func = function or str(d.loop_id).split(":", 1)[0]
+        if d.factor is None:
+            remarks.append(Remark(
+                kind="missed", pass_name="uu", function=func,
+                loop_id=d.loop_id,
+                message=d.reason,
+                args={"p": d.paths, "s": d.size},
+            ))
+        elif d.applied is False:
+            remarks.append(Remark(
+                kind="missed", pass_name="uu", function=func,
+                loop_id=d.loop_id,
+                message=(f"selected u'={d.factor} but not applied "
+                         "(loop vanished after relayout or transform "
+                         "declined)"),
+                args={"p": d.paths, "s": d.size, "u_prime": d.factor},
+            ))
+        else:
+            remarks.append(Remark(
+                kind="applied", pass_name="uu", function=func,
+                loop_id=d.loop_id,
+                message=f"unroll-and-unmerge with u'={d.factor}",
+                args={"p": d.paths, "s": d.size, "u_prime": d.factor,
+                      "cost": _unmerged_cost(d.paths, d.size, d.factor)},
+            ))
+    return remarks

@@ -1,0 +1,198 @@
+"""Process-wide observability session.
+
+All instrumentation in the repo funnels through the single module-level
+session slot here.  The contract that keeps the disabled path near-free:
+
+* When no session is installed (``_active is None``) every hook reduces
+  to one global load + ``is None`` test — no objects are constructed, no
+  strings formatted.  Hot engine loops hoist even that check out by
+  grabbing :func:`profile` once per launch.
+* ``REPRO_TRACE=1`` (or any non-empty value) opts a process in; the CLI
+  sets it before fanning out so forked pool workers inherit the flag.
+
+Cross-process aggregation: ``ParallelRunner`` workers call
+:func:`begin_worker` at task start — which *unconditionally* resets the
+slot, because fork()ed children inherit the parent's session object and
+would otherwise re-export every remark the parent had already collected —
+then ship :func:`export_payload` back with their result tuple.  The
+parent folds payloads in deterministic (task-enumeration) order via
+:func:`merge_payload`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from typing import Dict, List, Optional
+
+from .profile import ExecutionProfile
+from .remarks import Remark
+from .trace import Tracer
+
+#: Environment opt-in; checked by :func:`enabled` and :func:`begin_worker`.
+ENV_VAR = "REPRO_TRACE"
+
+_active: Optional["ObsSession"] = None
+
+
+class ObsSession:
+    """One process's collected remarks, trace events, and exec profile."""
+
+    def __init__(self) -> None:
+        self.remarks: List[Remark] = []
+        self.tracer = Tracer(pid=os.getpid())
+        self.profile = ExecutionProfile()
+        #: Harness-owned provenance stamped onto every remark at emit
+        #: time (app, config, sweep loop_id/factor).
+        self.context: Dict[str, object] = {}
+
+    # -- emission ------------------------------------------------------------
+    def emit(self, remark: Remark) -> None:
+        if self.context:
+            merged = dict(self.context)
+            merged.update(remark.context)
+            remark.context = merged
+        self.remarks.append(remark.validate())
+
+    # -- cross-process transport ---------------------------------------------
+    def export_payload(self) -> Dict[str, object]:
+        return {
+            "pid": os.getpid(),
+            "remarks": [r.to_json() for r in self.remarks],
+            "events": list(self.tracer.events),
+            "profile": self.profile.to_json(),
+        }
+
+    def merge_payload(self, payload: Dict[str, object]) -> None:
+        for data in payload.get("remarks", []):
+            self.remarks.append(Remark.from_json(data))
+        self.tracer.absorb(list(payload.get("events", [])),
+                           pid=payload.get("pid"))
+        prof = payload.get("profile")
+        if prof:
+            self.profile.merge(ExecutionProfile.from_json(prof))
+
+
+# -- the slot ----------------------------------------------------------------
+
+def active() -> Optional[ObsSession]:
+    return _active
+
+
+def enabled() -> bool:
+    """Is tracing requested by the environment?"""
+    return bool(os.environ.get(ENV_VAR))
+
+
+def install(session: Optional[ObsSession] = None) -> ObsSession:
+    global _active
+    _active = session if session is not None else ObsSession()
+    return _active
+
+
+def uninstall() -> Optional[ObsSession]:
+    global _active
+    session, _active = _active, None
+    return session
+
+
+def maybe_install_from_env() -> Optional[ObsSession]:
+    """Install a session iff ``REPRO_TRACE`` asks for one."""
+    if _active is None and enabled():
+        return install()
+    return _active
+
+
+# -- fast-path hooks (the only calls on instrumented code paths) -------------
+
+def remark(kind: str, pass_name: str, function: str, message: str,
+           loop_id: Optional[str] = None, **args) -> None:
+    """Emit a remark if a session is live; a no-op global test otherwise."""
+    if _active is None:
+        return
+    _active.emit(Remark(kind=kind, pass_name=pass_name, function=function,
+                        message=message, loop_id=loop_id, args=args))
+
+
+def emit(r: Remark) -> None:
+    if _active is not None:
+        _active.emit(r)
+
+
+def tracer() -> Optional[Tracer]:
+    return _active.tracer if _active is not None else None
+
+
+def profile() -> Optional[ExecutionProfile]:
+    """The live profile, or None — engines hoist this per launch."""
+    return _active.profile if _active is not None else None
+
+
+@contextlib.contextmanager
+def span(name: str, cat: str = "phase", **args):
+    """Record the wrapped block as a complete trace event (no-op when off)."""
+    t = _active.tracer if _active is not None else None
+    if t is None:
+        yield
+        return
+    start = t.now()
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        t.complete(name, cat, start, time.perf_counter() - t0,
+                   args=args or None)
+
+
+@contextlib.contextmanager
+def context(**kv):
+    """Temporarily extend the session's provenance context."""
+    if _active is None:
+        yield
+        return
+    saved = dict(_active.context)
+    _active.context.update({k: v for k, v in kv.items() if v is not None})
+    try:
+        yield
+    finally:
+        _active.context = saved
+
+
+@contextlib.contextmanager
+def capture():
+    """Run a block under a fresh throwaway session and hand it back.
+
+    Used by the fuzz bisector to attach the remarks a culprit pass
+    emitted to its verdict without disturbing any outer session.
+    """
+    global _active
+    saved = _active
+    session = ObsSession()
+    _active = session
+    try:
+        yield session
+    finally:
+        _active = saved
+
+
+# -- pool-worker lifecycle ---------------------------------------------------
+
+def begin_worker() -> Optional[ObsSession]:
+    """Reset the slot at worker-task start.
+
+    fork()-based pools hand children a *copy of the parent's session*,
+    remarks and all; exporting that would double-count everything the
+    parent already holds.  So: unconditionally drop whatever is
+    installed and start fresh (or empty, if tracing is off).
+    """
+    global _active
+    _active = ObsSession() if enabled() else None
+    return _active
+
+
+def end_worker() -> Optional[Dict[str, object]]:
+    """Export and clear the worker's session; None when tracing is off."""
+    global _active
+    session, _active = _active, None
+    return session.export_payload() if session is not None else None

@@ -13,6 +13,7 @@ from typing import List
 
 from ..ir.function import Function
 from ..ir.instructions import Instruction, PhiInst
+from ..obs import session as obs
 
 
 class DeadCodeElimination:
@@ -21,7 +22,7 @@ class DeadCodeElimination:
     name = "dce"
 
     def run(self, func: Function) -> bool:
-        changed = False
+        erased = 0
         work: List[Instruction] = [
             inst for block in func.blocks for inst in block.instructions]
         while work:
@@ -33,9 +34,12 @@ class DeadCodeElimination:
             operands = [op for op in inst.operands
                         if isinstance(op, Instruction)]
             inst.erase_from_parent()
-            changed = True
+            erased += 1
             work.extend(operands)
-        return changed
+        if erased and obs.active() is not None:
+            obs.remark("analysis", self.name, func.name,
+                       "erased dead instructions", erased=erased)
+        return erased > 0
 
     @staticmethod
     def _is_dead(inst: Instruction) -> bool:

@@ -27,6 +27,7 @@ from ..ir.function import Function
 from ..ir.instructions import (BinaryInst, CondBranchInst, FCmpInst, ICmpInst,
                                Instruction, PhiInst, TerminatorInst)
 from ..ir.values import Value
+from ..obs import session as obs
 from .fold import fold_instruction
 from .instcombine import simplify_instruction
 
@@ -95,6 +96,9 @@ class GlobalValueNumbering:
         domtree = DominatorTree.compute(func)
         scopes = _Scopes()
         self._changed = False
+        self._rewrites = 0     # Operand substitutions via facts/leaders.
+        self._simplified = 0   # Instructions folded away locally.
+        self._cse = 0          # Instructions replaced by a dominating leader.
         pred_map = predecessor_map(func)
 
         # Iterative dominator-tree DFS: (enter, block) / (exit, block).
@@ -110,6 +114,12 @@ class GlobalValueNumbering:
             self._process_block(block, scopes)
             for child in reversed(domtree.children(block)):
                 stack.append(("enter", child))
+        if self._changed and obs.active() is not None:
+            obs.remark(
+                "analysis", self.name, func.name,
+                "eliminated redundancies",
+                rewrites=self._rewrites, simplified=self._simplified,
+                cse=self._cse, branch_facts=self.branch_facts)
         return self._changed
 
     # -- branch facts -----------------------------------------------------
@@ -176,6 +186,7 @@ class GlobalValueNumbering:
                     if repl is not op:
                         inst.set_operand(i, repl)
                         self._changed = True
+                        self._rewrites += 1
             if isinstance(inst, (PhiInst, TerminatorInst)):
                 continue
             if not inst.is_pure:
@@ -186,6 +197,7 @@ class GlobalValueNumbering:
                 inst.replace_all_uses_with(simplified)
                 inst.erase_from_parent()
                 self._changed = True
+                self._simplified += 1
                 continue
             key = inst.value_key()
             if key is None:
@@ -195,6 +207,7 @@ class GlobalValueNumbering:
                 inst.replace_all_uses_with(leader)
                 inst.erase_from_parent()
                 self._changed = True
+                self._cse += 1
             else:
                 scopes.set_available(key, inst)
 

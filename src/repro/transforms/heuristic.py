@@ -23,6 +23,8 @@ from ..analysis.divergence import DivergenceInfo, loop_has_divergent_branch
 from ..analysis.loops import Loop, LoopInfo
 from ..analysis.paths import count_paths, estimate_unmerged_size
 from ..ir.function import Function
+from ..obs import session as obs
+from ..obs.remarks import heuristic_remarks
 from .uu import apply_uu, uu_applicable
 
 
@@ -151,4 +153,10 @@ class HeuristicUU:
                                  max_instructions=self.max_instructions)
             decision.applied = did_apply
             changed |= did_apply
+        if obs.active() is not None:
+            # The remark stream and ``run-heuristic --report`` both render
+            # these same LoopDecision rows via heuristic_remarks(), so the
+            # two views cannot drift apart.
+            for remark in heuristic_remarks(decisions, function=func.name):
+                obs.emit(remark)
         return changed

@@ -16,6 +16,7 @@ from ..ir.function import Function
 from ..ir.instructions import (BinaryInst, CastInst, FCmpInst, ICmpInst,
                                Instruction, PhiInst, SelectInst)
 from ..ir.values import Value
+from ..obs import session as obs
 from .fold import fold_instruction
 
 
@@ -25,7 +26,7 @@ class InstCombine:
     name = "instcombine"
 
     def run(self, func: Function) -> bool:
-        changed = False
+        combined = 0
         progress = True
         while progress:
             progress = False
@@ -38,8 +39,11 @@ class InstCombine:
                         inst.replace_all_uses_with(replacement)
                         inst.erase_from_parent()
                         progress = True
-                        changed = True
-        return changed
+                        combined += 1
+        if combined and obs.active() is not None:
+            obs.remark("analysis", self.name, func.name,
+                       "combined instructions", combined=combined)
+        return combined > 0
 
 
 def simplify_instruction(inst: Instruction) -> Optional[Value]:

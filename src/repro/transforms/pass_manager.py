@@ -16,6 +16,12 @@ from typing import Callable, Dict, List, Optional, Protocol
 from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.verifier import verify_function
+from ..obs import session as obs
+
+
+def _ir_size(func: Function) -> "tuple[int, int]":
+    """(instructions, blocks) — the IR delta recorded on trace spans."""
+    return sum(len(b.instructions) for b in func.blocks), len(func.blocks)
 
 
 class CompileTimeout(Exception):
@@ -92,12 +98,24 @@ class PassManager:
 
     def run_function(self, func: Function) -> bool:
         changed_any = False
+        tracer = obs.tracer()
         for pass_ in self.passes:
             self.check_deadline()
+            if tracer is not None:
+                insts_before, blocks_before = _ir_size(func)
+                span_start = tracer.now()
             start = time.perf_counter()
             changed = pass_.run(func)
             elapsed = time.perf_counter() - start
             self.stats.record(pass_.name, elapsed, changed)
+            if tracer is not None:
+                insts_after, blocks_after = _ir_size(func)
+                tracer.complete(pass_.name, "pass", span_start, elapsed, args={
+                    "function": func.name, "changed": changed,
+                    "insts_before": insts_before, "insts_after": insts_after,
+                    "blocks_before": blocks_before,
+                    "blocks_after": blocks_after,
+                })
             changed_any |= changed
             if self.verify_each:
                 try:
@@ -137,21 +155,37 @@ class FixpointPassManager(PassManager):
 
     def run_function(self, func: Function) -> bool:
         changed_any = False
+        tracer = obs.tracer()
         # ``version`` counts IR mutations; clean_at[i] records the version
         # at which pass i last reported no change.  While the version is
         # unchanged, re-running that pass is a guaranteed no-op.
         version = 0
         clean_at: Dict[int, int] = {}
-        for _ in range(self.max_iterations):
+        for iteration in range(self.max_iterations):
             iteration_changed = False
             for index, pass_ in enumerate(self.passes):
                 if clean_at.get(index) == version:
                     continue
                 self.check_deadline()
+                if tracer is not None:
+                    insts_before, blocks_before = _ir_size(func)
+                    span_start = tracer.now()
                 start = time.perf_counter()
                 changed = pass_.run(func)
                 elapsed = time.perf_counter() - start
                 self.stats.record(pass_.name, elapsed, changed)
+                if tracer is not None:
+                    insts_after, blocks_after = _ir_size(func)
+                    tracer.complete(pass_.name, "pass", span_start, elapsed,
+                                    args={
+                                        "function": func.name,
+                                        "changed": changed,
+                                        "iteration": iteration,
+                                        "insts_before": insts_before,
+                                        "insts_after": insts_after,
+                                        "blocks_before": blocks_before,
+                                        "blocks_after": blocks_after,
+                                    })
                 if changed:
                     version += 1
                     clean_at.pop(index, None)

@@ -17,6 +17,7 @@ from ..ir.function import Function
 from ..ir.instructions import (BranchInst, CondBranchInst, Instruction,
                                PhiInst, RetInst, TerminatorInst)
 from ..ir.values import Argument, GlobalVariable, Value
+from ..obs import session as obs
 from .fold import fold_instruction
 
 # Lattice: TOP (undetermined) > constant > BOTTOM (overdefined).
@@ -174,6 +175,8 @@ class SparseConditionalConstantPropagation:
 
         # -- rewrite ------------------------------------------------------
         changed = False
+        propagated = 0   # Instructions proven constant and substituted.
+        folded_branches = 0
         for block in func.blocks:
             if id(block) not in executable_blocks:
                 continue
@@ -184,6 +187,7 @@ class SparseConditionalConstantPropagation:
                 if c is not None and c.state == "const" and inst.is_used:
                     inst.replace_all_uses_with(c.constant)  # type: ignore[arg-type]
                     changed = True
+                    propagated += 1
             term = block.terminator
             if isinstance(term, CondBranchInst):
                 # Prune edges SCCP proved non-executable even when the
@@ -194,6 +198,15 @@ class SparseConditionalConstantPropagation:
                         not isinstance(term.condition, ConstantInt):
                     term.set_operand(0, constant)
                     changed = True
+                    folded_branches += 1
+        if changed and obs.active() is not None:
+            unreachable = sum(1 for b in func.blocks
+                              if id(b) not in executable_blocks)
+            obs.remark("analysis", self.name, func.name,
+                       "propagated constants",
+                       propagated=propagated,
+                       folded_branches=folded_branches,
+                       unreachable_blocks=unreachable)
         return changed
 
 

@@ -44,6 +44,7 @@ from ..ir.clone import clone_blocks, map_value
 from ..ir.function import Function
 from ..ir.instructions import PhiInst
 from ..ir.values import Value
+from ..obs import session as obs
 from .lcssa import form_lcssa
 
 
@@ -82,10 +83,16 @@ def unmerge_loop(func: Function, loop: Loop,
             inner_blocks.update(id(b) for b in nested.blocks)
 
     skipped: Set[int] = set()
+    duplicated = 0
     while True:
         merge = _find_merge_block(func, header, region, inner_blocks,
                                   skipped)
         if merge is None:
+            if duplicated and obs.active() is not None:
+                obs.remark("analysis", "unmerge", func.name,
+                           "duplicated merge tails", loop_id=loop.loop_id,
+                           duplicated=duplicated,
+                           skipped_unprofitable=len(skipped))
             return changed
         if selective:
             from .profitability import merge_is_profitable
@@ -97,7 +104,11 @@ def unmerge_loop(func: Function, loop: Loop,
                 continue
         _duplicate_tail(func, header, merge, region, inner_blocks)
         changed = True
+        duplicated += 1
         if func.instruction_count() > max_instructions:
+            obs.remark("analysis", "unmerge", func.name,
+                       "unmerge budget exceeded", loop_id=loop.loop_id,
+                       duplicated=duplicated, budget=max_instructions)
             raise UnmergeBudgetExceeded(
                 f"loop {loop.loop_id}: unmerged body exceeded "
                 f"{max_instructions} instructions")
@@ -249,11 +260,17 @@ class UnmergePass:
         loop_info = LoopInfo.compute(func)
         loop = loop_info.by_id(self.loop_id)
         if loop is None:
+            obs.remark("missed", self.name, func.name, "loop not found",
+                       loop_id=self.loop_id)
             return False
         claimed = set(func.attributes.get("uu_claimed_loops", ()))
         claimed.add(self.loop_id)
         func.attributes["uu_claimed_loops"] = claimed
         try:
-            return unmerge_loop(func, loop, self.max_instructions)
+            changed = unmerge_loop(func, loop, self.max_instructions)
         except UnmergeBudgetExceeded:
             return True
+        if changed:
+            obs.remark("applied", self.name, func.name, "unmerged loop",
+                       loop_id=self.loop_id)
+        return changed

@@ -30,6 +30,7 @@ from ..ir.clone import clone_blocks, map_value
 from ..ir.function import Function
 from ..ir.instructions import PhiInst
 from ..ir.values import Value
+from ..obs import session as obs
 from .lcssa import form_lcssa
 
 
@@ -191,11 +192,20 @@ class BaselineUnroll:
                     continue
                 if not can_unroll(loop):
                     continue
-                factor = self._choose_factor(loop, loop_size(loop))
+                size = loop_size(loop)
+                factor = self._choose_factor(loop, size)
                 if factor is None:
                     unrolled_headers.add(id(loop.header))
                     continue
                 unroll_loop(func, loop, factor)
+                if obs.active() is not None:
+                    tc = constant_trip_count(loop)
+                    obs.remark("applied", self.name, func.name,
+                               f"unrolled by {factor}",
+                               loop_id=loop.loop_id, factor=factor,
+                               size=size,
+                               unroll_kind="full" if tc is not None and
+                               factor == tc + 1 else "runtime")
                 unrolled_headers.add(id(loop.header))
                 changed = True
                 progress = True
@@ -228,9 +238,15 @@ class UnrollPass:
         loop_info = LoopInfo.compute(func)
         loop = loop_info.by_id(self.loop_id)
         if loop is None or not can_unroll(loop):
+            obs.remark("missed", self.name, func.name,
+                       "loop not found" if loop is None
+                       else "no single latch", loop_id=self.loop_id)
             return False
         claimed = set(func.attributes.get("uu_claimed_loops", ()))
         claimed.add(self.loop_id)
         func.attributes["uu_claimed_loops"] = claimed
         unroll_loop(func, loop, self.factor)
+        obs.remark("applied", self.name, func.name,
+                   f"unrolled by {self.factor}", loop_id=self.loop_id,
+                   factor=self.factor)
         return True

@@ -22,6 +22,7 @@ from typing import List, Optional, Set
 from ..analysis.convergence import loop_is_convergent
 from ..analysis.loops import Loop, LoopInfo
 from ..ir.function import Function
+from ..obs import session as obs
 from .unmerge import UnmergeBudgetExceeded, unmerge_loop
 from .unroll import can_unroll, unroll_loop
 
@@ -43,10 +44,17 @@ class UnrollAndUnmerge:
         loop_info = LoopInfo.compute(func)
         loop = loop_info.by_id(self.loop_id)
         if loop is None:
+            obs.remark("missed", self.name, func.name, "loop not found",
+                       loop_id=self.loop_id)
             return False
-        return apply_uu(func, loop, self.factor,
-                        max_instructions=self.max_instructions,
-                        unroll_inner=self.unroll_inner)
+        changed = apply_uu(func, loop, self.factor,
+                           max_instructions=self.max_instructions,
+                           unroll_inner=self.unroll_inner)
+        if changed:
+            obs.remark("applied", self.name, func.name,
+                       f"unroll-and-unmerge with u'={self.factor}",
+                       loop_id=self.loop_id, u_prime=self.factor)
+        return changed
 
 
 def apply_uu(func: Function, loop: Loop, factor: int,
@@ -59,6 +67,8 @@ def apply_uu(func: Function, loop: Loop, factor: int,
     extension): only profitably-unmergeable merge blocks are duplicated.
     """
     if not uu_applicable(func, loop):
+        obs.remark("missed", "uu", func.name, "convergent or pragma",
+                   loop_id=loop.loop_id)
         return False
     header = loop.header
     claimed = set(func.attributes.get("uu_claimed_loops", ()))

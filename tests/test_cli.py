@@ -42,7 +42,10 @@ class TestCommands:
         assert main(["run-heuristic", "--app", "complex",
                      "--verbose"]) == 0
         out = capsys.readouterr().out
-        assert "factor=" in out
+        # The per-loop report is the rendered remark stream (repro.obs),
+        # carrying the heuristic inputs on every applied loop.
+        assert "[applied] uu" in out
+        assert "u_prime=" in out
 
     def test_ptx_output(self, capsys):
         assert main(["ptx", "--app", "complex",
@@ -99,6 +102,8 @@ class TestHeuristicReport:
         assert main(["run-heuristic", "--app", "complex",
                      "--report"]) == 0
         out = capsys.readouterr().out
-        assert "factor=" in out
-        # Every selected loop either applied or is flagged as skipped.
-        assert "[applied]" in out or "SKIPPED" in out
+        # The report is the rendered remark stream: every selected loop
+        # is an [applied] remark with its (p, s, u') or a [missed] one
+        # carrying the skip reason.
+        assert "[applied]" in out or "[missed ]" in out
+        assert "u_prime=" in out or "p=" in out
