@@ -58,6 +58,13 @@ def test_batched_engine_speedup_on_uniform_launch():
     # per engine inside bench_kernel.
     bench_kernel(name, needs_buf, text, warps=16, repeats=1, trips=50)
     row = bench_kernel(name, needs_buf, text, warps=16, repeats=3)
+    # Opt-in machine-readable record, same shape as `repro bench-interp
+    # --json`, so CI can archive engine throughput alongside test results.
+    json_out = os.environ.get("REPRO_BENCH_JSON")
+    if json_out:
+        from repro.harness.benchinterp import DEFAULT_TRIPS, write_bench_json
+        write_bench_json([row], 16, DEFAULT_TRIPS, json_out,
+                         source="perf-smoke")
     assert row.speedup >= BATCHED_MIN_SPEEDUP, (
         f"batched engine only {row.speedup:.2f}x over per-warp on a "
         f"uniform 16-warp launch (floor {BATCHED_MIN_SPEEDUP}x) — is the "

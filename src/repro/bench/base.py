@@ -23,9 +23,31 @@ import numpy as np
 from ..frontend.ast import KernelDef
 from ..frontend.lower import lower_kernels
 from ..gpu.counters import Counters
-from ..gpu.machine import SimtMachine
+from ..gpu.machine import WARP_SIZE, SimtMachine
 from ..gpu.memory import Memory
 from ..ir.module import Module
+
+
+def scale_geometry(grid_dim: int, block_dim: int,
+                   scale: int) -> Tuple[int, int]:
+    """Shrink a launch to roughly ``1/scale`` of its threads.
+
+    Used by the autotuner's successive-halving rounds: early rounds rank
+    candidates on a reduced geometry and only survivors get full-size
+    timing.  Whole blocks are dropped first; once a single block remains,
+    it is shrunk in whole warps (never below one warp, so intra-warp
+    divergence behaviour is preserved).  ``scale <= 1`` is the identity.
+    """
+    if scale <= 1:
+        return grid_dim, block_dim
+    total = grid_dim * block_dim
+    target = max(1, total // scale)
+    if target >= block_dim:
+        return max(1, target // block_dim), block_dim
+    if block_dim >= WARP_SIZE:
+        warps = max(1, (block_dim // WARP_SIZE) // scale)
+        return 1, warps * WARP_SIZE
+    return 1, max(1, block_dim // scale)
 
 
 @dataclass
@@ -92,9 +114,15 @@ class Benchmark:
 
     def run(self, module: Module,
             icache_capacity: Optional[int] = None,
-            engine: Optional[str] = None
+            engine: Optional[str] = None,
+            scale: int = 1
             ) -> Tuple[Dict[str, np.ndarray], Counters]:
-        """Execute the workload on a fresh memory; returns outputs+counters."""
+        """Execute the workload on a fresh memory; returns outputs+counters.
+
+        ``scale > 1`` runs a reduced launch geometry (see
+        :func:`scale_geometry`) — the autotuner's cheap screening rounds.
+        Scaled outputs are only comparable to equally-scaled references.
+        """
         rng = np.random.default_rng(self.seed)
         mem = Memory()
         buffers = self.setup(mem, rng)
@@ -104,8 +132,9 @@ class Benchmark:
         for launch in self.launches():
             args = [buffers[a[1]] if isinstance(a, tuple) and a[0] == "buf"
                     else a for a in launch.args]
-            result = machine.launch(launch.kernel, launch.grid_dim,
-                                    launch.block_dim, args)
+            grid_dim, block_dim = scale_geometry(launch.grid_dim,
+                                                 launch.block_dim, scale)
+            result = machine.launch(launch.kernel, grid_dim, block_dim, args)
             total.merge(result.counters)
         outputs = {name: mem.read_back(name)
                    for name in self.output_buffers()}

@@ -16,7 +16,11 @@ provides the same operations:
     python -m repro ptx --app XSBench --kernel grid_search [--config uu ...]
     python -m repro cache stats|clear         # persistent cell cache
     python -m repro summary [--profile]       # headline geomeans (+profile)
-    python -m repro bench-interp              # engine micro-benchmark
+    python -m repro bench-interp [--json]     # engine micro-benchmark
+    python -m repro tune bspline-vgh          # empirical per-loop autotuning
+    python -m repro tune --all --budget 16    # tune every benchmark, capped
+    python -m repro tune show                 # tuned vs heuristic decisions
+    python -m repro run-tuned                 # tuned pipeline per app
     python -m repro remarks --app XSBench     # optimization-remark stream
     python -m repro trace --app XSBench --out run.trace.json
     python -m repro fuzz run --seed 0 --count 200   # differential fuzzing
@@ -54,7 +58,8 @@ from .harness import fig6, fig7, fig8, indepth, table1
 from .harness.cache import CellCache
 from .harness.parallel import ParallelRunner
 
-ALL_CONFIG_CHOICES = ("baseline", "uu", "unroll", "unmerge", "uu_heuristic")
+ALL_CONFIG_CHOICES = ("baseline", "uu", "unroll", "unmerge", "uu_heuristic",
+                      "tuned")
 
 
 @contextlib.contextmanager
@@ -248,8 +253,13 @@ def cmd_cache(args) -> int:
         print(f"removed {removed} cached cells from {cache.root}")
         return 0
     stats = cache.stats()
+    sweep_entries = stats["entries"] - stats["tune_entries"]
+    sweep_bytes = stats["bytes"] - stats["tune_bytes"]
     print(f"cell cache at {stats['root']}")
     print(f"  entries: {stats['entries']}")
+    print(f"    sweep: {sweep_entries} ({sweep_bytes / 1024:.1f} KiB)")
+    print(f"    tuner: {stats['tune_entries']} "
+          f"({stats['tune_bytes'] / 1024:.1f} KiB)")
     print(f"  size:    {stats['bytes'] / 1024:.1f} KiB")
     return 0
 
@@ -260,9 +270,17 @@ def cmd_ptx(args) -> int:
 
     bench = benchmark_by_name(args.app)
     module = bench.build_module()
+    tuned = None
+    if args.config == "tuned":
+        from .tune.store import resolve_decisions
+        tuned, why = resolve_decisions(bench.name)
+        if tuned is None:
+            print(f"note: {bench.name}: no usable tuned config ({why}); "
+                  "falling back to the static heuristic", file=sys.stderr)
     compile_module(module, args.config, loop_id=args.loop,
                    factor=args.factor,
-                   max_instructions=args.max_instructions)
+                   max_instructions=args.max_instructions,
+                   tuned=tuned)
     kernels = [args.kernel] if args.kernel else list(module.functions)
     for name in kernels:
         print(render(lower_function(module.get_function(name))))
@@ -362,7 +380,8 @@ def cmd_fuzz_corpus(args) -> int:
 
 
 def cmd_summary(args) -> int:
-    from .harness.summary import format_profile, heuristic_summary
+    from .harness.summary import (format_profile, heuristic_summary,
+                                  tuned_summary)
 
     if args.profile:
         # --profile disables the cache (a cache hit skips compilation, so
@@ -378,6 +397,8 @@ def cmd_summary(args) -> int:
     else:
         runner = _runner(args)
     print(heuristic_summary(runner, _benches(args)).format())
+    print()
+    print(tuned_summary(runner, _benches(args)).format())
     if args.profile:
         print()
         print(format_profile(runner))
@@ -385,7 +406,68 @@ def cmd_summary(args) -> int:
     return 0
 
 
-def _traced_sweep(args) -> None:
+def cmd_run_tuned(args) -> int:
+    from .harness.summary import tuned_summary
+
+    runner = _runner(args)
+    print(tuned_summary(runner, _benches(args)).format())
+    _finish_sweep(runner)
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .tune import (BUDGET_ENV, TuneParams, render_tuned, tune_benchmark)
+
+    out = Path(args.out) if args.out else None
+    if args.target == "show":
+        for bench in _benches(args):
+            print(render_tuned(bench, out))
+            print()
+        return 0
+    if args.target:
+        benches = [benchmark_by_name(args.target)]
+    elif args.all:
+        benches = all_benchmarks()
+    elif args.app:
+        benches = [benchmark_by_name(args.app)]
+    else:
+        print("repro tune: name a benchmark, pass --all, or use "
+              "`repro tune show`", file=sys.stderr)
+        return 2
+    budget = args.budget
+    if budget is None:
+        env = os.environ.get(BUDGET_ENV)
+        if env:
+            try:
+                budget = max(0, int(env))
+            except ValueError:
+                pass
+    params = TuneParams(u_max=args.u_max, budget=budget)
+    rc = 0
+    for bench in benches:
+        result = tune_benchmark(
+            bench, params=params,
+            max_instructions=args.max_instructions,
+            compile_timeout=args.timeout,
+            jobs=getattr(args, "jobs", None),
+            engine=getattr(args, "engine", None),
+            use_cache=not getattr(args, "no_cache", False),
+            tuned_dir=out)
+        c = result.config
+        print(f"{bench.name:<16} winner {c.source:<20} "
+              f"{c.speedup_over_baseline:>6.3f}x vs baseline  "
+              f"{c.speedup_over_heuristic:>6.3f}x vs heuristic  "
+              f"[{result.candidates_total} candidates, "
+              f"{result.candidates_pruned} pruned, "
+              f"{result.candidates_truncated} over budget, "
+              f"{result.fresh_evaluations} fresh evaluations]")
+        if result.persisted:
+            print(f"    -> {result.path}")
+        elif not result.verified:
+            rc = 1
+            print(f"    NOT persisted — oracle verification failed: "
+                  f"{result.verify_detail}")
+    return rc
     """Compute the requested app x config cells under the live session."""
     args.no_cache = True  # Cached cells skip compilation: nothing to trace.
     runner = _runner(args)
@@ -416,9 +498,15 @@ def cmd_trace(args) -> int:
 
 
 def cmd_bench_interp(args) -> int:
-    from .harness.benchinterp import run_report
+    from .harness.benchinterp import (DEFAULT_TRIPS, bench_all,
+                                      format_report, write_bench_json)
 
-    print(run_report(warps=args.warps, repeats=args.repeats))
+    rows = bench_all(warps=args.warps, repeats=args.repeats)
+    print(format_report(rows, args.warps))
+    if args.json or args.json_out:
+        path = write_bench_json(rows, args.warps, DEFAULT_TRIPS,
+                                args.json_out)
+        print(f"wrote {path}")
     return 0
 
 
@@ -529,7 +617,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3,
                    help="timed repeats per engine; the median is reported "
                         "(default 3)")
+    p.add_argument("--json", action="store_true",
+                   help="also write the machine-readable payload to "
+                        "results/BENCH_<date>.json")
+    p.add_argument("--json-out", metavar="PATH", default=None,
+                   help="write the machine-readable payload to PATH "
+                        "(implies --json)")
     p.set_defaults(fn=cmd_bench_interp)
+
+    p = sub.add_parser("run-tuned", parents=[common],
+                       help="tuned pipeline vs static heuristic per app")
+    p.set_defaults(fn=cmd_run_tuned)
+
+    p = sub.add_parser("tune", parents=[common],
+                       help="empirical per-loop autotuning "
+                            "(searches unroll x unmerge per loop)")
+    p.add_argument("target", nargs="?", default=None,
+                   help="benchmark to tune, or `show` to render persisted "
+                        "decisions vs the static heuristic")
+    p.add_argument("--all", action="store_true",
+                   help="tune every benchmark")
+    p.add_argument("--budget", type=int, default=None,
+                   help="max per-loop candidates measured per benchmark "
+                        "(default: REPRO_TUNE_BUDGET or unlimited)")
+    p.add_argument("--u-max", type=int, default=8,
+                   help="largest unroll factor searched (default 8)")
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="tuned-config directory "
+                        "(default: results/tuned or REPRO_TUNED_DIR)")
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("cache", help="persistent cell-cache maintenance")
     p.add_argument("action", choices=["stats", "clear"],
@@ -572,7 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", help="kernel name (default: all)")
     p.add_argument("--config", default="baseline",
                    choices=["baseline", "unroll", "unmerge", "uu",
-                            "uu_heuristic"])
+                            "uu_heuristic", "tuned"])
     p.add_argument("--loop", help="loop id for per-loop configs")
     p.add_argument("--factor", type=int, default=2)
     p.set_defaults(fn=cmd_ptx)

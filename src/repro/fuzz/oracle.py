@@ -256,3 +256,43 @@ def run_differential(subject: Subject, lanes: int = LANES,
             run_config(subject, spec, reference, lanes, max_instructions,
                        engine=engine))
     return report
+
+
+def verify_tuned_config(bench, decisions,
+                        max_instructions: int = 20_000,
+                        engine: Optional[str] = None) -> ConfigOutcome:
+    """Oracle check of one benchmark's *tuned* decision set.
+
+    The autotuner calls this before persisting a winner: like
+    :func:`run_differential`, the semantic anchor is the **unoptimized**
+    lowering — a miscompile shared by every pipeline would slip past the
+    search's baseline-differential check, but not past this one.  Unlike
+    the scalar fuzz subjects, benchmarks take pointer arguments, so the
+    reference and candidate both execute the full workload
+    (:meth:`~repro.bench.base.Benchmark.run`) and compare observable
+    output buffers bitwise.
+    """
+    spec = ConfigSpec("tuned")
+    raw = bench.build_module()
+    verify_module(raw)
+    reference, _ = bench.run(raw, engine=engine)
+    module = bench.build_module()
+    try:
+        compile_module(module, "tuned", tuned=list(decisions),
+                       max_instructions=max_instructions, verify_each=True)
+    except AssertionError as exc:
+        return ConfigOutcome(spec, False, "verifier", str(exc))
+    except Exception as exc:  # noqa: BLE001 — any pipeline crash is a finding
+        return ConfigOutcome(spec, False, "crash",
+                             f"{type(exc).__name__}: {exc}")
+    try:
+        outputs, _ = bench.run(module, engine=engine)
+    except Exception as exc:  # noqa: BLE001
+        return ConfigOutcome(spec, False, "crash",
+                             f"running tuned module: "
+                             f"{type(exc).__name__}: {exc}")
+    detail = compare({k: v.reshape(-1) for k, v in reference.items()},
+                     {k: v.reshape(-1) for k, v in outputs.items()})
+    if detail is not None:
+        return ConfigOutcome(spec, False, "mismatch", detail)
+    return ConfigOutcome(spec, True)

@@ -30,8 +30,12 @@ a pure wall-clock speedup.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
 from statistics import median
 from typing import Dict, List, Optional, Tuple
 
@@ -230,6 +234,51 @@ def format_report(rows: List[KernelTiming], warps: int) -> str:
 def run_report(warps: int = 8, repeats: int = 3,
                trips: int = DEFAULT_TRIPS) -> str:
     return format_report(bench_all(warps, repeats, trips), warps)
+
+
+# -- machine-readable export -------------------------------------------------
+
+def default_bench_json_path() -> Path:
+    """``results/BENCH_<YYYY-MM-DD>.json`` at the repository root."""
+    root = Path(__file__).resolve().parents[3] / "results"
+    return root / f"BENCH_{date.today().isoformat()}.json"
+
+
+def bench_json_payload(rows: List[KernelTiming], warps: int, trips: int,
+                       source: str) -> Dict:
+    """The shared machine-readable shape (``repro bench-interp --json``
+    and the perf-smoke benchmark both emit it)."""
+    return {
+        "schema": 1,
+        "source": source,
+        "warps": warps,
+        "lanes": WARP_SIZE,
+        "trips": trips,
+        "kernels": [
+            {
+                "kernel": row.kernel,
+                "warp_steps": row.warp_steps,
+                "cycles": row.cycles,
+                "seconds": {engine: row.seconds[engine]
+                            for engine in sorted(row.seconds)},
+                "warp_steps_per_sec": {engine: row.throughput(engine)
+                                       for engine in sorted(row.seconds)},
+                "batched_speedup": row.speedup,
+            }
+            for row in rows
+        ],
+    }
+
+
+def write_bench_json(rows: List[KernelTiming], warps: int, trips: int,
+                     path: Optional[os.PathLike] = None,
+                     source: str = "bench-interp") -> Path:
+    """Write the engine-throughput payload; returns the path written."""
+    target = Path(path) if path is not None else default_bench_json_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = bench_json_payload(rows, warps, trips, source)
+    target.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return target
 
 
 if __name__ == "__main__":

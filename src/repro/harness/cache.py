@@ -56,6 +56,13 @@ SCHEMA_VERSION = 4
 #: Environment override for the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Filename prefix of tuner-originated entries (scaled screening rounds and
+#: combined-candidate measurements of :mod:`repro.tune`).  They share the
+#: cache root with ordinary sweep cells but are distinguishable on disk, so
+#: ``repro cache stats`` can report them separately and a user can reason
+#: about what re-tuning versus re-sweeping will reuse.
+TUNE_PREFIX = "tune-"
+
 _CELL_FIELDS = ("app", "config", "loop_id", "factor", "cycles", "code_size",
                 "compile_seconds", "outputs_match_baseline", "timed_out",
                 "error")
@@ -111,8 +118,14 @@ def outputs_from_json(data: Dict) -> Dict[str, np.ndarray]:
 class CellCache:
     """Content-addressed persistent store of ``Cell`` results."""
 
-    def __init__(self, root: Optional[Path] = None) -> None:
+    def __init__(self, root: Optional[Path] = None,
+                 prefix: str = "") -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Filename prefix for entries read and written by this instance
+        #: ("" for ordinary sweep cells, :data:`TUNE_PREFIX` for
+        #: tuner-originated entries).  Prefixes partition the namespace:
+        #: a tuner entry is never returned for a sweep lookup.
+        self.prefix = prefix
         #: Session counters: get() hits/misses and put() writes since this
         #: CellCache was constructed.  ``repro`` prints them after each
         #: sweep so a run's actual hit rate is visible, not just the
@@ -127,11 +140,20 @@ class CellCache:
                  loop_id: Optional[str], factor: int,
                  heuristic: HeuristicParams, max_instructions: int,
                  compile_timeout: Optional[float],
-                 verify_each: bool) -> str:
-        """SHA-256 over every input that determines a cell's result."""
+                 verify_each: bool, *,
+                 scale: int = 1,
+                 tuned: Optional[str] = None) -> str:
+        """SHA-256 over every input that determines a cell's result.
+
+        ``scale`` is the tuner's workload-geometry divisor (folded only
+        when != 1, so pre-tuner keys are unchanged); ``tuned`` is the
+        fingerprint of the resolved tuned decisions for ``config ==
+        "tuned"`` cells — editing ``results/tuned/<app>.json`` must
+        invalidate every cell compiled from it.
+        """
         heur = dataclasses.asdict(heuristic)
         heur["divergent_args"] = list(heur["divergent_args"])
-        payload = json.dumps({
+        payload = {
             "schema": SCHEMA_VERSION,
             "timing": TIMING_MODEL_VERSION,
             "ir": baseline_ir,
@@ -143,11 +165,16 @@ class CellCache:
             "max_instructions": max_instructions,
             "compile_timeout": compile_timeout,
             "verify_each": verify_each,
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        }
+        if scale != 1:
+            payload["scale"] = scale
+        if tuned is not None:
+            payload["tuned"] = tuned
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:
-        return self.root / f"{key}.json"
+        return self.root / f"{self.prefix}{key}.json"
 
     # -- storage -------------------------------------------------------------
     def get(self, key: str
@@ -202,10 +229,13 @@ class CellCache:
 
     def stats(self) -> Dict[str, object]:
         files = self.entries()
+        tune = [f for f in files if f.name.startswith(TUNE_PREFIX)]
         return {
             "root": str(self.root),
             "entries": len(files),
             "bytes": sum(f.stat().st_size for f in files),
+            "tune_entries": len(tune),
+            "tune_bytes": sum(f.stat().st_size for f in tune),
             "session_hits": self.hits,
             "session_misses": self.misses,
             "session_puts": self.puts,

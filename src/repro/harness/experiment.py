@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -81,7 +83,9 @@ class ExperimentRunner:
                  max_instructions: int = 20_000,
                  compile_timeout: Optional[float] = 20.0,
                  verify_each: bool = False,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 workload_scale: int = 1,
+                 tuned_dir: Optional[Path] = None) -> None:
         self.heuristic = heuristic or HeuristicParams()
         self.max_instructions = max_instructions
         self.compile_timeout = compile_timeout
@@ -91,6 +95,13 @@ class ExperimentRunner:
         #: choice never affects results — only sweep wall-clock — and the
         #: persistent cell cache deliberately does not key on it.
         self.engine = engine
+        #: ``> 1`` shrinks every launch geometry (autotuner screening
+        #: rounds); scaled cells are internally consistent — baseline and
+        #: candidates run the same reduced workload.
+        self.workload_scale = workload_scale
+        #: Where ``config == "tuned"`` resolves its per-loop decisions
+        #: (None = the repo-level ``results/tuned`` directory).
+        self.tuned_dir = tuned_dir
         self._cache: Dict[Tuple[str, str, Optional[str], int], Cell] = {}
         self._baseline_outputs: Dict[str, Dict[str, np.ndarray]] = {}
         #: Outputs of the *unoptimized* module, the baseline anchor's
@@ -120,6 +131,25 @@ class ExperimentRunner:
     def heuristic_cell(self, bench: Benchmark) -> Cell:
         return self.cell(bench, "uu_heuristic")
 
+    def tuned_cell(self, bench: Benchmark) -> Cell:
+        return self.cell(bench, "tuned")
+
+    def _resolve_tuned(self, app: str):
+        """Decisions for ``config == "tuned"``, warning on fallback."""
+        # Lazy import: tune.store is stdlib-light but lives above the
+        # harness in the package layering.
+        from ..tune.store import resolve_decisions
+
+        decisions, why = resolve_decisions(app, self.tuned_dir)
+        if decisions is None:
+            warnings.warn(
+                f"{app}: no usable tuned config ({why}); "
+                "falling back to the static heuristic",
+                RuntimeWarning, stacklevel=3)
+            obs.remark("analysis", "tuned-uu", app,
+                       f"tuned config unusable ({why}); heuristic fallback")
+        return decisions
+
     def _run(self, bench: Benchmark, config: str, loop_id: Optional[str],
              factor: int) -> Cell:
         # Remarks emitted while this cell compiles/runs carry its sweep
@@ -143,16 +173,21 @@ class ExperimentRunner:
         if config == "baseline" and bench.name not in self._raw_outputs:
             start = time.perf_counter()
             with obs.span("simulate-raw"):
-                raw_outputs, _ = bench.run(module, engine=self.engine)
+                raw_outputs, _ = bench.run(module, engine=self.engine,
+                                           scale=self.workload_scale)
             self.phase_seconds["simulate"] += time.perf_counter() - start
             self._raw_outputs[bench.name] = raw_outputs
+        tuned_decisions = None
+        if config == "tuned":
+            tuned_decisions = self._resolve_tuned(bench.name)
         with obs.span("compile"):
             compiled: CompileResult = compile_module(
                 module, config, loop_id=loop_id, factor=factor,
                 heuristic=self.heuristic,
                 max_instructions=self.max_instructions,
                 timeout_seconds=self.compile_timeout,
-                verify_each=self.verify_each)
+                verify_each=self.verify_each,
+                tuned=tuned_decisions)
         self.phase_seconds["compile"] += compiled.compile_seconds
         self.pass_stats.merge(compiled.pass_stats)
         if compiled.timed_out:
@@ -167,7 +202,8 @@ class ExperimentRunner:
                         timed_out=True)
         start = time.perf_counter()
         with obs.span("simulate"):
-            outputs, counters = bench.run(module, engine=self.engine)
+            outputs, counters = bench.run(module, engine=self.engine,
+                                          scale=self.workload_scale)
         self.phase_seconds["simulate"] += time.perf_counter() - start
 
         start = time.perf_counter()

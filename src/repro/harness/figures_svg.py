@@ -44,19 +44,20 @@ def fig6_svg(points: List[Fig6Point], metric: str) -> str:
 
 
 def fig7_svg(rows: List[Fig7Row]) -> str:
-    """Figure 7: best u&u / unroll / unmerge speedup per application."""
+    """Figure 7: best u&u / unroll / unmerge / tuned speedup per app."""
     apps: Dict[str, Dict[str, float]] = {}
     for r in rows:
         entry = apps.setdefault(r.app, {"uu": 0.0, "unroll": 0.0,
-                                        "unmerge": r.unmerge_speedup})
+                                        "unmerge": r.unmerge_speedup,
+                                        "tuned": r.tuned_speedup})
         entry["uu"] = max(entry["uu"], r.uu_speedup)
         entry["unroll"] = max(entry["unroll"], r.unroll_speedup)
     groups = [BarGroup(app, [_finite(e["uu"]), _finite(e["unroll"]),
-                             _finite(e["unmerge"])])
+                             _finite(e["unmerge"]), _finite(e["tuned"])])
               for app, e in apps.items()]
     return grouped_bar_chart(
-        groups, ["u&u", "unroll", "unmerge"],
-        "Fig 7 — u&u vs unroll vs unmerge (best per-loop speedup)",
+        groups, ["u&u", "unroll", "unmerge", "tuned"],
+        "Fig 7 — u&u vs unroll vs unmerge (best per-loop speedup) + tuned",
         "speedup", reference_line=1.0, log_scale=True)
 
 

@@ -32,6 +32,7 @@ import os
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -103,6 +104,8 @@ def sweep_specs(bench: Benchmark,
                             CellSpec(bench.name, config, loop_id, factor))
         elif config == "uu_heuristic":
             specs.append(CellSpec(bench.name, "uu_heuristic", None, 1))
+        elif config == "tuned":
+            specs.append(CellSpec(bench.name, "tuned", None, 1))
     return specs
 
 
@@ -128,7 +131,7 @@ def workload_fingerprint(bench: Benchmark) -> str:
 
 def _spec_cost(spec: CellSpec, u_max: int) -> int:
     """Relative cost estimate used to schedule long cells first."""
-    if spec.config == "uu_heuristic":
+    if spec.config in ("uu_heuristic", "tuned"):
         return u_max + 1
     if spec.config == "baseline":
         return 1
@@ -141,12 +144,15 @@ def _spec_cost(spec: CellSpec, u_max: int) -> int:
 # boundary (names, params, Cell, numpy outputs) pickles cleanly.
 
 def _make_runner(params: Tuple) -> ExperimentRunner:
-    heuristic, max_instructions, compile_timeout, verify_each, engine = params
+    (heuristic, max_instructions, compile_timeout, verify_each, engine,
+     workload_scale, tuned_dir) = params
     return ExperimentRunner(heuristic=heuristic,
                             max_instructions=max_instructions,
                             compile_timeout=compile_timeout,
                             verify_each=verify_each,
-                            engine=engine)
+                            engine=engine,
+                            workload_scale=workload_scale,
+                            tuned_dir=Path(tuned_dir) if tuned_dir else None)
 
 
 def _worker_extras(runner: ExperimentRunner) -> Dict:
@@ -218,12 +224,16 @@ class ParallelRunner(ExperimentRunner):
                  jobs: Optional[int] = None,
                  cache: Optional[CellCache] = None,
                  use_cache: bool = True,
-                 engine: Optional[str] = None) -> None:
+                 engine: Optional[str] = None,
+                 workload_scale: int = 1,
+                 tuned_dir: Optional[Path] = None) -> None:
         super().__init__(heuristic=heuristic,
                          max_instructions=max_instructions,
                          compile_timeout=compile_timeout,
                          verify_each=verify_each,
-                         engine=engine)
+                         engine=engine,
+                         workload_scale=workload_scale,
+                         tuned_dir=tuned_dir)
         self.jobs = resolve_jobs(jobs)
         self.cache: Optional[CellCache] = (
             cache if cache is not None else (CellCache() if use_cache
@@ -243,9 +253,16 @@ class ParallelRunner(ExperimentRunner):
     def _cache_key(self, bench: Benchmark, config: str,
                    loop_id: Optional[str], factor: int) -> str:
         ir, workload = self._fingerprint(bench)
+        tuned = None
+        if config == "tuned":
+            # Folding the resolved decisions in means editing/deleting/
+            # staling results/tuned/<app>.json orphans the old cells.
+            from ..tune.store import decisions_fingerprint
+            tuned = decisions_fingerprint(bench.name, self.tuned_dir)
         return CellCache.make_key(
             ir, workload, config, loop_id, factor, self.heuristic,
-            self.max_instructions, self.compile_timeout, self.verify_each)
+            self.max_instructions, self.compile_timeout, self.verify_each,
+            scale=self.workload_scale, tuned=tuned)
 
     def _load_cached(self, bench: Benchmark, spec_key: Tuple,
                      cache_key: str) -> Optional[Cell]:
@@ -344,7 +361,9 @@ class ParallelRunner(ExperimentRunner):
 
     def _compute_parallel(self, missing, by_name) -> None:
         params = (self.heuristic, self.max_instructions,
-                  self.compile_timeout, self.verify_each, self.engine)
+                  self.compile_timeout, self.verify_each, self.engine,
+                  self.workload_scale,
+                  str(self.tuned_dir) if self.tuned_dir else None)
         baseline_specs = [(s, k) for s, k in missing
                           if s.config == "baseline"]
         other_specs = [(s, k) for s, k in missing if s.config != "baseline"]

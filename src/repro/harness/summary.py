@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional
 
 from ..bench import all_benchmarks
@@ -73,6 +74,83 @@ def heuristic_summary(runner: Optional[ExperimentRunner] = None,
         improved=improved,
         total=len(benches),
     )
+
+
+@dataclass
+class TunedAppRow:
+    """One application's heuristic-vs-tuned comparison."""
+
+    app: str
+    heuristic_speedup: float
+    tuned_speedup: float
+    #: None when a persisted tuned config was applied; otherwise why the
+    #: ``tuned`` pipeline fell back to the heuristic (missing, stale-...).
+    fallback_reason: Optional[str]
+
+
+@dataclass
+class TunedSummary:
+    """Per-app and geomean comparison of ``tuned`` vs ``uu_heuristic``."""
+
+    rows: List[TunedAppRow]
+    geomean_heuristic: float
+    geomean_tuned: float
+
+    @property
+    def tuned_apps(self) -> int:
+        return sum(1 for r in self.rows if r.fallback_reason is None)
+
+    def format(self) -> str:
+        lines = ["Empirically tuned pipeline vs static heuristic "
+                 "(speedup over baseline):"]
+        lines.append(f"  {'app':<16} {'heuristic':>10} {'tuned':>10}")
+        for r in self.rows:
+            note = ""
+            if r.fallback_reason is not None:
+                note = f"  (fallback: {r.fallback_reason})"
+            lines.append(f"  {r.app:<16} {r.heuristic_speedup:>9.3f}x "
+                         f"{r.tuned_speedup:>9.3f}x{note}")
+        lines.append(f"  {'geomean':<16} {self.geomean_heuristic:>9.3f}x "
+                     f"{self.geomean_tuned:>9.3f}x")
+        lines.append(f"  tuned configs applied: {self.tuned_apps}/"
+                     f"{len(self.rows)} applications "
+                     "(fallbacks use the static heuristic; "
+                     "run `repro tune --all` to search)")
+        return "\n".join(lines)
+
+
+def tuned_summary(runner: Optional[ExperimentRunner] = None,
+                  benches: Optional[List[Benchmark]] = None,
+                  tuned_root: Optional[Path] = None) -> TunedSummary:
+    """Compare the persisted-tuned pipeline against the static heuristic.
+
+    ``tuned_root`` should match the runner's ``tuned_dir`` (both default
+    to ``results/tuned``); apps without a usable tuned file are reported
+    with their fallback reason rather than skipped or crashed on.
+    """
+    from ..tune.store import load_tuned
+
+    runner = runner or ExperimentRunner()
+    benches = benches if benches is not None else all_benchmarks()
+    root = tuned_root if tuned_root is not None else \
+        getattr(runner, "tuned_dir", None)
+    prefetch_if_parallel(runner, benches,
+                         configs=("baseline", "uu_heuristic", "tuned"))
+    rows: List[TunedAppRow] = []
+    for bench in benches:
+        base = runner.baseline(bench)
+        heur = runner.heuristic_cell(bench)
+        tuned = runner.cell(bench, "tuned")
+        _, reason = load_tuned(bench.name, root)
+        rows.append(TunedAppRow(
+            app=bench.name,
+            heuristic_speedup=heur.speedup_over(base),
+            tuned_speedup=tuned.speedup_over(base),
+            fallback_reason=None if reason == "ok" else reason))
+    return TunedSummary(
+        rows=rows,
+        geomean_heuristic=geomean([r.heuristic_speedup for r in rows]),
+        geomean_tuned=geomean([r.tuned_speedup for r in rows]))
 
 
 def format_profile(runner: ExperimentRunner) -> str:

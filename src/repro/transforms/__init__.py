@@ -15,6 +15,7 @@ from .predication import Predication, run_predication
 from .profitability import merge_is_profitable
 from .sccp import SparseConditionalConstantPropagation, run_sccp
 from .simplifycfg import SimplifyCFG, run_simplifycfg
+from .tuned import TunedUU
 from .unmerge import (UnmergeBudgetExceeded, UnmergePass, unmerge_loop)
 from .unroll import (BaselineUnroll, UnrollError, UnrollPass, can_unroll,
                      unroll_loop)
@@ -37,6 +38,6 @@ __all__ = [
     "unmerge_loop", "UnmergePass", "UnmergeBudgetExceeded",
     "UnrollAndUnmerge", "apply_uu", "uu_applicable",
     "HeuristicParams", "HeuristicUU", "LoopDecision", "choose_factor",
-    "select_loops",
+    "select_loops", "TunedUU",
     "CONFIGS", "CompileResult", "build_pipeline", "compile_module",
 ]

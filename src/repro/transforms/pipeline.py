@@ -32,11 +32,15 @@ from .pass_manager import (CompileTimeout, FixpointPassManager, PassManager,
 from .predication import Predication
 from .sccp import SparseConditionalConstantPropagation
 from .simplifycfg import SimplifyCFG
+from .tuned import TunedUU
 from .unmerge import UnmergePass
 from .unroll import BaselineUnroll, UnrollPass
 from .uu import UnrollAndUnmerge
 
-CONFIGS = ("baseline", "unroll", "unmerge", "uu", "uu_heuristic")
+#: ``tuned`` replays persisted per-loop decisions from the empirical
+#: autotuner (:mod:`repro.tune`); with no decisions available it degrades
+#: to the static heuristic, so it is usable unconditionally.
+CONFIGS = ("baseline", "unroll", "unmerge", "uu", "uu_heuristic", "tuned")
 
 
 @dataclass
@@ -75,8 +79,15 @@ _cleanup_passes = cleanup_passes
 def transform_passes(config: str, *, loop_id: Optional[str] = None,
                      factor: int = 1,
                      heuristic: Optional[HeuristicParams] = None,
-                     max_instructions: int = 200_000) -> List:
-    """The experimental transform stage for ``config`` (possibly empty)."""
+                     max_instructions: int = 200_000,
+                     tuned: Optional[List] = None) -> List:
+    """The experimental transform stage for ``config`` (possibly empty).
+
+    ``tuned`` carries the per-loop decisions of the ``tuned`` config
+    (``repro.tune.store.TunedLoopDecision`` rows); ``None`` means no
+    usable tuned file was resolved and the config falls back to the
+    static heuristic (the caller is responsible for warning).
+    """
     if config == "baseline":
         return []
     if config == "unroll":
@@ -94,6 +105,12 @@ def transform_passes(config: str, *, loop_id: Optional[str] = None,
     if config == "uu_heuristic":
         return [HeuristicUU(heuristic or HeuristicParams(),
                             max_instructions)]
+    if config == "tuned":
+        if tuned is None:
+            # Graceful fallback: no (usable) tuned file for this module.
+            return [HeuristicUU(heuristic or HeuristicParams(),
+                                max_instructions)]
+        return [TunedUU(tuned, max_instructions)]
     raise ValueError(f"unknown configuration {config!r}")
 
 
@@ -125,13 +142,15 @@ def build_pipeline(config: str, *, loop_id: Optional[str] = None,
                    heuristic: Optional[HeuristicParams] = None,
                    max_instructions: int = 200_000,
                    branch_facts: bool = True,
-                   verify_each: bool = False) -> PassManager:
+                   verify_each: bool = False,
+                   tuned: Optional[List] = None) -> PassManager:
     """Assemble the pass pipeline for one configuration.
 
     ``loop_id``/``factor`` select the target loop for the per-loop configs
     (``unroll``, ``unmerge``, ``uu``); ``heuristic`` parameterises
-    ``uu_heuristic``.  ``branch_facts=False`` ablates GVN's provenance-fact
-    machinery (for the ablation benchmarks).
+    ``uu_heuristic``; ``tuned`` carries the per-loop decisions of the
+    ``tuned`` config.  ``branch_facts=False`` ablates GVN's
+    provenance-fact machinery (for the ablation benchmarks).
     """
     if config not in CONFIGS:
         raise ValueError(f"unknown configuration {config!r}")
@@ -140,7 +159,8 @@ def build_pipeline(config: str, *, loop_id: Optional[str] = None,
     passes: List = [SimplifyCFG()]
     passes.extend(transform_passes(config, loop_id=loop_id, factor=factor,
                                    heuristic=heuristic,
-                                   max_instructions=max_instructions))
+                                   max_instructions=max_instructions,
+                                   tuned=tuned))
 
     # Mid-pipeline cleanup to a fixed point.
     cleanup = FixpointPassManager(cleanup_passes(branch_facts),
@@ -173,7 +193,8 @@ def compile_module(module: Module, config: str, *,
                    max_instructions: int = 60_000,
                    timeout_seconds: Optional[float] = None,
                    branch_facts: bool = True,
-                   verify_each: bool = False) -> CompileResult:
+                   verify_each: bool = False,
+                   tuned: Optional[List] = None) -> CompileResult:
     """Run the configured pipeline over ``module`` and measure it.
 
     The returned compile time is real wall-clock of the pass pipeline —
@@ -185,7 +206,8 @@ def compile_module(module: Module, config: str, *,
                               heuristic=heuristic,
                               max_instructions=max_instructions,
                               branch_facts=branch_facts,
-                              verify_each=verify_each)
+                              verify_each=verify_each,
+                              tuned=tuned)
     timed_out = False
     start = time.perf_counter()
     if timeout_seconds is not None:
@@ -202,7 +224,7 @@ def compile_module(module: Module, config: str, *,
 
     decisions = []
     for p in pipeline.passes:
-        if isinstance(p, HeuristicUU):
+        if isinstance(p, (HeuristicUU, TunedUU)):
             decisions = p.decisions
     return CompileResult(
         module=module,

@@ -1,0 +1,358 @@
+"""The measurement-driven search: screen, halve, combine, verify, persist.
+
+One ``tune_benchmark`` call runs four stages:
+
+1. **Enumerate + prune** — every per-loop candidate (see
+   :mod:`repro.tune.space`), minus those the cost model predicts would
+   blow past the size cap, truncated to the measurement budget in
+   canonical enumeration order (never completion order).
+2. **Screen with successive halving** — each round measures the surviving
+   candidates as ordinary sweep cells through
+   :class:`~repro.harness.parallel.ParallelRunner`; early rounds run a
+   reduced launch geometry (``workload_scale``) against a
+   tuner-prefixed region of the persistent cell cache, the final round
+   runs full size against the shared cache.  Between rounds each loop
+   keeps the better half of its candidates, ranked by
+   ``(cycles, candidate key)`` — the canonical key breaks ties, so
+   ``-j1`` and ``-jN`` pick identical survivors.
+3. **Combine** — per-loop winners are composed under the paper's nesting
+   rule and raced (as ``tuned`` cells) against whole-function decision
+   sets of the static heuristic at several budgets ``c`` and against the
+   do-nothing baseline.  The default ``c = 1024`` set is always in the
+   race, so the winner is never slower than the static heuristic.
+4. **Verify + persist** — the winner must pass the differential oracle
+   (:func:`repro.fuzz.oracle.verify_tuned_config`, anchored on the
+   *unoptimized* lowering) before ``results/tuned/<bench>.json`` is
+   written.  Unverifiable winners are reported, never persisted.
+
+Everything measured lands in the content-addressed cell cache, so
+re-tuning is warm: a repeated search performs zero fresh evaluations
+(``TuneResult.fresh_evaluations``) and reproduces the file byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.loops import LoopInfo
+from ..bench.base import Benchmark
+from ..harness.cache import TUNE_PREFIX, CellCache
+from ..harness.experiment import Cell
+from ..harness.parallel import CellSpec, ParallelRunner
+from ..obs import session as obs
+from ..transforms.heuristic import HeuristicParams, select_loops
+from .space import (Candidate, LoopFacts, TuneParams, enumerate_candidates,
+                    loop_facts)
+from .store import TunedConfig, TunedLoopDecision, save_tuned
+
+#: Environment default for ``TuneParams.budget`` (the CLI reads it).
+BUDGET_ENV = "REPRO_TUNE_BUDGET"
+
+_PASS = "tune"
+
+
+@dataclasses.dataclass
+class TuneResult:
+    """Outcome of tuning one benchmark."""
+
+    app: str
+    config: TunedConfig
+    #: Where the winner was persisted; None when verification failed (or
+    #: persisting was disabled).
+    path: Optional[Path]
+    verified: bool
+    #: Why verification failed ("" when it passed).
+    verify_detail: str
+    candidates_total: int
+    candidates_pruned: int
+    candidates_truncated: int
+    #: Persistent-cache misses across the whole search — 0 on a warm
+    #: re-tune (the cache-effectiveness contract the smoke test pins).
+    fresh_evaluations: int
+
+    @property
+    def persisted(self) -> bool:
+        return self.path is not None
+
+
+def _cell_status(cell: Cell) -> str:
+    if cell.error is not None:
+        return "error"
+    if cell.timed_out:
+        return "timeout"
+    if not cell.outputs_match_baseline:
+        return "mismatch"
+    if not math.isfinite(cell.cycles):
+        return "error"
+    return "ok"
+
+
+def _trial(candidate: Candidate, round_label: str, scale: int,
+           cell: Cell) -> Dict:
+    status = _cell_status(cell)
+    return {
+        "loop_id": candidate.loop_id,
+        "factor": candidate.factor,
+        "unmerge": candidate.unmerge,
+        "round": round_label,
+        "scale": scale,
+        "cycles": cell.cycles if status == "ok" else None,
+        "status": status,
+    }
+
+
+def _decisions_key(decisions: List[TunedLoopDecision]) -> str:
+    """Canonical identity of a combined decision set (the tie-breaker)."""
+    return json.dumps([dataclasses.asdict(d) for d in decisions],
+                      sort_keys=True)
+
+
+def _heuristic_decisions(bench: Benchmark, base: HeuristicParams,
+                         c: int, u_max: int) -> List[TunedLoopDecision]:
+    """The static heuristic's whole-function decision set at budget ``c``."""
+    params = dataclasses.replace(base, c=c, u_max=u_max)
+    module = bench.build_module()
+    decisions: List[TunedLoopDecision] = []
+    for func in module.functions.values():
+        info = LoopInfo.compute(func)
+        for d in select_loops(func, info, params):
+            if d.factor is not None:
+                decisions.append(TunedLoopDecision(d.loop_id, d.factor, True))
+    return sorted(decisions, key=lambda d: d.loop_id)
+
+
+def _compose_per_loop(facts: List[LoopFacts],
+                      winners: Dict[str, Candidate]
+                      ) -> List[TunedLoopDecision]:
+    """Per-loop winners composed under the paper's nesting rule.
+
+    Innermost loops first; an outer loop's winner is dropped when any of
+    its (transitive) inner loops already won — transforming both would
+    multiply, not add, the duplication.
+    """
+    selected: set = set()
+    decisions: List[TunedLoopDecision] = []
+    for fact in sorted(facts, key=lambda f: (len(f.descendants), f.loop_id)):
+        winner = winners.get(fact.loop_id)
+        if winner is None:
+            continue
+        if any(d in selected for d in fact.descendants):
+            continue
+        selected.add(fact.loop_id)
+        decisions.append(winner.decision)
+    return sorted(decisions, key=lambda d: d.loop_id)
+
+
+def tune_benchmark(bench: Benchmark, *,
+                   params: Optional[TuneParams] = None,
+                   heuristic: Optional[HeuristicParams] = None,
+                   max_instructions: int = 8_000,
+                   compile_timeout: Optional[float] = 20.0,
+                   jobs: Optional[int] = None,
+                   engine: Optional[str] = None,
+                   cache_root: Optional[Path] = None,
+                   use_cache: bool = True,
+                   tuned_dir: Optional[Path] = None,
+                   persist: bool = True) -> TuneResult:
+    """Search, verify, and (on success) persist one benchmark's tuning.
+
+    ``cache_root``/``tuned_dir`` default to the repo-level
+    ``results/.cellcache`` and ``results/tuned``; tests point both at
+    temporary directories.
+    """
+    params = params or TuneParams()
+    heuristic = heuristic or HeuristicParams()
+    caches: List[CellCache] = []
+
+    def make_runner(scale: int, run_tuned_dir: Optional[Path] = None
+                    ) -> ParallelRunner:
+        cache = None
+        if use_cache:
+            prefix = TUNE_PREFIX if scale != 1 else ""
+            cache = CellCache(root=cache_root, prefix=prefix)
+            caches.append(cache)
+        return ParallelRunner(heuristic=heuristic,
+                              max_instructions=max_instructions,
+                              compile_timeout=compile_timeout,
+                              jobs=jobs, cache=cache, use_cache=use_cache,
+                              engine=engine, workload_scale=scale,
+                              tuned_dir=run_tuned_dir)
+
+    # -- stage 1: enumerate + prune + budget ------------------------------
+    facts = loop_facts(bench.build_module())
+    admitted, pruned = enumerate_candidates(facts, params)
+    total = len(admitted) + len(pruned)
+    for candidate, predicted in pruned:
+        obs.remark("missed", _PASS, bench.name,
+                   f"pruned {candidate.key}: predicted size {predicted} "
+                   f"> cap {params.size_cap}",
+                   loop_id=candidate.loop_id, predicted=predicted)
+    truncated = 0
+    if params.budget is not None and len(admitted) > params.budget:
+        truncated = len(admitted) - params.budget
+        admitted = admitted[:params.budget]
+        obs.remark("analysis", _PASS, bench.name,
+                   f"budget {params.budget}: truncated {truncated} "
+                   "candidates (canonical enumeration order)")
+
+    trials: List[Dict] = []
+    survivors = list(admitted)
+    final_cells: Dict[str, Cell] = {}
+    baseline_full: Optional[Cell] = None
+
+    # -- stage 2: successive halving --------------------------------------
+    scales = tuple(params.scales) or (1,)
+    for round_index, scale in enumerate(scales):
+        is_final = round_index == len(scales) - 1
+        runner = make_runner(scale)
+        specs = [CellSpec(bench.name, "baseline", None, 1)]
+        specs += [CellSpec(bench.name, c.config, c.loop_id, c.factor)
+                  for c in survivors]
+        if is_final:
+            specs.append(CellSpec(bench.name, "uu_heuristic", None, 1))
+        cells = runner.prefetch([bench], specs=specs)
+        by_key = {spec.key: cell for spec, cell in zip(specs, cells)}
+        baseline = by_key[(bench.name, "baseline", None, 1)]
+        round_label = f"screen-{round_index}"
+        measured: List[Tuple[Candidate, Cell]] = []
+        for candidate in survivors:
+            cell = by_key[(bench.name, candidate.config, candidate.loop_id,
+                           candidate.factor)]
+            trials.append(_trial(candidate, round_label, scale, cell))
+            measured.append((candidate, cell))
+        if is_final:
+            baseline_full = baseline
+            heuristic_cell = by_key[(bench.name, "uu_heuristic", None, 1)]
+            final_cells = {c.key: cell for c, cell in measured}
+            break
+        # Keep the better half per loop, ranked (cycles, canonical key).
+        next_survivors: List[Candidate] = []
+        by_loop: Dict[str, List[Tuple[Candidate, Cell]]] = {}
+        for candidate, cell in measured:
+            by_loop.setdefault(candidate.loop_id, []).append((candidate,
+                                                              cell))
+        for loop_id in sorted(by_loop):
+            ok = [(c, cell) for c, cell in by_loop[loop_id]
+                  if _cell_status(cell) == "ok"]
+            ok.sort(key=lambda item: (item[1].cycles, item[0].key))
+            keep = ok[:max(1, math.ceil(len(ok) / 2))]
+            next_survivors.extend(c for c, _ in keep)
+            for c, cell in ok[len(keep):]:
+                obs.remark("missed", _PASS, bench.name,
+                           f"halved out {c.key} at scale {scale} "
+                           f"({cell.cycles:.0f} cycles)",
+                           loop_id=c.loop_id)
+        # Deterministic order for the next round: canonical enumeration.
+        order = {c.key: i for i, c in enumerate(admitted)}
+        survivors = sorted(next_survivors, key=lambda c: order[c.key])
+
+    assert baseline_full is not None
+    baseline_cycles = baseline_full.cycles
+    heuristic_cycles = (heuristic_cell.cycles
+                        if _cell_status(heuristic_cell) == "ok"
+                        else float("inf"))
+
+    # -- per-loop winners --------------------------------------------------
+    winners: Dict[str, Candidate] = {}
+    by_loop = {}
+    for candidate in survivors:
+        by_loop.setdefault(candidate.loop_id, []).append(candidate)
+    for loop_id in sorted(by_loop):
+        ok = [(final_cells[c.key].cycles, c.key, c) for c in by_loop[loop_id]
+              if _cell_status(final_cells[c.key]) == "ok"
+              and final_cells[c.key].cycles < baseline_cycles]
+        if not ok:
+            continue
+        ok.sort(key=lambda item: (item[0], item[1]))
+        winners[loop_id] = ok[0][2]
+        obs.remark("applied", _PASS, bench.name,
+                   f"per-loop winner {ok[0][2].key} "
+                   f"({ok[0][0]:.0f} cycles vs baseline "
+                   f"{baseline_cycles:.0f})", loop_id=loop_id)
+
+    # -- stage 3: combined round ------------------------------------------
+    combined: List[Tuple[str, List[TunedLoopDecision]]] = []
+    for c in params.budgets:
+        combined.append((f"heuristic:c={c}",
+                         _heuristic_decisions(bench, heuristic, c,
+                                              params.u_max)))
+    combined.append(("per_loop", _compose_per_loop(facts, winners)))
+    # Dedupe identical decision sets (e.g. per_loop == heuristic:c=1024);
+    # first name in the deterministic order above wins the label.
+    seen: Dict[str, str] = {}
+    unique: List[Tuple[str, List[TunedLoopDecision]]] = []
+    for name, decisions in combined:
+        key = _decisions_key(decisions)
+        if key in seen:
+            continue
+        seen[key] = name
+        unique.append((name, decisions))
+
+    # (cycles, canonical decisions key, name, decisions); the do-nothing
+    # baseline races too, reusing the already-measured baseline cell.
+    race: List[Tuple[float, str, str, List[TunedLoopDecision]]] = [
+        (baseline_cycles, _decisions_key([]), "baseline", [])]
+    for name, decisions in unique:
+        if not decisions:
+            continue  # identical to the baseline entry above
+        with tempfile.TemporaryDirectory(prefix="repro-tune-") as tmp:
+            tmp_dir = Path(tmp)
+            save_tuned(TunedConfig(
+                app=bench.name, decisions=decisions, source=name,
+                baseline_cycles=0.0, heuristic_cycles=0.0, tuned_cycles=0.0),
+                tmp_dir)
+            runner = make_runner(1, run_tuned_dir=tmp_dir)
+            cell = runner.prefetch([bench], specs=[
+                CellSpec(bench.name, "baseline", None, 1),
+                CellSpec(bench.name, "tuned", None, 1)])[1]
+        status = _cell_status(cell)
+        trials.append({
+            "loop_id": None, "factor": None, "unmerge": None,
+            "round": "combined", "scale": 1,
+            "cycles": cell.cycles if status == "ok" else None,
+            "status": status, "source": name,
+            "decisions": [dataclasses.asdict(d) for d in decisions],
+        })
+        if status != "ok":
+            obs.remark("missed", _PASS, bench.name,
+                       f"combined candidate {name} rejected ({status})")
+            continue
+        race.append((cell.cycles, _decisions_key(decisions), name,
+                     decisions))
+
+    race.sort(key=lambda item: (item[0], item[1]))
+    tuned_cycles, _, source, decisions = race[0]
+    obs.remark("applied", _PASS, bench.name,
+               f"winner {source}: {tuned_cycles:.0f} cycles "
+               f"(baseline {baseline_cycles:.0f}, heuristic "
+               f"{heuristic_cycles:.0f})")
+
+    # -- stage 4: oracle verification + persistence ------------------------
+    from ..fuzz.oracle import verify_tuned_config
+
+    outcome = verify_tuned_config(bench, decisions,
+                                  max_instructions=max_instructions,
+                                  engine=engine)
+    config = TunedConfig(app=bench.name, decisions=decisions, source=source,
+                         baseline_cycles=baseline_cycles,
+                         heuristic_cycles=heuristic_cycles,
+                         tuned_cycles=tuned_cycles,
+                         verified=outcome.ok, trials=trials)
+    path = None
+    if outcome.ok and persist:
+        path = save_tuned(config, tuned_dir)
+    elif not outcome.ok:
+        obs.remark("missed", _PASS, bench.name,
+                   f"winner {source} failed oracle verification "
+                   f"({outcome.kind}); not persisted")
+    return TuneResult(
+        app=bench.name, config=config, path=path, verified=outcome.ok,
+        verify_detail="" if outcome.ok else outcome.describe(),
+        candidates_total=total, candidates_pruned=len(pruned),
+        candidates_truncated=truncated,
+        fresh_evaluations=sum(c.misses for c in caches))

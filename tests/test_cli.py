@@ -97,6 +97,84 @@ class TestFuzzCommands:
         assert "no corpus entries" in capsys.readouterr().out
 
 
+class TestTuneCommands:
+    def test_tune_commands_parse(self):
+        parser = build_parser()
+        for argv in (["tune", "bspline-vgh", "--budget", "4"],
+                     ["tune", "--all", "--u-max", "4"],
+                     ["tune", "show", "--app", "complex"],
+                     ["run-tuned", "--app", "complex"],
+                     ["bench-interp", "--json"],
+                     ["bench-interp", "--json-out", "x.json"],
+                     ["ptx", "--app", "complex", "--config", "tuned"]):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+    def test_tune_without_target_rejected(self, capsys):
+        assert main(["tune"]) == 2
+        assert "name a benchmark" in capsys.readouterr().err
+
+    def test_tune_then_show_and_run_tuned(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path / "tuned"))
+        out_dir = tmp_path / "tuned"
+        assert main(["tune", "bspline-vgh", "--budget", "2", "-j", "1",
+                     "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out and "vs heuristic" in out
+        assert (out_dir / "bspline-vgh.json").is_file()
+
+        assert main(["tune", "show", "--app", "bspline-vgh",
+                     "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "bspline_vgh:0" in out and "verified" in out
+
+        assert main(["run-tuned", "--app", "bspline-vgh", "-j", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "tuned configs applied: 1/1" in out
+
+    def test_tune_show_without_file_explains(self, capsys, tmp_path):
+        assert main(["tune", "show", "--app", "complex",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "missing" in out and "repro tune" in out
+
+    def test_run_tuned_falls_back_without_files(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_TUNED_DIR", str(tmp_path / "tuned"))
+        with pytest.warns(RuntimeWarning, match="no usable tuned config"):
+            assert main(["run-tuned", "--app", "complex", "-j", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fallback: missing" in out
+        assert "tuned configs applied: 0/1" in out
+
+    def test_cache_stats_separate_tuner_entries(self, capsys, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        (tmp_path / "cache").mkdir()
+        (tmp_path / "cache" / "aa.json").write_text("{}")
+        (tmp_path / "cache" / "tune-bb.json").write_text("{}")
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 1" in out and "tuner: 1" in out
+
+    def test_bench_interp_json_out(self, capsys, tmp_path):
+        import json
+        target = tmp_path / "bench.json"
+        assert main(["bench-interp", "--warps", "2", "--repeats", "1",
+                     "--json-out", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == 1
+        assert payload["source"] == "bench-interp"
+        assert {k["kernel"] for k in payload["kernels"]} == \
+            {"uniform", "divergent", "staggered"}
+        for kernel in payload["kernels"]:
+            assert set(kernel["warp_steps_per_sec"]) == {"batched", "warp"}
+            assert kernel["warp_steps"] > 0
+
+
 class TestHeuristicReport:
     def test_report_lists_decisions(self, capsys):
         assert main(["run-heuristic", "--app", "complex",
