@@ -16,7 +16,7 @@ provides the same operations:
     python -m repro ptx --app XSBench --kernel grid_search [--config uu ...]
     python -m repro cache stats|clear         # persistent cell cache
     python -m repro summary [--profile]       # headline geomeans (+profile)
-    python -m repro bench-interp [--json]     # engine micro-benchmark
+    python -m repro bench-interp [--json] [--compare]   # engine micro-bench
     python -m repro tune bspline-vgh          # empirical per-loop autotuning
     python -m repro tune --all --budget 16    # tune every benchmark, capped
     python -m repro tune show                 # tuned vs heuristic decisions
@@ -29,7 +29,7 @@ provides the same operations:
 
 Sweeps fan out over worker processes (``--jobs/-j``, default all cores)
 and reuse cells from the persistent cache under ``results/.cellcache/``
-(``--no-cache`` bypasses it).  ``--engine {batched,warp}`` (or
+(``--no-cache`` bypasses it).  ``--engine {batched,warp,jit}`` (or
 ``REPRO_ENGINE``) selects the SIMT execution engine; the engines are
 bit-identical, so this only affects wall-clock.
 
@@ -468,6 +468,9 @@ def cmd_tune(args) -> int:
             print(f"    NOT persisted — oracle verification failed: "
                   f"{result.verify_detail}")
     return rc
+
+
+def _traced_sweep(args) -> None:
     """Compute the requested app x config cells under the live session."""
     args.no_cache = True  # Cached cells skip compilation: nothing to trace.
     runner = _runner(args)
@@ -478,13 +481,23 @@ def cmd_remarks(args) -> int:
     """Run one config under tracing and print its remark stream."""
     with _obs_session() as session:
         _traced_sweep(args)
-    for remark in session.remarks:
+    remarks = session.remarks
+    kind = getattr(args, "kind", None)
+    if kind:
+        # A remark stream mixes transform decisions (kind applied/missed)
+        # with analysis notes whose origin is the pass name, so the filter
+        # matches either axis: `--kind jit` selects the execution-engine
+        # remarks, `--kind missed` the not-applied transform decisions.
+        remarks = [r for r in remarks
+                   if r.kind == kind or r.pass_name == kind]
+    for remark in remarks:
         if args.json:
             print(json.dumps(remark.to_json(), sort_keys=True))
         else:
             print(obs.render_remark(remark))
     if not args.json:
-        print(f"({len(session.remarks)} remarks; rerun with --json for "
+        suffix = f" matching {kind!r}" if kind else ""
+        print(f"({len(remarks)} remarks{suffix}; rerun with --json for "
               "the machine-readable stream)")
     return 0
 
@@ -499,10 +512,14 @@ def cmd_trace(args) -> int:
 
 def cmd_bench_interp(args) -> int:
     from .harness.benchinterp import (DEFAULT_TRIPS, bench_all,
-                                      format_report, write_bench_json)
+                                      format_compare, format_report,
+                                      write_bench_json)
 
     rows = bench_all(warps=args.warps, repeats=args.repeats)
-    print(format_report(rows, args.warps))
+    if getattr(args, "compare", False):
+        print(format_compare(rows, args.warps))
+    else:
+        print(format_report(rows, args.warps))
     if args.json or args.json_out:
         path = write_bench_json(rows, args.warps, DEFAULT_TRIPS,
                                 args.json_out)
@@ -596,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: uu_heuristic)")
     p.add_argument("--json", action="store_true",
                    help="print raw JSONL instead of rendered lines")
+    p.add_argument("--kind", metavar="NAME", default=None,
+                   help="only remarks whose kind or pass name matches "
+                        "NAME (e.g. `--kind jit` for execution-engine "
+                        "region remarks, `--kind missed` for not-applied "
+                        "transform decisions)")
     p.set_defaults(fn=cmd_remarks)
 
     p = sub.add_parser("trace", parents=[common],
@@ -623,6 +645,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json-out", metavar="PATH", default=None,
                    help="write the machine-readable payload to PATH "
                         "(implies --json)")
+    p.add_argument("--compare", action="store_true",
+                   help="print per-engine wall times side by side "
+                        "(warp/batched/jit rows per kernel) instead of "
+                        "the throughput table")
     p.set_defaults(fn=cmd_bench_interp)
 
     p = sub.add_parser("run-tuned", parents=[common],

@@ -65,6 +65,18 @@ _CLS_DIVERGENT = 3
 _CLS_TAKEN = 2
 _CLS_NOT_TAKEN = 1
 
+#: Demotion hysteresis: under the jit engine a warp must have diverged
+#: from its batch this many times before a singleton split hands it to
+#: the per-warp engine.  A briefly-diverging warp (one boundary branch,
+#: then reconvergence) instead continues as a one-row batch — identical
+#: lattice accounting, so observably the same — whose full-mask rows
+#: re-enter compiled regions (measured ~1.4x on ``bench-interp``'s
+#: ``briefdiv``).  Plain batched execution keeps immediate demotion:
+#: without regions a one-row lattice is *slower* than the per-warp
+#: engine's scalar accounting, which is the old ~0.91x worst case.
+#: Rows that keep splitting are genuinely chaotic and demote either way.
+DEMOTE_HYSTERESIS = 2
+
 
 class _BatchContext:
     """Register state for a batch of warps: ``(n, 32)`` value lattices.
@@ -121,17 +133,21 @@ class _BatchState:
     """One batch mid-execution: context, accumulators, schedule, icache."""
 
     __slots__ = ("ctx", "cycles", "memory_stall", "cat_cycles", "icache",
-                 "groups")
+                 "groups", "splits")
 
     def __init__(self, ctx: _BatchContext, cycles: np.ndarray,
                  memory_stall: np.ndarray, cat_cycles: np.ndarray,
-                 icache: InstructionCache, groups: List) -> None:
+                 icache: InstructionCache, groups: List,
+                 splits: Optional[np.ndarray] = None) -> None:
         self.ctx = ctx
         self.cycles = cycles              # (n,) float64 per-warp cycles.
         self.memory_stall = memory_stall  # (n,) float64 memory stalls.
         self.cat_cycles = cat_cycles      # (n, N_CATEGORIES) float64.
         self.icache = icache              # Representative for all rows.
         self.groups = groups              # [(epoch, db, (n, 32) mask)].
+        #: Per-row count of batch splits survived (demotion hysteresis).
+        self.splits = splits if splits is not None \
+            else np.zeros(ctx.n, dtype=np.int64)
 
 
 class _Results:
@@ -301,7 +317,7 @@ def _exec_block(machine, func, db, epoch: int, mask: np.ndarray,
     factor = _issue_factor(actives)
     cycles = state.cycles
     cat = state.cat_cycles
-    for category, cat_idx, cost, kind, run, brun, write in db.steps:
+    for category, cat_idx, cost, kind, run, brun, write, _meta in db.steps:
         _note_batch(total, category, n, active_sum)
         c = cost * factor
         cycles += c
@@ -383,7 +399,8 @@ def _follow_batch(edge, epoch: int, mask: np.ndarray, state: _BatchState,
         n = mask.shape[0]
         c = _PHI_COST * _issue_factor(actives)
         # Parallel-copy semantics: read all incomings before writing.
-        staged = [(write, read(ctx, arg_values)) for write, read in moves]
+        staged = [(write, read(ctx, arg_values))
+                  for write, read, _pid, _dt, _sid in moves]
         for write, value in staged:
             _note_batch(total, "misc", n, active_sum)  # One mov per phi.
             state.cycles += c
@@ -402,11 +419,13 @@ def _split_state(machine, func, state: _BatchState, arg_values, pending,
     per-warp engine, which resumes from the divergence point.
     """
     true_edge, false_edge, epoch, t_mask, f_mask, cls = pending
+    hysteresis = DEMOTE_HYSTERESIS if machine.engine == "jit" else 1
     for value in (_CLS_DIVERGENT, _CLS_TAKEN, _CLS_NOT_TAKEN):
         idx = np.flatnonzero(cls == value)
         if idx.size == 0:
             continue
-        if idx.size == 1:
+        if (idx.size == 1
+                and state.splits[int(idx[0])] + 1 >= hysteresis):
             _demote_row(machine, func, state, int(idx[0]), value, true_edge,
                         false_edge, epoch, t_mask, f_mask, arg_values,
                         total, results)
@@ -438,7 +457,8 @@ def _slice_state(state: _BatchState, idx: np.ndarray) -> _BatchState:
         ctx.ret_values = octx.ret_values[idx]
     return _BatchState(ctx, state.cycles[idx], state.memory_stall[idx],
                        state.cat_cycles[idx], state.icache.clone(),
-                       [(e, db, m[idx]) for e, db, m in state.groups])
+                       [(e, db, m[idx]) for e, db, m in state.groups],
+                       state.splits[idx] + 1)
 
 
 def _demote_row(machine, func, state: _BatchState, row: int, cls: int,

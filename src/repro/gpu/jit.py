@@ -1,0 +1,734 @@
+"""Trace-JIT execution engine: batched lattice + compiled superblocks.
+
+This engine is the batched engine (:mod:`repro.gpu.batched`) with a
+tier-2 fast path: when the dispatcher pops a group whose mask covers
+*every* lane of every warp and a compiled superblock
+(:mod:`repro.gpu.regions`) starts at that block, the whole trace runs as
+one fused sequence — no per-block scheduling, no masked writes, integer
+counters folded per block, and (for memory-free regions whose per-row
+accumulators agree) float accounting replayed on two Python scalars
+instead of ``(n,)``/``(n, 7)`` lattices.
+
+Guards and deoptimization: each conditional branch crossed by a trace
+checks that every lane takes the compile-time expected side (one lattice
+reduction).  On disagreement the op *deoptimizes*: scalar accumulators
+are flushed back to the per-row vectors, every slot the trace rebound is
+normalized to an owned ``(n, 32)`` array, and the branch is resolved by
+the exact interpreter logic — parking sub-groups for intra-warp
+divergence, or returning the pending cross-warp split that
+``_split_state`` partitions (demoting singletons to the per-warp
+engine).  Memory faults raised inside a region propagate from the same
+program point they would under the interpreter, and runaway loops are
+caught at every region back edge against ``machine.max_cycles``.
+
+Bit-identicality: see the :mod:`repro.gpu.regions` module docstring for
+the argument; ``tests/test_engine_equivalence.py`` pins this engine
+byte-identical (outputs, cycles, Counters, memory transactions) to the
+warp and batched engines across benchmarks, corpus, and fuzz kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .batched import (_BatchContext, _BatchState, _Results, _exec_block,
+                      _finish_state, _follow_batch, _issue_factor,
+                      _split_state, _CLS_DIVERGENT, _CLS_TAKEN)
+from .counters import Counters, N_CATEGORIES
+from .icache import InstructionCache
+from .machine import (WARP_SIZE, SimulationError, _BR_COST, _CAT_CONTROL,
+                      _CAT_MISC, _K_VALUE, _K_VOID)
+from .regions import (CompiledRegion, GUARD_DEMOTE_FAILS, R_DIAMOND,
+                      R_EXIT_BR, R_EXIT_CONDBR, R_GUARD, R_NEXT, R_RET,
+                      R_UNREACHABLE, S_MEM, S_VALUE, compile_regions,
+                      demote_guard, drop_cold_region)
+
+
+def run_launch_jit(machine, func, entry, grid_dim: int, block_dim: int,
+                   args: Sequence, total: Counters
+                   ) -> Tuple[List[np.ndarray], int]:
+    """Run one launch on the jit engine (same contract as batched)."""
+    regions = machine._regions.get(id(func))
+    if regions is None:
+        regions = compile_regions(func.name, entry, machine.profile)
+        machine._regions[id(func)] = regions
+    warps = (block_dim + WARP_SIZE - 1) // WARP_SIZE
+    n = grid_dim * warps
+    arg_values = machine._bind_args(func, args)
+    warp_lanes = (np.arange(warps, dtype=np.int64)[:, None] * WARP_SIZE
+                  + np.arange(WARP_SIZE, dtype=np.int64))
+    lane_ids = np.tile(warp_lanes, (grid_dim, 1))
+    block_ids = np.repeat(np.arange(grid_dim, dtype=np.int64), warps)
+    ctx = _BatchContext(lane_ids, block_ids, block_dim, grid_dim,
+                        np.arange(n))
+    icache = InstructionCache(machine._icache_capacity) \
+        if machine._icache_capacity else InstructionCache()
+    active = lane_ids < block_dim
+    state = _BatchState(ctx, np.zeros(n), np.zeros(n),
+                        np.zeros((n, N_CATEGORIES)), icache,
+                        [(0, entry, active)])
+    results = _Results(n)
+    worklist = [state]
+    while worklist:
+        _run_state_jit(machine, func, worklist.pop(), arg_values, total,
+                       results, worklist, regions)
+
+    ret_all: List[np.ndarray] = []
+    fetch_stalls = 0
+    for w in range(n):
+        total.cycles += results.cycles[w]
+        total.memory_stall_cycles += results.memory_stall[w]
+        cat = results.cat[w]
+        for i in range(N_CATEGORIES):
+            total.cat_cycles[i] += cat[i]
+        fetch_stalls += results.fetch[w]
+        if results.ret[w] is not None:
+            ret_all.append(results.ret[w])
+    return ret_all, fetch_stalls
+
+
+def _run_state_jit(machine, func, state: _BatchState, arg_values, total,
+                   results: _Results, worklist: List[_BatchState],
+                   regions: Dict[int, CompiledRegion]) -> None:
+    """The batched dispatcher with the superblock fast path.
+
+    A region fires only for a group with a *full* mask: then the charge
+    factor is uniform, and — since live masks partition lanes — the
+    group is provably the only one in the state, so running the whole
+    trace without re-entering the scheduler replays the interpreter's
+    pop order exactly.
+    """
+    profile = machine.profile
+    # Region value steps rebind slots directly; freezing the geometry
+    # lattice makes any aliasing rebind (e.g. ``%t = tid.x``) detectable
+    # by the exit-time normalization pass instead of silently sharing a
+    # mutable buffer with the context.
+    state.ctx.lane_ids.setflags(write=False)
+    while state.groups:
+        if float(state.cycles.max()) > machine.max_cycles:
+            raise SimulationError(
+                f"@{func.name}: exceeded {machine.max_cycles} cycles "
+                "(runaway kernel?)")
+        merged: Dict[int, Tuple] = {}
+        for epoch, db, mask in state.groups:
+            existing = merged.get(db.block_id)
+            if existing is None:
+                merged[db.block_id] = (epoch, db, mask)
+            else:
+                merged[db.block_id] = (max(existing[0], epoch), db,
+                                       existing[2] | mask)
+        groups = list(merged.values())
+        groups.sort(key=lambda g: (g[0], g[1].rpo), reverse=True)
+        epoch, db, mask = groups.pop()
+        state.groups = groups
+        if not mask.any():
+            continue
+        region = regions.get(db.block_id)
+        if region is not None and not bool(mask.all()):
+            # Regions need every lane live; one that only ever sees
+            # partial masks (e.g. one half of an if/else) is dropped so
+            # its full-mask test stops costing a lattice reduction.
+            region.entry_fails += 1
+            if (region.entry_fails >= GUARD_DEMOTE_FAILS
+                    and region.entries == 0):
+                drop_cold_region(regions, region, func.name)
+            region = None
+        if region is not None:
+            region.entries += 1
+            pending = _run_region(machine, func, region, epoch, mask, state,
+                                  arg_values, total, profile, regions)
+        else:
+            state.cycles += state.icache.access(db.block_id, db.size)
+            if profile is None:
+                pending = _exec_block(machine, func, db, epoch, mask, state,
+                                      arg_values, total)
+            else:
+                start_ts = float(state.cycles[0])
+                before = float(state.cycles.sum())
+                pending = _exec_block(machine, func, db, epoch, mask, state,
+                                      arg_values, total)
+                profile.note_block(db.name,
+                                   float(state.cycles.sum()) - before,
+                                   int(np.count_nonzero(mask)), mask.size,
+                                   start_ts)
+        if pending is not None:
+            if profile is not None:
+                cls = pending[5]
+                profile.note_split(db.name, len(set(cls.tolist())),
+                                   int(cls.size))
+            _split_state(machine, func, state, arg_values, pending, total,
+                         results, worklist)
+            return
+    _finish_state(state, results)
+
+
+def _run_region(machine, func, region: CompiledRegion, epoch: int,
+                mask: np.ndarray, state: _BatchState, arg_values, total,
+                profile, regions):
+    """Execute one compiled superblock; returns None or a pending split."""
+    if region.scalar_ok and _rows_uniform(state):
+        if region.self_loop is not None and profile is None:
+            return _region_self_scalar(machine, func, region,
+                                       region.self_loop, epoch, mask,
+                                       state, arg_values, total, regions)
+        return _region_scalar(machine, func, region, epoch, mask, state,
+                              arg_values, total, profile, regions)
+    return _region_vector(machine, func, region, epoch, mask, state,
+                          arg_values, total, profile, regions)
+
+
+def _rows_uniform(state: _BatchState) -> bool:
+    """True when every row's float accumulators agree (scalar replay OK)."""
+    cy = state.cycles
+    if not bool((cy == cy[0]).all()):
+        return False
+    cc = state.cat_cycles
+    return bool((cc == cc[0]).all())
+
+
+def _flush_ints(total: Counters, issues: int, branches: int,
+                cat_acc: Dict[str, int], n: int, lanes: int) -> None:
+    """Apply locally accumulated integer counters to ``total``.
+
+    Integer counters are exact and commutative, so a region run folds
+    them into plain locals per op and flushes once per exit — identical
+    totals to the interpreter's per-instruction ``note_issue`` calls.
+    """
+    if issues:
+        total.inst_executed += issues * n
+        total.thread_inst_executed += issues * lanes
+        total.active_lane_sum += issues * lanes
+        for attr, count in cat_acc.items():
+            setattr(total, attr, getattr(total, attr) + count * lanes)
+    if branches:
+        total.branches += branches * n
+
+
+def _bind_phis(ctx, arg_values, moves, shape) -> None:
+    """Compile-time-resolved phi parallel copy: stage all, then rebind.
+
+    Moves proven alias-safe at compile time (``regions._finalize_moves``:
+    the source slot is only ever rebound, never mutated, while the alias
+    can live) bind the source array by reference.  The rest go through
+    ``broadcast_to(...).astype`` — always a copy, so the staged arrays
+    are owned buffers detached from the source slots.  Staging every
+    read before any rebind preserves parallel-copy (phi-reads-phi)
+    semantics either way.
+    """
+    staged = []
+    for _pid, read, dt, nocopy in moves:
+        arr = read(ctx, arg_values)
+        if not nocopy:
+            arr = np.broadcast_to(arr, shape).astype(dt)
+        elif arr.dtype != dt:
+            arr = arr.astype(dt)
+        staged.append(arr)
+    values = ctx.values
+    for (pid, _read, _dt, _nc), arr in zip(moves, staged):
+        values[pid] = arr
+
+
+def _normalize_slots(ctx, norm, shape) -> None:
+    """Materialize trace-rebound slots as owned writable (n, 32) arrays.
+
+    Value steps and phi binds rebind raw results: possibly ``(32,)``
+    broadcastable vectors (uniform computations), read-only shared
+    constants, views of context geometry, or aliases of another region
+    slot (no-copy phi binds).  The interpreter's masked writes mutate
+    slots in place, so before control returns to it every rebound slot
+    must be an owned full-shape array that shares no buffer with any
+    other slot.  Anything already owned, writable, full-shape, and
+    unaliased (the common case) is left untouched.
+    """
+    values = ctx.values
+    seen = set()
+    for iid, dt in norm:
+        arr = values.get(iid)
+        if arr is None:
+            continue
+        aid = id(arr)
+        if (arr.shape != shape or not arr.flags.writeable
+                or arr.base is not None or aid in seen):
+            out = np.empty(shape, dtype=dt)
+            out[...] = arr
+            values[iid] = out
+            seen.add(id(out))
+        else:
+            seen.add(aid)
+
+
+def _resolve_condbr(cond, mask, true_edge, false_edge, epoch, state,
+                    arg_values, total):
+    """The interpreter's conditional-branch resolution, verbatim.
+
+    Used on guard failure and at condbr region exits: classifies each
+    row, parks sub-groups when all rows agree, or returns the pending
+    split for ``_split_state``.
+    """
+    cond = cond.astype(bool)
+    if cond.shape != mask.shape:
+        cond = np.broadcast_to(cond, mask.shape)
+    t_mask = mask & cond
+    f_mask = mask & ~cond
+    t_any = t_mask.any(axis=1)
+    f_any = f_mask.any(axis=1)
+    cls = (t_any.astype(np.int8) << 1) | f_any.astype(np.int8)
+    first = int(cls[0])
+    if bool((cls == first).all()):
+        if first == _CLS_DIVERGENT:
+            total.divergent_branches += mask.shape[0]
+            _follow_batch(true_edge, epoch, t_mask, state, arg_values, total)
+            _follow_batch(false_edge, epoch, f_mask, state, arg_values, total)
+        elif first == _CLS_TAKEN:
+            _follow_batch(true_edge, epoch, t_mask, state, arg_values, total)
+        else:
+            _follow_batch(false_edge, epoch, f_mask, state, arg_values, total)
+        return None
+    return (true_edge, false_edge, epoch, t_mask, f_mask, cls)
+
+
+def _region_self_scalar(machine, func, region: CompiledRegion, op,
+                        epoch: int, mask: np.ndarray, state: _BatchState,
+                        arg_values, total: Counters, regions):
+    """Specialized scalar executor for single-block self-loop regions.
+
+    The hottest compiled shape — a loop body whose guard jumps straight
+    back to itself — spins here with every per-iteration attribute load
+    hoisted into locals and integer counters folded as one
+    multiplication by the iteration count at exit (exact: they are
+    Python ints).  The float charge sequence is statement-for-statement
+    the generic scalar loop's, so accounting stays bit-identical.  Runs
+    only with profiling off; the generic loop keeps the per-iteration
+    ``note_block`` stream otherwise.
+    """
+    ctx = state.ctx
+    values = ctx.values
+    n = ctx.n
+    lanes = n * WARP_SIZE
+    shape = mask.shape
+    max_cycles = machine.max_cycles
+    cy = float(state.cycles[0])
+    cats = [float(x) for x in state.cat_cycles[0]]
+    acct = op.acct
+    vsteps = op.vsteps
+    read_cond = op.read_cond
+    expected = op.expected
+    moves = op.moves
+    phi_c = op.phi_c
+    k = len(moves)
+    cmisc = _CAT_MISC
+    # The first fetch may miss; every later one re-touches the block
+    # just accessed — a guaranteed hit with zero stall and a no-op LRU
+    # reorder — so the loop skips the call entirely.
+    cy += state.icache.access(op.block_id, op.size)
+    iters = 0
+    while True:
+        for c, ci in acct:
+            cy += c
+            cats[ci] += c
+        for run, iid, dt in vsteps:
+            arr = run(ctx, arg_values)
+            if arr.dtype != dt:
+                arr = arr.astype(dt)
+            values[iid] = arr
+        cond = read_cond(ctx, arg_values)
+        if expected:
+            ok = bool(cond.all())
+        else:
+            ok = not bool(cond.any())
+        if not ok:
+            break
+        if k:
+            staged = []
+            for _pid, read, dt, nocopy in moves:
+                arr = read(ctx, arg_values)
+                if not nocopy:
+                    arr = np.broadcast_to(arr, shape).astype(dt)
+                elif arr.dtype != dt:
+                    arr = arr.astype(dt)
+                staged.append(arr)
+            for (pid, _read, _dt, _nc), arr in zip(moves, staged):
+                values[pid] = arr
+            for _ in range(k):
+                cy += phi_c
+                cats[cmisc] += phi_c
+        iters += 1
+        if cy > max_cycles:
+            raise SimulationError(
+                f"@{func.name}: exceeded {max_cycles} cycles "
+                "(runaway kernel?)")
+
+    # Guard failed — the loop's only exit.  Fold the whole run's integer
+    # counters, flush floats, and deoptimize to the interpreter.
+    op.passes += iters
+    op.fails += 1
+    if (op.fails >= GUARD_DEMOTE_FAILS and op.fails > op.passes
+            and regions.get(region.head_id) is region):
+        demote_guard(regions, region, 0, func.name)
+    state.cycles[:] = cy
+    state.cat_cycles[:] = cats
+    issues = op.issues * (iters + 1) + k * iters
+    cat_acc = {attr: count * (iters + 1) for attr, count in op.cat_counts}
+    if k and iters:
+        cat_acc["inst_misc"] = cat_acc.get("inst_misc", 0) + k * iters
+    _flush_ints(total, issues, op.branch_inc * (iters + 1), cat_acc, n,
+                lanes)
+    _normalize_slots(ctx, region.norm, shape)
+    return _resolve_condbr(cond, mask, op.true_edge, op.false_edge,
+                           epoch + op.bump * iters, state, arg_values,
+                           total)
+
+
+def _region_scalar(machine, func, region: CompiledRegion, epoch: int,
+                   mask: np.ndarray, state: _BatchState, arg_values,
+                   total: Counters, profile, regions):
+    """Scalar-accounting region execution (memory-free, uniform rows).
+
+    Float accumulation runs on two Python scalars (``cy``/``cats``) in
+    the exact operation order the lattice would use; since every row
+    starts equal and every charge is row-uniform, broadcasting the final
+    scalars back is bit-identical to the elementwise updates.  Integer
+    counters accumulate in locals and flush once per exit.
+    """
+    ctx = state.ctx
+    values = ctx.values
+    n = ctx.n
+    lanes = n * WARP_SIZE
+    shape = mask.shape
+    iaccess = state.icache.access
+    max_cycles = machine.max_cycles
+    ops = region.ops
+    cy = float(state.cycles[0])
+    cats = [float(x) for x in state.cat_cycles[0]]
+    acc_issues = 0
+    acc_branches = 0
+    acc_cats: Dict[str, int] = {}
+    i = 0
+    while True:
+        op = ops[i]
+        cy += iaccess(op.block_id, op.size)
+        start = cy
+        acc_issues += op.issues
+        acc_branches += op.branch_inc
+        for attr, count in op.cat_counts:
+            acc_cats[attr] = acc_cats.get(attr, 0) + count
+        for c, ci in op.acct:
+            cy += c
+            cats[ci] += c
+        for run, iid, dt in op.vsteps:
+            arr = run(ctx, arg_values)
+            if arr.dtype != dt:
+                arr = arr.astype(dt)
+            values[iid] = arr
+        kind = op.kind
+        if kind == R_GUARD:
+            cond = op.read_cond(ctx, arg_values)
+            if op.expected:
+                ok = bool(cond.all())
+            else:
+                ok = not bool(cond.any())
+            if not ok:
+                # Guard failed: deoptimize to the interpreter.
+                op.fails += 1
+                if (op.fails >= GUARD_DEMOTE_FAILS
+                        and op.fails > op.passes
+                        and regions.get(region.head_id) is region):
+                    demote_guard(regions, region, i, func.name)
+                state.cycles[:] = cy
+                state.cat_cycles[:] = cats
+                _flush_ints(total, acc_issues, acc_branches, acc_cats, n,
+                            lanes)
+                _normalize_slots(ctx, region.norm, shape)
+                if profile is not None:
+                    profile.note_block(op.name, (cy - start) * n, lanes,
+                                       lanes, start)
+                return _resolve_condbr(cond, mask, op.true_edge,
+                                       op.false_edge, epoch, state,
+                                       arg_values, total)
+            op.passes += 1
+        elif kind != R_NEXT:
+            break
+        moves = op.moves
+        if moves:
+            _bind_phis(ctx, arg_values, moves, shape)
+            k = len(moves)
+            acc_issues += k
+            acc_cats["inst_misc"] = acc_cats.get("inst_misc", 0) + k
+            pc = op.phi_c
+            for _ in range(k):
+                cy += pc
+                cats[_CAT_MISC] += pc
+        if profile is not None:
+            profile.note_block(op.name, (cy - start) * n, lanes, lanes,
+                               start)
+        epoch += op.bump
+        ni = op.next_i
+        if ni <= i and cy > max_cycles:
+            raise SimulationError(
+                f"@{func.name}: exceeded {max_cycles} cycles "
+                "(runaway kernel?)")
+        i = ni
+
+    # Region exit: flush accumulators, normalize slots, resolve the exit.
+    state.cycles[:] = cy
+    state.cat_cycles[:] = cats
+    _flush_ints(total, acc_issues, acc_branches, acc_cats, n, lanes)
+    _normalize_slots(ctx, region.norm, shape)
+    if profile is not None:
+        profile.note_block(op.name, (cy - start) * n, lanes, lanes, start)
+    kind = op.kind
+    if kind == R_EXIT_BR:
+        _follow_batch(op.exit_edge, epoch, mask, state, arg_values, total)
+        return None
+    if kind == R_EXIT_CONDBR:
+        cond = op.read_cond(ctx, arg_values)
+        return _resolve_condbr(cond, mask, op.true_edge, op.false_edge,
+                               epoch, state, arg_values, total)
+    if kind == R_RET:
+        read_value, dtype = op.ret
+        if read_value is not None:
+            value = read_value(ctx, arg_values)
+            if value.shape != shape:
+                value = np.broadcast_to(value, shape)
+            if ctx.ret_values is None:
+                ctx.ret_values = np.zeros(shape, dtype=dtype)
+            ctx.ret_values[mask] = value[mask]
+        return None
+    # R_UNREACHABLE
+    raise SimulationError(
+        f"@{func.name}: executed unreachable in {op.name}")
+
+
+def _exec_arm(arm, mask_a: np.ndarray, epoch: int, state: _BatchState,
+              ctx, arg_values, total: Counters, profile) -> int:
+    """Execute one diamond arm exactly as an interpreter pop would.
+
+    The arm runs under its partial mask with the interpreter's own
+    machinery — per-row ``_issue_factor`` charges, masked writers,
+    ``_follow_batch`` for the join-edge phi moves — so every float lands
+    bit-identically; only the commuting integer counters are folded.
+    Returns the epoch the join group was parked at (the arm's join-edge
+    bump applied), popping the park since control merges in-region.
+    """
+    bid, size, name, steps, join_edge, cat_counts, arm_issues = arm
+    state.cycles += state.icache.access(bid, size)
+    if profile is not None:
+        start_ts = float(state.cycles[0])
+        before = float(state.cycles.sum())
+    actives = np.count_nonzero(mask_a, axis=1)
+    active_sum = int(actives.sum())
+    n = mask_a.shape[0]
+    factor = _issue_factor(actives)
+    cycles = state.cycles
+    cat = state.cat_cycles
+    for _category, cat_idx, cost, kind, run, brun, write, _meta in steps:
+        c = cost * factor
+        cycles += c
+        cat[:, cat_idx] += c
+        if kind == _K_VALUE:
+            write(ctx, run(ctx, arg_values), mask_a)
+        elif kind != _K_VOID:
+            brun(ctx, arg_values, mask_a, actives, state)
+    # The BR terminator, then the join edge's phi moves.
+    c = _BR_COST * factor
+    cycles += c
+    cat[:, _CAT_CONTROL] += c
+    total.branches += n
+    total.inst_executed += arm_issues * n
+    total.thread_inst_executed += arm_issues * active_sum
+    total.active_lane_sum += arm_issues * active_sum
+    for attr, count in cat_counts:
+        setattr(total, attr, getattr(total, attr) + count * active_sum)
+    _follow_batch(join_edge, epoch, mask_a, state, arg_values, total)
+    if profile is not None:
+        profile.note_block(name, float(state.cycles.sum()) - before,
+                           active_sum, mask_a.size, start_ts)
+    return state.groups.pop()[0]
+
+
+def _region_vector(machine, func, region: CompiledRegion, epoch: int,
+                   mask: np.ndarray, state: _BatchState, arg_values,
+                   total: Counters, profile, regions):
+    """Vector-accounting region execution (general case).
+
+    Keeps the per-row ``(n,)``/``(n, 7)`` accumulators (memory latency
+    differs per row) but still skips the scheduler, folds integer
+    counters, and rebinds slots instead of masked-writing them.  Charges
+    are the scalar ``cost * _FULL_FACTOR`` broadcast over rows — the
+    same IEEE value the lattice's per-row factor yields at a full mask.
+    """
+    ctx = state.ctx
+    values = ctx.values
+    n = ctx.n
+    lanes = n * WARP_SIZE
+    shape = mask.shape
+    iaccess = state.icache.access
+    max_cycles = machine.max_cycles
+    ops = region.ops
+    cycles = state.cycles
+    cat = state.cat_cycles
+    actives = np.full(n, WARP_SIZE, dtype=np.int64)
+    acc_issues = 0
+    acc_branches = 0
+    acc_cats: Dict[str, int] = {}
+    i = 0
+    while True:
+        op = ops[i]
+        cycles += iaccess(op.block_id, op.size)
+        if profile is not None:
+            start_ts = float(cycles[0])
+            before = float(cycles.sum())
+        acc_issues += op.issues
+        acc_branches += op.branch_inc
+        for attr, count in op.cat_counts:
+            acc_cats[attr] = acc_cats.get(attr, 0) + count
+        for entry in op.steps:
+            tag = entry[0]
+            if tag == S_VALUE:
+                _t, c, ci, run, iid, dt = entry
+                cycles += c
+                cat[:, ci] += c
+                arr = run(ctx, arg_values)
+                if arr.dtype != dt:
+                    arr = arr.astype(dt)
+                values[iid] = arr
+            elif tag == S_MEM:
+                _t, c, ci, brun = entry
+                cycles += c
+                cat[:, ci] += c
+                brun(ctx, arg_values, mask, actives, state)
+            else:
+                _t, c, ci = entry
+                cycles += c
+                cat[:, ci] += c
+        tc = op.term_c
+        if tc is not None:
+            cycles += tc
+            cat[:, _CAT_CONTROL] += tc
+        kind = op.kind
+        if kind == R_GUARD:
+            cond = op.read_cond(ctx, arg_values)
+            if op.expected:
+                ok = bool(cond.all())
+            else:
+                ok = not bool(cond.any())
+            if not ok:
+                op.fails += 1
+                if (op.fails >= GUARD_DEMOTE_FAILS
+                        and op.fails > op.passes
+                        and regions.get(region.head_id) is region):
+                    demote_guard(regions, region, i, func.name)
+                _flush_ints(total, acc_issues, acc_branches, acc_cats, n,
+                            lanes)
+                _normalize_slots(ctx, region.norm, shape)
+                if profile is not None:
+                    profile.note_block(op.name, float(cycles.sum()) - before,
+                                       lanes, lanes, start_ts)
+                return _resolve_condbr(cond, mask, op.true_edge,
+                                       op.false_edge, epoch, state,
+                                       arg_values, total)
+            op.passes += 1
+        elif kind == R_DIAMOND:
+            # Predicated if/else: classify rows exactly as the
+            # interpreter's condbr would, then run the arm(s) in-region —
+            # both arms masked (in the scheduler's rpo pop order) for
+            # uniform intra-warp divergence, one arm at full mask for a
+            # uniformly decided direction.
+            cond = op.read_cond(ctx, arg_values).astype(bool)
+            if cond.shape != shape:
+                cond = np.broadcast_to(cond, shape)
+            t_mask = mask & cond
+            f_mask = mask & ~cond
+            t_any = t_mask.any(axis=1)
+            f_any = f_mask.any(axis=1)
+            cls = (t_any.astype(np.int8) << 1) | f_any.astype(np.int8)
+            first = int(cls[0])
+            if not bool((cls == first).all()):
+                # Cross-warp disagreement: flush and hand the pending
+                # split to the interpreter, as a condbr exit would.
+                _flush_ints(total, acc_issues, acc_branches, acc_cats, n,
+                            lanes)
+                _normalize_slots(ctx, region.norm, shape)
+                if profile is not None:
+                    profile.note_block(op.name,
+                                       float(cycles.sum()) - before,
+                                       lanes, lanes, start_ts)
+                return (op.true_edge, op.false_edge, epoch, t_mask,
+                        f_mask, cls)
+            if profile is not None:
+                profile.note_block(op.name, float(cycles.sum()) - before,
+                                   lanes, lanes, start_ts)
+            if first == _CLS_DIVERGENT:
+                total.divergent_branches += n
+                arms = ((op.arm_t, t_mask), (op.arm_f, f_mask))
+                if not op.arms_t_first:
+                    arms = (arms[1], arms[0])
+                e1 = _exec_arm(arms[0][0], arms[0][1], epoch, state, ctx,
+                               arg_values, total, profile)
+                e2 = _exec_arm(arms[1][0], arms[1][1], epoch, state, ctx,
+                               arg_values, total, profile)
+                # The join group merges at the max parked epoch.
+                epoch = max(e1, e2)
+            elif first == _CLS_TAKEN:
+                epoch = _exec_arm(op.arm_t, t_mask, epoch, state, ctx,
+                                  arg_values, total, profile)
+            else:
+                epoch = _exec_arm(op.arm_f, f_mask, epoch, state, ctx,
+                                  arg_values, total, profile)
+            ni = op.next_i
+            if ni <= i and float(cycles.max()) > max_cycles:
+                raise SimulationError(
+                    f"@{func.name}: exceeded {max_cycles} cycles "
+                    "(runaway kernel?)")
+            i = ni
+            continue
+        elif kind != R_NEXT:
+            break
+        moves = op.moves
+        if moves:
+            _bind_phis(ctx, arg_values, moves, shape)
+            k = len(moves)
+            acc_issues += k
+            acc_cats["inst_misc"] = acc_cats.get("inst_misc", 0) + k
+            pc = op.phi_c
+            for _ in range(k):
+                cycles += pc
+                cat[:, _CAT_MISC] += pc
+        if profile is not None:
+            profile.note_block(op.name, float(cycles.sum()) - before,
+                               lanes, lanes, start_ts)
+        epoch += op.bump
+        ni = op.next_i
+        if ni <= i and float(cycles.max()) > max_cycles:
+            raise SimulationError(
+                f"@{func.name}: exceeded {max_cycles} cycles "
+                "(runaway kernel?)")
+        i = ni
+
+    _flush_ints(total, acc_issues, acc_branches, acc_cats, n, lanes)
+    _normalize_slots(ctx, region.norm, shape)
+    if profile is not None:
+        profile.note_block(op.name, float(cycles.sum()) - before, lanes,
+                           lanes, start_ts)
+    kind = op.kind
+    if kind == R_EXIT_BR:
+        _follow_batch(op.exit_edge, epoch, mask, state, arg_values, total)
+        return None
+    if kind == R_EXIT_CONDBR:
+        cond = op.read_cond(ctx, arg_values)
+        return _resolve_condbr(cond, mask, op.true_edge, op.false_edge,
+                               epoch, state, arg_values, total)
+    if kind == R_RET:
+        read_value, dtype = op.ret
+        if read_value is not None:
+            value = read_value(ctx, arg_values)
+            if value.shape != shape:
+                value = np.broadcast_to(value, shape)
+            if ctx.ret_values is None:
+                ctx.ret_values = np.zeros(shape, dtype=dtype)
+            ctx.ret_values[mask] = value[mask]
+        return None
+    raise SimulationError(
+        f"@{func.name}: executed unreachable in {op.name}")

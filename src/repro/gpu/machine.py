@@ -40,7 +40,12 @@ see :func:`resolve_engine`):
 * ``batched`` (default) — :mod:`repro.gpu.batched`: all warps of a launch
   execute as one ``(n_warps, 32)`` value lattice while their control
   decisions agree across warps, and individual warps demote to this
-  module's per-warp path the moment they diverge.
+  module's per-warp path the moment they diverge;
+* ``jit`` — :mod:`repro.gpu.jit`: the batched lattice engine plus a
+  superblock trace layer (:mod:`repro.gpu.regions`): straight-line
+  multi-block regions compiled once per function into fused dispatch
+  sequences with guarded side exits, deoptimizing back to the batched
+  block interpreter when a guard fails.
 
 The engines are contractually **bit-identical** — same return values, same
 counters, same cycle totals (``tests/test_engine_equivalence.py`` enforces
@@ -49,6 +54,7 @@ this) — which is why the persistent cell cache does not key on the engine.
 
 from __future__ import annotations
 
+import operator
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -82,7 +88,7 @@ ArgValue = Union[int, float]
 ENGINE_ENV = "REPRO_ENGINE"
 
 #: Supported execution engines (see module docstring).
-ENGINES = ("batched", "warp")
+ENGINES = ("batched", "warp", "jit")
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
@@ -213,7 +219,13 @@ class _Edge:
                  moves: List) -> None:
         self.target = target
         self.bump_epoch = bump_epoch
-        self.moves = moves              # [(writer, reader), ...] per phi.
+        #: [(writer, reader, phi_id, dtype, src_id), ...] per phi — the
+        #: id/dtype pair lets the region compiler rebind phi slots
+        #: directly, and ``src_id`` (``id()`` of an instruction-produced
+        #: incoming value, else None) lets it prove when the incoming
+        #: slot is only ever rebound inside a region so the parallel
+        #: copy can alias instead of copying.
+        self.moves = moves
 
 
 def _snapshot_reader(read):
@@ -226,10 +238,13 @@ def _snapshot_reader(read):
 class _DecodedBlock:
     """One basic block, pre-decoded into a flat dispatch list.
 
-    ``steps`` holds ``(category, cat_idx, cost, kind, run, brun, write)``
-    tuples for the non-phi, non-terminator instructions — ``run`` is the
-    per-warp runner, ``brun`` the batched ``(n, 32)`` lattice runner for
-    memory steps (None for value/void steps, which are shape-generic);
+    ``steps`` holds ``(category, cat_idx, cost, kind, run, brun, write,
+    meta)`` tuples for the non-phi, non-terminator instructions — ``run``
+    is the per-warp runner, ``brun`` the batched ``(n, 32)`` lattice
+    runner for memory steps (None for value/void steps, which are
+    shape-generic); ``meta`` is ``(inst_id, dtype)`` for value-producing
+    steps (None otherwise), consumed by the region compiler to rebind
+    result slots without going through the masked writer;
     ``term``/``term_kind`` describe the terminator.  All operand readers,
     result writers, and issue costs are resolved once at decode time.
     """
@@ -267,6 +282,9 @@ class SimtMachine:
         self.profile = obs_session.profile()
         self._global_addrs: Dict[str, int] = {}
         self._decoded: Dict[int, _DecodedBlock] = {}
+        #: Per-function compiled superblock regions (jit engine only):
+        #: id(func) -> {entry block_id -> CompiledRegion}.
+        self._regions: Dict[int, Dict] = {}
         self._materialize_globals()
 
     def _materialize_globals(self) -> None:
@@ -293,7 +311,15 @@ class SimtMachine:
         total = Counters()
         entry = self._decode(func)
         warps = (block_dim + WARP_SIZE - 1) // WARP_SIZE
-        if self.engine == "batched" and grid_dim * warps > 1:
+        if self.engine == "jit":
+            # Trace-JIT tier: the batched lattice engine with compiled
+            # superblock regions.  Single-warp launches still benefit
+            # (regions collapse the scheduler loop), so the jit path
+            # takes every launch.
+            from .jit import run_launch_jit
+            ret_all, fetch_stalls = run_launch_jit(
+                self, func, entry, grid_dim, block_dim, args, total)
+        elif self.engine == "batched" and grid_dim * warps > 1:
             # Launch-vectorized engine: all warps execute as one (n, 32)
             # lattice until their control decisions diverge (then they
             # demote to the per-warp path below).  Single-warp launches
@@ -418,7 +444,10 @@ class SimtMachine:
             read = self._reader(incoming)
             if id(incoming) in dst_phis:
                 read = _snapshot_reader(read)
-            moves.append((self._writer(phi), read))
+            src_id = id(incoming) if isinstance(incoming, Instruction) \
+                else None
+            moves.append((self._writer(phi), read, id(phi),
+                          _storage_dtype(phi.type), src_id))
         return _Edge(target, bump, moves)
 
     def _decode_step(self, inst: Instruction) -> Tuple:
@@ -463,7 +492,7 @@ class SimtMachine:
                 write(ctx, out, mask)
 
             return (category, cat_idx, cost, _K_LOAD, run_load, brun_load,
-                    None)
+                    None, (id(inst), dtype))
 
         if isinstance(inst, StoreInst):
             read_ptr = self._reader(inst.pointer)
@@ -494,27 +523,25 @@ class SimtMachine:
                     state.cat_cycles[w, _CAT_STORE] += c
 
             return (category, cat_idx, cost, _K_STORE, run_store, brun_store,
-                    None)
+                    None, None)
 
         if inst.type.is_void:
             # e.g. syncthreads: only the issue timing is charged.
-            return (category, cat_idx, cost, _K_VOID, None, None, None)
+            return (category, cat_idx, cost, _K_VOID, None, None, None, None)
 
         return (category, cat_idx, cost, _K_VALUE, self._value_fn(inst),
-                None, self._writer(inst))
+                None, self._writer(inst), (id(inst), _storage_dtype(inst.type)))
 
     def _value_fn(self, inst: Instruction):
         """Closure computing one instruction's value (operands pre-bound)."""
         if isinstance(inst, BinaryInst):
-            opcode, type_ = inst.opcode, inst.type
+            fn = _binop_fn(inst.opcode, inst.type)
             rl, rr = self._reader(inst.lhs), self._reader(inst.rhs)
-            return lambda ctx, args: _binary_op(opcode, rl(ctx, args),
-                                                rr(ctx, args), type_)
+            return lambda ctx, args: fn(rl(ctx, args), rr(ctx, args))
         if isinstance(inst, ICmpInst):
-            pred = inst.predicate
+            cmp = _icmp_fn(inst.predicate)
             rl, rr = self._reader(inst.lhs), self._reader(inst.rhs)
-            return lambda ctx, args: _icmp_op(pred, rl(ctx, args),
-                                              rr(ctx, args))
+            return lambda ctx, args: cmp(rl(ctx, args), rr(ctx, args))
         if isinstance(inst, FCmpInst):
             pred = inst.predicate
             rl, rr = self._reader(inst.lhs), self._reader(inst.rhs)
@@ -705,7 +732,7 @@ class SimtMachine:
         active = int(np.count_nonzero(mask))
         note_issue = counters.note_issue
         cat_cycles = counters.cat_cycles
-        for category, cat_idx, cost, kind, run, _brun, write in db.steps:
+        for category, cat_idx, cost, kind, run, _brun, write, _meta in db.steps:
             note_issue(category, active)
             c = charge(cost, active)
             counters.cycles += c
@@ -779,7 +806,8 @@ class SimtMachine:
             active = int(np.count_nonzero(mask))
             c = charge(_PHI_COST, active)
             # Parallel-copy semantics: read all incomings before writing.
-            staged = [(write, read(ctx, arg_values)) for write, read in moves]
+            staged = [(write, read(ctx, arg_values))
+                      for write, read, _pid, _dt, _sid in moves]
             for write, value in staged:
                 counters.note_issue("misc", active)  # One mov per phi.
                 counters.cycles += c
@@ -800,6 +828,62 @@ class SimtMachine:
 # ---------------------------------------------------------------------------
 # numpy semantics helpers
 # ---------------------------------------------------------------------------
+
+def _binop_fn(opcode: str, type_: Type):
+    """Specialize one binary opcode into a two-argument closure.
+
+    Decode-time resolution of what ``_binary_op`` re-derives per call:
+    the opcode chain, the wrap width, and the ``errstate`` guard.  The
+    numpy expressions are the generic function's verbatim, so results
+    are bit-identical.  Integer lattice ops skip the errstate guard —
+    numpy int64 *array* arithmetic wraps silently, never warns — while
+    float ops keep it (inf/nan operands do warn).  Division and the
+    unsigned shift fall back to the generic path; they are branch-heavy
+    and cold.
+    """
+    bits = type_.bits if isinstance(type_, IntType) else 64
+    wrap = bits < 64
+    if opcode in ("add", "fadd"):
+        base = operator.add
+    elif opcode in ("sub", "fsub"):
+        base = operator.sub
+    elif opcode in ("mul", "fmul"):
+        base = operator.mul
+    elif opcode == "and":
+        return operator.and_
+    elif opcode == "or":
+        return operator.or_
+    elif opcode == "xor":
+        return operator.xor
+    elif opcode in ("shl", "ashr"):
+        sh = operator.lshift if opcode == "shl" else operator.rshift
+        if wrap:
+            return lambda lhs, rhs: _wrap_int(sh(lhs, np.clip(rhs, 0, 63)),
+                                              bits)
+        return lambda lhs, rhs: sh(lhs, np.clip(rhs, 0, 63))
+    else:
+        return lambda lhs, rhs: _binary_op(opcode, lhs, rhs, type_)
+    if opcode[0] == "f":
+        def fop(lhs, rhs):
+            with np.errstate(all="ignore"):
+                return base(lhs, rhs)
+        return fop
+    if wrap:
+        return lambda lhs, rhs: _wrap_int(base(lhs, rhs), bits)
+    return base
+
+
+def _icmp_fn(pred: str):
+    """Specialize one icmp predicate (same comparisons as ``_icmp_op``)."""
+    if pred.startswith("u") and pred not in ("ueq",):
+        ucmp = {"ult": operator.lt, "ule": operator.le,
+                "ugt": operator.gt, "uge": operator.ge}[pred]
+        return lambda lhs, rhs: ucmp(lhs.astype(np.uint64),
+                                     rhs.astype(np.uint64))
+    return {"eq": operator.eq, "ne": operator.ne,
+            "slt": operator.lt, "sle": operator.le,
+            "sgt": operator.gt, "sge": operator.ge}[pred]
+
 
 def _binary_op(opcode: str, lhs: np.ndarray, rhs: np.ndarray,
                type_: Type) -> np.ndarray:

@@ -1,0 +1,566 @@
+"""Superblock selection and compilation for the trace-JIT engine.
+
+A *superblock* here is a trace: a maximal straight-line sequence of
+decoded basic blocks entered only at its head, extended across branches
+whose direction is decided at compile time — unconditional branches
+always, conditional branches along one *expected* side chosen from the
+observability layer's execution profile (per-block hit counters) when
+one is available and from static CFG shape otherwise.  The shapes the
+paper's transforms produce — unrolled loop bodies, unmerged per-path
+clones — are exactly long chains of such decided branches, so one trace
+frequently covers a whole unrolled iteration.
+
+Compilation flattens the trace once per ``(function, region)`` into a
+list of :class:`RegionOp` records the jit engine executes without the
+per-block scheduler: value steps become direct slot rebinds (a full-mask
+masked write is a rebind), phi parallel-copies on internal edges become
+staged copy-and-rebind sequences resolved at compile time, and all
+integer instruction counters of an op fold into a handful of
+precomputed increments.  Every conditional branch crossed becomes a
+*guard*: at run time the expected side must be taken by every lane of
+every warp (one lattice reduction); otherwise the op deoptimizes — the
+scalar accumulators are flushed back to the per-row vectors, rebound
+slots are normalized to owned ``(n, 32)`` arrays, and the branch is
+resolved by the exact batched-interpreter logic (park sub-groups, or
+report a pending cross-warp split).
+
+Bit-identicality argument (the contract of the engine family): a region
+executes only for a group whose mask is *full* — every lane of every
+warp active.  Then the batched engine's per-issue charge factor
+``ISSUE_FIXED_FRACTION + ACTIVITY_FRACTION * actives / 32`` is the same
+constant for every row, so per-row float accumulation degenerates to one
+scalar sequence that can be replayed on Python floats (same IEEE-754
+doubles, same operation order) and broadcast back.  A full mask also
+implies the group is the *only* live group of its batch (masks partition
+lanes), so running the whole trace without re-entering the scheduler
+reproduces the interpreter's merge/sort/pop order exactly.  Regions
+containing memory steps keep the per-row vector accumulators (transaction
+latencies differ per row) but still skip scheduling and masked writes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import session as obs_session
+from .machine import (_BR_COST, _CONDBR_COST, _PHI_COST, _RET_COST,
+                      _CAT_CONTROL, _K_LOAD, _K_STORE, _K_VALUE, _K_VOID,
+                      _T_BR, _T_CONDBR, _T_MISSING, _T_RET, _T_UNREACHABLE,
+                      WARP_SIZE, _DecodedBlock)
+from .timing import ACTIVITY_FRACTION, ISSUE_FIXED_FRACTION
+
+#: Per-issue charge factor at a full 32-lane mask — the same IEEE-754
+#: expression shape as ``batched._issue_factor`` evaluates per row, so
+#: scalar replay of ``cost * _FULL_FACTOR`` is bit-identical to the
+#: lattice's elementwise ``cost * factor``.
+_FULL_FACTOR = ISSUE_FIXED_FRACTION + ACTIVITY_FRACTION * WARP_SIZE / WARP_SIZE
+
+#: Trace growth limits: blocks per region and guards (crossed conditional
+#: branches) per region.
+MAX_REGION_BLOCKS = 64
+MAX_REGION_GUARDS = 16
+
+#: Guard-failure feedback: once a guard has failed this many times *and*
+#: failed more often than it passed, the trace is truncated at that
+#: guard (``demote_guard``) so an intra-warp-divergent branch stops
+#: paying region-entry + deopt on every traversal.  Pure scheduling
+#: policy — region and interpreted execution are bit-identical, so the
+#: threshold cannot affect any observable result.
+GUARD_DEMOTE_FAILS = 8
+
+# RegionOp terminator kinds.
+R_NEXT = 0          # Unconditional internal edge to ops[next_i].
+R_GUARD = 1         # Conditional: expected side internal, other side exits.
+R_EXIT_BR = 2       # Unconditional edge leaving the region.
+R_EXIT_CONDBR = 3   # Conditional branch resolved by the interpreter.
+R_RET = 4
+R_UNREACHABLE = 5
+R_DIAMOND = 6       # Predicated if/else: both arms execute masked in-region.
+
+#: Counters attribute per category ("special" has no per-category field).
+_CAT_ATTR = {"misc": "inst_misc", "control": "inst_control",
+             "int": "inst_int", "fp": "inst_fp",
+             "load": "inst_load", "store": "inst_store"}
+
+# Step-entry tags in RegionOp.steps (vector-mode execution list).
+S_VALUE = 0
+S_MEM = 1
+S_VOID = 2
+
+
+class RegionOp:
+    """One trace block, compiled: fused steps + folded accounting."""
+
+    __slots__ = ("block_id", "name", "size", "steps", "vsteps", "acct",
+                 "term_c", "issues", "cat_counts", "branch_inc", "has_mem",
+                 "kind", "next_i", "bump", "moves", "phi_c", "read_cond",
+                 "expected", "true_edge", "false_edge", "exit_edge", "ret",
+                 "load_ids", "fails", "passes", "arm_t", "arm_f",
+                 "arms_t_first")
+
+    def __init__(self, db: _DecodedBlock) -> None:
+        self.block_id = db.block_id
+        self.name = db.name
+        self.size = db.size
+        self.steps: Tuple = ()       # ((tag, charge, cat_idx, ...), ...)
+        self.vsteps: Tuple = ()      # ((run, inst_id, dtype), ...)
+        self.acct: Tuple = ()        # ((charge, cat_idx), ...) scalar replay
+        self.term_c: Optional[float] = None
+        self.issues = 0              # note_issue count (steps + terminator)
+        self.cat_counts: Tuple = ()  # ((Counters attr, count), ...)
+        self.branch_inc = 0
+        self.has_mem = False
+        self.kind = R_UNREACHABLE
+        self.next_i = 0              # Internal successor op index.
+        self.bump = 0                # Epoch bump of the internal edge.
+        self.moves: Tuple = ()       # ((phi_id, reader, dtype, nocopy), ...)
+        self.phi_c = 0.0             # Charge per phi move on that edge.
+        self.read_cond = None
+        self.expected = True
+        self.true_edge = None
+        self.false_edge = None
+        self.exit_edge = None
+        self.ret = None
+        self.load_ids: Tuple = ()    # Slots mutated in place by loads.
+        self.fails = 0               # Guard-failure feedback counters.
+        self.passes = 0
+        self.arm_t = None            # R_DIAMOND compiled arms (_compile_arm).
+        self.arm_f = None
+        self.arms_t_first = True     # True arm has the lower rpo.
+
+
+class CompiledRegion:
+    """A compiled superblock: ops, entry id, and exit bookkeeping."""
+
+    __slots__ = ("head_id", "head_name", "ops", "scalar_ok", "norm",
+                 "n_guards", "loopback", "self_loop", "entries",
+                 "entry_fails")
+
+    def __init__(self, head_id: int, head_name: str, ops: List[RegionOp],
+                 norm: Tuple, n_guards: int, loopback: bool) -> None:
+        self.head_id = head_id
+        self.head_name = head_name
+        self.ops = tuple(ops)
+        #: Scalar accumulator replay is valid only for memory-free regions
+        #: without diamonds (arms run masked: per-row accounting).
+        self.scalar_ok = not any(op.has_mem or op.kind == R_DIAMOND
+                                 for op in ops)
+        #: Slots rebound by value steps or phi binds; normalized to owned
+        #: (n, 32) arrays at every region exit (``jit._normalize_slots``).
+        self.norm = norm
+        self.n_guards = n_guards
+        self.loopback = loopback
+        #: A single-block region whose guard loops straight back to
+        #: itself — the hot-loop shape the jit's specialized scalar
+        #: executor handles with all per-iteration bookkeeping hoisted.
+        op0 = self.ops[0] if len(self.ops) == 1 else None
+        self.self_loop = op0 if (op0 is not None and op0.kind == R_GUARD
+                                 and op0.next_i == 0 and loopback) else None
+        #: Entry feedback: full-mask entries vs. partial-mask dispatches.
+        self.entries = 0
+        self.entry_fails = 0
+
+
+def compile_regions(func_name: str, entry: _DecodedBlock,
+                    profile=None) -> Dict[int, CompiledRegion]:
+    """Select and compile all superblocks of one decoded function.
+
+    Heads are seeded from the function entry and, transitively, from
+    every branch target observed while tracing — i.e. every block the
+    dispatcher could ever park a group at.  Emits one ``analysis``
+    remark per compiled or rejected region through the obs layer.
+    """
+    hits = profile.block_hits if profile is not None else {}
+    regions: Dict[int, CompiledRegion] = {}
+    done = set()
+    work = [entry]
+    while work:
+        head = work.pop()
+        if head.block_id in done:
+            continue
+        done.add(head.block_id)
+        region, succs, reason = _build_region(head, hits)
+        for tgt in succs:
+            if tgt.block_id not in done:
+                work.append(tgt)
+        if region is None:
+            obs_session.remark(
+                "analysis", "jit", func_name,
+                f"region at {head.name} rejected: {reason}",
+                head=head.name, reason=reason)
+            continue
+        regions[head.block_id] = region
+        obs_session.remark(
+            "analysis", "jit", func_name,
+            f"compiled superblock at {head.name}: "
+            f"{len(region.ops)} blocks, {region.n_guards} guards",
+            head=head.name, blocks=len(region.ops),
+            guards=region.n_guards,
+            steps=sum(len(op.steps) for op in region.ops),
+            diamonds=sum(1 for op in region.ops if op.kind == R_DIAMOND),
+            mode="scalar" if region.scalar_ok else "vector",
+            loopback=region.loopback)
+    return regions
+
+
+def _pick_side(db: _DecodedBlock, true_edge, false_edge, head_id: int,
+               hits: Dict[str, int]) -> bool:
+    """Expected direction of a conditional branch inside a trace.
+
+    Priority: a side closing the loop back to the trace head (the hot
+    back edge), then the side whose target the execution profile has
+    seen more often, then the static forward (non-back) edge, then the
+    true side.
+    """
+    if true_edge.target.block_id == head_id:
+        return True
+    if false_edge.target.block_id == head_id:
+        return False
+    ht = hits.get(true_edge.target.name)
+    hf = hits.get(false_edge.target.name)
+    if ht is not None or hf is not None:
+        return (ht or 0) >= (hf or 0)
+    t_back = true_edge.target.rpo <= db.rpo
+    f_back = false_edge.target.rpo <= db.rpo
+    if t_back != f_back:
+        return f_back  # Prefer the forward edge.
+    return True
+
+
+def _build_region(head: _DecodedBlock, hits: Dict[str, int]):
+    """Grow one trace from ``head``; returns (region|None, succs, reason).
+
+    ``succs`` collects every branch-target block encountered — the seed
+    set for further heads — whether or not this region compiles.
+    """
+    if head.term_kind == _T_MISSING:
+        return None, [], "no terminator"
+    decisions: List[Tuple[_DecodedBlock, Tuple]] = []
+    seen = {head.block_id}
+    succs: List[_DecodedBlock] = []
+    guards = 0
+    loopback = False
+    cur = head
+    while True:
+        tk = cur.term_kind
+        if tk == _T_RET:
+            decisions.append((cur, (R_RET, None)))
+            break
+        if tk == _T_UNREACHABLE:
+            decisions.append((cur, (R_UNREACHABLE, None)))
+            break
+        if tk == _T_BR:
+            edge = cur.term
+            tgt = edge.target
+            succs.append(tgt)
+            if tgt.block_id == head.block_id:
+                decisions.append((cur, (R_NEXT, edge, 0)))
+                loopback = True
+                break
+            if (tgt.block_id in seen
+                    or len(decisions) + 1 >= MAX_REGION_BLOCKS
+                    or tgt.term_kind == _T_MISSING):
+                decisions.append((cur, (R_EXIT_BR, edge)))
+                break
+            decisions.append((cur, (R_NEXT, edge, len(decisions) + 1)))
+            seen.add(tgt.block_id)
+            cur = tgt
+            continue
+        # Conditional branch.
+        read_cond, t_edge, f_edge = cur.term
+        succs.append(t_edge.target)
+        succs.append(f_edge.target)
+        if guards >= MAX_REGION_GUARDS:
+            decisions.append((cur, (R_EXIT_CONDBR, read_cond, t_edge,
+                                    f_edge)))
+            break
+        # An if/else diamond is folded into the trace whole: both arms
+        # execute masked in-region (paper-style predication), so an
+        # intra-warp-divergent branch needs no deopt at all.  Loopback
+        # guards keep priority — a back edge to the head beats a diamond.
+        if (t_edge.target.block_id != head.block_id
+                and f_edge.target.block_id != head.block_id):
+            dia = _try_diamond(t_edge, f_edge, seen)
+            if dia is not None:
+                ta, fa, join = dia
+                if join.block_id == head.block_id:
+                    decisions.append((cur, (R_DIAMOND, read_cond, t_edge,
+                                            f_edge, ta, fa, 0)))
+                    guards += 1
+                    seen.update((ta.block_id, fa.block_id))
+                    loopback = True
+                    break
+                if (join.block_id not in seen
+                        and len(decisions) + 3 < MAX_REGION_BLOCKS
+                        and join.term_kind != _T_MISSING):
+                    decisions.append((cur, (R_DIAMOND, read_cond, t_edge,
+                                            f_edge, ta, fa,
+                                            len(decisions) + 1)))
+                    guards += 1
+                    seen.update((ta.block_id, fa.block_id, join.block_id))
+                    succs.append(join)
+                    cur = join
+                    continue
+        expected = _pick_side(cur, t_edge, f_edge, head.block_id, hits)
+        chosen = t_edge if expected else f_edge
+        tgt = chosen.target
+        if tgt.block_id == head.block_id:
+            decisions.append((cur, (R_GUARD, read_cond, expected, t_edge,
+                                    f_edge, chosen, 0)))
+            guards += 1
+            loopback = True
+            break
+        if (tgt.block_id in seen
+                or len(decisions) + 1 >= MAX_REGION_BLOCKS
+                or tgt.term_kind == _T_MISSING):
+            decisions.append((cur, (R_EXIT_CONDBR, read_cond, t_edge,
+                                    f_edge)))
+            break
+        decisions.append((cur, (R_GUARD, read_cond, expected, t_edge,
+                                f_edge, chosen, len(decisions) + 1)))
+        guards += 1
+        seen.add(tgt.block_id)
+        cur = tgt
+
+    n_steps = sum(len(db.steps) for db, _ in decisions)
+    if len(decisions) == 1 and not loopback and n_steps == 0:
+        # A bare jump/return stub: the interpreter's single dispatch is
+        # already minimal, and compiling it would only add indirection.
+        return None, succs, "trivial: single empty block, no loop"
+    ops = [_compile_op(db, decision) for db, decision in decisions]
+    _finalize_moves(ops)
+    return (CompiledRegion(head.block_id, head.name, ops, _norm_of(ops),
+                           guards, loopback),
+            succs, "")
+
+
+def _try_diamond(t_edge, f_edge, seen):
+    """Detect an if/else diamond rooted at a conditional branch.
+
+    Shape: two distinct arm blocks, each straight-line with an
+    unconditional branch to the same join block, entered with no phi
+    moves and no epoch bump (forward edges).  Under those conditions
+    executing both arms masked inside the region, true-path lanes then
+    false-path lanes, replays the interpreter's park/pop order exactly.
+    Returns ``(true_arm, false_arm, join)`` or ``None``.
+    """
+    ta, fa = t_edge.target, f_edge.target
+    if (ta.block_id == fa.block_id
+            or ta.block_id in seen or fa.block_id in seen
+            or t_edge.bump_epoch or f_edge.bump_epoch
+            or t_edge.moves or f_edge.moves
+            or ta.term_kind != _T_BR or fa.term_kind != _T_BR):
+        return None
+    t_join = ta.term
+    f_join = fa.term
+    if t_join.target is not f_join.target:
+        return None
+    join = t_join.target
+    if join.block_id in (ta.block_id, fa.block_id):
+        return None
+    return ta, fa, join
+
+
+def _finalize_moves(ops: List[RegionOp]) -> None:
+    """Resolve each phi move's copy-vs-alias decision.
+
+    A phi bind may alias its source array (skip ``broadcast_to/astype``)
+    only when the source slot is *rebound, never mutated* for as long as
+    the alias can live: a value-step result of this region or another
+    phi bound by this region — and not a load destination, since loads
+    masked-write their slot in place.  Everything else (constants,
+    arguments, slots owned by the interpreter, load results) is copied
+    at bind time, exactly as the interpreter's masked phi write would.
+    Exit-time normalization breaks any surviving alias between two
+    region slots before the interpreter regains masked-write access.
+    """
+    safe = {iid for op in ops for _run, iid, _dt in op.vsteps}
+    safe |= {pid for op in ops for pid, _read, _dt, _sid in op.moves}
+    safe -= {iid for op in ops for iid in op.load_ids}
+    for op in ops:
+        if op.kind == R_DIAMOND:
+            # Diamond join phis are masked-written in place each
+            # traversal — aliasing them would corrupt the alias.
+            for arm in (op.arm_t, op.arm_f):
+                safe -= {pid for _w, _read, pid, _dt, _sid in arm[4].moves}
+    for op in ops:
+        if op.moves:
+            op.moves = tuple((pid, read, dt, sid is not None and sid in safe)
+                             for pid, read, dt, sid in op.moves)
+
+
+def _norm_of(ops) -> Tuple:
+    """Slots a region can rebind: value steps plus phi destinations."""
+    return tuple(dict.fromkeys(  # Preserve order, drop duplicates.
+        [(iid, dt) for op in ops for _run, iid, dt in op.vsteps]
+        + [(pid, dt) for op in ops for pid, _read, dt, _nc in op.moves]))
+
+
+def _compile_op(db: _DecodedBlock, decision: Tuple) -> RegionOp:
+    """Flatten one decoded block (plus its trace decision) into a RegionOp."""
+    op = RegionOp(db)
+    steps: List[Tuple] = []
+    vsteps: List[Tuple] = []
+    acct: List[Tuple[float, int]] = []
+    cats: Dict[str, int] = {}
+    load_ids: List[int] = []
+    issues = 0
+    for category, cat_idx, cost, kind, run, brun, _write, meta in db.steps:
+        c = cost * _FULL_FACTOR
+        acct.append((c, cat_idx))
+        issues += 1
+        cats[category] = cats.get(category, 0) + 1
+        if kind == _K_VALUE:
+            iid, dt = meta
+            steps.append((S_VALUE, c, cat_idx, run, iid, dt))
+            vsteps.append((run, iid, dt))
+        elif kind in (_K_LOAD, _K_STORE):
+            op.has_mem = True
+            steps.append((S_MEM, c, cat_idx, brun))
+            if kind == _K_LOAD:
+                load_ids.append(meta[0])
+        else:  # _K_VOID
+            steps.append((S_VOID, c, cat_idx))
+
+    kind0 = decision[0]
+    op.kind = kind0
+    if kind0 in (R_NEXT, R_EXIT_BR):
+        op.term_c = _BR_COST * _FULL_FACTOR
+        op.branch_inc = 1
+    elif kind0 in (R_GUARD, R_EXIT_CONDBR, R_DIAMOND):
+        op.term_c = _CONDBR_COST * _FULL_FACTOR
+        op.branch_inc = 1
+    elif kind0 == R_RET:
+        op.term_c = _RET_COST * _FULL_FACTOR
+        op.ret = db.term
+    if op.term_c is not None:
+        acct.append((op.term_c, _CAT_CONTROL))
+        issues += 1
+        cats["control"] = cats.get("control", 0) + 1
+
+    if kind0 == R_NEXT:
+        edge = decision[1]
+        op.next_i = decision[2]
+        op.bump = edge.bump_epoch
+        op.moves = tuple((pid, read, dt, sid)
+                         for _write, read, pid, dt, sid in edge.moves)
+    elif kind0 == R_EXIT_BR:
+        op.exit_edge = decision[1]
+    elif kind0 == R_GUARD:
+        _k, read_cond, expected, t_edge, f_edge, chosen, next_i = decision
+        op.read_cond = read_cond
+        op.expected = expected
+        op.true_edge = t_edge
+        op.false_edge = f_edge
+        op.next_i = next_i
+        op.bump = chosen.bump_epoch
+        op.moves = tuple((pid, read, dt, sid)
+                         for _write, read, pid, dt, sid in chosen.moves)
+    elif kind0 == R_EXIT_CONDBR:
+        _k, read_cond, t_edge, f_edge = decision
+        op.read_cond = read_cond
+        op.true_edge = t_edge
+        op.false_edge = f_edge
+    elif kind0 == R_DIAMOND:
+        _k, read_cond, t_edge, f_edge, ta, fa, next_i = decision
+        op.read_cond = read_cond
+        op.true_edge = t_edge
+        op.false_edge = f_edge
+        op.next_i = next_i
+        op.arm_t = _compile_arm(ta)
+        op.arm_f = _compile_arm(fa)
+        op.arms_t_first = ta.rpo <= fa.rpo
+
+    op.phi_c = _PHI_COST * _FULL_FACTOR
+    op.steps = tuple(steps)
+    op.vsteps = tuple(vsteps)
+    op.acct = tuple(acct)
+    op.load_ids = tuple(load_ids)
+    op.issues = issues
+    op.cat_counts = tuple(
+        (_CAT_ATTR[cat], count) for cat, count in cats.items()
+        if cat in _CAT_ATTR)
+    return op
+
+
+def _compile_arm(db: _DecodedBlock) -> Tuple:
+    """Pack one diamond arm for masked in-region execution.
+
+    Arms run under partial masks, so they keep the raw decoded steps
+    (masked writers included) and replay the interpreter's per-pop
+    sequence exactly; only the integer instruction counters — which
+    commute — are folded ahead of time.  Layout:
+    ``(block_id, size, name, steps, join_edge, cat_counts, issues)``.
+    """
+    cats: Dict[str, int] = {}
+    for category, _ci, _cost, _kind, _run, _brun, _write, _meta in db.steps:
+        cats[category] = cats.get(category, 0) + 1
+    cats["control"] = cats.get("control", 0) + 1  # The BR terminator.
+    cat_counts = tuple(
+        (_CAT_ATTR[cat], count) for cat, count in cats.items()
+        if cat in _CAT_ATTR)
+    return (db.block_id, db.size, db.name, db.steps, db.term,
+            cat_counts, len(db.steps) + 1)
+
+
+def demote_guard(regions: Dict[int, "CompiledRegion"],
+                 region: CompiledRegion, op_index: int,
+                 func_name: str) -> None:
+    """Truncate a region at a guard that keeps failing.
+
+    The guard op becomes a condbr side exit (identical charges — only
+    the resolution strategy changes), everything past it is dropped, and
+    the replacement is installed in the dispatch map.  If nothing
+    executable remains before the exit the region is dropped entirely
+    and the block returns to plain interpreted dispatch.
+    """
+    old = region.ops[op_index]
+    fails = old.fails
+    if op_index == 0 and not old.steps:
+        del regions[region.head_id]
+        obs_session.remark(
+            "analysis", "jit", func_name,
+            f"region at {region.head_name} dropped: guard in {old.name} "
+            f"failed {fails}x (intra-warp divergent branch)",
+            head=region.head_name, guard=old.name, fails=fails,
+            action="dropped")
+        return
+    exit_op = RegionOp.__new__(RegionOp)
+    for slot in RegionOp.__slots__:
+        setattr(exit_op, slot, getattr(old, slot))
+    exit_op.kind = R_EXIT_CONDBR
+    exit_op.moves = ()
+    exit_op.next_i = 0
+    exit_op.bump = 0
+    exit_op.fails = 0
+    exit_op.passes = 0
+    ops = list(region.ops[:op_index]) + [exit_op]
+    guards = sum(1 for op in ops if op.kind == R_GUARD)
+    regions[region.head_id] = CompiledRegion(
+        region.head_id, region.head_name, ops, _norm_of(ops), guards,
+        loopback=False)
+    obs_session.remark(
+        "analysis", "jit", func_name,
+        f"region at {region.head_name} truncated to {len(ops)} blocks: "
+        f"guard in {old.name} failed {fails}x (intra-warp divergent "
+        "branch)",
+        head=region.head_name, guard=old.name, fails=fails,
+        blocks=len(ops), action="truncated")
+
+
+def drop_cold_region(regions: Dict[int, CompiledRegion],
+                     region: CompiledRegion, func_name: str) -> None:
+    """Drop a region the dispatcher keeps reaching without a full mask.
+
+    Such a region can never fire (regions require every lane active), so
+    the per-dispatch full-mask test on it is pure overhead — e.g. the
+    divergent halves of an if/else, always entered under partial masks.
+    Scheduling policy only; execution is unaffected.
+    """
+    del regions[region.head_id]
+    obs_session.remark(
+        "analysis", "jit", func_name,
+        f"region at {region.head_name} dropped: "
+        f"{region.entry_fails} dispatches without a full mask",
+        head=region.head_name, entry_fails=region.entry_fails,
+        action="dropped")

@@ -15,6 +15,11 @@ pin down the launch-vectorized engine's performance envelope:
   and rows demote to the per-warp path one by one.  This is the worst
   case for batching; the acceptance bar is "within ~10% of the serial
   engine", i.e. the batched attempt must be nearly free when it fails.
+* ``briefdiv``  — one warp takes a three-instruction prelude the others
+  skip, then every warp runs the same long loop.  Before demotion
+  hysteresis the lone warp was permanently handed to the per-warp
+  engine at the split; with hysteresis it continues as a one-row batch
+  and keeps the vectorized (and jit-compiled) fast path.
 
 Before any timing is reported the two engines' :class:`Counters` (and
 return buffers) are asserted equal — a benchmark comparing two engines
@@ -125,6 +130,37 @@ exit:
   ret void
 }
 """),
+    ("briefdiv", False, """
+define i64 @briefdiv(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %ctaid = call i64 @ctaid.x()
+  %ntid = call i64 @ntid.x()
+  %base = mul i64 %ctaid, %ntid
+  %gid = add i64 %base, %tid
+  %first = icmp slt i64 %gid, 32
+  br i1 %first, label %prelude, label %main
+prelude:
+  %p0 = mul i64 %gid, 17
+  %p = add i64 %p0, 3
+  br label %main
+main:
+  %seed = phi i64 [ %p, %prelude ], [ %gid, %entry ]
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %main ], [ %i.next, %loop ]
+  %acc = phi i64 [ %seed, %main ], [ %acc.next, %loop ]
+  %t = mul i64 %acc, 1103515245
+  %t2 = add i64 %t, %i
+  %t3 = lshr i64 %t2, 7
+  %acc.next = add i64 %t3, %t2
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""),
 )
 
 #: Loop bound handed to every kernel as %n.
@@ -147,6 +183,16 @@ class KernelTiming:
     def speedup(self) -> float:
         """Batched throughput over per-warp throughput."""
         return self.seconds["warp"] / self.seconds["batched"]
+
+    @property
+    def jit_speedup(self) -> float:
+        """Jit throughput over per-warp throughput."""
+        return self.seconds["warp"] / self.seconds["jit"]
+
+    @property
+    def jit_vs_batched(self) -> float:
+        """Jit throughput over batched throughput."""
+        return self.seconds["batched"] / self.seconds["jit"]
 
 
 class EngineMismatch(AssertionError):
@@ -218,16 +264,45 @@ def format_report(rows: List[KernelTiming], warps: int) -> str:
         f"Interpreter engine micro-benchmark "
         f"({warps} warps x {WARP_SIZE} lanes, warp-steps/sec, "
         f"median wall time; engines verified bit-identical):",
-        f"{'kernel':<12} {'warp-steps':>10} "
-        f"{'batched':>12} {'warp':>12} {'speedup':>8}",
-        "-" * 58,
+        f"{'kernel':<12} {'warp-steps':>10} {'warp':>12} "
+        f"{'batched':>12} {'jit':>12} {'batched':>8} {'jit':>8}",
+        "-" * 80,
     ]
     for row in rows:
         lines.append(
             f"{row.kernel:<12} {row.warp_steps:>10} "
-            f"{row.throughput('batched'):>12.0f} "
             f"{row.throughput('warp'):>12.0f} "
-            f"{row.speedup:>7.2f}x")
+            f"{row.throughput('batched'):>12.0f} "
+            f"{row.throughput('jit'):>12.0f} "
+            f"{row.speedup:>7.2f}x "
+            f"{row.jit_speedup:>7.2f}x")
+    return "\n".join(lines)
+
+
+def format_compare(rows: List[KernelTiming], warps: int) -> str:
+    """Per-engine wall times side by side (``bench-interp --compare``).
+
+    One row per (kernel, engine) with the median wall milliseconds and
+    the ratios against per-warp and batched — the view to read when
+    deciding which engine a workload shape favors, where
+    :func:`format_report` answers "how fast is each engine overall".
+    """
+    lines = [
+        f"Engine comparison ({warps} warps x {WARP_SIZE} lanes, median "
+        f"wall ms, lower is better; engines verified bit-identical):",
+        f"{'kernel':<12} {'engine':<8} {'ms':>10} "
+        f"{'vs warp':>9} {'vs batched':>11}",
+        "-" * 54,
+    ]
+    for row in rows:
+        warp_s = row.seconds["warp"]
+        batched_s = row.seconds["batched"]
+        for i, engine in enumerate(("warp", "batched", "jit")):
+            s = row.seconds[engine]
+            lines.append(
+                f"{row.kernel if i == 0 else '':<12} {engine:<8} "
+                f"{s * 1e3:>10.2f} {warp_s / s:>8.2f}x "
+                f"{batched_s / s:>10.2f}x")
     return "\n".join(lines)
 
 
@@ -264,6 +339,8 @@ def bench_json_payload(rows: List[KernelTiming], warps: int, trips: int,
                 "warp_steps_per_sec": {engine: row.throughput(engine)
                                        for engine in sorted(row.seconds)},
                 "batched_speedup": row.speedup,
+                "jit_speedup": row.jit_speedup,
+                "jit_vs_batched": row.jit_vs_batched,
             }
             for row in rows
         ],

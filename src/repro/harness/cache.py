@@ -4,7 +4,9 @@ Every measured cell (see :class:`repro.harness.experiment.Cell`) is a pure
 function of (a) the benchmark's unoptimized IR and workload description,
 (b) the pipeline configuration and its parameters, and (c) the simulator's
 timing model.  This module keys cells by the SHA-256 of exactly those
-inputs and stores results as JSON under ``results/.cellcache/``, so
+inputs and stores results as JSON under ``results/.cellcache/<key[:2]>/``
+(256 two-hex-char shards; pre-sharding flat entries migrate into their
+shard on first access), so
 re-running ``python -m repro.harness.table1`` or any ``benchmarks/test_fig*``
 file after an unrelated edit is near-instant: only cells whose inputs
 actually changed are recomputed.
@@ -174,7 +176,36 @@ class CellCache:
             json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:
+        # Entries are sharded into 256 two-hex-prefix subdirectories so the
+        # cache root stays listable as it grows (a full 16-benchmark sweep
+        # plus tuner rounds writes thousands of cells).  The shard is taken
+        # from the *key*, not the filename, so plain and tune- entries for
+        # the same key land in the same shard.
+        return self.root / key[:2] / f"{self.prefix}{key}.json"
+
+    def _flat_path(self, key: str) -> Path:
+        """Pre-sharding location of an entry (cache root, no shard dir)."""
         return self.root / f"{self.prefix}{key}.json"
+
+    def _migrate_flat(self, key: str, path: Path) -> Optional[str]:
+        """Move a legacy flat entry into its shard; return its text or None.
+
+        Caches written before sharding kept every entry directly under
+        ``root``.  On the first lookup of such a key the entry is renamed
+        into ``root/<key[:2]>/`` so old caches converge to the sharded
+        layout incrementally, without a migration pass.
+        """
+        flat = self._flat_path(key)
+        try:
+            raw = flat.read_text()
+        except OSError:
+            return None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, path)
+        except OSError:
+            pass  # Migration is best-effort; the read already succeeded.
+        return raw
 
     # -- storage -------------------------------------------------------------
     def get(self, key: str
@@ -188,8 +219,10 @@ class CellCache:
         try:
             raw = path.read_text()
         except OSError:
-            self.misses += 1
-            return None
+            raw = self._migrate_flat(key, path)
+            if raw is None:
+                self.misses += 1
+                return None
         try:
             data = json.loads(raw)
             if data.get("schema") != SCHEMA_VERSION:
@@ -198,11 +231,13 @@ class CellCache:
             outputs = data.get("outputs")
             decoded = outputs_from_json(outputs) if outputs else None
         except Exception:
-            # Corrupted/truncated/stale entry: drop it, recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Corrupted/truncated/stale entry: drop it, recompute.  The
+            # flat path is unlinked too in case migration's rename failed.
+            for stale in (path, self._flat_path(key)):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
             self.misses += 1
             return None
         self.hits += 1
@@ -211,11 +246,11 @@ class CellCache:
     def put(self, key: str, cell: Cell,
             outputs: Optional[Dict[str, np.ndarray]] = None) -> None:
         """Store a cell (plus baseline outputs for anchor cells)."""
-        self.root.mkdir(parents=True, exist_ok=True)
         data = {"schema": SCHEMA_VERSION, "cell": cell_to_json(cell)}
         if outputs is not None:
             data["outputs"] = outputs_to_json(outputs)
         path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(data))
         os.replace(tmp, path)  # Atomic: concurrent readers see old or new.
@@ -225,7 +260,9 @@ class CellCache:
     def entries(self):
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*.json"))
+        # Both levels: sharded entries plus any not-yet-migrated flat ones.
+        return sorted(list(self.root.glob("*.json"))
+                      + list(self.root.glob("??/*.json")))
 
     def stats(self) -> Dict[str, object]:
         files = self.entries()
@@ -257,4 +294,10 @@ class CellCache:
                 removed += 1
             except OSError:
                 pass
+        if self.root.is_dir():
+            for sub in self.root.glob("??"):
+                try:
+                    sub.rmdir()  # Only empty shard dirs; others survive.
+                except OSError:
+                    pass
         return removed

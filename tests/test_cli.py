@@ -169,10 +169,35 @@ class TestTuneCommands:
         assert payload["schema"] == 1
         assert payload["source"] == "bench-interp"
         assert {k["kernel"] for k in payload["kernels"]} == \
-            {"uniform", "divergent", "staggered"}
+            {"uniform", "divergent", "staggered", "briefdiv"}
         for kernel in payload["kernels"]:
-            assert set(kernel["warp_steps_per_sec"]) == {"batched", "warp"}
+            assert set(kernel["warp_steps_per_sec"]) == \
+                {"batched", "warp", "jit"}
             assert kernel["warp_steps"] > 0
+            assert kernel["jit_speedup"] > 0
+            assert kernel["jit_vs_batched"] > 0
+
+    def test_remarks_kind_filter(self, capsys):
+        assert main(["remarks", "--app", "complex", "--engine", "jit",
+                     "--kind", "jit", "-j", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "matching 'jit'" in out
+        # Only jit region remarks survive the filter: every line that
+        # renders a remark names the jit pass.
+        body = [line for line in out.splitlines()
+                if line.startswith("[")]
+        assert body, "jit engine emitted no region remarks"
+        assert all(" jit " in line for line in body)
+
+    def test_bench_interp_compare(self, capsys):
+        assert main(["bench-interp", "--warps", "2", "--repeats", "1",
+                     "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine comparison" in out
+        # One row per engine per kernel, wall ms plus both ratios.
+        for engine in ("warp", "batched", "jit"):
+            assert engine in out
+        assert "vs batched" in out
 
 
 class TestHeuristicReport:

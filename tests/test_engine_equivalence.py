@@ -1,21 +1,27 @@
-"""Bit-identicality contract between the two execution engines.
+"""Bit-identicality contract between the execution engines.
 
-The launch-vectorized ("batched") engine exists purely for wall-clock:
-it must produce byte-for-byte the same outputs and *exactly* the same
-Counters — cycles included, which are float sums and therefore sensitive
-to accumulation order — as the per-warp ("warp") engine.  That contract
-is what lets the persistent cell cache omit the engine from its keys and
-lets the fuzz oracle treat the engines as interchangeable.
+The launch-vectorized ("batched") engine and the superblock trace-jit
+("jit") tier on top of it exist purely for wall-clock: each must produce
+byte-for-byte the same outputs and *exactly* the same Counters — cycles
+included, which are float sums and therefore sensitive to accumulation
+order — as the per-warp ("warp") engine.  That contract is what lets the
+persistent cell cache omit the engine from its keys and lets the fuzz
+oracle treat the engines as interchangeable.
 
 Coverage here is deliberately broad rather than deep:
 
 * every benchmark analog's full workload (real multi-launch geometry),
-* the same workloads after the heuristic u&u pipeline (optimized CFGs
-  stress unmerged/unrolled control flow),
+* the same workloads after the heuristic u&u pipeline and after the
+  tuned pipeline (optimized CFGs stress unmerged/unrolled control flow),
 * every regression kernel in ``tests/corpus/`` at a multi-warp geometry
   with a boundary warp (block_dim not a multiple of 32),
 * freshly fuzz-generated kernels, again multi-warp, so data-dependent
-  divergence exercises the demotion path.
+  divergence exercises the demotion path,
+* a guard-storm kernel engineered so every jit deopt kind fires (diamond
+  divergent arms, diamond mixed-class deopt, guard failure with
+  truncation to a side exit, loop-region exits, demotion splits),
+* profiling on vs. off (the execution profile must be strictly
+  observational).
 """
 
 from __future__ import annotations
@@ -40,6 +46,9 @@ from repro.transforms.pipeline import compile_module
 GRID_DIM = 2
 BLOCK_DIM = 80
 
+#: Engines measured against the per-warp reference.
+FAST_ENGINES = ("batched", "jit")
+
 BENCHMARKS = all_benchmarks()
 CORPUS = load_corpus()
 FUZZ_SEEDS = (3, 11, 27)
@@ -61,60 +70,82 @@ def assert_category_invariant(counters: Counters, label: str) -> None:
         f"{label}: sum(cat_cycles)+fetch {total} != cycles {counters.cycles}"
 
 
-def launch_both(ir_text: str, name: str):
-    """Launch every function of ``ir_text`` under both engines."""
-    results = {}
-    for engine in ("batched", "warp"):
-        module = parse_module(ir_text, name)
-        machine = SimtMachine(module, Memory(), engine=engine)
-        per_func = {}
-        for fname, func in module.functions.items():
-            result = machine.launch(func, GRID_DIM, BLOCK_DIM,
-                                    default_args(func))
-            ret = result.return_values
-            per_func[fname] = (None if ret is None else ret.tobytes(),
-                               result.counters)
-        results[engine] = per_func
-    return results
+def launch_engine(ir_text: str, name: str, engine: str,
+                  grid_dim: int = GRID_DIM, block_dim: int = BLOCK_DIM,
+                  args=None):
+    """Launch every function of ``ir_text`` under one engine."""
+    module = parse_module(ir_text, name)
+    machine = SimtMachine(module, Memory(), engine=engine)
+    per_func = {}
+    for fname, func in module.functions.items():
+        result = machine.launch(func, grid_dim, block_dim,
+                                default_args(func) if args is None else args)
+        ret = result.return_values
+        per_func[fname] = (None if ret is None else ret.tobytes(),
+                           result.counters)
+    return per_func
 
 
-def check_text_kernel(ir_text: str, name: str) -> None:
-    results = launch_both(ir_text, name)
-    assert results["batched"].keys() == results["warp"].keys()
-    for fname in results["batched"]:
-        ret_b, counters_b = results["batched"][fname]
-        ret_w, counters_w = results["warp"][fname]
-        label = f"{name}:@{fname}"
-        assert ret_b == ret_w, f"{label}: return values differ"
-        assert_counters_identical(counters_b, counters_w, label)
-        assert_category_invariant(counters_b, label)
+def check_text_kernel(ir_text: str, name: str,
+                      grid_dim: int = GRID_DIM,
+                      block_dim: int = BLOCK_DIM, args=None) -> None:
+    reference = launch_engine(ir_text, name, "warp", grid_dim, block_dim,
+                              args)
+    for engine in FAST_ENGINES:
+        results = launch_engine(ir_text, name, engine, grid_dim, block_dim,
+                                args)
+        assert results.keys() == reference.keys()
+        for fname in results:
+            ret_e, counters_e = results[fname]
+            ret_w, counters_w = reference[fname]
+            label = f"{name}:@{fname}/{engine}"
+            assert ret_e == ret_w, f"{label}: return values differ"
+            assert_counters_identical(counters_e, counters_w, label)
+            assert_category_invariant(counters_e, label)
+
+
+def _check_bench_engines(bench, config, prepare):
+    """Run ``bench`` under every engine and pin outputs + Counters."""
+    outs, counters = {}, {}
+    for engine in ("warp",) + FAST_ENGINES:
+        module = prepare()
+        outs[engine], counters[engine] = bench.run(module, engine=engine)
+    for engine in FAST_ENGINES:
+        label = f"{bench.name}/{config}/{engine}"
+        assert outs[engine].keys() == outs["warp"].keys()
+        for buf_name in outs[engine]:
+            assert outs[engine][buf_name].tobytes() == \
+                outs["warp"][buf_name].tobytes(), \
+                f"{label}: output buffer {buf_name} differs vs warp"
+        assert_counters_identical(counters[engine], counters["warp"], label)
+        assert_category_invariant(counters[engine], label)
 
 
 @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
 def test_benchmark_baseline_bit_identical(bench):
-    out_b, counters_b = bench.run(bench.build_module(), engine="batched")
-    out_w, counters_w = bench.run(bench.build_module(), engine="warp")
-    assert out_b.keys() == out_w.keys()
-    for buf_name in out_b:
-        assert out_b[buf_name].tobytes() == out_w[buf_name].tobytes(), \
-            f"{bench.name}: output buffer {buf_name} differs between engines"
-    assert_counters_identical(counters_b, counters_w, bench.name)
-    assert_category_invariant(counters_b, bench.name)
+    _check_bench_engines(bench, "baseline", bench.build_module)
 
 
 @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
 def test_benchmark_heuristic_bit_identical(bench):
-    outs, counters = {}, {}
-    for engine in ("batched", "warp"):
+    def prepare():
         module = bench.build_module()
         compile_module(module, "uu_heuristic")
-        outs[engine], counters[engine] = bench.run(module, engine=engine)
-    for buf_name in outs["batched"]:
-        assert outs["batched"][buf_name].tobytes() == \
-            outs["warp"][buf_name].tobytes(), \
-            f"{bench.name}/uu_heuristic: buffer {buf_name} differs"
-    assert_counters_identical(counters["batched"], counters["warp"],
-                              f"{bench.name}/uu_heuristic")
+        return module
+    _check_bench_engines(bench, "uu_heuristic", prepare)
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+def test_benchmark_tuned_bit_identical(bench):
+    from repro.tune import resolve_decisions
+
+    decisions, _reason = resolve_decisions(bench.name)
+
+    def prepare():
+        module = bench.build_module()
+        compile_module(module, "tuned", tuned=decisions)
+        return module
+    _check_bench_engines(bench, "tuned", prepare)
 
 
 @pytest.mark.skipif(not CORPUS, reason="no corpus entries")
@@ -128,3 +159,166 @@ def test_fuzzed_kernels_bit_identical(seed):
     kernel = generate_kernel(seed)
     module = lower_kernels([kernel], f"fuzz{seed}")
     check_text_kernel(print_module(module), f"fuzz{seed}")
+
+
+# -- guard storm: every jit deopt kind on one kernel --------------------------
+
+#: Crafted so a single hot loop trips every jit bail-out in one run:
+#:
+#: * ``%laneodd`` diamond (dodd/deven)  — intra-warp divergent condition,
+#:   both arms execute masked in-region (R_DIAMOND, divergent class);
+#: * ``%warpodd`` diamond (wodd/weven)  — condition uniform per warp but
+#:   disagreeing across warps, so the lattice classes are mixed and the
+#:   region deopts with both edges pending;
+#: * ``%laneodd`` asymmetric branch (ga/gb) — ``gb`` detours through
+#:   ``gc`` so the arms do NOT form a diamond; the resulting R_GUARD
+#:   fails on every entry (intra-warp divergence), crossing the
+#:   guard-demotion threshold so the region is truncated to a side exit
+#:   (R_EXIT_CONDBR) that later entries then take;
+#: * ``%trip`` depends on the warp index, so warps exit the loop on
+#:   different iterations — loop-region exits plus demotion splits.
+STORM_IR = """
+define i64 @storm(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %ctaid = call i64 @ctaid.x()
+  %ntid = call i64 @ntid.x()
+  %base = mul i64 %ctaid, %ntid
+  %gid = add i64 %base, %tid
+  %warp = lshr i64 %gid, 5
+  %wbit = and i64 %warp, 1
+  %warpodd = icmp eq i64 %wbit, 1
+  %lbit = and i64 %tid, 1
+  %laneodd = icmp eq i64 %lbit, 1
+  %extra = and i64 %warp, 3
+  %trip = add i64 %n, %extra
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %latch ]
+  %acc = phi i64 [ %gid, %entry ], [ %acc.next, %latch ]
+  br i1 %laneodd, label %dodd, label %deven
+dodd:
+  %a = mul i64 %acc, 3
+  br label %djoin
+deven:
+  %b = add i64 %acc, 7
+  br label %djoin
+djoin:
+  %dacc = phi i64 [ %a, %dodd ], [ %b, %deven ]
+  br i1 %warpodd, label %wodd, label %weven
+wodd:
+  %c = add i64 %dacc, %i
+  br label %wjoin
+weven:
+  %d = mul i64 %dacc, 5
+  br label %wjoin
+wjoin:
+  %wacc = phi i64 [ %c, %wodd ], [ %d, %weven ]
+  %wred = and i64 %wacc, 1048575
+  br i1 %laneodd, label %ga, label %gb
+ga:
+  %e = add i64 %wred, 11
+  br label %latch
+gb:
+  %f0 = mul i64 %wred, 9
+  br label %gc
+gc:
+  %f = add i64 %f0, 1
+  br label %latch
+latch:
+  %racc = phi i64 [ %e, %ga ], [ %f, %gc ]
+  %acc.next = and i64 %racc, 524287
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %trip
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""
+
+#: Enough loop trips to cross GUARD_DEMOTE_FAILS and then keep running
+#: through the truncated region's side exit.
+STORM_TRIPS = 40
+
+
+def test_guard_storm_bit_identical_multi_warp():
+    check_text_kernel(STORM_IR, "storm", args=[STORM_TRIPS])
+
+
+def test_guard_storm_bit_identical_single_warp():
+    # One 32-lane warp: the lattice is a single row, so uniform regions
+    # run in scalar mode and the intra-warp divergent guard still fails.
+    check_text_kernel(STORM_IR, "storm", grid_dim=1, block_dim=32,
+                      args=[STORM_TRIPS])
+
+
+def test_guard_storm_exercises_every_deopt_kind():
+    """The storm kernel must actually hit the paths it claims to hit.
+
+    Runs under a live obs session so the jit's region remarks are
+    observable, then asserts the remark stream records diamond
+    compilation plus guard-driven truncation or dropping — without
+    those, the two bit-identicality tests above would be vacuous.
+    """
+    from repro.obs import session as obs_session
+
+    assert obs_session.active() is None, "a test leaked a live session"
+    session = obs_session.install()
+    try:
+        launch_engine(STORM_IR, "storm", "jit", args=[STORM_TRIPS])
+    finally:
+        obs_session.uninstall()
+    jit_remarks = [r for r in session.remarks if r.pass_name == "jit"]
+    assert jit_remarks, "jit engine emitted no region remarks"
+    diamonds = sum(int(r.args.get("diamonds", 0)) for r in jit_remarks)
+    assert diamonds > 0, "no diamond was compiled — kernel shape drifted?"
+    actions = {r.args.get("action") for r in jit_remarks
+               if r.args.get("action")}
+    assert actions & {"truncated", "dropped"}, (
+        f"no guard demotion happened (actions seen: {sorted(actions)}) — "
+        f"the asymmetric divergent branch is supposed to storm its guard")
+
+
+# -- profiling must be strictly observational ---------------------------------
+
+def test_profiling_on_vs_off_bit_identical():
+    """Execution profiling may never perturb outputs or Counters.
+
+    The profile hooks sit inside the engines' hot loops (including the
+    jit's compiled regions and deopt paths), so this runs the storm
+    kernel — every deopt kind live — plus a real benchmark under a live
+    session and pins the results against the unprofiled ones.
+    """
+    from repro.obs import session as obs_session
+
+    assert obs_session.active() is None, "a test leaked a live session"
+    plain = {engine: launch_engine(STORM_IR, "storm", engine,
+                                   args=[STORM_TRIPS])
+             for engine in ("warp",) + FAST_ENGINES}
+    session = obs_session.install()
+    try:
+        profiled = {engine: launch_engine(STORM_IR, "storm", engine,
+                                          args=[STORM_TRIPS])
+                    for engine in ("warp",) + FAST_ENGINES}
+    finally:
+        obs_session.uninstall()
+    assert session.profile.block_hits, "profiling was on but recorded nothing"
+    for engine, per_func in plain.items():
+        for fname, (ret, counters) in per_func.items():
+            ret_p, counters_p = profiled[engine][fname]
+            label = f"storm:@{fname}/{engine}/profiled"
+            assert ret_p == ret, f"{label}: return values differ"
+            assert_counters_identical(counters_p, counters, label)
+
+    bench = next(b for b in BENCHMARKS if b.name == "bspline-vgh")
+    out_plain, counters_plain = bench.run(bench.build_module(), engine="jit")
+    session = obs_session.install()
+    try:
+        out_prof, counters_prof = bench.run(bench.build_module(),
+                                            engine="jit")
+    finally:
+        obs_session.uninstall()
+    for buf_name in out_plain:
+        assert out_plain[buf_name].tobytes() == out_prof[buf_name].tobytes()
+    assert_counters_identical(counters_prof, counters_plain,
+                              "bspline-vgh/jit/profiled")

@@ -1,0 +1,294 @@
+"""Unit tests for jit superblock selection (``repro.gpu.regions``).
+
+The engine-equivalence suite pins the jit tier's *results*; this file
+pins its *decisions*: which region shapes get selected, how diamonds are
+detected (and what disqualifies one), what guard-failure feedback does
+to a compiled region, and which remarks document all of it.
+"""
+
+from __future__ import annotations
+
+from repro.gpu import Memory, SimtMachine
+from repro.gpu.batched import DEMOTE_HYSTERESIS
+from repro.gpu.regions import (GUARD_DEMOTE_FAILS, R_DIAMOND, R_EXIT_CONDBR,
+                               R_GUARD, compile_regions, demote_guard,
+                               drop_cold_region)
+from repro.ir.parser import parse_module
+from repro.obs import session as obs_session
+
+SELF_LOOP_IR = """
+define i64 @selfloop(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %acc = phi i64 [ %tid, %entry ], [ %acc.next, %loop ]
+  %t = mul i64 %acc, 7
+  %acc.next = add i64 %t, %i
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""
+
+# Both arms end in an unconditional br to the same join, no phi moves on
+# the way in: the canonical diamond.
+DIAMOND_IR = """
+define i64 @diamond(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %bit = and i64 %tid, 1
+  %odd = icmp eq i64 %bit, 1
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %join ]
+  %acc = phi i64 [ %tid, %entry ], [ %acc.next, %join ]
+  br i1 %odd, label %a, label %b
+a:
+  %x = mul i64 %acc, 3
+  br label %join
+b:
+  %y = add i64 %acc, 7
+  br label %join
+join:
+  %m = phi i64 [ %x, %a ], [ %y, %b ]
+  %acc.next = and i64 %m, 1048575
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""
+
+# Same condition, but the false arm detours through an extra block before
+# the join, so the arms do NOT rejoin symmetrically -> guard, not diamond.
+ASYMMETRIC_IR = """
+define i64 @asym(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %bit = and i64 %tid, 1
+  %odd = icmp eq i64 %bit, 1
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %join ]
+  %acc = phi i64 [ %tid, %entry ], [ %acc.next, %join ]
+  %pre = add i64 %acc, %i
+  br i1 %odd, label %a, label %b
+a:
+  %x = mul i64 %pre, 3
+  br label %join
+b:
+  %y0 = add i64 %pre, 7
+  br label %b2
+b2:
+  %y = mul i64 %y0, 5
+  br label %join
+join:
+  %m = phi i64 [ %x, %a ], [ %y, %b2 ]
+  %acc.next = and i64 %m, 1048575
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""
+
+
+def regions_of(ir_text: str, name: str = "m"):
+    module = parse_module(ir_text, name)
+    func = next(iter(module.functions.values()))
+    machine = SimtMachine(module, Memory(), engine="jit")
+    entry = machine._decode(func)
+    return compile_regions(func.name, entry), entry
+
+
+def region_at(regions, entry, block_name: str):
+    heads = {r.head_name: r for r in regions.values()}
+    assert block_name in heads, (
+        f"no region headed at {block_name}; heads: {sorted(heads)}")
+    return heads[block_name]
+
+
+# -- selection ----------------------------------------------------------------
+
+def test_self_loop_region_selected():
+    regions, entry = regions_of(SELF_LOOP_IR)
+    loop = region_at(regions, entry, "loop")
+    assert loop.loopback
+    assert loop.self_loop is not None
+    assert loop.ops[0].kind == R_GUARD
+    assert loop.ops[0].next_i == 0
+    # Memory-free single-warp shape: the scalar replay mode is valid.
+    assert loop.scalar_ok
+
+
+def test_diamond_selected_and_vector_only():
+    regions, entry = regions_of(DIAMOND_IR)
+    loop = region_at(regions, entry, "loop")
+    dia = [op for op in loop.ops if op.kind == R_DIAMOND]
+    assert len(dia) == 1
+    op = dia[0]
+    # _compile_arm layout: (block_id, size, name, steps, join_edge,
+    # cat_counts, issues).
+    assert op.arm_t[2] == "a" and op.arm_f[2] == "b"
+    assert op.arm_t[6] == len(op.arm_t[3]) + 1  # steps + the arm's br.
+    # Arms run masked with per-row accounting: no scalar replay.
+    assert not loop.scalar_ok
+    # The loop back-edge was still followed past the join.
+    assert loop.loopback
+
+
+def test_asymmetric_arms_fall_back_to_guard():
+    regions, entry = regions_of(ASYMMETRIC_IR)
+    loop = region_at(regions, entry, "loop")
+    assert not any(op.kind == R_DIAMOND for op in loop.ops)
+    assert any(op.kind == R_GUARD for op in loop.ops)
+
+
+def test_region_remarks_document_selection():
+    session = obs_session.install()
+    try:
+        regions, entry = regions_of(DIAMOND_IR)
+    finally:
+        obs_session.uninstall()
+    jit = [r for r in session.remarks if r.pass_name == "jit"]
+    assert jit and all(r.kind == "analysis" for r in jit)
+    compiled = [r for r in jit if "compiled superblock" in r.message]
+    assert any(r.args.get("diamonds", 0) > 0 for r in compiled)
+    assert any(r.args.get("mode") == "vector" for r in compiled)
+    # Every remark names its head block so streams are greppable.
+    assert all(r.args.get("head") for r in jit)
+
+
+# -- guard-failure feedback ---------------------------------------------------
+
+def test_demote_guard_truncates_to_side_exit():
+    regions, entry = regions_of(ASYMMETRIC_IR)
+    loop = region_at(regions, entry, "loop")
+    guard_i = next(i for i, op in enumerate(loop.ops)
+                   if op.kind == R_GUARD and op.next_i != 0)
+    assert loop.ops[guard_i].steps, \
+        "a guard with work before it truncates rather than drops"
+    loop.ops[guard_i].fails = GUARD_DEMOTE_FAILS
+    demote_guard(regions, loop, guard_i, "asym")
+    replacement = regions[loop.head_id]
+    assert replacement is not loop
+    assert len(replacement.ops) == guard_i + 1
+    assert replacement.ops[-1].kind == R_EXIT_CONDBR
+    assert not replacement.loopback
+
+
+# Region head with *no* steps before a divergent non-diamond branch: the
+# loop header carries only phis, the condition is computed in the entry
+# block, and the arms rejoin asymmetrically.  Demoting its guard leaves
+# nothing worth keeping, so the whole region is dropped.
+DROP_IR = """
+define i64 @drop(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %bit = and i64 %tid, 1
+  %odd = icmp eq i64 %bit, 1
+  br label %hdr
+hdr:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %join ]
+  %acc = phi i64 [ %tid, %entry ], [ %acc.next, %join ]
+  br i1 %odd, label %a, label %b
+a:
+  %x = mul i64 %acc, 3
+  br label %join
+b:
+  %y0 = add i64 %acc, 7
+  br label %b2
+b2:
+  %y = mul i64 %y0, 5
+  br label %join
+join:
+  %m = phi i64 [ %x, %a ], [ %y, %b2 ]
+  %acc.next = and i64 %m, 1048575
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %hdr
+exit:
+  ret i64 %acc.next
+}
+"""
+
+
+def test_demote_guard_drops_leading_empty_guard():
+    regions, entry = regions_of(DROP_IR)
+    hdr = region_at(regions, entry, "hdr")
+    assert hdr.ops[0].kind == R_GUARD and not hdr.ops[0].steps
+    demote_guard(regions, hdr, 0, "drop")
+    assert hdr.head_id not in regions
+
+
+def test_drop_cold_region_removes_region():
+    regions, entry = regions_of(SELF_LOOP_IR)
+    loop = region_at(regions, entry, "loop")
+    loop.entry_fails = 10
+    drop_cold_region(regions, loop, "selfloop")
+    assert loop.head_id not in regions
+
+
+# -- demotion hysteresis ------------------------------------------------------
+
+BRIEFDIV_IR = """
+define i64 @briefdiv(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %ctaid = call i64 @ctaid.x()
+  %ntid = call i64 @ntid.x()
+  %base = mul i64 %ctaid, %ntid
+  %gid = add i64 %base, %tid
+  %first = icmp slt i64 %gid, 32
+  br i1 %first, label %prelude, label %main
+prelude:
+  %p = mul i64 %gid, 17
+  br label %main
+main:
+  %seed = phi i64 [ %p, %prelude ], [ %gid, %entry ]
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %main ], [ %i.next, %loop ]
+  %acc = phi i64 [ %seed, %main ], [ %acc.next, %loop ]
+  %t = mul i64 %acc, 1103515245
+  %acc.next = add i64 %t, %i
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""
+
+
+def _demotions(engine: str) -> int:
+    """Run briefdiv (one warp takes a prelude) and count row demotions."""
+    session = obs_session.install()
+    try:
+        module = parse_module(BRIEFDIV_IR, "briefdiv")
+        machine = SimtMachine(module, Memory(), engine=engine)
+        func = next(iter(module.functions.values()))
+        machine.launch(func, 1, 128, [50])
+    finally:
+        obs_session.uninstall()
+    return len(session.profile.demotions)
+
+
+def test_hysteresis_is_engine_dependent():
+    """The first split demotes under batched but not under jit.
+
+    briefdiv splits its 4-row lattice once (warp 0 takes the prelude).
+    Plain batched demotes the singleton immediately — a 1-row lattice is
+    slower than the per-warp engine — while the jit keeps it vectorized
+    so the row re-enters compiled regions (``DEMOTE_HYSTERESIS`` splits
+    must be survived before a singleton is handed over).
+    """
+    assert DEMOTE_HYSTERESIS > 1
+    assert _demotions("batched") > 0
+    assert _demotions("jit") == 0

@@ -114,6 +114,64 @@ def test_cache_clear(tmp_path):
     cache.put("b" * 64, make_cell())
     assert cache.clear() == 2
     assert cache.entries() == []
+    # Emptied shard subdirectories are removed too.
+    assert list(tmp_path.iterdir()) == []
+
+
+# -- sharded layout -----------------------------------------------------------
+
+def test_cache_entries_shard_by_key_prefix(tmp_path):
+    cache = CellCache(tmp_path)
+    key = "ab" + "0" * 62
+    cache.put(key, make_cell())
+    assert cache._path(key) == tmp_path / "ab" / f"{key}.json"
+    assert cache._path(key).exists()
+    assert cache.get(key) is not None
+    assert cache.stats()["entries"] == 1
+
+
+def test_cache_tune_entries_share_shard_with_plain(tmp_path):
+    # The shard comes from the key, not the filename, so a tune- entry for
+    # key "ab…" lives in the same subdirectory as the plain entry.
+    plain = CellCache(tmp_path)
+    tuner = CellCache(tmp_path, prefix="tune-")
+    key = "ab" + "1" * 62
+    plain.put(key, make_cell())
+    tuner.put(key, make_cell(config="tuned"))
+    assert plain._path(key).parent == tuner._path(key).parent
+    # Prefixes still partition the namespace.
+    assert plain.get(key)[0].config == "uu"
+    assert tuner.get(key)[0].config == "tuned"
+    stats = plain.stats()
+    assert stats["entries"] == 2 and stats["tune_entries"] == 1
+
+
+def test_cache_migrates_flat_entry_on_first_access(tmp_path):
+    cache = CellCache(tmp_path)
+    key = "cd" + "2" * 62
+    # Simulate a pre-sharding cache: write the entry, then flatten it.
+    cache.put(key, make_cell())
+    flat = tmp_path / f"{key}.json"
+    cache._path(key).rename(flat)
+    (tmp_path / "cd").rmdir()
+    assert cache.entries() == [flat]
+
+    entry = cache.get(key)
+    assert entry is not None and entry[0] == make_cell()
+    # The flat entry moved into its shard during the lookup.
+    assert not flat.exists()
+    assert cache._path(key).exists()
+    assert cache.get(key) is not None       # Served from the shard now.
+    assert cache.stats()["entries"] == 1
+
+
+def test_cache_corrupt_flat_entry_discarded(tmp_path):
+    cache = CellCache(tmp_path)
+    key = "ef" + "3" * 62
+    flat = tmp_path / f"{key}.json"
+    flat.write_text("{ not json")
+    assert cache.get(key) is None
+    assert not flat.exists() and not cache._path(key).exists()
 
 
 # -- cache keys ---------------------------------------------------------------
