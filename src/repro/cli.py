@@ -26,6 +26,10 @@ provides the same operations:
     python -m repro fuzz run --seed 0 --count 200   # differential fuzzing
     python -m repro fuzz reduce --seed 41           # shrink one failure
     python -m repro fuzz corpus                     # re-check tests/corpus/
+    python -m repro serve                     # optimization service daemon
+    python -m repro submit --app XSBench --url http://127.0.0.1:PORT
+    python -m repro submit --ir kernel.ll --config uu --loop-id k/L0
+    python -m repro serve-status --url http://127.0.0.1:PORT
 
 Sweeps fan out over worker processes (``--jobs/-j``, default all cores)
 and reuse cells from the persistent cache under ``results/.cellcache/``
@@ -250,7 +254,8 @@ def cmd_cache(args) -> int:
     cache = CellCache()
     if args.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cached cells from {cache.root}")
+        print(f"removed {removed} cached files (entries + orphaned tmp) "
+              f"from {cache.root}")
         return 0
     stats = cache.stats()
     sweep_entries = stats["entries"] - stats["tune_entries"]
@@ -261,6 +266,13 @@ def cmd_cache(args) -> int:
     print(f"    tuner: {stats['tune_entries']} "
           f"({stats['tune_bytes'] / 1024:.1f} KiB)")
     print(f"  size:    {stats['bytes'] / 1024:.1f} KiB")
+    if stats["max_bytes"] is not None:
+        print(f"  cap:     {stats['max_bytes'] / 1024:.1f} KiB (LRU; set "
+              f"via --cache-cap or REPRO_CACHE_MAX_BYTES)")
+    if stats["tmp_files"]:
+        print(f"  orphans: {stats['tmp_files']} tmp file(s) "
+              f"({stats['tmp_bytes'] / 1024:.1f} KiB) from writers that "
+              "died mid-put; `repro cache clear` sweeps them")
     return 0
 
 
@@ -527,6 +539,113 @@ def cmd_bench_interp(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import ServeDaemon
+
+    daemon = ServeDaemon(host=args.host, port=args.port,
+                         workers=args.serve_workers,
+                         cache_max_bytes=args.cache_cap,
+                         use_cache=not getattr(args, "no_cache", False))
+    daemon.install_signal_handlers()
+    daemon.start()
+    cache = daemon.runner.cache
+    cap = (f", cache cap {cache.max_bytes} bytes"
+           if cache is not None and cache.max_bytes is not None else "")
+    print(f"repro serve listening on {daemon.url} "
+          f"({args.serve_workers} workers{cap}); SIGTERM/Ctrl-C to stop")
+    daemon.wait()
+    if cache is not None:
+        print(cache.session_line())
+    return 0
+
+
+def _submit_request(args):
+    from .serve import OptimizeRequest
+
+    ir = None
+    if args.ir:
+        ir = (sys.stdin.read() if args.ir == "-"
+              else Path(args.ir).read_text())
+    return OptimizeRequest(
+        app=args.app, ir=ir, config=args.config, loop_id=args.loop_id,
+        factor=args.factor, engine=getattr(args, "engine", None),
+        lanes=args.lanes, include_ir=not args.no_ir,
+        priority=args.priority,
+        directives=tuple(args.directive or ())).validate()
+
+
+def cmd_submit(args) -> int:
+    from .serve import ServeClient
+    from .serve.client import ServeError
+    from .serve.protocol import ProtocolError
+
+    try:
+        request = _submit_request(args)
+    except ProtocolError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+    client = ServeClient(args.url) if args.url else ServeClient()
+    try:
+        if args.no_wait:
+            ticket = client.submit(request)
+            print(json.dumps(ticket, sort_keys=True))
+            return 0
+        result = client.submit_and_wait(request, timeout=args.wait)
+    except ServeError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_json(), sort_keys=True))
+    else:
+        if result.status != "ok":
+            print(f"error: {result.error}", file=sys.stderr)
+            return 1
+        ok = "yes" if result.outputs_match_baseline else "NO"
+        print(f"{result.name}  config={result.config}  "
+              f"{result.speedup:.3f}x  cycles {result.cycles:.1f} "
+              f"(baseline {result.baseline_cycles:.1f})  ok={ok}  "
+              f"{len(result.remarks)} remarks")
+        if args.show_ir and result.optimized_ir:
+            print(result.optimized_ir)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(result.to_json(), sort_keys=True, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if result.status == "ok" else 1
+
+
+def cmd_serve_status(args) -> int:
+    from .serve import ServeClient
+    from .serve.client import ServeError
+
+    client = ServeClient(args.url) if args.url else ServeClient()
+    try:
+        stats = client.stats()
+    except ServeError as exc:
+        print(f"repro serve-status: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(stats, sort_keys=True))
+        return 0
+    queue = stats["queue"]
+    print(f"daemon at {stats['url']} (schema {stats['schema']})")
+    print(f"  workers:   {queue['alive_workers']}/{queue['workers']} alive")
+    print(f"  submitted: {queue['submitted']} "
+          f"({queue['deduped']} deduped: {queue['deduped_inflight']} "
+          f"in-flight, {queue['deduped_memo']} memo)")
+    print(f"  executed:  {queue['executed']}  failed: {queue['failed']}  "
+          f"cancelled: {queue['cancelled']}")
+    cache = stats.get("cache")
+    if cache:
+        cap = (f" / cap {cache['max_bytes']}" if cache.get("max_bytes")
+               else "")
+        print(f"  cache:     {cache['entries']} entries, "
+              f"{cache['bytes']} bytes{cap}; this session "
+              f"{cache['session_hits']} hits, {cache['session_misses']} "
+              f"misses, {cache['session_evictions']} evictions")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--max-instructions", type=int, default=8000,
@@ -708,6 +827,68 @@ def build_parser() -> argparse.ArgumentParser:
     fc.add_argument("--dir", default=None)
     fc.add_argument("--lanes", type=int, default=32)
     fc.set_defaults(fn=cmd_fuzz_corpus)
+
+    p = sub.add_parser("serve",
+                       help="optimization-as-a-service daemon "
+                            "(HTTP over localhost)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default: ephemeral; the chosen "
+                        "port is printed)")
+    p.add_argument("--serve-workers", type=int, default=2, metavar="N",
+                   help="concurrent job-queue workers (default 2)")
+    p.add_argument("--cache-cap", type=int, default=None, metavar="BYTES",
+                   help="LRU total-bytes cap for the persistent cell "
+                        "cache (default: REPRO_CACHE_MAX_BYTES or "
+                        "unbounded)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the persistent cell cache")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit one kernel to a running daemon")
+    p.add_argument("--url", default=None,
+                   help="daemon URL (default: REPRO_SERVE_URL or "
+                        "http://127.0.0.1:8377)")
+    p.add_argument("--app", help="registered benchmark to optimize")
+    p.add_argument("--ir", metavar="FILE",
+                   help="textual-IR module to optimize ('-' for stdin)")
+    p.add_argument("--config", default="uu_heuristic",
+                   choices=list(ALL_CONFIG_CHOICES))
+    p.add_argument("--loop-id", default=None,
+                   help="loop id for per-loop configs (uu/unroll/unmerge)")
+    p.add_argument("--factor", type=int, default=2)
+    p.add_argument("--engine", choices=list(ENGINES), default=None)
+    p.add_argument("--lanes", type=int, default=32,
+                   help="warp width for ir submissions (default 32)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="larger runs first (default 0)")
+    p.add_argument("--directive", action="append", metavar="DIRECTIVE",
+                   help="pragma-style transformation directive, e.g. "
+                        "'unroll(4)@k/L0' (schema-reserved; repeatable)")
+    p.add_argument("--no-ir", action="store_true",
+                   help="omit the optimized IR from the result")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job ticket instead of waiting")
+    p.add_argument("--wait", type=float, default=600.0,
+                   help="seconds to wait for the result (default 600)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full result as JSON")
+    p.add_argument("--show-ir", action="store_true",
+                   help="print the optimized IR after the summary line")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the full result JSON to PATH")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("serve-status",
+                       help="counters of a running daemon (queue, dedup, "
+                            "cache)")
+    p.add_argument("--url", default=None,
+                   help="daemon URL (default: REPRO_SERVE_URL or "
+                        "http://127.0.0.1:8377)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_serve_status)
 
     p = sub.add_parser("ptx", parents=[common],
                        help="print PTX-style assembly for a kernel")

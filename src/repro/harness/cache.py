@@ -23,6 +23,19 @@ Invalidation is structural, not temporal:
 
 Corrupted or truncated entries are treated as misses and deleted, never
 raised: a cache must only ever cost recomputation.
+
+The cache can be **LRU-bounded**: pass ``max_bytes`` (or set
+``REPRO_CACHE_MAX_BYTES``) and :meth:`CellCache.put` evicts
+least-recently-used entries whenever the total on-disk size exceeds the
+cap.  Recency is the entry's mtime — a :meth:`get` hit and a :meth:`put`
+both bump it with a strictly monotonic timestamp, so within one session
+eviction order follows the logical access order exactly (deterministic
+across ``-j1``/``-jN``, whose store order is pinned by
+:mod:`repro.harness.parallel`), while entries from other
+sessions/processes still order sensibly by wall clock.  Eviction re-stats
+each victim immediately before unlinking and skips any file whose mtime
+changed since enumeration: an entry another process just wrote (or
+refreshed) is never removed, preserving the atomic-replace contract.
 """
 
 from __future__ import annotations
@@ -30,10 +43,12 @@ from __future__ import annotations
 import base64
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -58,6 +73,15 @@ SCHEMA_VERSION = 4
 #: Environment override for the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment default for the LRU total-bytes cap (absent/empty/invalid
+#: or <= 0 means unbounded, the historical behaviour).
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: Distinguishes concurrent writers of the same key within one process
+#: (the service daemon's queue workers share a cache across threads), so
+#: two in-flight temp files never interleave their writes.
+_TMP_SEQ = itertools.count()
+
 #: Filename prefix of tuner-originated entries (scaled screening rounds and
 #: combined-candidate measurements of :mod:`repro.tune`).  They share the
 #: cache root with ordinary sweep cells but are distinguishable on disk, so
@@ -76,6 +100,18 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / "results" / ".cellcache"
+
+
+def default_max_bytes() -> Optional[int]:
+    """The ``REPRO_CACHE_MAX_BYTES`` cap, or None for unbounded."""
+    env = os.environ.get(MAX_BYTES_ENV)
+    if not env:
+        return None
+    try:
+        cap = int(env)
+    except ValueError:
+        return None
+    return cap if cap > 0 else None
 
 
 # -- (de)serialization -------------------------------------------------------
@@ -121,20 +157,30 @@ class CellCache:
     """Content-addressed persistent store of ``Cell`` results."""
 
     def __init__(self, root: Optional[Path] = None,
-                 prefix: str = "") -> None:
+                 prefix: str = "",
+                 max_bytes: Optional[int] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         #: Filename prefix for entries read and written by this instance
         #: ("" for ordinary sweep cells, :data:`TUNE_PREFIX` for
         #: tuner-originated entries).  Prefixes partition the namespace:
         #: a tuner entry is never returned for a sweep lookup.
         self.prefix = prefix
-        #: Session counters: get() hits/misses and put() writes since this
-        #: CellCache was constructed.  ``repro`` prints them after each
-        #: sweep so a run's actual hit rate is visible, not just the
-        #: on-disk entry count.
+        #: LRU total-bytes cap across *all* entries under ``root``
+        #: (every prefix — the bound is on the directory, not the view).
+        #: None = unbounded.
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else default_max_bytes())
+        #: Session counters: get() hits/misses, put() writes, and LRU
+        #: evictions since this CellCache was constructed.  ``repro``
+        #: prints them after each sweep so a run's actual hit rate is
+        #: visible, not just the on-disk entry count.
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.evictions = 0
+        #: Last recency timestamp handed out; kept strictly increasing so
+        #: same-nanosecond accesses still order by logical sequence.
+        self._clock_ns = 0
 
     # -- keys ----------------------------------------------------------------
     @staticmethod
@@ -241,6 +287,7 @@ class CellCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(path)  # LRU recency: a hit makes the entry newest.
         return cell, decoded
 
     def put(self, key: str, cell: Cell,
@@ -251,10 +298,89 @@ class CellCache:
             data["outputs"] = outputs_to_json(outputs)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(data))
-        os.replace(tmp, path)  # Atomic: concurrent readers see old or new.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}-{next(_TMP_SEQ)}")
+        try:
+            tmp.write_text(json.dumps(data))
+            os.replace(tmp, path)  # Atomic: readers see old or new.
+        except BaseException:
+            # Soft failures (disk full, interrupt) must not leave a temp
+            # file behind; hard deaths (SIGKILL mid-put) are swept by
+            # clear() and reported by stats() instead.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         self.puts += 1
+        self._touch(path)
+        if self.max_bytes is not None:
+            self.evict()
+
+    # -- LRU recency and eviction --------------------------------------------
+    def _touch(self, path: Path) -> None:
+        """Bump ``path``'s mtime with a strictly monotonic timestamp."""
+        ns = max(time.time_ns(), self._clock_ns + 1)
+        self._clock_ns = ns
+        try:
+            os.utime(path, ns=(ns, ns))
+        except OSError:
+            pass  # Vanished under a concurrent clear/eviction: a miss later.
+
+    def _scan_entries(self) -> List[Tuple[int, str, Path, int]]:
+        """Every entry as ``(mtime_ns, name, path, size)``, oldest first."""
+        scanned = []
+        for path in self.entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # Vanished between glob and stat.
+            scanned.append((st.st_mtime_ns, path.name, path, st.st_size))
+        scanned.sort()
+        return scanned
+
+    def _evict_one(self, path: Path, expected_mtime_ns: int) -> Optional[int]:
+        """Unlink one LRU victim; None if it must be spared.
+
+        The victim is re-stat'ed immediately before the unlink: if its
+        mtime moved since enumeration, another process just wrote or
+        refreshed it — it is no longer least-recently-used, so eviction
+        skips it rather than deleting a fresh entry.
+        """
+        try:
+            st = path.stat()
+        except OSError:
+            return 0  # Already gone; its bytes are already freed.
+        if st.st_mtime_ns != expected_mtime_ns:
+            return None
+        try:
+            path.unlink()
+        except OSError:
+            return 0
+        return st.st_size
+
+    def evict(self, max_bytes: Optional[int] = None) -> List[str]:
+        """Evict LRU entries until total size fits the cap.
+
+        Returns the evicted file names.  A no-op when unbounded (both
+        ``max_bytes`` and :attr:`max_bytes` are None).
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return []
+        scanned = self._scan_entries()
+        total = sum(size for _, _, _, size in scanned)
+        evicted: List[str] = []
+        for mtime_ns, name, path, size in scanned:
+            if total <= cap:
+                break
+            freed = self._evict_one(path, mtime_ns)
+            if freed is None:
+                continue  # Concurrently refreshed: spare it.
+            total -= size
+            if freed:
+                self.evictions += 1
+                evicted.append(name)
+        return evicted
 
     # -- maintenance ---------------------------------------------------------
     def entries(self):
@@ -264,31 +390,72 @@ class CellCache:
         return sorted(list(self.root.glob("*.json"))
                       + list(self.root.glob("??/*.json")))
 
+    def tmp_files(self):
+        """Orphaned ``*.tmp.*`` files left by writers that died mid-put.
+
+        ``put`` writes a temp file and atomically renames it into place;
+        a worker killed between the two leaves the temp behind, invisible
+        to :meth:`entries`.  These are garbage — sized by :meth:`stats`,
+        swept by :meth:`clear`.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(list(self.root.glob("*.tmp.*"))
+                      + list(self.root.glob("??/*.tmp.*")))
+
+    @staticmethod
+    def _sizes(files) -> Tuple[int, int]:
+        """(surviving count, total bytes), tolerating vanished files.
+
+        A concurrent ``repro cache clear``, LRU eviction, or parallel
+        worker may unlink any path between enumeration and stat; such
+        entries simply stop counting instead of raising.
+        """
+        count = 0
+        total = 0
+        for f in files:
+            try:
+                total += f.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return count, total
+
     def stats(self) -> Dict[str, object]:
         files = self.entries()
-        tune = [f for f in files if f.name.startswith(TUNE_PREFIX)]
+        n_files, files_bytes = self._sizes(files)
+        n_tune, tune_bytes = self._sizes(
+            [f for f in files if f.name.startswith(TUNE_PREFIX)])
+        n_tmp, tmp_bytes = self._sizes(self.tmp_files())
         return {
             "root": str(self.root),
-            "entries": len(files),
-            "bytes": sum(f.stat().st_size for f in files),
-            "tune_entries": len(tune),
-            "tune_bytes": sum(f.stat().st_size for f in tune),
+            "entries": n_files,
+            "bytes": files_bytes,
+            "tune_entries": n_tune,
+            "tune_bytes": tune_bytes,
+            "tmp_files": n_tmp,
+            "tmp_bytes": tmp_bytes,
+            "max_bytes": self.max_bytes,
             "session_hits": self.hits,
             "session_misses": self.misses,
             "session_puts": self.puts,
+            "session_evictions": self.evictions,
         }
 
     def session_line(self) -> str:
         """One-line session hit/miss/put summary for per-sweep reporting."""
         looked = self.hits + self.misses
         rate = 100.0 * self.hits / looked if looked else 0.0
-        return (f"cache: {self.hits} hits / {self.misses} misses "
+        line = (f"cache: {self.hits} hits / {self.misses} misses "
                 f"({rate:.0f}% hit rate), {self.puts} entries written")
+        if self.evictions:
+            line += f", {self.evictions} evicted (LRU)"
+        return line
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and orphaned temp file); returns the count."""
         removed = 0
-        for path in self.entries():
+        for path in self.entries() + self.tmp_files():
             try:
                 path.unlink()
                 removed += 1

@@ -374,12 +374,15 @@ class ParallelRunner(ExperimentRunner):
              if s.app not in self._baseline_outputs]))
         failed_baselines: Dict[str, str] = {}
 
-        # Telemetry is buffered per spec and folded in *enumeration* order
-        # after the pool drains: futures complete in nondeterministic
-        # order, and the merged remark stream / pass statistics must not
-        # depend on pool scheduling (the aggregation-determinism test in
-        # tests/test_obs.py pins jobs=1 vs jobs=N streams equal).
+        # Telemetry and persistent-cache writes are buffered per spec and
+        # folded in *enumeration* order after the pool drains: futures
+        # complete in nondeterministic order, and neither the merged
+        # remark stream / pass statistics (tests/test_obs.py pins jobs=1
+        # vs jobs=N streams equal) nor the cache's LRU recency order
+        # (which decides what an LRU-bounded cache evicts) may depend on
+        # pool scheduling.
         extras_by_spec: Dict[CellSpec, Dict] = {}
+        computed: Dict[CellSpec, Cell] = {}
 
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             # Stage 1: baselines (reference outputs feed every other cell).
@@ -395,7 +398,8 @@ class ParallelRunner(ExperimentRunner):
                 if outputs is not None:
                     self._baseline_outputs[app] = outputs
                 spec = CellSpec(app, "baseline", None, 1)
-                self._record(spec, payload, by_name)
+                self._cache[spec.key] = payload
+                computed[spec] = payload
                 extras_by_spec[spec] = extras
 
             for spec, cache_key in baseline_specs:
@@ -429,21 +433,48 @@ class ParallelRunner(ExperimentRunner):
                     if status == "err":
                         self._cache[spec.key] = _failed_cell(spec, payload)
                     else:
-                        self._record(spec, payload, by_name)
+                        self._cache[spec.key] = payload
+                        computed[spec] = payload
                         extras_by_spec[spec] = extras
 
         # Deterministic fold: the enumerated order of ``missing`` (what the
         # serial path would have computed in), then any stage-1 baselines
-        # that were computed only for their reference outputs.
-        for spec, _ in missing:
+        # that were computed only for their reference outputs.  Persisting
+        # here rather than at completion time makes the cache's put order
+        # — and with it LRU eviction under a bytes cap — independent of
+        # worker scheduling.
+        for spec, cache_key in missing:
+            cell = computed.get(spec)
+            if cell is not None:
+                self._persist(spec, cell, cache_key, by_name)
             extras = extras_by_spec.pop(spec, None)
             if extras:
                 self._absorb_extras(extras)
+        in_missing = {spec for spec, _ in missing}
         for app in needed_apps:
-            extras = extras_by_spec.pop(CellSpec(app, "baseline", None, 1),
-                                        None)
+            spec = CellSpec(app, "baseline", None, 1)
+            cell = computed.get(spec)
+            if cell is not None and spec not in in_missing:
+                self._persist(spec, cell, None, by_name)
+            extras = extras_by_spec.pop(spec, None)
             if extras:
                 self._absorb_extras(extras)
+
+    def _persist(self, spec: CellSpec, cell: Cell,
+                 cache_key: Optional[str], by_name) -> None:
+        """Write one computed cell through to the persistent cache."""
+        if self.cache is None:
+            return
+        bench = by_name.get(spec.app)
+        if bench is None:
+            try:
+                bench = benchmark_by_name(spec.app)
+            except KeyError:
+                return
+        if cache_key is None:
+            cache_key = self._cache_key(bench, spec.config, spec.loop_id,
+                                        spec.factor)
+        self._store(bench, cell, cache_key)
 
     def _absorb_extras(self, extras: Dict) -> None:
         """Fold one worker's telemetry into this runner (and its session)."""
@@ -458,20 +489,6 @@ class ParallelRunner(ExperimentRunner):
             session = obs.active()
             if session is not None:
                 session.merge_payload(payload)
-
-    def _record(self, spec: CellSpec, cell: Cell, by_name) -> None:
-        self._cache[spec.key] = cell
-        bench = by_name.get(spec.app)
-        if bench is None:
-            try:
-                bench = benchmark_by_name(spec.app)
-            except KeyError:
-                return
-        if self.cache is not None:
-            self._store(bench, cell,
-                        self._cache_key(bench, spec.config, spec.loop_id,
-                                        spec.factor))
-
 
 def prefetch_if_parallel(runner, benches,
                          configs: Optional[Sequence[str]] = None,

@@ -19,8 +19,8 @@ from .remarks import (KINDS, Remark, heuristic_remarks, read_jsonl,
                       render_remark, write_jsonl)
 from .session import (ENV_VAR, ObsSession, active, begin_worker, capture,
                       context, emit, enabled, end_worker, install,
-                      maybe_install_from_env, profile, remark, span, tracer,
-                      uninstall)
+                      maybe_install_from_env, profile, remark,
+                      request_capture, span, tracer, uninstall)
 from .trace import Tracer
 
 __all__ = [
@@ -28,5 +28,6 @@ __all__ = [
     "Remark", "Tracer", "active", "begin_worker", "capture", "context",
     "emit", "enabled", "end_worker", "heuristic_remarks", "install",
     "maybe_install_from_env", "profile", "read_jsonl", "remark",
-    "render_remark", "span", "tracer", "uninstall", "write_jsonl",
+    "render_remark", "request_capture", "span", "tracer", "uninstall",
+    "write_jsonl",
 ]

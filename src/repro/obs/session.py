@@ -1,11 +1,15 @@
-"""Process-wide observability session.
+"""Per-thread observability session.
 
-All instrumentation in the repo funnels through the single module-level
-session slot here.  The contract that keeps the disabled path near-free:
+All instrumentation in the repo funnels through the single thread-local
+session slot here.  The slot is thread-local (not process-global) so the
+service daemon's queue workers can each capture their own request's
+remarks concurrently without cross-talk; single-threaded consumers (the
+CLI, pool workers) observe exactly the old process-wide behaviour.  The
+contract that keeps the disabled path near-free:
 
-* When no session is installed (``_active is None``) every hook reduces
-  to one global load + ``is None`` test — no objects are constructed, no
-  strings formatted.  Hot engine loops hoist even that check out by
+* When no session is installed (:func:`active` returns None) every hook
+  reduces to one thread-local load + ``is None`` test — no objects are
+  constructed, no strings formatted.  Hot engine loops hoist even that check out by
   grabbing :func:`profile` once per launch.
 * ``REPRO_TRACE=1`` (or any non-empty value) opts a process in; the CLI
   sets it before fanning out so forked pool workers inherit the flag.
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -33,7 +38,18 @@ from .trace import Tracer
 #: Environment opt-in; checked by :func:`enabled` and :func:`begin_worker`.
 ENV_VAR = "REPRO_TRACE"
 
-_active: Optional["ObsSession"] = None
+#: The slot.  One session per thread; fork() preserves the forking thread
+#: as the child's main thread, so pool workers inherit (and immediately
+#: reset, see :func:`begin_worker`) the parent's slot as before.
+_slot = threading.local()
+
+
+def _get() -> Optional["ObsSession"]:
+    return getattr(_slot, "session", None)
+
+
+def _set(session: Optional["ObsSession"]) -> None:
+    _slot.session = session
 
 
 class ObsSession:
@@ -77,7 +93,7 @@ class ObsSession:
 # -- the slot ----------------------------------------------------------------
 
 def active() -> Optional[ObsSession]:
-    return _active
+    return _get()
 
 
 def enabled() -> bool:
@@ -86,53 +102,58 @@ def enabled() -> bool:
 
 
 def install(session: Optional[ObsSession] = None) -> ObsSession:
-    global _active
-    _active = session if session is not None else ObsSession()
-    return _active
+    session = session if session is not None else ObsSession()
+    _set(session)
+    return session
 
 
 def uninstall() -> Optional[ObsSession]:
-    global _active
-    session, _active = _active, None
+    session = _get()
+    _set(None)
     return session
 
 
 def maybe_install_from_env() -> Optional[ObsSession]:
     """Install a session iff ``REPRO_TRACE`` asks for one."""
-    if _active is None and enabled():
+    if _get() is None and enabled():
         return install()
-    return _active
+    return _get()
 
 
 # -- fast-path hooks (the only calls on instrumented code paths) -------------
 
 def remark(kind: str, pass_name: str, function: str, message: str,
            loop_id: Optional[str] = None, **args) -> None:
-    """Emit a remark if a session is live; a no-op global test otherwise."""
-    if _active is None:
+    """Emit a remark if a session is live; a no-op slot test otherwise."""
+    session = _get()
+    if session is None:
         return
-    _active.emit(Remark(kind=kind, pass_name=pass_name, function=function,
+    session.emit(Remark(kind=kind, pass_name=pass_name, function=function,
                         message=message, loop_id=loop_id, args=args))
 
 
 def emit(r: Remark) -> None:
-    if _active is not None:
-        _active.emit(r)
+    session = _get()
+    if session is not None:
+        session.emit(r)
 
 
 def tracer() -> Optional[Tracer]:
-    return _active.tracer if _active is not None else None
+    session = _get()
+    return session.tracer if session is not None else None
 
 
 def profile() -> Optional[ExecutionProfile]:
     """The live profile, or None — engines hoist this per launch."""
-    return _active.profile if _active is not None else None
+    session = _get()
+    return session.profile if session is not None else None
 
 
 @contextlib.contextmanager
 def span(name: str, cat: str = "phase", **args):
     """Record the wrapped block as a complete trace event (no-op when off)."""
-    t = _active.tracer if _active is not None else None
+    session = _get()
+    t = session.tracer if session is not None else None
     if t is None:
         yield
         return
@@ -148,15 +169,16 @@ def span(name: str, cat: str = "phase", **args):
 @contextlib.contextmanager
 def context(**kv):
     """Temporarily extend the session's provenance context."""
-    if _active is None:
+    session = _get()
+    if session is None:
         yield
         return
-    saved = dict(_active.context)
-    _active.context.update({k: v for k, v in kv.items() if v is not None})
+    saved = dict(session.context)
+    session.context.update({k: v for k, v in kv.items() if v is not None})
     try:
         yield
     finally:
-        _active.context = saved
+        session.context = saved
 
 
 @contextlib.contextmanager
@@ -164,16 +186,33 @@ def capture():
     """Run a block under a fresh throwaway session and hand it back.
 
     Used by the fuzz bisector to attach the remarks a culprit pass
-    emitted to its verdict without disturbing any outer session.
+    emitted to its verdict without disturbing any outer session.  The
+    slot is thread-local, so concurrent captures in different threads
+    (the service daemon's queue workers) never see each other's remarks.
     """
-    global _active
-    saved = _active
+    saved = _get()
     session = ObsSession()
-    _active = session
+    _set(session)
     try:
         yield session
     finally:
-        _active = saved
+        _set(saved)
+
+
+@contextlib.contextmanager
+def request_capture(request_id: str, **ctx):
+    """Capture one service request's remarks/trace under its own session.
+
+    Like :func:`capture`, but every remark emitted inside the block is
+    stamped with the serving ``request`` id (plus any extra provenance
+    the daemon supplies, e.g. the job id), so a result's remark stream
+    records which submission produced it even after streams are merged.
+    """
+    with capture() as session:
+        session.context["request"] = request_id
+        session.context.update(
+            {k: v for k, v in ctx.items() if v is not None})
+        yield session
 
 
 # -- pool-worker lifecycle ---------------------------------------------------
@@ -186,13 +225,13 @@ def begin_worker() -> Optional[ObsSession]:
     parent already holds.  So: unconditionally drop whatever is
     installed and start fresh (or empty, if tracing is off).
     """
-    global _active
-    _active = ObsSession() if enabled() else None
-    return _active
+    session = ObsSession() if enabled() else None
+    _set(session)
+    return session
 
 
 def end_worker() -> Optional[Dict[str, object]]:
     """Export and clear the worker's session; None when tracing is off."""
-    global _active
-    session, _active = _active, None
+    session = _get()
+    _set(None)
     return session.export_payload() if session is not None else None

@@ -1,0 +1,104 @@
+"""Thin urllib client for the optimization service.
+
+``repro submit`` and ``repro serve-status`` are built on this; nothing
+here knows about benchmarks or IR — it just moves JSON and raises
+:class:`ServeError` with the server's message when the daemon replies
+with an error status.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from .protocol import OptimizeRequest, OptimizeResult
+
+#: Default daemon endpoint; ``repro serve`` with no ``--port`` picks an
+#: ephemeral port and prints its URL instead.
+DEFAULT_PORT = 8377
+DEFAULT_URL = os.environ.get("REPRO_SERVE_URL",
+                             f"http://127.0.0.1:{DEFAULT_PORT}")
+
+
+class ServeError(RuntimeError):
+    """The daemon replied with an error (or is unreachable)."""
+
+    def __init__(self, message: str, code: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """JSON-over-HTTP client; one instance per daemon URL."""
+
+    def __init__(self, url: str = DEFAULT_URL,
+                 timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, path: str, payload: Optional[Dict] = None,
+              timeout: Optional[float] = None) -> Dict:
+        req = urllib.request.Request(
+            f"{self.url}{path}",
+            data=(json.dumps(payload).encode("utf-8")
+                  if payload is not None else None),
+            headers={"Content-Type": "application/json"},
+            method="POST" if payload is not None else "GET")
+        try:
+            with urllib.request.urlopen(
+                    req, timeout=timeout or self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                detail = {}
+            raise ServeError(detail.get("error", str(exc)), code=exc.code)
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"daemon unreachable at {self.url}: {exc.reason}")
+
+    # -- endpoints -----------------------------------------------------------
+    def submit(self, request: OptimizeRequest) -> Dict:
+        return self._call("/submit", request.to_json())
+
+    def status(self, job_id: str) -> Dict:
+        return self._call(f"/status/{job_id}")
+
+    def result(self, job_id: str,
+               wait: Optional[float] = None) -> Dict:
+        path = f"/result/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        return self._call(path, timeout=(wait or 0) + self.timeout)
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._call(f"/cancel/{job_id}", payload={})
+
+    def stats(self) -> Dict:
+        return self._call("/stats")
+
+    def health(self) -> Dict:
+        return self._call("/health")
+
+    # -- conveniences --------------------------------------------------------
+    def submit_and_wait(self, request: OptimizeRequest,
+                        timeout: float = 600.0) -> OptimizeResult:
+        """Submit and block until the result is ready (or timeout)."""
+        ticket = self.submit(request)
+        job_id = ticket["job_id"]
+        deadline = time.time() + timeout
+        while True:
+            remaining = deadline - time.time()
+            if remaining <= 0:
+                raise ServeError(
+                    f"timed out after {timeout:.0f}s waiting for {job_id}")
+            data = self.result(job_id, wait=min(remaining, 30.0))
+            if "status" in data:       # a result (ok or error), not a ticket
+                return OptimizeResult.from_json(data)
+            if data.get("state") in ("failed", "cancelled"):
+                raise ServeError(data.get("error") or data["state"])

@@ -1,0 +1,279 @@
+"""The optimization service's HTTP daemon (``repro serve``).
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` bound to
+localhost fronting a :class:`~repro.serve.jobs.JobQueue`.  App
+submissions share one cache-backed :class:`ParallelRunner` (guarded by a
+lock — the runner's memo dicts are not thread-safe), so repeated
+requests hit the persistent cell cache exactly like repeated CLI runs;
+ir/kernel subjects are self-contained and run fully concurrently on the
+queue workers.
+
+Endpoints (JSON in, JSON out)::
+
+    POST /submit            OptimizeRequest body -> {job_id, deduped, ...}
+    GET  /status/<job_id>   -> job lifecycle snapshot
+    GET  /result/<job_id>   [?wait=seconds] -> OptimizeResult (202 while
+                            pending, so pollers can distinguish "not
+                            done" from "gone")
+    POST /cancel/<job_id>   -> {cancelled: bool} (queued jobs only)
+    GET  /stats             -> queue counters + cell-cache stats
+    GET  /health            -> {ok, schema, url}
+
+Shutdown is idempotent and signal-friendly: SIGTERM/SIGINT (see
+:meth:`ServeDaemon.install_signal_handlers`) stop the HTTP listener,
+cancel still-queued jobs, and join the queue workers, leaving no
+background thread behind.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..harness.cache import CellCache
+from ..harness.parallel import ParallelRunner
+from .jobs import JobQueue, JobState
+from .protocol import (SERVE_SCHEMA_VERSION, OptimizeRequest, ProtocolError,
+                       content_hash)
+from .service import execute_request
+
+#: Cap on ``?wait=`` so a dead client cannot pin a handler thread forever.
+MAX_RESULT_WAIT_SECONDS = 300.0
+
+
+class ServeDaemon:
+    """Own the queue, the shared runner, and the HTTP listener."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2,
+                 runner: Optional[ParallelRunner] = None,
+                 cache_max_bytes: Optional[int] = None,
+                 use_cache: bool = True) -> None:
+        self.host = host
+        self._requested_port = port
+        if runner is None:
+            cache = (CellCache(max_bytes=cache_max_bytes) if use_cache
+                     else None)
+            runner = ParallelRunner(cache=cache, use_cache=use_cache)
+        self.runner = runner
+        #: Serializes app jobs on the shared runner; ir/kernel jobs
+        #: never take it.
+        self._runner_lock = threading.RLock()
+        self.queue = JobQueue(self._execute, workers=workers)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._shutdown_lock = threading.Lock()
+        self._stopped = False
+
+    # -- job execution -------------------------------------------------------
+    def _execute(self, request_json: Dict) -> Dict:
+        """Queue-worker entry point: one submission -> one result dict."""
+        request = OptimizeRequest.from_json(request_json)
+        if request.app is not None:
+            with self._runner_lock:
+                result = execute_request(request, runner=self.runner)
+        else:
+            result = execute_request(request)
+        return result.to_json()
+
+    # -- HTTP lifecycle ------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> str:
+        """Bind and serve in a background thread; returns the URL."""
+        self._bind()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http",
+            daemon=True)
+        self._http_thread.start()
+        return self.url
+
+    def serve(self) -> None:
+        """Bind and serve on the calling thread until :meth:`shutdown`."""
+        self._bind()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.shutdown()
+
+    def _bind(self) -> None:
+        if self._httpd is not None:
+            return
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port),
+                                          handler)
+        self._httpd.daemon_threads = True
+
+    def wait(self) -> None:
+        """Block until the HTTP thread exits (short joins so SIGTERM's
+        handler gets a prompt turn on the main thread)."""
+        thread = self._http_thread
+        while thread is not None and thread.is_alive():
+            thread.join(timeout=0.5)
+
+    def shutdown(self) -> None:
+        """Stop listening, drain/cancel the queue, join every thread."""
+        with self._shutdown_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        httpd = self._httpd
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10.0)
+        self.queue.shutdown(wait=True)
+
+    def install_signal_handlers(self) -> Dict[int, object]:
+        """Route SIGTERM/SIGINT to :meth:`shutdown`; returns the handlers
+        that were previously installed (so tests can restore them)."""
+        previous = {}
+
+        def _handle(signum, _frame):
+            self.shutdown()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _handle)
+        return previous
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "schema": SERVE_SCHEMA_VERSION,
+            "url": self.url,
+            "queue": self.queue.stats(),
+        }
+        cache = self.runner.cache
+        data["cache"] = cache.stats() if cache is not None else None
+        return data
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing
+# ---------------------------------------------------------------------------
+
+def _make_handler(daemon: ServeDaemon):
+    """Bind a request-handler class to one daemon instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-serve/{SERVE_SCHEMA_VERSION}"
+
+        # Keep the daemon's stdout clean; tests assert on it.
+        def log_message(self, fmt, *args):  # noqa: D102
+            pass
+
+        def _reply(self, code: int, payload: Dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_json(self) -> Dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"request body is not JSON: {exc}")
+
+        def _route(self) -> Tuple[str, Optional[str], Dict[str, str]]:
+            path, _, query = self.path.partition("?")
+            parts = [p for p in path.split("/") if p]
+            params = {}
+            for pair in query.split("&"):
+                key, _, value = pair.partition("=")
+                if key:
+                    params[key] = value
+            head = parts[0] if parts else ""
+            arg = parts[1] if len(parts) > 1 else None
+            return head, arg, params
+
+        # -- verbs ----------------------------------------------------------
+        def do_POST(self) -> None:  # noqa: N802
+            head, arg, _params = self._route()
+            try:
+                if head == "submit" and arg is None:
+                    self._submit()
+                elif head == "cancel" and arg:
+                    self._reply(200, {"job_id": arg,
+                                      "cancelled": daemon.queue.cancel(arg)})
+                else:
+                    self._reply(404, {"error": f"no such endpoint {head!r}"})
+            except ProtocolError as exc:
+                self._reply(400, {"error": str(exc)})
+            except RuntimeError as exc:       # queue shutting down
+                self._reply(503, {"error": str(exc)})
+
+        def do_GET(self) -> None:  # noqa: N802
+            head, arg, params = self._route()
+            if head == "health":
+                self._reply(200, {"ok": True,
+                                  "schema": SERVE_SCHEMA_VERSION,
+                                  "url": daemon.url})
+            elif head == "stats":
+                self._reply(200, daemon.stats())
+            elif head == "status" and arg:
+                job = daemon.queue.get(arg)
+                if job is None:
+                    self._reply(404, {"error": f"unknown job {arg!r}"})
+                else:
+                    self._reply(200, job.status_json())
+            elif head == "result" and arg:
+                self._result(arg, params)
+            else:
+                self._reply(404, {"error": f"no such endpoint {head!r}"})
+
+        # -- endpoint bodies -------------------------------------------------
+        def _submit(self) -> None:
+            body = self._read_json()
+            request = OptimizeRequest.from_json(body)
+            job, deduped = daemon.queue.submit(
+                request.to_json(), content_hash(request),
+                priority=request.priority)
+            self._reply(200, {"job_id": job.id,
+                              "content_hash": job.content_hash,
+                              "state": job.state,
+                              "deduped": deduped})
+
+        def _result(self, job_id: str, params: Dict[str, str]) -> None:
+            job = daemon.queue.get(job_id)
+            if job is None:
+                self._reply(404, {"error": f"unknown job {job_id!r}"})
+                return
+            wait = 0.0
+            if "wait" in params:
+                try:
+                    wait = min(float(params["wait"]),
+                               MAX_RESULT_WAIT_SECONDS)
+                except ValueError:
+                    self._reply(400, {"error": "wait must be a number"})
+                    return
+            if wait > 0:
+                job.done_event.wait(wait)
+            if job.state == JobState.DONE:
+                self._reply(200, job.result)
+            elif job.state in JobState.FINISHED:
+                self._reply(200, {"status": "error",
+                                  "content_hash": job.content_hash,
+                                  "job_id": job.id,
+                                  "state": job.state,
+                                  "error": job.error})
+            else:
+                self._reply(202, job.status_json())
+
+    return Handler

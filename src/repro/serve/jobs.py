@@ -1,0 +1,260 @@
+"""Priority job queue with content-hash dedup for the service daemon.
+
+Submissions become :class:`Job` objects executed by a small pool of
+worker threads.  Three properties the daemon's contract needs:
+
+* **Priorities.**  Jobs are ordered by ``(-priority, sequence)`` — higher
+  priority first, FIFO among equals — so an interactive client can jump
+  a long batch sweep.
+* **Dedup.**  A submission whose :func:`~repro.serve.protocol.content_hash`
+  matches a queued, running, *or retained finished* job attaches to that
+  job instead of enqueuing a new one: N identical concurrent submissions
+  perform exactly one computation, and the result is shared.  (Engines
+  are excluded from the hash — they are bit-identical by contract.)
+* **Clean shutdown.**  :meth:`JobQueue.shutdown` wakes every worker,
+  joins the threads, and fails still-queued jobs, so a SIGTERM'd daemon
+  leaves no runaway computation behind (pinned by tests/test_serve.py).
+
+Finished jobs are retained (bounded by ``retain``) both for result
+pickup and as a memo: re-submitting an identical request returns the
+completed job immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class JobState:
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a dedup hit may attach to (cancelled/failed jobs re-run).
+    SHAREABLE = (QUEUED, RUNNING, DONE)
+    FINISHED = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle."""
+
+    id: str
+    request: Dict
+    content_hash: str
+    priority: int = 0
+    state: str = JobState.QUEUED
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: How many submissions this job serves (1 + dedup attachments).
+    clients: int = 1
+    done_event: threading.Event = field(default_factory=threading.Event,
+                                        repr=False)
+
+    def status_json(self) -> Dict[str, object]:
+        return {
+            "job_id": self.id,
+            "state": self.state,
+            "content_hash": self.content_hash,
+            "priority": self.priority,
+            "clients": self.clients,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Thread-pool executor with priorities, dedup, and a result memo."""
+
+    def __init__(self, executor: Callable[[Dict], Dict], workers: int = 2,
+                 autostart: bool = True, retain: int = 256) -> None:
+        self.executor = executor
+        self.workers = max(1, workers)
+        self.retain = retain
+        self._cv = threading.Condition()
+        self._heap: List = []           # (-priority, seq, job)
+        self._seq = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._by_hash: Dict[str, Job] = {}
+        self._finished_order: List[str] = []
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+        # Session counters (reported by /stats).
+        self.submitted = 0
+        self.deduped_inflight = 0
+        self.deduped_memo = 0
+        self.executed = 0
+        self.failed = 0
+        self.cancelled = 0
+        if autostart:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        with self._cv:
+            if self._threads or self._stopping:
+                return
+            for i in range(self.workers):
+                thread = threading.Thread(target=self._worker,
+                                          name=f"repro-serve-worker-{i}",
+                                          daemon=True)
+                thread.start()
+                self._threads.append(thread)
+
+    def shutdown(self, wait: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting work, fail queued jobs, join the workers."""
+        with self._cv:
+            if self._stopping:
+                threads = list(self._threads)
+            else:
+                self._stopping = True
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.state == JobState.QUEUED:
+                        self._finish(job, JobState.CANCELLED,
+                                     error="daemon shutting down")
+                threads = list(self._threads)
+            self._cv.notify_all()
+        if wait:
+            deadline = time.time() + timeout
+            for thread in threads:
+                thread.join(max(0.0, deadline - time.time()))
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, request: Dict, content_hash: str,
+               priority: int = 0) -> tuple:
+        """Enqueue (or dedup-attach); returns ``(job, deduped)``."""
+        with self._cv:
+            if self._stopping:
+                raise RuntimeError("job queue is shutting down")
+            self.submitted += 1
+            existing = self._by_hash.get(content_hash)
+            if existing is not None and existing.state in JobState.SHAREABLE:
+                existing.clients += 1
+                if existing.state == JobState.DONE:
+                    self.deduped_memo += 1
+                else:
+                    self.deduped_inflight += 1
+                return existing, True
+            job = Job(id=f"j{next(self._seq):06d}", request=request,
+                      content_hash=content_hash, priority=priority)
+            self._jobs[job.id] = job
+            self._by_hash[content_hash] = job
+            heapq.heappush(self._heap, (-priority, int(job.id[1:]), job))
+            self._cv.notify()
+            return job, False
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; running jobs run to completion."""
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != JobState.QUEUED:
+                return False
+            self._finish(job, JobState.CANCELLED, error="cancelled")
+            self.cancelled += 1
+            return True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._cv:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None
+             ) -> Optional[Job]:
+        """Block until ``job_id`` finishes (or timeout); returns the job."""
+        job = self.get(job_id)
+        if job is None:
+            return None
+        job.done_event.wait(timeout)
+        return job
+
+    # -- worker side ---------------------------------------------------------
+    def _pop(self) -> Optional[Job]:
+        """Next runnable job, blocking; None when shutting down."""
+        with self._cv:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.state == JobState.QUEUED:
+                        job.state = JobState.RUNNING
+                        job.started_at = time.time()
+                        return job
+                if self._stopping:
+                    return None
+                self._cv.wait()
+
+    def _worker(self) -> None:
+        while True:
+            job = self._pop()
+            if job is None:
+                return
+            try:
+                result = self.executor(job.request)
+            except Exception:
+                with self._cv:
+                    self._finish(job, JobState.FAILED,
+                                 error=traceback.format_exc())
+                    self.failed += 1
+                continue
+            with self._cv:
+                self.executed += 1
+                job.result = result
+                self._finish(job, JobState.DONE)
+
+    def _finish(self, job: Job, state: str,
+                error: Optional[str] = None) -> None:
+        """Transition to a terminal state (caller holds the lock)."""
+        job.state = state
+        job.error = error if error is not None else job.error
+        job.finished_at = time.time()
+        job.done_event.set()
+        self._finished_order.append(job.id)
+        # Terminal non-DONE jobs must not serve future dedup hits.
+        if state != JobState.DONE and \
+                self._by_hash.get(job.content_hash) is job:
+            del self._by_hash[job.content_hash]
+        self._trim()
+
+    def _trim(self) -> None:
+        """Bound retained finished jobs (and the memo) to ``retain``."""
+        while len(self._finished_order) > self.retain:
+            job_id = self._finished_order.pop(0)
+            job = self._jobs.pop(job_id, None)
+            if job is not None and \
+                    self._by_hash.get(job.content_hash) is job:
+                del self._by_hash[job.content_hash]
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._cv:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "workers": self.workers,
+                "alive_workers": self.alive_workers,
+                "submitted": self.submitted,
+                "deduped": self.deduped_inflight + self.deduped_memo,
+                "deduped_inflight": self.deduped_inflight,
+                "deduped_memo": self.deduped_memo,
+                "executed": self.executed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "jobs": states,
+            }

@@ -1,0 +1,236 @@
+"""The service's execution core: optimize one submission.
+
+One function, :func:`execute_request`, shared verbatim by the daemon's
+queue workers and by any direct in-process caller — which is what makes
+"served results are bit-identical to direct runs" a construction rather
+than a hope (tests/test_serve.py pins it end to end anyway).
+
+* **app** submissions reuse the harness: cycles/speedup/decisions come
+  from :class:`ExperimentRunner` cells (a shared
+  :class:`~repro.harness.parallel.ParallelRunner` gives the daemon
+  persistent-cache reuse across requests), and the optimized IR plus the
+  typed remark stream come from one fresh compile of the same module
+  under a request-scoped observability capture.
+* **ir**/**kernel** submissions are measured the way the fuzz oracle
+  measures subjects: every function runs one warp of ``lanes`` threads
+  with deterministic scalar arguments; the baseline anchor is the
+  ``baseline``-config compilation of the same source, and outputs are
+  compared bitwise against it.
+
+Every remark in the result is stamped with ``request=<content hash>``
+(:func:`repro.obs.request_capture`), so merged streams keep per-request
+provenance; the hash — not a job id — keeps identical submissions'
+streams bit-identical wherever they were computed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import traceback
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..bench import benchmark_by_name
+from ..frontend.lower import lower_kernels
+from ..gpu.counters import Counters
+from ..gpu.machine import ENGINES, SimtMachine
+from ..harness.cache import cell_to_json, outputs_to_json
+from ..harness.experiment import ExperimentRunner
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+from ..ir.verifier import verify_module
+from ..obs import session as obs
+from ..transforms.pipeline import compile_module
+from .protocol import (OptimizeRequest, OptimizeResult, ProtocolError,
+                       content_hash)
+
+#: Growth cap for ir/kernel subjects — the fuzz oracle's, for the same
+#: reason: submitted kernels are small and the cleanup fixpoint must stay
+#: tractable per request.  App submissions use the runner's cap.
+SUBJECT_MAX_INSTRUCTIONS = 3_000
+
+
+def _resolve_engine(engine: Optional[str]) -> Optional[str]:
+    if engine is not None and engine not in ENGINES:
+        raise ProtocolError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+def _default_args(func) -> list:
+    from ..fuzz.oracle import default_args
+    return default_args(func)
+
+
+def _run_subject(module: Module, lanes: int,
+                 engine: Optional[str]) -> Tuple[Dict[str, np.ndarray],
+                                                 Counters]:
+    """Per-function return lattices plus summed counters, oracle-style."""
+    machine = SimtMachine(module, engine=engine)
+    outputs: Dict[str, np.ndarray] = {}
+    total = Counters()
+    for name, func in module.functions.items():
+        ret, counters = machine.run_function(func, _default_args(func), lanes)
+        outputs[name] = (np.zeros(0) if ret is None
+                         else np.ascontiguousarray(ret))
+        total.merge(counters)
+    return outputs, total
+
+
+def _counters_json(counters: Counters) -> Dict[str, object]:
+    return {f.name: getattr(counters, f.name)
+            for f in dataclasses.fields(Counters)}
+
+
+def _execute_subject(request: OptimizeRequest, req_hash: str,
+                     result: OptimizeResult) -> None:
+    """ir/kernel submission: compile + one-warp differential measurement."""
+    if request.ir is not None:
+        def build() -> Module:
+            return parse_module(request.ir, "submission")
+    else:
+        from .protocol import ast_from_json
+        kernel = ast_from_json(request.kernel)
+        def build() -> Module:
+            return lower_kernels([kernel], kernel.name)
+
+    module = build()
+    verify_module(module)  # A broken submission is the client's bug.
+    result.name = module.name
+
+    # Baseline anchor: same source through the baseline pipeline.
+    base_module = build()
+    compile_module(base_module, "baseline",
+                   max_instructions=SUBJECT_MAX_INSTRUCTIONS)
+    base_outputs, base_counters = _run_subject(base_module, request.lanes,
+                                               request.engine)
+    result.baseline_cycles = base_counters.cycles
+
+    with obs.request_capture(req_hash) as session:
+        with obs.context(config=request.config), \
+                obs.span(f"serve/{request.config}", cat="cell"):
+            compiled = compile_module(
+                module, request.config, loop_id=request.loop_id,
+                factor=request.factor,
+                max_instructions=SUBJECT_MAX_INSTRUCTIONS)
+            outputs, counters = _run_subject(module, request.lanes,
+                                             request.engine)
+    result.remarks = [r.to_json() for r in session.remarks]
+    result.decisions = _decision_dicts(compiled)
+    result.cycles = counters.cycles
+    result.counters = _counters_json(counters)
+    result.code_size = compiled.code_size
+    result.compile_seconds = compiled.compile_seconds
+    result.timed_out = compiled.timed_out
+    result.speedup = (base_counters.cycles / counters.cycles
+                      if counters.cycles > 0 else 0.0)
+    result.outputs_match_baseline = all(
+        base_outputs[name].tobytes() == outputs.get(
+            name, np.zeros(0)).tobytes()
+        and base_outputs[name].dtype == outputs[name].dtype
+        for name in base_outputs)
+    result.outputs = outputs_to_json(outputs)
+    if request.include_ir:
+        result.optimized_ir = print_module(module)
+
+
+def _decision_dicts(compiled) -> list:
+    return [dataclasses.asdict(d) for d in compiled.heuristic_decisions]
+
+
+def _execute_app(request: OptimizeRequest, req_hash: str,
+                 result: OptimizeResult,
+                 runner: Optional[ExperimentRunner]) -> None:
+    """Benchmark submission: harness cells + one captured compile."""
+    bench = benchmark_by_name(request.app)
+    result.name = bench.name
+    if runner is None:
+        runner = ExperimentRunner(engine=request.engine)
+    if request.loop_id is not None and \
+            request.loop_id not in bench.loop_ids():
+        raise ProtocolError(
+            f"unknown loop {request.loop_id!r} for {bench.name}; "
+            f"loops: {bench.loop_ids()}")
+
+    base = runner.baseline(bench)
+    cell = runner.cell(bench, request.config, request.loop_id,
+                       request.factor)
+    result.baseline_cycles = base.cycles
+    result.cycles = cell.cycles
+    result.speedup = cell.speedup_over(base)
+    result.code_size = cell.code_size
+    result.compile_seconds = cell.compile_seconds
+    result.timed_out = cell.timed_out
+    result.outputs_match_baseline = cell.outputs_match_baseline
+    result.counters = cell_to_json(cell)["counters"]
+    result.decisions = [dataclasses.asdict(d)
+                        for d in cell.heuristic_decisions]
+    if cell.error is not None:
+        raise RuntimeError(cell.error)
+
+    # Optimized IR + typed remarks: one fresh compile of the same module
+    # under the request's capture, with the harness's provenance context
+    # so the stream matches a traced sweep's for this cell.
+    if request.include_ir:
+        tuned = None
+        if request.config == "tuned":
+            from ..tune.store import resolve_decisions
+            tuned, _why = resolve_decisions(bench.name, runner.tuned_dir)
+        module = bench.build_module()
+        with obs.request_capture(req_hash) as session:
+            with obs.context(app=bench.name, config=request.config,
+                             sweep_loop=request.loop_id,
+                             sweep_factor=(request.factor
+                                           if request.loop_id else None)), \
+                    obs.span(f"serve/{bench.name}/{request.config}",
+                             cat="cell"):
+                compile_module(module, request.config,
+                               loop_id=request.loop_id,
+                               factor=request.factor,
+                               heuristic=runner.heuristic,
+                               max_instructions=runner.max_instructions,
+                               timeout_seconds=runner.compile_timeout,
+                               tuned=tuned)
+        result.remarks = [r.to_json() for r in session.remarks]
+        result.optimized_ir = print_module(module)
+    else:
+        # No recompile: render the decision stream the way the CLI's
+        # --report does, so the result still carries typed remarks.
+        from ..obs import heuristic_remarks
+        result.remarks = [
+            r.to_json() for r in heuristic_remarks(cell.heuristic_decisions,
+                                                   function=bench.name)]
+
+
+def execute_request(request: OptimizeRequest,
+                    runner: Optional[ExperimentRunner] = None
+                    ) -> OptimizeResult:
+    """Optimize one submission; never raises — errors become the result.
+
+    ``runner`` lets the daemon share one (cache-backed) runner across
+    requests; a direct caller can omit it for a self-contained run.
+    """
+    req_hash = content_hash(request)
+    result = OptimizeResult(status="ok", content_hash=req_hash,
+                            config=request.config, engine=request.engine)
+    try:
+        request.validate()
+        _resolve_engine(request.engine)
+        if request.directives:
+            raise ProtocolError(
+                "transformation directives are accepted by the schema but "
+                f"not executed yet (got {list(request.directives)}); see "
+                "ROADMAP 'User-directed transformation scripts'")
+        if request.app is not None:
+            _execute_app(request, req_hash, result, runner)
+        else:
+            _execute_subject(request, req_hash, result)
+    except ProtocolError as exc:
+        result.status = "error"
+        result.error = str(exc)
+    except Exception:
+        result.status = "error"
+        result.error = traceback.format_exc()
+    return result

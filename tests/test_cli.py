@@ -210,3 +210,71 @@ class TestHeuristicReport:
         # carrying the skip reason.
         assert "[applied]" in out or "[missed ]" in out
         assert "u_prime=" in out or "p=" in out
+
+
+class TestServeCommands:
+    def test_serve_commands_parse(self):
+        parser = build_parser()
+        for argv in (["serve", "--port", "0", "--serve-workers", "4",
+                      "--cache-cap", "1048576"],
+                     ["submit", "--app", "complex", "--json"],
+                     ["submit", "--ir", "k.ll", "--config", "uu",
+                      "--loop-id", "k/L0", "--factor", "4",
+                      "--directive", "unroll(4)@k/L0", "--no-wait"],
+                     ["serve-status", "--json"]):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+    def test_submit_rejects_malformed_request(self, capsys):
+        # No source at all: fails client-side before touching the network.
+        assert main(["submit", "--config", "baseline"]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one of app/ir/kernel" in err
+
+    def test_submit_against_live_daemon(self, capsys, tmp_path):
+        import json as json_mod
+
+        from repro.serve import ServeDaemon
+
+        ir_file = tmp_path / "kernel.ll"
+        ir_file.write_text(
+            (__import__("pathlib").Path(__file__).parent / "corpus"
+             / "fuzz_seed7_structured.ll").read_text())
+        daemon = ServeDaemon(workers=1, use_cache=False)
+        daemon.start()
+        try:
+            out_file = tmp_path / "result.json"
+            assert main(["submit", "--ir", str(ir_file),
+                         "--config", "uu_heuristic", "--lanes", "8",
+                         "--url", daemon.url, "--out", str(out_file)]) == 0
+            out = capsys.readouterr().out
+            assert "ok=yes" in out
+            payload = json_mod.loads(out_file.read_text())
+            assert payload["status"] == "ok"
+            assert payload["remarks"]
+
+            assert main(["serve-status", "--url", daemon.url]) == 0
+            status_out = capsys.readouterr().out
+            assert "executed:  1" in status_out
+        finally:
+            daemon.shutdown()
+
+    def test_serve_status_unreachable_daemon(self, capsys):
+        assert main(["serve-status",
+                     "--url", "http://127.0.0.1:1"]) == 1
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_cache_stats_reports_orphans_and_cap(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "2048")
+        (tmp_path / "cache").mkdir()
+        (tmp_path / "cache" / "aa.json").write_text("{}")
+        (tmp_path / "cache" / "bb.json.tmp.99-0").write_text("orphan")
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "orphans: 1 tmp file(s)" in out
+        assert "cap:     2.0 KiB" in out
+        # clear sweeps the orphan along with the entry.
+        assert main(["cache", "clear"]) == 0
+        assert "removed 2" in capsys.readouterr().out
