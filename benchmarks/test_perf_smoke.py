@@ -62,9 +62,25 @@ JIT_MIN_SPEEDUP = 4.0
 #: without).
 BRIEFDIV_JIT_VS_BATCHED = 1.0
 
+#: Required fused-over-unfused jit speedup on the ``chain`` kernel, whose
+#: long memory-free chain is the expression fuser's home turf.  The
+#: reference container measures ~1.7-2.0x; 1.3x catches fusion silently
+#: not engaging (which reads ~1.0x) without tripping on noise.
+CHAIN_FUSED_MIN_SPEEDUP = 1.3
+
+#: Floor for fused-vs-unfused on *every* microkernel shape: fusion must
+#: never make a kernel slower.  Shapes where nothing fuses (``divergent``
+#: — its only chain is shorter than ``MIN_CHAIN``) sit at parity, so the
+#: floor carries noise headroom below 1.0 while still catching a real
+#: regression (a fused segment losing to the specialized closures reads
+#: well under 0.9x, as the pre-``MIN_CHAIN`` tuning did).
+FUSED_MIN_EVERYWHERE = 0.9
+
 #: Kernels benchmarked by the module fixture (warm-up, then median-of-3
-#: per engine at 16 warps).
-_SMOKE_KERNELS = ("uniform", "briefdiv")
+#: per engine at 16 warps).  The full bench-interp set: the fusion
+#: guards quantify over every shape, and the emitted BENCH json should
+#: archive the fusion kernels alongside the originals.
+_SMOKE_KERNELS = tuple(name for name, _, _ in _KERNELS)
 
 
 @pytest.fixture(scope="module")
@@ -124,6 +140,29 @@ def test_jit_hysteresis_on_briefly_divergent_launch(engine_rows):
         f"briefly-divergent kernel (floor {BRIEFDIV_JIT_VS_BATCHED}x) — "
         f"did demotion hysteresis stop keeping post-prelude rows on the "
         f"compiled path?")
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SKIP_PERF") == "1",
+                    reason="REPRO_SKIP_PERF=1")
+def test_fuser_speedup_on_chain_kernel(engine_rows):
+    row = engine_rows["chain"]
+    assert row.fused_speedup >= CHAIN_FUSED_MIN_SPEEDUP, (
+        f"fused jit only {row.fused_speedup:.2f}x over fusion-disabled "
+        f"jit on the chain kernel (floor {CHAIN_FUSED_MIN_SPEEDUP}x) — "
+        f"is the expression fuser still collapsing the loop body into "
+        f"one generated closure?")
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SKIP_PERF") == "1",
+                    reason="REPRO_SKIP_PERF=1")
+def test_fuser_never_slower_on_any_kernel(engine_rows):
+    slow = {name: row.fused_speedup for name, row in engine_rows.items()
+            if row.fused_speedup < FUSED_MIN_EVERYWHERE}
+    assert not slow, (
+        f"fusion made kernels slower than the fusion-disabled jit "
+        f"(floor {FUSED_MIN_EVERYWHERE}x): "
+        + ", ".join(f"{k}={v:.2f}x" for k, v in sorted(slow.items()))
+        + " — should MIN_CHAIN exclude these segment shapes?")
 
 
 #: Ratio floor for the tracing-disabled run against the uninstrumented

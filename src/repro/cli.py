@@ -114,10 +114,22 @@ def _export_session(session, trace_out: Optional[str],
 
 
 def _finish_sweep(runner) -> None:
-    """Per-sweep cache telemetry (hits/misses/puts this session)."""
+    """Per-sweep cache telemetry (hits/misses/puts this session).
+
+    Two lines can print: the cell-cache line (always, for cache-enabled
+    runners) and the jit region-cache line (only when the sweep actually
+    touched compiled regions — for non-jit engines it is empty and the
+    output stays byte-identical to pre-region-cache builds).  Worker
+    counters were already folded in via ``_absorb_extras``, so ``-j1``
+    and ``-jN`` print the same totals.
+    """
     cache = getattr(runner, "cache", None)
     if cache is not None:
         print(cache.session_line())
+    from .gpu.region_cache import session as region_session
+    line = region_session().line()
+    if line:
+        print(line)
 
 
 def _runner(args) -> ExperimentRunner:
@@ -251,11 +263,15 @@ def cmd_indepth(args) -> int:
 
 
 def cmd_cache(args) -> int:
+    from .gpu.region_cache import (RegionCache, region_cache_enabled)
     cache = CellCache()
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached files (entries + orphaned tmp) "
               f"from {cache.root}")
+        regions = RegionCache()
+        removed = regions.clear()
+        print(f"removed {removed} cached region plans from {regions.root}")
         return 0
     stats = cache.stats()
     sweep_entries = stats["entries"] - stats["tune_entries"]
@@ -273,6 +289,18 @@ def cmd_cache(args) -> int:
         print(f"  orphans: {stats['tmp_files']} tmp file(s) "
               f"({stats['tmp_bytes'] / 1024:.1f} KiB) from writers that "
               "died mid-put; `repro cache clear` sweeps them")
+    rstats = RegionCache().stats()
+    state = "" if region_cache_enabled() else " (disabled: REPRO_REGION_CACHE=0)"
+    print(f"region cache at {rstats['root']}{state}")
+    print(f"  entries: {rstats['entries']} "
+          f"({rstats['bytes'] / 1024:.1f} KiB)")
+    if rstats["max_bytes"] is not None:
+        print(f"  cap:     {rstats['max_bytes'] / 1024:.1f} KiB (LRU; set "
+              f"via REPRO_REGION_CACHE_MAX_BYTES)")
+    if rstats["tmp_files"]:
+        print(f"  orphans: {rstats['tmp_files']} tmp file(s) "
+              f"({rstats['tmp_bytes'] / 1024:.1f} KiB); "
+              "`repro cache clear` sweeps them")
     return 0
 
 
@@ -643,6 +671,19 @@ def cmd_serve_status(args) -> int:
               f"{cache['bytes']} bytes{cap}; this session "
               f"{cache['session_hits']} hits, {cache['session_misses']} "
               f"misses, {cache['session_evictions']} evictions")
+    region = stats.get("region_cache")
+    if region:
+        store = region.get("store")
+        sess = region.get("session") or {}
+        if store:
+            print(f"  regions:   {store['entries']} plans, "
+                  f"{store['bytes']} bytes; this session "
+                  f"{sess.get('replays', 0)} replayed, "
+                  f"{sess.get('selections', 0)} selected, "
+                  f"{sess.get('fused_steps', 0)} steps fused")
+        else:
+            print("  regions:   persistent cache disabled "
+                  "(REPRO_REGION_CACHE=0)")
     return 0
 
 

@@ -1,0 +1,499 @@
+"""Region-level numpy expression fuser for the trace-JIT tier.
+
+The jit engine's compiled regions (``regions.py``) removed the per-block
+scheduler but still issue **one numpy dispatch per instruction**: each
+value step is a decode-time closure chain (reader -> op -> dtype check ->
+slot store).  This module collapses maximal *memory-free SSA chains* of
+fusible value steps inside one decoded block into a single generated
+Python function compiled with :func:`compile`, so N dispatches become
+one call:
+
+* constant / undef / global-address operands are hoisted once into the
+  generated code's namespace as shared read-only arrays (exactly the
+  arrays ``SimtMachine._reader`` would materialise);
+* intermediate results live in Python locals; only *liveout* values —
+  those with IR uses outside the fused segment — are stored back into
+  the context's SSA slot dict, dead temporaries vanish entirely;
+* integer ``add/sub/mul/and/or/xor`` whose result width needs no
+  wrap-masking reuse a dead, fresh, same-dtype operand temporary via
+  ``out=`` instead of allocating;
+* every step keeps the engine family's value semantics *verbatim*: the
+  generated expressions call (or textually mirror) the same helpers the
+  per-step closures use — ``_wrap_int`` width masking, ``errstate``
+  guards on float ops, unsigned compares via ``uint64`` views,
+  ``semantics.INTRINSIC_IMPLS`` for math intrinsics — so fused and
+  unfused execution are bit-identical by construction
+  (tests/test_engine_equivalence.py pins it).
+
+Fusion legality is deliberately narrow: only ``_K_VALUE`` steps of
+binop / icmp / fcmp / select / cast / gep and intrinsic-call
+instructions, never loads/stores (per-warp transaction accounting),
+never allocas (context-dependent addresses), never across block
+boundaries (deopt must see every liveout slot populated).  Accounting
+is *folded, not changed*: the region compiler charges the same per-step
+cycle sequence in the same order, so ``Counters`` stay bit-identical.
+
+``REPRO_JIT_FUSE=0`` disables fusion (escape hatch + A/B lever for
+``repro bench-interp --compare``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.constants import ConstantFloat, ConstantInt, Undef
+from ..ir.function import Function
+from ..ir.instructions import (BinaryInst, CallInst, CastInst, FCmpInst,
+                               GEPInst, ICmpInst, SelectInst)
+from ..ir.types import IntType
+from ..ir.values import Argument, GlobalVariable
+from ..semantics import INTRINSIC_IMPLS, storage_dtype
+from .machine import (WARP_SIZE, _K_VALUE, _binary_op, _cast_op, _fcmp_op,
+                      _wrap_int)
+
+#: Escape hatch: ``REPRO_JIT_FUSE=0`` turns the fuser off everywhere.
+FUSE_ENV = "REPRO_JIT_FUSE"
+
+#: A fused segment must replace at least this many value steps.  Short
+#: chains are a wash: the generated call + liveout slot stores cost about
+#: what the specialized per-step closures cost, and measured crossover on
+#: the bench-interp microkernels sits between 2 and 4 — below this the
+#: fused path can *lose* (the ``divergent`` kernel's 2-step latch), at or
+#: above it fusion wins on every shape.
+MIN_CHAIN = 4
+
+#: Compiled code objects keyed by ``(filename, source)``.  The generated
+#: source is id-free (SSA slot ids are bound through the exec namespace,
+#: not embedded as literals), so re-launching the same kernel — bench
+#: repeats, sweep cells, serve requests, region-cache replays — reuses
+#: the ``compile()`` result and pays only an ``exec`` per segment.
+_CODE_CACHE: Dict[Tuple[str, str], object] = {}
+
+_CODE_CACHE_LIMIT = 1024
+
+#: Launch-geometry intrinsics read precomputed read-only context arrays.
+_GEOMETRY = {
+    "tid.x": "ctx.lane_ids",
+    "ctaid.x": "ctx.ctaid",
+    "ntid.x": "ctx.ntid",
+    "nctaid.x": "ctx.nctaid",
+}
+
+_SYM = {"add": "+", "sub": "-", "mul": "*", "and": "&", "or": "|",
+        "xor": "^"}
+_UFUNC = {"add": "np.add", "sub": "np.subtract", "mul": "np.multiply",
+          "and": "np.bitwise_and", "or": "np.bitwise_or",
+          "xor": "np.bitwise_xor"}
+_ICMP_SYM = {"eq": "==", "ne": "!=", "slt": "<", "sle": "<=",
+             "sgt": ">", "sge": ">="}
+_UCMP_SYM = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}
+
+
+def fusion_enabled() -> bool:
+    """Fusion is on unless ``REPRO_JIT_FUSE=0`` (any other value: on)."""
+    return os.environ.get(FUSE_ENV, "1") != "0"
+
+
+# -- errstate helpers (referenced from generated code) -----------------------
+# Float lattice arithmetic warns on inf/nan operands; the decode-time
+# closures run it under errstate and the generated code must match.
+
+def _fadd(lhs, rhs):
+    with np.errstate(all="ignore"):
+        return lhs + rhs
+
+
+def _fsub(lhs, rhs):
+    with np.errstate(all="ignore"):
+        return lhs - rhs
+
+
+def _fmul(lhs, rhs):
+    with np.errstate(all="ignore"):
+        return lhs * rhs
+
+
+def _intr(impl, vals):
+    with np.errstate(all="ignore"):
+        return impl(vals)
+
+
+_F_HELPER = {"fadd": "FA", "fsub": "FS", "fmul": "FM"}
+
+
+# -- chain analysis ----------------------------------------------------------
+
+def fusible(inst) -> bool:
+    """Can this instruction's value step join a fused segment?"""
+    if isinstance(inst, (BinaryInst, ICmpInst, FCmpInst, SelectInst,
+                         CastInst, GEPInst)):
+        return True
+    if isinstance(inst, CallInst):
+        name = inst.intrinsic.name
+        return name in _GEOMETRY or name in INTRINSIC_IMPLS
+    return False
+
+
+def use_counts(func: Function) -> Dict[int, int]:
+    """Function-wide operand use counts, keyed by ``id(value)``.
+
+    Terminator conditions, return values, and phi incomings are all
+    ``operands``, so a value with zero counted uses outside a segment
+    is truly dead to the rest of the program.
+    """
+    counts: Dict[int, int] = {}
+    for inst in func.instructions():
+        for op in inst.operands:
+            oid = id(op)
+            counts[oid] = counts.get(oid, 0) + 1
+    return counts
+
+
+def _step_fusible(step) -> bool:
+    meta = step[7]
+    return (step[3] == _K_VALUE and meta is not None and len(meta) == 3
+            and fusible(meta[2]))
+
+
+def _liveouts(steps, lo: int, hi: int,
+              counts: Dict[int, int]) -> Tuple[int, ...]:
+    """1 per step whose value has any IR use outside ``steps[lo:hi]``."""
+    inner: Dict[int, int] = {}
+    for k in range(lo, hi):
+        for op in steps[k][7][2].operands:
+            oid = id(op)
+            inner[oid] = inner.get(oid, 0) + 1
+    return tuple(
+        1 if counts.get(steps[k][7][0], 0) > inner.get(steps[k][7][0], 0)
+        else 0
+        for k in range(lo, hi))
+
+
+def find_segments(steps, counts: Dict[int, int]
+                  ) -> Tuple[Tuple[int, int, Tuple[int, ...]], ...]:
+    """Maximal runs of >= MIN_CHAIN consecutive fusible value steps.
+
+    Returns ``(lo, hi, liveouts)`` triples over ``steps`` indices; any
+    memory / void / non-fusible step breaks the run.
+    """
+    segments: List[Tuple[int, int, Tuple[int, ...]]] = []
+    start: Optional[int] = None
+    for i, step in enumerate(steps):
+        if _step_fusible(step):
+            if start is None:
+                start = i
+            continue
+        if start is not None and i - start >= MIN_CHAIN:
+            segments.append((start, i, _liveouts(steps, start, i, counts)))
+        start = None
+    if start is not None and len(steps) - start >= MIN_CHAIN:
+        segments.append((start, len(steps),
+                         _liveouts(steps, start, len(steps), counts)))
+    return tuple(segments)
+
+
+class FuseContext:
+    """Per-function fusion state threaded through region compilation.
+
+    ``plan`` (from the region cache) short-circuits chain analysis on
+    replay: it maps decoded-block *names* to the segment triples a
+    previous compile found, so warm launches skip ``use_counts`` and
+    ``find_segments`` entirely.
+    """
+
+    def __init__(self, machine, func: Function,
+                 plan: Optional[Dict[str, Tuple]] = None) -> None:
+        self.machine = machine
+        self.func = func
+        self.plan = plan
+        self._counts: Optional[Dict[int, int]] = None
+
+    def counts(self) -> Dict[int, int]:
+        if self._counts is None:
+            self._counts = use_counts(self.func)
+        return self._counts
+
+    def segments_for(self, db) -> Tuple[Tuple[int, int, Tuple[int, ...]], ...]:
+        if self.plan is not None:
+            return tuple(self.plan.get(db.name, ()))
+        return find_segments(db.steps, self.counts())
+
+    def compile_segment(self, db, lo: int, hi: int, live):
+        return compile_segment(self.machine, self.func.name, db, lo, hi,
+                               live)
+
+
+# -- code generation ---------------------------------------------------------
+
+def compile_segment(machine, func_name: str, db, lo: int, hi: int, live):
+    """Generate + compile one fused segment over ``db.steps[lo:hi]``.
+
+    Returns ``(fn, names, stored)``: the generated
+    ``fn(ctx, args, values)`` callable, an ``id -> %name`` map for
+    undefined-value diagnostics, and the ``(iid, dtype)`` pairs the
+    function stores into the SSA slot dict (the liveouts).
+    """
+    steps = db.steps
+    if not (0 <= lo < hi <= len(steps)) or len(live) != hi - lo:
+        raise ValueError(
+            f"invalid fused segment [{lo}:{hi}] for {func_name}:{db.name}")
+    insts = []
+    for k in range(lo, hi):
+        if not _step_fusible(steps[k]):
+            raise ValueError(
+                f"step {k} of {func_name}:{db.name} is not fusible")
+        insts.append(steps[k][7][2])
+
+    ns: Dict[str, object] = {
+        "np": np, "W": _wrap_int, "B": _binary_op, "FC": _fcmp_op,
+        "CO": _cast_op, "FA": _fadd, "FS": _fsub, "FM": _fmul, "IC": _intr,
+    }
+    hoisted: Dict[int, str] = {}
+
+    def hoist(obj, tag: str) -> str:
+        key = id(obj)
+        name = hoisted.get(key)
+        if name is None:
+            name = f"{tag}{len(hoisted)}"
+            hoisted[key] = name
+            ns[name] = obj
+        return name
+
+    # SSA slot ids are bound through the namespace (``values[s0]``), not
+    # embedded as int literals, so the generated source is identical
+    # across re-parses of the same kernel and _CODE_CACHE can reuse the
+    # compiled code object.
+    slots: Dict[int, str] = {}
+
+    def slot(vid: int) -> str:
+        name = slots.get(vid)
+        if name is None:
+            name = f"s{len(slots)}"
+            slots[vid] = name
+            ns[name] = vid
+        return name
+
+    def static_dtype(value):
+        """Storage dtype of any operand — every producer normalizes.
+
+        Value steps astype to their meta dtype, loads astype on write,
+        phi moves astype, ``_bind_args`` builds argument arrays at
+        storage dtype, and the hoisted constant arrays above use it
+        directly — so an operand's runtime dtype *is* its IR type's
+        storage dtype, statically.
+        """
+        try:
+            return storage_dtype(value.type)
+        except (ValueError, AttributeError):
+            return None
+
+    # The same read-only operand arrays _reader would materialise.
+    def materialize(value) -> np.ndarray:
+        if isinstance(value, (ConstantInt, ConstantFloat)):
+            arr = np.full(WARP_SIZE, value.value,
+                          dtype=storage_dtype(value.type))
+        elif isinstance(value, Undef):
+            arr = np.zeros(WARP_SIZE, dtype=storage_dtype(value.type))
+        else:  # GlobalVariable
+            arr = np.full(WARP_SIZE, machine._global_addrs[value.name],
+                          dtype=np.int64)
+        arr.setflags(write=False)
+        return arr
+
+    local: Dict[int, str] = {}      # id(inst) -> segment-local var
+    fresh: Dict[int, bool] = {}     # local holds a freshly-owned array
+    liveflag: Dict[int, bool] = {}  # local was stored to values[]
+    dtypes: Dict[int, object] = {}
+    last_read: Dict[int, int] = {}  # id(value) -> last step index reading it
+    names: Dict[int, str] = {}      # values[]-read ids -> %name (diagnostics)
+    for j, inst in enumerate(insts):
+        for op in inst.operands:
+            last_read[id(op)] = j
+
+    def operand(value) -> str:
+        vid = id(value)
+        name = local.get(vid)
+        if name is not None:
+            return name
+        if isinstance(value, (ConstantInt, ConstantFloat, Undef,
+                              GlobalVariable)):
+            key = hoisted.get(vid)
+            if key is None:
+                key = f"K{len(hoisted)}"
+                hoisted[vid] = key
+                ns[key] = materialize(value)
+            return key
+        if isinstance(value, Argument):
+            return f"args[{slot(vid)}]"
+        names[vid] = value.name
+        return f"values[{slot(vid)}]"
+
+    def const_clip(value, as_dtype=None) -> Optional[str]:
+        """Hoist ``np.clip(const, 0, 63)`` (the shift-amount clamp) once.
+
+        Shift amounts are almost always literals; clamping the same
+        constant array on every iteration is pure loop-invariant work.
+        The precomputed array is exactly what the per-iteration clip
+        would produce, so values are untouched.
+        """
+        if not isinstance(value, (ConstantInt, Undef)):
+            return None
+        arr = np.clip(materialize(value), 0, 63)
+        if as_dtype is not None:
+            arr = arr.astype(as_dtype)
+        arr.setflags(write=False)
+        return hoist(arr, "P")
+
+    def reuse_target(inst, j: int, a: str, b: str, dt) -> Optional[str]:
+        # A dead (non-liveout), fresh, same-dtype operand temporary whose
+        # last read is this very step can absorb the result in place.
+        for val, expr in ((inst.lhs, a), (inst.rhs, b)):
+            vid = id(val)
+            if (local.get(vid) == expr and fresh.get(vid)
+                    and not liveflag.get(vid) and last_read.get(vid) == j
+                    and dtypes.get(vid) == dt):
+                return expr
+        return None
+
+    def int_binop(inst, j: int, opc: str, a: str, b: str, dt) -> str:
+        sym = _SYM[opc]
+        tgt = reuse_target(inst, j, a, b, dt)
+        if tgt is None:
+            return f"({a} {sym} {b})"
+        other = b if tgt == a else a
+        # Guard on shape: ufunc out= cannot broadcast the output.
+        return (f"({_UFUNC[opc]}({a}, {b}, out={tgt}) "
+                f"if {tgt}.shape == {other}.shape else {a} {sym} {b})")
+
+    lines: List[str] = ["def _fused(ctx, args, values):"]
+    stored: List[Tuple[int, object]] = []
+    for j, inst in enumerate(insts):
+        meta = steps[lo + j][7]
+        iid, dt = meta[0], meta[1]
+        # ``rdt``: the expression's result dtype when statically provable
+        # from the operands' storage dtypes; the per-step runtime dtype
+        # check is emitted only when ``rdt`` is unknown or differs from
+        # the storage dtype (the check would then astype, exactly like
+        # the unfused executor's post-run normalization).
+        rdt = None
+        if isinstance(inst, BinaryInst):
+            opc = inst.opcode
+            a, b = operand(inst.lhs), operand(inst.rhs)
+            da, db_ = static_dtype(inst.lhs), static_dtype(inst.rhs)
+            bits = inst.type.bits if isinstance(inst.type, IntType) else 64
+            wrap = bits < 64
+            fresh_r = True
+            if opc in ("add", "sub", "mul"):
+                if wrap:
+                    expr = f"W({a} {_SYM[opc]} {b}, {bits})"
+                else:
+                    expr = int_binop(inst, j, opc, a, b, dt)
+                    if da is np.int64 and db_ is np.int64:
+                        rdt = np.int64
+            elif opc in ("fadd", "fsub", "fmul"):
+                expr = f"{_F_HELPER[opc]}({a}, {b})"
+                if da is db_ and da in (np.float32, np.float64):
+                    rdt = da
+            elif opc in ("and", "or", "xor"):
+                # No wrap masking, exactly like the specialized closure.
+                expr = int_binop(inst, j, opc, a, b, dt)
+                if da is db_ and da in (np.int64, np.bool_):
+                    rdt = da
+            elif opc in ("shl", "ashr"):
+                sh = "<<" if opc == "shl" else ">>"
+                shift = const_clip(inst.rhs) or f"np.clip({b}, 0, 63)"
+                core = f"{a} {sh} {shift}"
+                expr = f"W({core}, {bits})" if wrap else f"({core})"
+                if not wrap and da is np.int64 and db_ is np.int64:
+                    rdt = np.int64
+            elif opc == "lshr" and not wrap:
+                # Inlined from _binary_op's lshr branch (the bits-64
+                # case, where the operand-width mask and the final wrap
+                # are both no-ops): pure integer numpy ops never warn,
+                # so the errstate guard is dead weight here.
+                shift = (const_clip(inst.rhs, np.uint64)
+                         or f"np.clip({b}, 0, 63).astype(np.uint64)")
+                expr = (f"(({a}.astype(np.uint64) >> {shift})"
+                        f".astype(np.int64))")
+                rdt = np.int64
+            else:
+                # Division family and sub-width lshr: generic path
+                # (errstate and width masking self-managed).
+                expr = f"B({opc!r}, {a}, {b}, {hoist(inst.type, 'T')})"
+        elif isinstance(inst, ICmpInst):
+            a, b = operand(inst.lhs), operand(inst.rhs)
+            pred = inst.predicate
+            fresh_r = True
+            rdt = np.bool_
+            if pred.startswith("u") and pred not in ("ueq",):
+                sym = _UCMP_SYM[pred]
+                expr = (f"({a}.astype(np.uint64) {sym} "
+                        f"{b}.astype(np.uint64))")
+            else:
+                expr = f"({a} {_ICMP_SYM[pred]} {b})"
+        elif isinstance(inst, FCmpInst):
+            a, b = operand(inst.lhs), operand(inst.rhs)
+            expr = f"FC({inst.predicate!r}, {a}, {b})"
+            fresh_r = True
+        elif isinstance(inst, SelectInst):
+            c = operand(inst.condition)
+            t, f = operand(inst.true_value), operand(inst.false_value)
+            # i1 storage is np.bool_ already; astype(bool) would copy.
+            cond = (c if static_dtype(inst.condition) is np.bool_
+                    else f"{c}.astype(bool)")
+            expr = f"np.where({cond}, {t}, {f})"
+            dtt = static_dtype(inst.true_value)
+            if dtt is static_dtype(inst.false_value):
+                rdt = dtt
+            fresh_r = True
+        elif isinstance(inst, CastInst):
+            v = operand(inst.value)
+            expr = (f"CO({inst.opcode!r}, {v}, {hoist(inst.type, 'T')}, "
+                    f"{hoist(inst.value.type, 'T')})")
+            fresh_r = False  # some casts may return views
+        elif isinstance(inst, GEPInst):
+            b_, i_ = operand(inst.pointer), operand(inst.index)
+            elem = inst.element_type.size_bytes()
+            expr = f"({b_} + {i_}.astype(np.int64) * {elem})"
+            if static_dtype(inst.pointer) is np.int64:
+                rdt = np.int64
+            fresh_r = True
+        else:  # CallInst (checked fusible above)
+            name = inst.intrinsic.name
+            geo = _GEOMETRY.get(name)
+            if geo is not None:
+                expr = geo
+                fresh_r = False  # shared read-only context array
+            else:
+                argl = ", ".join(operand(a) for a in inst.operands)
+                impl = INTRINSIC_IMPLS[name]
+                expr = f"IC({hoist(impl, 'I')}, [{argl}])"
+                fresh_r = False  # impl may pass an input through
+
+        var = f"v{j}"
+        lines.append(f"    {var} = {expr}")
+        if rdt is not dt:
+            dn = hoist(dt, "D")
+            lines.append(f"    if {var}.dtype != {dn}:")
+            lines.append(f"        {var} = {var}.astype({dn})")
+        if live[j]:
+            lines.append(f"    values[{slot(iid)}] = {var}")
+            stored.append((iid, dt))
+        local[iid] = var
+        fresh[iid] = fresh_r
+        liveflag[iid] = bool(live[j])
+        dtypes[iid] = dt
+
+    src = "\n".join(lines) + "\n"
+    filename = f"<fused:{func_name}:{db.name}:{lo}>"
+    code = _CODE_CACHE.get((filename, src))
+    if code is None:
+        if len(_CODE_CACHE) >= _CODE_CACHE_LIMIT:
+            _CODE_CACHE.clear()
+        code = compile(src, filename, "exec")
+        _CODE_CACHE[(filename, src)] = code
+    exec(code, ns)
+    return ns["_fused"], names, tuple(stored)

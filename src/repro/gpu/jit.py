@@ -40,10 +40,21 @@ from .counters import Counters, N_CATEGORIES
 from .icache import InstructionCache
 from .machine import (WARP_SIZE, SimulationError, _BR_COST, _CAT_CONTROL,
                       _CAT_MISC, _K_VALUE, _K_VOID)
+from .region_cache import flush_region_feedback, load_or_compile_regions
 from .regions import (CompiledRegion, GUARD_DEMOTE_FAILS, R_DIAMOND,
                       R_EXIT_BR, R_EXIT_CONDBR, R_GUARD, R_NEXT, R_RET,
-                      R_UNREACHABLE, S_MEM, S_VALUE, compile_regions,
+                      R_UNREACHABLE, S_FUSED, S_MEM, S_VALUE,
                       demote_guard, drop_cold_region)
+
+
+def _raise_undef(exc: KeyError, names) -> None:
+    """Map a fused closure's missing-slot KeyError to the interpreter's
+    undefined-value diagnostic; anything else re-raises unchanged."""
+    key = exc.args[0] if exc.args else None
+    name = names.get(key) if isinstance(names, dict) else None
+    if name is None:
+        raise
+    raise SimulationError(f"use of undefined value %{name}") from None
 
 
 def run_launch_jit(machine, func, entry, grid_dim: int, block_dim: int,
@@ -52,7 +63,7 @@ def run_launch_jit(machine, func, entry, grid_dim: int, block_dim: int,
     """Run one launch on the jit engine (same contract as batched)."""
     regions = machine._regions.get(id(func))
     if regions is None:
-        regions = compile_regions(func.name, entry, machine.profile)
+        regions = load_or_compile_regions(machine, func, entry)
         machine._regions[id(func)] = regions
     warps = (block_dim + WARP_SIZE - 1) // WARP_SIZE
     n = grid_dim * warps
@@ -71,9 +82,14 @@ def run_launch_jit(machine, func, entry, grid_dim: int, block_dim: int,
                         [(0, entry, active)])
     results = _Results(n)
     worklist = [state]
-    while worklist:
-        _run_state_jit(machine, func, worklist.pop(), arg_values, total,
-                       results, worklist, regions)
+    try:
+        while worklist:
+            _run_state_jit(machine, func, worklist.pop(), arg_values, total,
+                           results, worklist, regions)
+    finally:
+        # Guard feedback (truncations / drops) reshaped the map: persist
+        # the improved plan so the next cold process starts from it.
+        flush_region_feedback(regions)
 
     ret_all: List[np.ndarray] = []
     fetch_stalls = 0
@@ -329,6 +345,12 @@ def _region_self_scalar(machine, func, region: CompiledRegion, op,
             cy += c
             cats[ci] += c
         for run, iid, dt in vsteps:
+            if iid is None:  # Fused segment: one call for a whole chain.
+                try:
+                    run(ctx, arg_values, values)
+                except KeyError as exc:
+                    _raise_undef(exc, dt)
+                continue
             arr = run(ctx, arg_values)
             if arr.dtype != dt:
                 arr = arr.astype(dt)
@@ -418,6 +440,12 @@ def _region_scalar(machine, func, region: CompiledRegion, epoch: int,
             cy += c
             cats[ci] += c
         for run, iid, dt in op.vsteps:
+            if iid is None:  # Fused segment: one call for a whole chain.
+                try:
+                    run(ctx, arg_values, values)
+                except KeyError as exc:
+                    _raise_undef(exc, dt)
+                continue
             arr = run(ctx, arg_values)
             if arr.dtype != dt:
                 arr = arr.astype(dt)
@@ -594,6 +622,18 @@ def _region_vector(machine, func, region: CompiledRegion, epoch: int,
                 if arr.dtype != dt:
                     arr = arr.astype(dt)
                 values[iid] = arr
+            elif tag == S_FUSED:
+                # Replay the folded per-step charges in original order
+                # (float accumulation is order-sensitive), then compute
+                # the whole chain in one generated call.
+                _t, charges, run, names = entry
+                for c, ci in charges:
+                    cycles += c
+                    cat[:, ci] += c
+                try:
+                    run(ctx, arg_values, values)
+                except KeyError as exc:
+                    _raise_undef(exc, names)
             elif tag == S_MEM:
                 _t, c, ci, brun = entry
                 cycles += c

@@ -529,8 +529,11 @@ class SimtMachine:
             # e.g. syncthreads: only the issue timing is charged.
             return (category, cat_idx, cost, _K_VOID, None, None, None, None)
 
+        # meta carries the Instruction itself so the region fuser
+        # (gpu/fuser.py) can regenerate the value expression from IR.
         return (category, cat_idx, cost, _K_VALUE, self._value_fn(inst),
-                None, self._writer(inst), (id(inst), _storage_dtype(inst.type)))
+                None, self._writer(inst),
+                (id(inst), _storage_dtype(inst.type), inst))
 
     def _value_fn(self, inst: Instruction):
         """Closure computing one instruction's value (operands pre-bound)."""

@@ -43,6 +43,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..obs import session as obs_session
+from .fuser import FuseContext, fusion_enabled
 from .machine import (_BR_COST, _CONDBR_COST, _PHI_COST, _RET_COST,
                       _CAT_CONTROL, _K_LOAD, _K_STORE, _K_VALUE, _K_VOID,
                       _T_BR, _T_CONDBR, _T_MISSING, _T_RET, _T_UNREACHABLE,
@@ -86,6 +87,7 @@ _CAT_ATTR = {"misc": "inst_misc", "control": "inst_control",
 S_VALUE = 0
 S_MEM = 1
 S_VOID = 2
+S_FUSED = 3
 
 
 class RegionOp:
@@ -96,7 +98,7 @@ class RegionOp:
                  "kind", "next_i", "bump", "moves", "phi_c", "read_cond",
                  "expected", "true_edge", "false_edge", "exit_edge", "ret",
                  "load_ids", "fails", "passes", "arm_t", "arm_f",
-                 "arms_t_first")
+                 "arms_t_first", "stored", "fuse_plan")
 
     def __init__(self, db: _DecodedBlock) -> None:
         self.block_id = db.block_id
@@ -127,6 +129,8 @@ class RegionOp:
         self.arm_t = None            # R_DIAMOND compiled arms (_compile_arm).
         self.arm_f = None
         self.arms_t_first = True     # True arm has the lower rpo.
+        self.stored = ()             # (iid, dtype) slots this op rebinds.
+        self.fuse_plan = ()          # ((lo, hi, liveouts), ...) fused spans.
 
 
 class CompiledRegion:
@@ -134,7 +138,8 @@ class CompiledRegion:
 
     __slots__ = ("head_id", "head_name", "ops", "scalar_ok", "norm",
                  "n_guards", "loopback", "self_loop", "entries",
-                 "entry_fails")
+                 "entry_fails", "fused_segments", "fused_steps",
+                 "max_chain")
 
     def __init__(self, head_id: int, head_name: str, ops: List[RegionOp],
                  norm: Tuple, n_guards: int, loopback: bool) -> None:
@@ -159,19 +164,66 @@ class CompiledRegion:
         #: Entry feedback: full-mask entries vs. partial-mask dispatches.
         self.entries = 0
         self.entry_fails = 0
+        #: Fusion telemetry (see gpu/fuser.py), folded into remarks and
+        #: the region-cache session counters.
+        self.fused_segments = sum(len(op.fuse_plan) for op in self.ops)
+        self.fused_steps = sum(hi - lo for op in self.ops
+                               for lo, hi, _live in op.fuse_plan)
+        self.max_chain = max((hi - lo for op in self.ops
+                              for lo, hi, _live in op.fuse_plan), default=0)
 
 
-def compile_regions(func_name: str, entry: _DecodedBlock,
-                    profile=None) -> Dict[int, CompiledRegion]:
+class RegionMap(dict):
+    """``{head block id -> CompiledRegion}`` plus persistence bookkeeping.
+
+    ``key`` is the region-cache content key the map was loaded from or
+    stored under (None when the persistent cache is bypassed); ``dirty``
+    flips when guard feedback reshapes the map (truncation / drop) so
+    the improved plan can be re-persisted after the launch.
+    """
+
+    __slots__ = ("fuse", "key", "dirty", "func_name")
+
+    def __init__(self, fuse: bool = False, func_name: str = "") -> None:
+        super().__init__()
+        self.fuse = fuse
+        self.key: Optional[str] = None
+        self.dirty = False
+        self.func_name = func_name
+
+
+def _mark_dirty(regions) -> None:
+    if isinstance(regions, RegionMap):
+        regions.dirty = True
+
+
+class PlanMismatch(Exception):
+    """A persisted region plan no longer matches the decoded function."""
+
+
+def compile_regions(machine, func, entry: Optional[_DecodedBlock] = None,
+                    profile=None, fuse: Optional[bool] = None) -> RegionMap:
     """Select and compile all superblocks of one decoded function.
 
     Heads are seeded from the function entry and, transitively, from
     every branch target observed while tracing — i.e. every block the
     dispatcher could ever park a group at.  Emits one ``analysis``
     remark per compiled or rejected region through the obs layer.
+
+    ``fuse`` overrides the ``REPRO_JIT_FUSE`` gate (None: follow it);
+    the machine and function are needed so the expression fuser can
+    hoist global addresses and compute function-wide use counts.
     """
+    if entry is None:
+        entry = machine._decode(func)
+    if profile is None:
+        profile = machine.profile
+    if fuse is None:
+        fuse = fusion_enabled()
+    func_name = func.name
+    fuse_ctx = FuseContext(machine, func) if fuse else None
     hits = profile.block_hits if profile is not None else {}
-    regions: Dict[int, CompiledRegion] = {}
+    regions = RegionMap(fuse=bool(fuse), func_name=func_name)
     done = set()
     work = [entry]
     while work:
@@ -179,7 +231,7 @@ def compile_regions(func_name: str, entry: _DecodedBlock,
         if head.block_id in done:
             continue
         done.add(head.block_id)
-        region, succs, reason = _build_region(head, hits)
+        region, succs, reason = _build_region(head, hits, fuse_ctx)
         for tgt in succs:
             if tgt.block_id not in done:
                 work.append(tgt)
@@ -199,7 +251,9 @@ def compile_regions(func_name: str, entry: _DecodedBlock,
             steps=sum(len(op.steps) for op in region.ops),
             diamonds=sum(1 for op in region.ops if op.kind == R_DIAMOND),
             mode="scalar" if region.scalar_ok else "vector",
-            loopback=region.loopback)
+            loopback=region.loopback,
+            fused=region.fused_steps,
+            fused_segments=region.fused_segments)
     return regions
 
 
@@ -227,7 +281,8 @@ def _pick_side(db: _DecodedBlock, true_edge, false_edge, head_id: int,
     return True
 
 
-def _build_region(head: _DecodedBlock, hits: Dict[str, int]):
+def _build_region(head: _DecodedBlock, hits: Dict[str, int],
+                  fuse_ctx: Optional[FuseContext] = None):
     """Grow one trace from ``head``; returns (region|None, succs, reason).
 
     ``succs`` collects every branch-target block encountered — the seed
@@ -327,7 +382,7 @@ def _build_region(head: _DecodedBlock, hits: Dict[str, int]):
         # A bare jump/return stub: the interpreter's single dispatch is
         # already minimal, and compiling it would only add indirection.
         return None, succs, "trivial: single empty block, no loop"
-    ops = [_compile_op(db, decision) for db, decision in decisions]
+    ops = [_compile_op(db, decision, fuse_ctx) for db, decision in decisions]
     _finalize_moves(ops)
     return (CompiledRegion(head.block_id, head.name, ops, _norm_of(ops),
                            guards, loopback),
@@ -374,7 +429,7 @@ def _finalize_moves(ops: List[RegionOp]) -> None:
     Exit-time normalization breaks any surviving alias between two
     region slots before the interpreter regains masked-write access.
     """
-    safe = {iid for op in ops for _run, iid, _dt in op.vsteps}
+    safe = {iid for op in ops for iid, _dt in op.stored}
     safe |= {pid for op in ops for pid, _read, _dt, _sid in op.moves}
     safe -= {iid for op in ops for iid in op.load_ids}
     for op in ops:
@@ -392,28 +447,69 @@ def _finalize_moves(ops: List[RegionOp]) -> None:
 def _norm_of(ops) -> Tuple:
     """Slots a region can rebind: value steps plus phi destinations."""
     return tuple(dict.fromkeys(  # Preserve order, drop duplicates.
-        [(iid, dt) for op in ops for _run, iid, dt in op.vsteps]
+        [(iid, dt) for op in ops for iid, dt in op.stored]
         + [(pid, dt) for op in ops for pid, _read, dt, _nc in op.moves]))
 
 
-def _compile_op(db: _DecodedBlock, decision: Tuple) -> RegionOp:
-    """Flatten one decoded block (plus its trace decision) into a RegionOp."""
+def _compile_op(db: _DecodedBlock, decision: Tuple,
+                fuse_ctx: Optional[FuseContext] = None) -> RegionOp:
+    """Flatten one decoded block (plus its trace decision) into a RegionOp.
+
+    With a :class:`FuseContext`, maximal memory-free chains of fusible
+    value steps collapse into single ``S_FUSED`` entries: one generated
+    closure computes the whole chain, and the per-step cycle charges —
+    folded here in original step order — are replayed by the executor
+    before the call, so ``Counters`` are bit-identical to the unfused
+    path (charge accumulation is independent of value computation).
+    """
     op = RegionOp(db)
     steps: List[Tuple] = []
     vsteps: List[Tuple] = []
     acct: List[Tuple[float, int]] = []
     cats: Dict[str, int] = {}
     load_ids: List[int] = []
+    stored: List[Tuple[int, object]] = []
+    fuse_plan: List[Tuple[int, int, Tuple[int, ...]]] = []
     issues = 0
-    for category, cat_idx, cost, kind, run, brun, _write, meta in db.steps:
+    segments = fuse_ctx.segments_for(db) if fuse_ctx is not None else ()
+    seg_iter = iter(segments)
+    seg = next(seg_iter, None)
+    db_steps = db.steps
+    i = 0
+    while i < len(db_steps):
+        if seg is not None and i == seg[0]:
+            lo, hi, live = seg
+            charges: List[Tuple[float, int]] = []
+            for k in range(lo, hi):
+                category, cat_idx, cost = db_steps[k][0], db_steps[k][1], \
+                    db_steps[k][2]
+                c = cost * _FULL_FACTOR
+                acct.append((c, cat_idx))
+                issues += 1
+                cats[category] = cats.get(category, 0) + 1
+                charges.append((c, cat_idx))
+            fn, names, seg_stored = fuse_ctx.compile_segment(db, lo, hi,
+                                                             live)
+            steps.append((S_FUSED, tuple(charges), fn, names))
+            # Scalar executors key on iid=None; the dtype slot carries
+            # the diagnostics name map instead.
+            vsteps.append((fn, None, names))
+            stored.extend(seg_stored)
+            fuse_plan.append((lo, hi, tuple(live)))
+            seg = next(seg_iter, None)
+            i = hi
+            continue
+        category, cat_idx, cost, kind, run, brun, _write, meta = db_steps[i]
+        i += 1
         c = cost * _FULL_FACTOR
         acct.append((c, cat_idx))
         issues += 1
         cats[category] = cats.get(category, 0) + 1
         if kind == _K_VALUE:
-            iid, dt = meta
+            iid, dt = meta[0], meta[1]
             steps.append((S_VALUE, c, cat_idx, run, iid, dt))
             vsteps.append((run, iid, dt))
+            stored.append((iid, dt))
         elif kind in (_K_LOAD, _K_STORE):
             op.has_mem = True
             steps.append((S_MEM, c, cat_idx, brun))
@@ -476,6 +572,8 @@ def _compile_op(db: _DecodedBlock, decision: Tuple) -> RegionOp:
     op.vsteps = tuple(vsteps)
     op.acct = tuple(acct)
     op.load_ids = tuple(load_ids)
+    op.stored = tuple(stored)
+    op.fuse_plan = tuple(fuse_plan)
     op.issues = issues
     op.cat_counts = tuple(
         (_CAT_ATTR[cat], count) for cat, count in cats.items()
@@ -516,6 +614,7 @@ def demote_guard(regions: Dict[int, "CompiledRegion"],
     """
     old = region.ops[op_index]
     fails = old.fails
+    _mark_dirty(regions)
     if op_index == 0 and not old.steps:
         del regions[region.head_id]
         obs_session.remark(
@@ -557,6 +656,7 @@ def drop_cold_region(regions: Dict[int, CompiledRegion],
     divergent halves of an if/else, always entered under partial masks.
     Scheduling policy only; execution is unaffected.
     """
+    _mark_dirty(regions)
     del regions[region.head_id]
     obs_session.remark(
         "analysis", "jit", func_name,
@@ -564,3 +664,182 @@ def drop_cold_region(regions: Dict[int, CompiledRegion],
         f"{region.entry_fails} dispatches without a full mask",
         head=region.head_name, entry_fails=region.entry_fails,
         action="dropped")
+
+
+# ---------------------------------------------------------------------------
+# Region-plan persistence (see gpu/region_cache.py)
+# ---------------------------------------------------------------------------
+# Compiled regions close over live object ids, so what persists across
+# processes is the *plan*: which blocks each trace covers, every branch
+# decision, and the fused-segment spans.  Replaying a plan against a
+# freshly decoded function skips selection and chain analysis; every
+# structural fact is re-validated against the decoded CFG and any
+# mismatch raises PlanMismatch, which the cache treats as a miss —
+# a stale plan can only ever cost a fresh compile, never correctness.
+
+def extract_plan(regions: RegionMap) -> Dict[str, object]:
+    """Serialize a region map into a JSON-able, order-deterministic plan."""
+    plan_regions = []
+    for head_id in sorted(regions, key=lambda h: regions[h].head_name):
+        region = regions[head_id]
+        ops = []
+        for op in region.ops:
+            entry: Dict[str, object] = {"name": op.name, "kind": op.kind}
+            if op.kind in (R_NEXT, R_GUARD, R_DIAMOND):
+                entry["next"] = op.next_i
+            if op.kind == R_GUARD:
+                entry["expected"] = bool(op.expected)
+            if op.kind == R_DIAMOND:
+                entry["arm_t"] = op.arm_t[2]
+                entry["arm_f"] = op.arm_f[2]
+            if op.fuse_plan:
+                entry["fuse"] = [[lo, hi, list(live)]
+                                 for lo, hi, live in op.fuse_plan]
+            ops.append(entry)
+        plan_regions.append({"head": region.head_name,
+                             "loopback": bool(region.loopback),
+                             "guards": region.n_guards,
+                             "ops": ops})
+    return {"regions": plan_regions}
+
+
+def _block_map(entry: _DecodedBlock) -> Dict[str, _DecodedBlock]:
+    """Name -> decoded block over everything reachable from ``entry``.
+
+    Ambiguously named blocks are removed — a plan referencing one fails
+    validation and falls back to a fresh compile.
+    """
+    blocks: Dict[str, _DecodedBlock] = {}
+    ambiguous = set()
+    stack = [entry]
+    seen = set()
+    while stack:
+        db = stack.pop()
+        if db.block_id in seen:
+            continue
+        seen.add(db.block_id)
+        if db.name in blocks and blocks[db.name] is not db:
+            ambiguous.add(db.name)
+        else:
+            blocks[db.name] = db
+        tk = db.term_kind
+        if tk == _T_BR:
+            stack.append(db.term.target)
+        elif tk == _T_CONDBR:
+            stack.append(db.term[1].target)
+            stack.append(db.term[2].target)
+    for name in ambiguous:
+        blocks.pop(name, None)
+    return blocks
+
+
+def replay_plan(machine, func, entry: _DecodedBlock,
+                plan: Dict[str, object], fuse: bool) -> RegionMap:
+    """Rebuild a RegionMap from a persisted plan; raises PlanMismatch."""
+    try:
+        plan_regions = plan["regions"]
+    except (TypeError, KeyError):
+        raise PlanMismatch("malformed plan")
+    blocks = _block_map(entry)
+    fuse_ctx = None
+    if fuse:
+        segs: Dict[str, Tuple] = {}
+        for rp in plan_regions:
+            for opp in rp.get("ops", ()):
+                if "fuse" in opp:
+                    segs[opp["name"]] = tuple(
+                        (int(lo), int(hi), tuple(int(x) for x in live))
+                        for lo, hi, live in opp["fuse"])
+        fuse_ctx = FuseContext(machine, func, plan=segs)
+    regions = RegionMap(fuse=bool(fuse), func_name=func.name)
+    for rp in plan_regions:
+        head = blocks.get(rp.get("head"))
+        if head is None:
+            raise PlanMismatch(f"unknown head {rp.get('head')!r}")
+        region = _replay_region(head, rp, fuse_ctx)
+        regions[head.block_id] = region
+    return regions
+
+
+def _replay_region(head: _DecodedBlock, rp: Dict[str, object],
+                   fuse_ctx: Optional[FuseContext]) -> CompiledRegion:
+    """Re-derive one region's decision list from its plan entry."""
+    ops_plan = rp.get("ops") or []
+    if not ops_plan:
+        raise PlanMismatch("empty op list")
+    decisions: List[Tuple[_DecodedBlock, Tuple]] = []
+    seen = {head.block_id}
+    cur: Optional[_DecodedBlock] = head
+    last = len(ops_plan) - 1
+    for i, opp in enumerate(ops_plan):
+        if cur is None or cur.name != opp.get("name"):
+            raise PlanMismatch(f"block mismatch at op {i}")
+        kind = opp.get("kind")
+        tk = cur.term_kind
+        nxt: Optional[Tuple[int, _DecodedBlock]] = None
+        if kind == R_RET:
+            if tk != _T_RET:
+                raise PlanMismatch("terminator changed (ret)")
+            decisions.append((cur, (R_RET, None)))
+        elif kind == R_UNREACHABLE:
+            if tk != _T_UNREACHABLE:
+                raise PlanMismatch("terminator changed (unreachable)")
+            decisions.append((cur, (R_UNREACHABLE, None)))
+        elif kind in (R_NEXT, R_EXIT_BR):
+            if tk != _T_BR:
+                raise PlanMismatch("terminator changed (br)")
+            edge = cur.term
+            if kind == R_EXIT_BR:
+                decisions.append((cur, (R_EXIT_BR, edge)))
+            else:
+                ni = int(opp.get("next", 0))
+                decisions.append((cur, (R_NEXT, edge, ni)))
+                nxt = (ni, edge.target)
+        elif kind in (R_GUARD, R_EXIT_CONDBR, R_DIAMOND):
+            if tk != _T_CONDBR:
+                raise PlanMismatch("terminator changed (condbr)")
+            read_cond, t_edge, f_edge = cur.term
+            if kind == R_EXIT_CONDBR:
+                decisions.append((cur, (R_EXIT_CONDBR, read_cond, t_edge,
+                                        f_edge)))
+            elif kind == R_GUARD:
+                expected = bool(opp.get("expected", True))
+                chosen = t_edge if expected else f_edge
+                ni = int(opp.get("next", 0))
+                decisions.append((cur, (R_GUARD, read_cond, expected,
+                                        t_edge, f_edge, chosen, ni)))
+                nxt = (ni, chosen.target)
+            else:
+                dia = _try_diamond(t_edge, f_edge, seen)
+                if dia is None:
+                    raise PlanMismatch("diamond shape changed")
+                ta, fa, join = dia
+                if (ta.name != opp.get("arm_t")
+                        or fa.name != opp.get("arm_f")):
+                    raise PlanMismatch("diamond arms changed")
+                ni = int(opp.get("next", 0))
+                decisions.append((cur, (R_DIAMOND, read_cond, t_edge,
+                                        f_edge, ta, fa, ni)))
+                seen.update((ta.block_id, fa.block_id))
+                nxt = (ni, join)
+        else:
+            raise PlanMismatch(f"unknown op kind {kind!r}")
+        if nxt is None:
+            if i != last:
+                raise PlanMismatch("terminal op mid-plan")
+            cur = None
+        else:
+            ni, tgt = nxt
+            if ni == 0:
+                if tgt.block_id != head.block_id or i != last:
+                    raise PlanMismatch("bad loopback edge")
+                cur = None
+            else:
+                if ni != i + 1 or i == last:
+                    raise PlanMismatch("bad internal edge")
+                seen.add(tgt.block_id)
+                cur = tgt
+    ops = [_compile_op(db, decision, fuse_ctx) for db, decision in decisions]
+    _finalize_moves(ops)
+    return CompiledRegion(head.block_id, head.name, ops, _norm_of(ops),
+                          int(rp.get("guards", 0)), bool(rp.get("loopback")))

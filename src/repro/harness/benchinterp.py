@@ -20,6 +20,17 @@ pin down the launch-vectorized engine's performance envelope:
   hysteresis the lone warp was permanently handed to the per-warp
   engine at the split; with hysteresis it continues as a one-row batch
   and keeps the vectorized (and jit-compiled) fast path.
+* ``chain``     — a long memory-free binop/select chain in a uniform
+  self-loop: the jit's expression fuser collapses the whole body into
+  one generated closure, so this kernel measures fusion headroom pure.
+* ``chaindia``  — the same chain split around an intra-warp divergent
+  diamond: fused segments bracket a masked R_DIAMOND, pinning the cost
+  of fusion boundaries at control flow the fuser must not cross.
+
+Besides the real engines, the jit is timed twice — once as ``jit``
+(fusion on, the default) and once as ``jit-nofuse`` (``REPRO_JIT_FUSE=0``
+for the duration of those launches) — so the fuser's contribution is a
+column, not a guess.
 
 Before any timing is reported the two engines' :class:`Counters` (and
 return buffers) are asserted equal — a benchmark comparing two engines
@@ -45,6 +56,7 @@ from statistics import median
 from typing import Dict, List, Optional, Tuple
 
 from ..gpu.counters import Counters
+from ..gpu.fuser import FUSE_ENV
 from ..gpu.machine import ENGINES, WARP_SIZE, SimtMachine
 from ..gpu.memory import Memory
 from ..ir.parser import parse_module
@@ -161,10 +173,81 @@ exit:
   ret i64 %acc.next
 }
 """),
+    ("chain", False, """
+define i64 @chain(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %ctaid = call i64 @ctaid.x()
+  %ntid = call i64 @ntid.x()
+  %base = mul i64 %ctaid, %ntid
+  %gid = add i64 %base, %tid
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %acc = phi i64 [ %gid, %entry ], [ %acc.next, %loop ]
+  %t1 = mul i64 %acc, 1103515245
+  %t2 = add i64 %t1, 12345
+  %t3 = xor i64 %t2, %i
+  %t4 = lshr i64 %t3, 9
+  %t5 = add i64 %t4, %t2
+  %t6 = mul i64 %t5, 69069
+  %t7 = xor i64 %t6, %t4
+  %t8 = lshr i64 %t7, 5
+  %t9 = add i64 %t8, %t6
+  %t10 = and i64 %t9, 1048575
+  %big = icmp sgt i64 %t10, 524287
+  %sel = select i1 %big, i64 %t9, i64 %t10
+  %acc.next = and i64 %sel, 16777215
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""),
+    ("chaindia", False, """
+define i64 @chaindia(i64 %n) {
+entry:
+  %tid = call i64 @tid.x()
+  %bit = and i64 %tid, 1
+  %odd = icmp eq i64 %bit, 1
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %join ]
+  %acc = phi i64 [ %tid, %entry ], [ %acc.next, %join ]
+  %t1 = mul i64 %acc, 1103515245
+  %t2 = add i64 %t1, 12345
+  %t3 = xor i64 %t2, %i
+  %t4 = lshr i64 %t3, 9
+  %t5 = add i64 %t4, %t2
+  br i1 %odd, label %a, label %b
+a:
+  %x = mul i64 %t5, 3
+  br label %join
+b:
+  %y = add i64 %t5, 7
+  br label %join
+join:
+  %m = phi i64 [ %x, %a ], [ %y, %b ]
+  %u1 = xor i64 %m, %t4
+  %u2 = lshr i64 %u1, 3
+  %u3 = add i64 %u2, %m
+  %acc.next = and i64 %u3, 1048575
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""),
 )
 
 #: Loop bound handed to every kernel as %n.
 DEFAULT_TRIPS = 200
+
+#: What gets timed: the real engines plus the fusion-disabled jit
+#: pseudo-engine (``REPRO_JIT_FUSE=0`` scoped to its launches).
+TIMED_ENGINES = ENGINES + ("jit-nofuse",)
 
 
 @dataclass
@@ -194,6 +277,11 @@ class KernelTiming:
         """Jit throughput over batched throughput."""
         return self.seconds["batched"] / self.seconds["jit"]
 
+    @property
+    def fused_speedup(self) -> float:
+        """Fused jit throughput over fusion-disabled jit throughput."""
+        return self.seconds["jit-nofuse"] / self.seconds["jit"]
+
 
 class EngineMismatch(AssertionError):
     """The two engines disagreed — the benchmark refuses to time them."""
@@ -202,6 +290,18 @@ class EngineMismatch(AssertionError):
 def _launch_once(text: str, name: str, needs_buf: bool, engine: str,
                  warps: int, trips: int):
     """One fresh launch; returns ``(counters, return_or_buffer_bytes)``."""
+    if engine == "jit-nofuse":
+        # The fusion-disabled jit is a measurement configuration, not a
+        # real engine: scope REPRO_JIT_FUSE=0 to exactly this launch.
+        prev = os.environ.get(FUSE_ENV)
+        os.environ[FUSE_ENV] = "0"
+        try:
+            return _launch_once(text, name, needs_buf, "jit", warps, trips)
+        finally:
+            if prev is None:
+                os.environ.pop(FUSE_ENV, None)
+            else:
+                os.environ[FUSE_ENV] = prev
     module = parse_module(text, name)
     memory = Memory()
     block_dim = warps * WARP_SIZE
@@ -233,7 +333,7 @@ def bench_kernel(name: str, needs_buf: bool, text: str, warps: int,
     """Time one kernel under both engines (median of ``repeats``)."""
     reference: Optional[Tuple[Counters, bytes]] = None
     seconds: Dict[str, float] = {}
-    for engine in ENGINES:
+    for engine in TIMED_ENGINES:
         samples = []
         for _ in range(max(1, repeats)):
             start = time.perf_counter()
@@ -265,8 +365,9 @@ def format_report(rows: List[KernelTiming], warps: int) -> str:
         f"({warps} warps x {WARP_SIZE} lanes, warp-steps/sec, "
         f"median wall time; engines verified bit-identical):",
         f"{'kernel':<12} {'warp-steps':>10} {'warp':>12} "
-        f"{'batched':>12} {'jit':>12} {'batched':>8} {'jit':>8}",
-        "-" * 80,
+        f"{'batched':>12} {'jit':>12} {'batched':>8} {'jit':>8} "
+        f"{'fused':>8}",
+        "-" * 89,
     ]
     for row in rows:
         lines.append(
@@ -275,7 +376,8 @@ def format_report(rows: List[KernelTiming], warps: int) -> str:
             f"{row.throughput('batched'):>12.0f} "
             f"{row.throughput('jit'):>12.0f} "
             f"{row.speedup:>7.2f}x "
-            f"{row.jit_speedup:>7.2f}x")
+            f"{row.jit_speedup:>7.2f}x "
+            f"{row.fused_speedup:>7.2f}x")
     return "\n".join(lines)
 
 
@@ -290,17 +392,18 @@ def format_compare(rows: List[KernelTiming], warps: int) -> str:
     lines = [
         f"Engine comparison ({warps} warps x {WARP_SIZE} lanes, median "
         f"wall ms, lower is better; engines verified bit-identical):",
-        f"{'kernel':<12} {'engine':<8} {'ms':>10} "
+        f"{'kernel':<12} {'engine':<10} {'ms':>10} "
         f"{'vs warp':>9} {'vs batched':>11}",
-        "-" * 54,
+        "-" * 56,
     ]
     for row in rows:
         warp_s = row.seconds["warp"]
         batched_s = row.seconds["batched"]
-        for i, engine in enumerate(("warp", "batched", "jit")):
+        for i, engine in enumerate(("warp", "batched", "jit",
+                                    "jit-nofuse")):
             s = row.seconds[engine]
             lines.append(
-                f"{row.kernel if i == 0 else '':<12} {engine:<8} "
+                f"{row.kernel if i == 0 else '':<12} {engine:<10} "
                 f"{s * 1e3:>10.2f} {warp_s / s:>8.2f}x "
                 f"{batched_s / s:>10.2f}x")
     return "\n".join(lines)
@@ -341,6 +444,7 @@ def bench_json_payload(rows: List[KernelTiming], warps: int, trips: int,
                 "batched_speedup": row.speedup,
                 "jit_speedup": row.jit_speedup,
                 "jit_vs_batched": row.jit_vs_batched,
+                "fused_speedup": row.fused_speedup,
             }
             for row in rows
         ],

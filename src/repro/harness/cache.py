@@ -36,6 +36,11 @@ sessions/processes still order sensibly by wall clock.  Eviction re-stats
 each victim immediately before unlinking and skips any file whose mtime
 changed since enumeration: an entry another process just wrote (or
 refreshed) is never removed, preserving the atomic-replace contract.
+
+The on-disk discipline (sharding, atomic puts, monotonic recency, safe
+eviction, orphan sweeping) lives in :class:`ShardedLRUStore` so the JIT
+tier's compiled-region cache (:mod:`repro.gpu.region_cache`) shares it
+byte-for-byte rather than reimplementing it.
 """
 
 from __future__ import annotations
@@ -153,27 +158,24 @@ def outputs_from_json(data: Dict) -> Dict[str, np.ndarray]:
     return outputs
 
 
-class CellCache:
-    """Content-addressed persistent store of ``Cell`` results."""
+class ShardedLRUStore:
+    """On-disk discipline shared by the cell and compiled-region caches.
 
-    def __init__(self, root: Optional[Path] = None,
-                 prefix: str = "",
-                 max_bytes: Optional[int] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
-        #: Filename prefix for entries read and written by this instance
-        #: ("" for ordinary sweep cells, :data:`TUNE_PREFIX` for
-        #: tuner-originated entries).  Prefixes partition the namespace:
-        #: a tuner entry is never returned for a sweep lookup.
-        self.prefix = prefix
-        #: LRU total-bytes cap across *all* entries under ``root``
-        #: (every prefix — the bound is on the directory, not the view).
+    Provides 256 two-hex-char shard directories, atomic temp-file+rename
+    puts, strictly monotonic mtime recency, re-stat-before-unlink LRU
+    eviction, orphan-temp enumeration, and the sweep in :meth:`clear`.
+    Subclasses own keying, (de)serialization, and their ``stats()``
+    shapes; they store entries at :meth:`shard_path` and write them with
+    :meth:`_atomic_write`.
+    """
+
+    def __init__(self, root: Path, max_bytes: Optional[int] = None) -> None:
+        self.root = Path(root)
+        #: LRU total-bytes cap across *all* entries under ``root``.
         #: None = unbounded.
-        self.max_bytes = (max_bytes if max_bytes is not None
-                          else default_max_bytes())
+        self.max_bytes = max_bytes
         #: Session counters: get() hits/misses, put() writes, and LRU
-        #: evictions since this CellCache was constructed.  ``repro``
-        #: prints them after each sweep so a run's actual hit rate is
-        #: visible, not just the on-disk entry count.
+        #: evictions since this store was constructed.
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -182,125 +184,22 @@ class CellCache:
         #: same-nanosecond accesses still order by logical sequence.
         self._clock_ns = 0
 
-    # -- keys ----------------------------------------------------------------
-    @staticmethod
-    def make_key(baseline_ir: str, workload: str, config: str,
-                 loop_id: Optional[str], factor: int,
-                 heuristic: HeuristicParams, max_instructions: int,
-                 compile_timeout: Optional[float],
-                 verify_each: bool, *,
-                 scale: int = 1,
-                 tuned: Optional[str] = None) -> str:
-        """SHA-256 over every input that determines a cell's result.
-
-        ``scale`` is the tuner's workload-geometry divisor (folded only
-        when != 1, so pre-tuner keys are unchanged); ``tuned`` is the
-        fingerprint of the resolved tuned decisions for ``config ==
-        "tuned"`` cells — editing ``results/tuned/<app>.json`` must
-        invalidate every cell compiled from it.
-        """
-        heur = dataclasses.asdict(heuristic)
-        heur["divergent_args"] = list(heur["divergent_args"])
-        payload = {
-            "schema": SCHEMA_VERSION,
-            "timing": TIMING_MODEL_VERSION,
-            "ir": baseline_ir,
-            "workload": workload,
-            "config": config,
-            "loop_id": loop_id,
-            "factor": factor,
-            "heuristic": heur,
-            "max_instructions": max_instructions,
-            "compile_timeout": compile_timeout,
-            "verify_each": verify_each,
-        }
-        if scale != 1:
-            payload["scale"] = scale
-        if tuned is not None:
-            payload["tuned"] = tuned
-        return hashlib.sha256(
-            json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
-
-    def _path(self, key: str) -> Path:
-        # Entries are sharded into 256 two-hex-prefix subdirectories so the
-        # cache root stays listable as it grows (a full 16-benchmark sweep
-        # plus tuner rounds writes thousands of cells).  The shard is taken
-        # from the *key*, not the filename, so plain and tune- entries for
-        # the same key land in the same shard.
-        return self.root / key[:2] / f"{self.prefix}{key}.json"
-
-    def _flat_path(self, key: str) -> Path:
-        """Pre-sharding location of an entry (cache root, no shard dir)."""
-        return self.root / f"{self.prefix}{key}.json"
-
-    def _migrate_flat(self, key: str, path: Path) -> Optional[str]:
-        """Move a legacy flat entry into its shard; return its text or None.
-
-        Caches written before sharding kept every entry directly under
-        ``root``.  On the first lookup of such a key the entry is renamed
-        into ``root/<key[:2]>/`` so old caches converge to the sharded
-        layout incrementally, without a migration pass.
-        """
-        flat = self._flat_path(key)
-        try:
-            raw = flat.read_text()
-        except OSError:
-            return None
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(flat, path)
-        except OSError:
-            pass  # Migration is best-effort; the read already succeeded.
-        return raw
-
     # -- storage -------------------------------------------------------------
-    def get(self, key: str
-            ) -> Optional[Tuple[Cell, Optional[Dict[str, np.ndarray]]]]:
-        """Load ``(cell, baseline_outputs_or_None)``; None on any miss.
+    def shard_path(self, key: str, name: str) -> Path:
+        """Entry location: ``root/<key[:2]>/<name>``.
 
-        Stale-schema, corrupted, or truncated entries are deleted and
-        reported as misses so they are transparently recomputed.
+        The shard is taken from the *key*, not the filename, so entries
+        whose filenames carry a prefix for the same key land in the same
+        shard.
         """
-        path = self._path(key)
-        try:
-            raw = path.read_text()
-        except OSError:
-            raw = self._migrate_flat(key, path)
-            if raw is None:
-                self.misses += 1
-                return None
-        try:
-            data = json.loads(raw)
-            if data.get("schema") != SCHEMA_VERSION:
-                raise ValueError("stale cache schema")
-            cell = cell_from_json(data["cell"])
-            outputs = data.get("outputs")
-            decoded = outputs_from_json(outputs) if outputs else None
-        except Exception:
-            # Corrupted/truncated/stale entry: drop it, recompute.  The
-            # flat path is unlinked too in case migration's rename failed.
-            for stale in (path, self._flat_path(key)):
-                try:
-                    stale.unlink()
-                except OSError:
-                    pass
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._touch(path)  # LRU recency: a hit makes the entry newest.
-        return cell, decoded
+        return self.root / key[:2] / name
 
-    def put(self, key: str, cell: Cell,
-            outputs: Optional[Dict[str, np.ndarray]] = None) -> None:
-        """Store a cell (plus baseline outputs for anchor cells)."""
-        data = {"schema": SCHEMA_VERSION, "cell": cell_to_json(cell)}
-        if outputs is not None:
-            data["outputs"] = outputs_to_json(outputs)
-        path = self._path(key)
+    def _atomic_write(self, path: Path, text: str) -> None:
+        """Write ``text`` to ``path`` atomically (temp file + rename)."""
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}-{next(_TMP_SEQ)}")
         try:
-            tmp.write_text(json.dumps(data))
+            tmp.write_text(text)
             os.replace(tmp, path)  # Atomic: readers see old or new.
         except BaseException:
             # Soft failures (disk full, interrupt) must not leave a temp
@@ -311,10 +210,6 @@ class CellCache:
             except OSError:
                 pass
             raise
-        self.puts += 1
-        self._touch(path)
-        if self.max_bytes is not None:
-            self.evict()
 
     # -- LRU recency and eviction --------------------------------------------
     def _touch(self, path: Path) -> None:
@@ -395,7 +290,7 @@ class CellCache:
 
         ``put`` writes a temp file and atomically renames it into place;
         a worker killed between the two leaves the temp behind, invisible
-        to :meth:`entries`.  These are garbage — sized by :meth:`stats`,
+        to :meth:`entries`.  These are garbage — sized by ``stats()``,
         swept by :meth:`clear`.
         """
         if not self.root.is_dir():
@@ -421,6 +316,159 @@ class CellCache:
             count += 1
         return count, total
 
+    def clear(self) -> int:
+        """Delete every entry (and orphaned temp file); returns the count."""
+        removed = 0
+        for path in self.entries() + self.tmp_files():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for sub in self.root.glob("??"):
+                try:
+                    sub.rmdir()  # Only empty shard dirs; others survive.
+                except OSError:
+                    pass
+        return removed
+
+
+class CellCache(ShardedLRUStore):
+    """Content-addressed persistent store of ``Cell`` results."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 prefix: str = "",
+                 max_bytes: Optional[int] = None) -> None:
+        super().__init__(
+            root if root is not None else default_cache_dir(),
+            max_bytes if max_bytes is not None else default_max_bytes())
+        #: Filename prefix for entries read and written by this instance
+        #: ("" for ordinary sweep cells, :data:`TUNE_PREFIX` for
+        #: tuner-originated entries).  Prefixes partition the namespace:
+        #: a tuner entry is never returned for a sweep lookup.
+        self.prefix = prefix
+
+    # -- keys ----------------------------------------------------------------
+    @staticmethod
+    def make_key(baseline_ir: str, workload: str, config: str,
+                 loop_id: Optional[str], factor: int,
+                 heuristic: HeuristicParams, max_instructions: int,
+                 compile_timeout: Optional[float],
+                 verify_each: bool, *,
+                 scale: int = 1,
+                 tuned: Optional[str] = None) -> str:
+        """SHA-256 over every input that determines a cell's result.
+
+        ``scale`` is the tuner's workload-geometry divisor (folded only
+        when != 1, so pre-tuner keys are unchanged); ``tuned`` is the
+        fingerprint of the resolved tuned decisions for ``config ==
+        "tuned"`` cells — editing ``results/tuned/<app>.json`` must
+        invalidate every cell compiled from it.
+        """
+        heur = dataclasses.asdict(heuristic)
+        heur["divergent_args"] = list(heur["divergent_args"])
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "timing": TIMING_MODEL_VERSION,
+            "ir": baseline_ir,
+            "workload": workload,
+            "config": config,
+            "loop_id": loop_id,
+            "factor": factor,
+            "heuristic": heur,
+            "max_instructions": max_instructions,
+            "compile_timeout": compile_timeout,
+            "verify_each": verify_each,
+        }
+        if scale != 1:
+            payload["scale"] = scale
+        if tuned is not None:
+            payload["tuned"] = tuned
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        # Entries are sharded into 256 two-hex-prefix subdirectories so the
+        # cache root stays listable as it grows (a full 16-benchmark sweep
+        # plus tuner rounds writes thousands of cells).
+        return self.shard_path(key, f"{self.prefix}{key}.json")
+
+    def _flat_path(self, key: str) -> Path:
+        """Pre-sharding location of an entry (cache root, no shard dir)."""
+        return self.root / f"{self.prefix}{key}.json"
+
+    def _migrate_flat(self, key: str, path: Path) -> Optional[str]:
+        """Move a legacy flat entry into its shard; return its text or None.
+
+        Caches written before sharding kept every entry directly under
+        ``root``.  On the first lookup of such a key the entry is renamed
+        into ``root/<key[:2]>/`` so old caches converge to the sharded
+        layout incrementally, without a migration pass.
+        """
+        flat = self._flat_path(key)
+        try:
+            raw = flat.read_text()
+        except OSError:
+            return None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, path)
+        except OSError:
+            pass  # Migration is best-effort; the read already succeeded.
+        return raw
+
+    # -- storage -------------------------------------------------------------
+    def get(self, key: str
+            ) -> Optional[Tuple[Cell, Optional[Dict[str, np.ndarray]]]]:
+        """Load ``(cell, baseline_outputs_or_None)``; None on any miss.
+
+        Stale-schema, corrupted, or truncated entries are deleted and
+        reported as misses so they are transparently recomputed.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            raw = self._migrate_flat(key, path)
+            if raw is None:
+                self.misses += 1
+                return None
+        try:
+            data = json.loads(raw)
+            if data.get("schema") != SCHEMA_VERSION:
+                raise ValueError("stale cache schema")
+            cell = cell_from_json(data["cell"])
+            outputs = data.get("outputs")
+            decoded = outputs_from_json(outputs) if outputs else None
+        except Exception:
+            # Corrupted/truncated/stale entry: drop it, recompute.  The
+            # flat path is unlinked too in case migration's rename failed.
+            for stale in (path, self._flat_path(key)):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(path)  # LRU recency: a hit makes the entry newest.
+        return cell, decoded
+
+    def put(self, key: str, cell: Cell,
+            outputs: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Store a cell (plus baseline outputs for anchor cells)."""
+        data = {"schema": SCHEMA_VERSION, "cell": cell_to_json(cell)}
+        if outputs is not None:
+            data["outputs"] = outputs_to_json(outputs)
+        path = self._path(key)
+        self._atomic_write(path, json.dumps(data))
+        self.puts += 1
+        self._touch(path)
+        if self.max_bytes is not None:
+            self.evict()
+
+    # -- reporting -----------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         files = self.entries()
         n_files, files_bytes = self._sizes(files)
@@ -451,20 +499,3 @@ class CellCache:
         if self.evictions:
             line += f", {self.evictions} evicted (LRU)"
         return line
-
-    def clear(self) -> int:
-        """Delete every entry (and orphaned temp file); returns the count."""
-        removed = 0
-        for path in self.entries() + self.tmp_files():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        if self.root.is_dir():
-            for sub in self.root.glob("??"):
-                try:
-                    sub.rmdir()  # Only empty shard dirs; others survive.
-                except OSError:
-                    pass
-        return removed

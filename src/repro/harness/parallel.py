@@ -161,11 +161,15 @@ def _worker_extras(runner: ExperimentRunner) -> Dict:
     ``pass_stats``/``phase_seconds`` let a parallel ``summary --profile``
     report the same merged per-pass breakdown the serial runner shows;
     ``obs`` carries the worker's remark/trace/profile payload (None when
-    ``REPRO_TRACE`` is off).
+    ``REPRO_TRACE`` is off); ``region_cache`` ships the worker's jit
+    region-cache session counters (snapshot-and-reset, so a pooled worker
+    running many tasks never double-reports).
     """
+    from ..gpu.region_cache import take_session
     return {"pass_stats": runner.pass_stats,
             "phase_seconds": dict(runner.phase_seconds),
-            "obs": obs.end_worker()}
+            "obs": obs.end_worker(),
+            "region_cache": take_session()}
 
 
 def _worker_baseline(app: str, params: Tuple):
@@ -489,6 +493,10 @@ class ParallelRunner(ExperimentRunner):
             session = obs.active()
             if session is not None:
                 session.merge_payload(payload)
+        region = extras.get("region_cache")
+        if region:
+            from ..gpu.region_cache import session as region_session
+            region_session().absorb(region)
 
 def prefetch_if_parallel(runner, benches,
                          configs: Optional[Sequence[str]] = None,

@@ -169,13 +169,15 @@ class TestTuneCommands:
         assert payload["schema"] == 1
         assert payload["source"] == "bench-interp"
         assert {k["kernel"] for k in payload["kernels"]} == \
-            {"uniform", "divergent", "staggered", "briefdiv"}
+            {"uniform", "divergent", "staggered", "briefdiv",
+             "chain", "chaindia"}
         for kernel in payload["kernels"]:
             assert set(kernel["warp_steps_per_sec"]) == \
-                {"batched", "warp", "jit"}
+                {"batched", "warp", "jit", "jit-nofuse"}
             assert kernel["warp_steps"] > 0
             assert kernel["jit_speedup"] > 0
             assert kernel["jit_vs_batched"] > 0
+            assert kernel["fused_speedup"] > 0
 
     def test_remarks_kind_filter(self, capsys):
         assert main(["remarks", "--app", "complex", "--engine", "jit",

@@ -26,8 +26,10 @@ Coverage here is deliberately broad rather than deep:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import math
+import os
 
 import pytest
 
@@ -37,6 +39,7 @@ from repro.fuzz.corpus import load_corpus
 from repro.fuzz.generator import generate_kernel
 from repro.fuzz.oracle import default_args
 from repro.gpu import Counters, Memory, SimtMachine
+from repro.gpu.fuser import FUSE_ENV
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
 from repro.transforms.pipeline import compile_module
@@ -52,6 +55,25 @@ FAST_ENGINES = ("batched", "jit")
 BENCHMARKS = all_benchmarks()
 CORPUS = load_corpus()
 FUZZ_SEEDS = (3, 11, 27)
+
+#: The jit's expression fuser must be invisible in results: every matrix
+#: cell runs once with fusion on (the default) and once forced off.
+FUSE_MODES = (True, False)
+FUSE_IDS = ("fuse", "nofuse")
+
+
+@contextlib.contextmanager
+def fusion(enabled: bool):
+    """Scope ``REPRO_JIT_FUSE`` to one check (only the jit reads it)."""
+    prev = os.environ.get(FUSE_ENV)
+    os.environ[FUSE_ENV] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(FUSE_ENV, None)
+        else:
+            os.environ[FUSE_ENV] = prev
 
 
 def assert_counters_identical(batched: Counters, warp: Counters,
@@ -121,22 +143,27 @@ def _check_bench_engines(bench, config, prepare):
         assert_category_invariant(counters[engine], label)
 
 
+@pytest.mark.parametrize("fuse", FUSE_MODES, ids=FUSE_IDS)
 @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
-def test_benchmark_baseline_bit_identical(bench):
-    _check_bench_engines(bench, "baseline", bench.build_module)
+def test_benchmark_baseline_bit_identical(bench, fuse):
+    with fusion(fuse):
+        _check_bench_engines(bench, "baseline", bench.build_module)
 
 
+@pytest.mark.parametrize("fuse", FUSE_MODES, ids=FUSE_IDS)
 @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
-def test_benchmark_heuristic_bit_identical(bench):
+def test_benchmark_heuristic_bit_identical(bench, fuse):
     def prepare():
         module = bench.build_module()
         compile_module(module, "uu_heuristic")
         return module
-    _check_bench_engines(bench, "uu_heuristic", prepare)
+    with fusion(fuse):
+        _check_bench_engines(bench, "uu_heuristic", prepare)
 
 
+@pytest.mark.parametrize("fuse", FUSE_MODES, ids=FUSE_IDS)
 @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
-def test_benchmark_tuned_bit_identical(bench):
+def test_benchmark_tuned_bit_identical(bench, fuse):
     from repro.tune import resolve_decisions
 
     decisions, _reason = resolve_decisions(bench.name)
@@ -145,20 +172,25 @@ def test_benchmark_tuned_bit_identical(bench):
         module = bench.build_module()
         compile_module(module, "tuned", tuned=decisions)
         return module
-    _check_bench_engines(bench, "tuned", prepare)
+    with fusion(fuse):
+        _check_bench_engines(bench, "tuned", prepare)
 
 
 @pytest.mark.skipif(not CORPUS, reason="no corpus entries")
+@pytest.mark.parametrize("fuse", FUSE_MODES, ids=FUSE_IDS)
 @pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
-def test_corpus_bit_identical(entry):
-    check_text_kernel(entry.text, entry.name)
+def test_corpus_bit_identical(entry, fuse):
+    with fusion(fuse):
+        check_text_kernel(entry.text, entry.name)
 
 
+@pytest.mark.parametrize("fuse", FUSE_MODES, ids=FUSE_IDS)
 @pytest.mark.parametrize("seed", FUZZ_SEEDS)
-def test_fuzzed_kernels_bit_identical(seed):
+def test_fuzzed_kernels_bit_identical(seed, fuse):
     kernel = generate_kernel(seed)
     module = lower_kernels([kernel], f"fuzz{seed}")
-    check_text_kernel(print_module(module), f"fuzz{seed}")
+    with fusion(fuse):
+        check_text_kernel(print_module(module), f"fuzz{seed}")
 
 
 # -- guard storm: every jit deopt kind on one kernel --------------------------
@@ -322,3 +354,87 @@ def test_profiling_on_vs_off_bit_identical():
         assert out_plain[buf_name].tobytes() == out_prof[buf_name].tobytes()
     assert_counters_identical(counters_prof, counters_plain,
                               "bspline-vgh/jit/profiled")
+
+
+# -- cross-launch region persistence must be strictly observational -----------
+
+def _compare_runs(label, got, reference):
+    assert got.keys() == reference.keys()
+    for fname in got:
+        ret_g, counters_g = got[fname]
+        ret_r, counters_r = reference[fname]
+        assert ret_g == ret_r, f"{label}:@{fname}: return values differ"
+        assert_counters_identical(counters_g, counters_r,
+                                  f"{label}:@{fname}")
+
+
+@pytest.mark.parametrize("fuse", FUSE_MODES, ids=FUSE_IDS)
+def test_region_cache_cold_vs_warm_bit_identical(tmp_path, monkeypatch, fuse):
+    """A warm launch replays persisted plans and must change nothing.
+
+    The storm kernel is the adversarial case: its cold run truncates a
+    guard-storming region and drops a cold one, and that *reshaped* plan
+    is what guard feedback persists — so the warm run starts from the
+    truncated shape rather than rediscovering the deopts, takes different
+    internal paths to the same replay, and still has to be bit-identical
+    to both the cold run and the per-warp reference.
+    """
+    from repro.gpu.region_cache import reset_region_cache, take_session
+
+    monkeypatch.setenv("REPRO_REGION_CACHE_DIR", str(tmp_path))
+    reset_region_cache()
+    take_session()
+    try:
+        reference = launch_engine(STORM_IR, "storm", "warp",
+                                  args=[STORM_TRIPS])
+        with fusion(fuse):
+            cold = launch_engine(STORM_IR, "storm", "jit",
+                                 args=[STORM_TRIPS])
+        cold_sess = take_session()
+        assert cold_sess["selections"] > 0, "cold run did not select regions"
+        assert cold_sess["replays"] == 0
+        assert cold_sess["puts"] > cold_sess["selections"], (
+            "guard feedback (truncation/drop) was not re-persisted — the "
+            "warm run below would not start from the reshaped plan")
+
+        # New process simulation: drop the in-process instance (and its
+        # plan memo) so the warm run must replay from disk.
+        reset_region_cache()
+        with fusion(fuse):
+            warm = launch_engine(STORM_IR, "storm", "jit",
+                                 args=[STORM_TRIPS])
+        warm_sess = take_session()
+        assert warm_sess["selections"] == 0, (
+            f"warm launch re-selected {warm_sess['selections']} regions "
+            "instead of replaying persisted plans")
+        assert warm_sess["replays"] > 0
+
+        _compare_runs(f"storm/cold/fuse={fuse}", cold, reference)
+        _compare_runs(f"storm/warm/fuse={fuse}", warm, reference)
+    finally:
+        reset_region_cache()  # Do not leak the tmp-rooted instance.
+
+
+def test_region_cache_fuse_flag_is_part_of_the_key(tmp_path, monkeypatch):
+    """Toggling ``REPRO_JIT_FUSE`` must never replay the other mode's plan."""
+    from repro.gpu.region_cache import reset_region_cache, take_session
+
+    monkeypatch.setenv("REPRO_REGION_CACHE_DIR", str(tmp_path))
+    reset_region_cache()
+    take_session()
+    try:
+        reference = launch_engine(STORM_IR, "storm", "warp",
+                                  args=[STORM_TRIPS])
+        with fusion(True):
+            launch_engine(STORM_IR, "storm", "jit", args=[STORM_TRIPS])
+        take_session()
+        with fusion(False):
+            nofuse = launch_engine(STORM_IR, "storm", "jit",
+                                   args=[STORM_TRIPS])
+        sess = take_session()
+        assert sess["replays"] == 0 and sess["selections"] > 0, (
+            "a fusion-enabled plan was replayed for a fusion-disabled "
+            "launch — the fuse flag fell out of the cache key")
+        _compare_runs("storm/nofuse-after-fuse", nofuse, reference)
+    finally:
+        reset_region_cache()

@@ -104,7 +104,7 @@ def regions_of(ir_text: str, name: str = "m"):
     func = next(iter(module.functions.values()))
     machine = SimtMachine(module, Memory(), engine="jit")
     entry = machine._decode(func)
-    return compile_regions(func.name, entry), entry
+    return compile_regions(machine, func, entry), entry
 
 
 def region_at(regions, entry, block_name: str):
