@@ -15,6 +15,7 @@ import time
 import pytest
 
 from repro.bench import benchmark_by_name
+from repro.harness import perfhistory
 from repro.harness.benchinterp import _KERNELS, bench_kernel
 
 #: Recorded best-of-5 wall-clock budget (seconds) for one XSBench workload
@@ -91,6 +92,10 @@ def engine_rows():
     shape as ``repro bench-interp --json``) so every test session archives
     engine throughput alongside test results.  ``REPRO_BENCH_JSON``
     overrides the destination path; set it to ``0`` to disable emission.
+    When emission is on, the run also appends a perf-history record
+    (ratio metrics only; see ``repro.harness.perfhistory``) so the trend
+    gate below has data; ``REPRO_PERF_CHECK=0`` disables both the append
+    and the gate.
     """
     rows = {}
     for name, needs_buf, text in _KERNELS:
@@ -103,11 +108,17 @@ def engine_rows():
     json_out = os.environ.get("REPRO_BENCH_JSON")
     if json_out != "0":
         from repro.harness.benchinterp import (DEFAULT_TRIPS,
+                                               bench_json_payload,
                                                default_bench_json_path,
                                                write_bench_json)
         path = json_out or default_bench_json_path()
         write_bench_json(list(rows.values()), 16, DEFAULT_TRIPS, path,
                          source="perf-smoke")
+        if os.environ.get(perfhistory.CHECK_ENV) != "0":
+            payload = bench_json_payload(list(rows.values()), 16,
+                                         DEFAULT_TRIPS, "perf-smoke")
+            perfhistory.append_record(
+                perfhistory.record_from_bench(payload, source="perf-smoke"))
     return rows
 
 
@@ -165,6 +176,42 @@ def test_fuser_never_slower_on_any_kernel(engine_rows):
         + " — should MIN_CHAIN exclude these segment shapes?")
 
 
+#: Relative geomean drop the trend gate tolerates before failing.  Far
+#: looser than ``repro perf check``'s 8% default: the committed baseline
+#: was recorded on the reference container, and tier-1 must stay green on
+#: slower machines — 50% still catches the engine-tier failure modes the
+#: floors above describe (a tier silently degenerating reads as 3-10x).
+#: Override with ``REPRO_PERF_THRESHOLD``; skip with ``REPRO_PERF_CHECK=0``.
+PERF_GATE_THRESHOLD = float(os.environ.get("REPRO_PERF_THRESHOLD", "0.5"))
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_SKIP_PERF") == "1",
+                    reason="REPRO_SKIP_PERF=1")
+@pytest.mark.skipif(os.environ.get(perfhistory.CHECK_ENV) == "0",
+                    reason=f"{perfhistory.CHECK_ENV}=0")
+def test_perf_no_regression_vs_previous_record(engine_rows):
+    """Trend gate: this run's geomeans vs the previous history record.
+
+    The fixture appended this run's record, so the previous one is the
+    committed baseline (or the last local run).  Only ``geomean/``
+    rollups are gated — per-kernel ratios are noisier and already have
+    dedicated floors above.
+    """
+    records = perfhistory.read_history()
+    if len(records) < 2:
+        pytest.skip("no prior perf-history record to compare against")
+    regressions = perfhistory.check_regression(
+        records[-2], records[-1], threshold=PERF_GATE_THRESHOLD,
+        prefix="geomean/")
+    assert not regressions, (
+        f"engine geomeans regressed beyond {PERF_GATE_THRESHOLD:.0%} of "
+        f"the previous perf-history record "
+        f"({records[-2].get('source')} @ {records[-2].get('recorded_at')}):"
+        + "".join("\n  " + r.describe() for r in regressions)
+        + f"\n(set {perfhistory.CHECK_ENV}=0 or raise "
+        "REPRO_PERF_THRESHOLD on known-slow machines)")
+
+
 #: Ratio floor for the tracing-disabled run against the uninstrumented
 #: interpreter's recorded envelope: the disabled obs path must cost under
 #: 3% end-to-end, so it has to fit the very same budget the pre-obs
@@ -187,12 +234,15 @@ def test_obs_disabled_path_does_no_work():
     """
     from unittest import mock
 
+    from repro.obs import metrics as obs_metrics
     from repro.obs import session as obs_session
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.session import ObsSession
     from repro.obs.trace import Tracer
     from repro.transforms.pipeline import compile_module
 
     assert obs_session.active() is None, "a test leaked a live session"
+    assert obs_metrics.active() is None, "a test leaked a live registry"
 
     def forbid(name):
         def _raise(*args, **kwargs):
@@ -206,7 +256,17 @@ def test_obs_disabled_path_does_no_work():
     with mock.patch.object(obs_session, "Remark",
                            side_effect=forbid("Remark()")), \
             mock.patch.object(ObsSession, "emit", forbid("ObsSession.emit")), \
-            mock.patch.object(Tracer, "complete", forbid("Tracer.complete")):
+            mock.patch.object(Tracer, "complete", forbid("Tracer.complete")), \
+            mock.patch.object(obs_metrics, "Counter",
+                              side_effect=forbid("metrics.Counter()")), \
+            mock.patch.object(obs_metrics, "Gauge",
+                              side_effect=forbid("metrics.Gauge()")), \
+            mock.patch.object(obs_metrics, "Histogram",
+                              side_effect=forbid("metrics.Histogram()")), \
+            mock.patch.object(MetricsRegistry, "inc",
+                              forbid("MetricsRegistry.inc")), \
+            mock.patch.object(MetricsRegistry, "observe",
+                              forbid("MetricsRegistry.observe")):
         compile_module(module, "uu_heuristic")
         bench.run(module)
 
@@ -222,11 +282,15 @@ def test_obs_disabled_simulation_within_budget():
     a generic interpreter slowdown.  See ``OBS_DISABLED_MAX_OVERHEAD``
     for why the shared envelope bounds the <3% contract.
     """
+    from repro.obs import metrics as obs_metrics
     from repro.obs import session as obs_session
 
     assert obs_session.active() is None
+    assert obs_metrics.active() is None
     assert not os.environ.get(obs_session.ENV_VAR), (
         "REPRO_TRACE is set; this guard measures the disabled path")
+    assert not os.environ.get(obs_metrics.ENV_VAR), (
+        "REPRO_METRICS is set; this guard measures the disabled path")
     bench = benchmark_by_name("XSBench")
     module = bench.build_module()
     bench.run(module)  # Warm-up.

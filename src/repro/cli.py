@@ -23,6 +23,9 @@ provides the same operations:
     python -m repro run-tuned                 # tuned pipeline per app
     python -m repro remarks --app XSBench     # optimization-remark stream
     python -m repro trace --app XSBench --out run.trace.json
+    python -m repro trace --in daemon.trace.json --request <id>
+    python -m repro metrics [--url URL]       # Prometheus metrics text
+    python -m repro perf record|report|check  # perf-regression sentinel
     python -m repro fuzz run --seed 0 --count 200   # differential fuzzing
     python -m repro fuzz reduce --seed 41           # shrink one failure
     python -m repro fuzz corpus                     # re-check tests/corpus/
@@ -42,6 +45,9 @@ Observability (see :mod:`repro.obs`): every sweep command accepts
 or ``chrome://tracing``) and ``--remarks-out run.remarks.jsonl`` (the
 typed optimization-remark stream).  Traced runs bypass the persistent
 cache — a cache hit skips compilation, and an empty trace would lie.
+``repro serve --trace-out/--remarks-out`` exports the daemon's merged
+streams at shutdown; ``repro trace/remarks --in <file> --request <id>``
+then isolates one service request's story.
 """
 
 from __future__ import annotations
@@ -517,11 +523,38 @@ def _traced_sweep(args) -> None:
     runner.prefetch(_benches(args), configs=("baseline", args.config))
 
 
+def _load_remarks(path: str):
+    from .obs.remarks import Remark
+    remarks = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            remarks.append(Remark.from_json(json.loads(line)))
+    return remarks
+
+
+def _load_trace_events(path: str) -> List[dict]:
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        return list(data.get("traceEvents", []))
+    return list(data)
+
+
 def cmd_remarks(args) -> int:
-    """Run one config under tracing and print its remark stream."""
-    with _obs_session() as session:
-        _traced_sweep(args)
-    remarks = session.remarks
+    """Print a remark stream: a fresh traced run, or a saved JSONL."""
+    src = getattr(args, "in_path", None)
+    if src:
+        remarks = _load_remarks(src)
+    else:
+        with _obs_session() as session:
+            _traced_sweep(args)
+        remarks = session.remarks
+    request = getattr(args, "request", None)
+    if request:
+        # Service requests stamp their remarks' context (see
+        # obs.session.request_capture); local sweeps carry no ids.
+        remarks = [r for r in remarks
+                   if r.context.get("request") == request]
     kind = getattr(args, "kind", None)
     if kind:
         # A remark stream mixes transform decisions (kind applied/missed)
@@ -537,16 +570,168 @@ def cmd_remarks(args) -> int:
             print(obs.render_remark(remark))
     if not args.json:
         suffix = f" matching {kind!r}" if kind else ""
+        if request:
+            suffix += f" for request {request}"
         print(f"({len(remarks)} remarks{suffix}; rerun with --json for "
               "the machine-readable stream)")
     return 0
 
 
 def cmd_trace(args) -> int:
-    """Run one config under tracing and export a Chrome trace-event file."""
+    """Export a Chrome trace: from a fresh run, or filter a saved one."""
+    src = getattr(args, "in_path", None)
+    request = getattr(args, "request", None)
+    if src:
+        events = _load_trace_events(src)
+        if request:
+            # Spans fold the serving request id into args (see
+            # obs.session.span); metadata rows carry none and drop out.
+            events = [e for e in events
+                      if e.get("args", {}).get("request") == request]
+        Path(args.out).write_text(json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}))
+        print(f"trace: {len(events)} events -> {args.out}")
+        return 0
     with _obs_session() as session:
         _traced_sweep(args)
+    if request:
+        session.tracer.events[:] = [
+            e for e in session.tracer.events
+            if e.get("args", {}).get("request") == request]
     _export_session(session, args.out, getattr(args, "remarks_out", None))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Prometheus text: scrape a daemon, or meter a local sweep."""
+    from .obs import metrics as obs_metrics
+
+    if args.url:
+        from .serve import ServeClient
+        from .serve.client import ServeError
+        try:
+            text = ServeClient(args.url).metrics_text()
+        except ServeError as exc:
+            print(f"repro metrics: {exc}", file=sys.stderr)
+            return 1
+        sys.stdout.write(text)
+        return 0
+    # Local mode: install a registry (and set REPRO_METRICS so forked
+    # pool workers ship their snapshots home), run one sweep, render.
+    prior_env = os.environ.get(obs_metrics.ENV_VAR)
+    prior = obs_metrics.active()
+    os.environ[obs_metrics.ENV_VAR] = "1"
+    registry = obs_metrics.install()
+    try:
+        runner = _runner(args)
+        runner.prefetch(_benches(args), configs=("baseline", args.config))
+    finally:
+        if prior is not None:
+            obs_metrics.install(prior)
+        else:
+            obs_metrics.uninstall()
+        if prior_env is None:
+            os.environ.pop(obs_metrics.ENV_VAR, None)
+        else:
+            os.environ[obs_metrics.ENV_VAR] = prior_env
+    sys.stdout.write(registry.render())
+    return 0
+
+
+def _sweep_geomeans(args) -> dict:
+    """Sweep geomeans folded into a perf record by ``perf record --sweep``."""
+    from .harness.summary import heuristic_summary, tuned_summary
+
+    runner = _runner(args)
+    benches = _benches(args)
+    heur = heuristic_summary(runner, benches)
+    tuned = tuned_summary(runner, benches)
+    return {
+        "sweep/heuristic_speedup": heur.speedup,
+        "sweep/tuned_speedup": tuned.geomean_tuned,
+    }
+
+
+def cmd_perf(args) -> int:
+    """Perf-regression sentinel: record/report/check the history."""
+    from .harness import perfhistory
+
+    history = Path(args.history) if getattr(args, "history", None) else None
+    if args.perf_action == "record":
+        source = args.from_path
+        if source is None:
+            results = perfhistory.default_history_path().parent.parent
+            candidates = sorted(results.glob("BENCH_*.json"))
+            if not candidates:
+                print("repro perf record: no results/BENCH_*.json found; "
+                      "run `repro bench-interp --json` first or pass "
+                      "--from", file=sys.stderr)
+                return 2
+            source = str(candidates[-1])
+        try:
+            payload = json.loads(Path(source).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro perf record: cannot read {source}: {exc}",
+                  file=sys.stderr)
+            return 2
+        extra = _sweep_geomeans(args) if args.sweep else None
+        record = perfhistory.record_from_bench(
+            payload, source=Path(source).name, extra_metrics=extra)
+        target = perfhistory.append_record(record, history)
+        print(f"recorded {len(record['metrics'])} metrics "
+              f"from {source} -> {target}")
+        return 0
+
+    records = perfhistory.read_history(history)
+    prefix = getattr(args, "metrics", None)
+    if args.perf_action == "report":
+        print(perfhistory.format_report(records, last=args.last,
+                                        prefix=prefix))
+        return 0
+
+    # check
+    if os.environ.get(perfhistory.CHECK_ENV, "") == "0":
+        print(f"perf check: skipped ({perfhistory.CHECK_ENV}=0)")
+        return 0
+    if not records:
+        print("repro perf check: no history records; run "
+              "`repro perf record` first", file=sys.stderr)
+        return 2
+    current = records[-1]
+    if args.baseline == "-2" and len(records) == 1:
+        # Default baseline on a freshly-seeded history: there is no
+        # previous record yet, which is a clean slate, not a failure.
+        print("perf check: only one record in history; nothing to "
+              "compare yet")
+        return 0
+    baseline = perfhistory.load_baseline(args.baseline, history)
+    if baseline is None:
+        print(f"repro perf check: cannot resolve baseline "
+              f"{args.baseline!r}", file=sys.stderr)
+        return 2
+    if baseline == current:
+        print("perf check: baseline is the newest record; "
+              "nothing to compare")
+        return 0
+    threshold = (args.threshold if args.threshold is not None
+                 else perfhistory.DEFAULT_THRESHOLD)
+    regressions = perfhistory.check_regression(
+        baseline, current, threshold=threshold, prefix=prefix)
+    shared = [name for name in baseline.get("metrics", {})
+              if name in current.get("metrics", {})
+              and (not prefix or name.startswith(prefix))]
+    if regressions:
+        print(f"perf check: {len(regressions)} of {len(shared)} tracked "
+              f"metric(s) regressed beyond {threshold:.0%} "
+              f"(baseline {baseline.get('source', '?')} "
+              f"@ {baseline.get('recorded_at', '?')}):")
+        for reg in regressions:
+            print("  " + reg.describe())
+        return 1
+    print(f"perf check: ok — {len(shared)} metric(s) within "
+          f"{threshold:.0%} of baseline "
+          f"{baseline.get('source', '?')} "
+          f"@ {baseline.get('recorded_at', '?')}")
     return 0
 
 
@@ -584,6 +769,15 @@ def cmd_serve(args) -> int:
     daemon.wait()
     if cache is not None:
         print(cache.session_line())
+    trace_out = getattr(args, "serve_trace_out", None)
+    remarks_out = getattr(args, "serve_remarks_out", None)
+    if trace_out or remarks_out:
+        written = daemon.export_obs(trace_out, remarks_out)
+        if trace_out:
+            print(f"trace: {written.get('events', 0)} events -> "
+                  f"{trace_out}")
+        if remarks_out:
+            print(f"remarks: {written.get('remarks', 0)} -> {remarks_out}")
     return 0
 
 
@@ -684,6 +878,10 @@ def cmd_serve_status(args) -> int:
         else:
             print("  regions:   persistent cache disabled "
                   "(REPRO_REGION_CACHE=0)")
+    metrics = stats.get("metrics")
+    if metrics:
+        print(f"  metrics:   {metrics['families']} families, "
+              f"{metrics['series']} series (scrape GET /metrics)")
     return 0
 
 
@@ -778,6 +976,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "NAME (e.g. `--kind jit` for execution-engine "
                         "region remarks, `--kind missed` for not-applied "
                         "transform decisions)")
+    p.add_argument("--in", dest="in_path", metavar="PATH", default=None,
+                   help="read a saved remarks JSONL (e.g. from `repro "
+                        "serve --remarks-out`) instead of running a sweep")
+    p.add_argument("--request", metavar="ID", default=None,
+                   help="only remarks stamped with this service "
+                        "request id (the content hash `repro submit` "
+                        "tickets carry)")
     p.set_defaults(fn=cmd_remarks)
 
     p = sub.add_parser("trace", parents=[common],
@@ -789,6 +994,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: uu_heuristic)")
     p.add_argument("--out", default="run.trace.json",
                    help="trace file path (default: run.trace.json)")
+    p.add_argument("--in", dest="in_path", metavar="PATH", default=None,
+                   help="filter a saved trace (e.g. from `repro serve "
+                        "--trace-out`) instead of running a sweep")
+    p.add_argument("--request", metavar="ID", default=None,
+                   help="only spans stamped with this service request id")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("bench-interp",
@@ -885,6 +1095,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "unbounded)")
     p.add_argument("--no-cache", action="store_true",
                    help="serve without the persistent cell cache")
+    p.add_argument("--trace-out", dest="serve_trace_out", metavar="PATH",
+                   default=None,
+                   help="at shutdown, write the daemon's merged Chrome "
+                        "trace (every job's spans, stamped with their "
+                        "request ids) to PATH")
+    p.add_argument("--remarks-out", dest="serve_remarks_out",
+                   metavar="PATH", default=None,
+                   help="at shutdown, write the daemon's merged remark "
+                        "stream as JSONL to PATH")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("submit",
@@ -924,12 +1143,65 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve-status",
                        help="counters of a running daemon (queue, dedup, "
-                            "cache)")
+                            "cache, metrics)")
     p.add_argument("--url", default=None,
                    help="daemon URL (default: REPRO_SERVE_URL or "
                         "http://127.0.0.1:8377)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=cmd_serve_status)
+
+    p = sub.add_parser("metrics", parents=[common],
+                       help="Prometheus metrics text: scrape a running "
+                            "daemon, or meter one local sweep")
+    p.add_argument("--url", default=None,
+                   help="scrape GET /metrics from a daemon instead of "
+                        "sweeping locally")
+    p.add_argument("--config", default="uu_heuristic",
+                   choices=list(ALL_CONFIG_CHOICES),
+                   help="config for the local metered sweep "
+                        "(default: uu_heuristic)")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("perf",
+                       help="perf-regression sentinel over "
+                            "results/perf/history.jsonl")
+    psub = p.add_subparsers(dest="perf_action", required=True)
+    pr = psub.add_parser("record", parents=[common],
+                         help="append one history record from a "
+                              "BENCH_*.json payload")
+    pr.add_argument("--from", dest="from_path", metavar="BENCH.json",
+                    default=None,
+                    help="bench payload to ingest (default: newest "
+                         "results/BENCH_*.json)")
+    pr.add_argument("--sweep", action="store_true",
+                    help="also fold the sweep geomeans "
+                         "(sweep/heuristic_speedup, sweep/tuned_speedup) "
+                         "into the record; reuses cached cells")
+    pr.add_argument("--history", metavar="PATH", default=None,
+                    help="history file "
+                         "(default: results/perf/history.jsonl)")
+    pr.set_defaults(fn=cmd_perf)
+    pp = psub.add_parser("report", help="render the per-metric trend table")
+    pp.add_argument("--history", metavar="PATH", default=None)
+    pp.add_argument("--last", type=int, default=8,
+                    help="records shown (default 8)")
+    pp.add_argument("--metrics", metavar="PREFIX", default=None,
+                    help="only metrics starting with PREFIX "
+                         "(e.g. geomean/)")
+    pp.set_defaults(fn=cmd_perf)
+    pc = psub.add_parser("check",
+                         help="exit nonzero when the newest record "
+                              "regressed beyond the noise threshold")
+    pc.add_argument("--baseline", default="-2",
+                    help="negative history index, a history JSONL, or a "
+                         "BENCH json (default: -2, the previous record)")
+    pc.add_argument("--threshold", type=float, default=None,
+                    help="relative drop treated as a regression "
+                         "(default 0.08)")
+    pc.add_argument("--history", metavar="PATH", default=None)
+    pc.add_argument("--metrics", metavar="PREFIX", default=None,
+                    help="only compare metrics starting with PREFIX")
+    pc.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("ptx", parents=[common],
                        help="print PTX-style assembly for a kernel")

@@ -36,6 +36,7 @@ import numpy as np
 from .batched import (_BatchContext, _BatchState, _Results, _exec_block,
                       _finish_state, _follow_batch, _issue_factor,
                       _split_state, _CLS_DIVERGENT, _CLS_TAKEN)
+from ..obs import metrics as obs_metrics
 from .counters import Counters, N_CATEGORIES
 from .icache import InstructionCache
 from .machine import (WARP_SIZE, SimulationError, _BR_COST, _CAT_CONTROL,
@@ -386,6 +387,8 @@ def _region_self_scalar(machine, func, region: CompiledRegion, op,
     # counters, flush floats, and deoptimize to the interpreter.
     op.passes += iters
     op.fails += 1
+    obs_metrics.inc("repro_jit_guard_failures_total", kind="loop")
+    obs_metrics.inc("repro_jit_deopts_total")
     if (op.fails >= GUARD_DEMOTE_FAILS and op.fails > op.passes
             and regions.get(region.head_id) is region):
         demote_guard(regions, region, 0, func.name)
@@ -460,6 +463,9 @@ def _region_scalar(machine, func, region: CompiledRegion, epoch: int,
             if not ok:
                 # Guard failed: deoptimize to the interpreter.
                 op.fails += 1
+                obs_metrics.inc("repro_jit_guard_failures_total",
+                                kind="scalar")
+                obs_metrics.inc("repro_jit_deopts_total")
                 if (op.fails >= GUARD_DEMOTE_FAILS
                         and op.fails > op.passes
                         and regions.get(region.head_id) is region):
@@ -656,6 +662,9 @@ def _region_vector(machine, func, region: CompiledRegion, epoch: int,
                 ok = not bool(cond.any())
             if not ok:
                 op.fails += 1
+                obs_metrics.inc("repro_jit_guard_failures_total",
+                                kind="lattice")
+                obs_metrics.inc("repro_jit_deopts_total")
                 if (op.fails >= GUARD_DEMOTE_FAILS
                         and op.fails > op.passes
                         and regions.get(region.head_id) is region):

@@ -108,6 +108,8 @@ def region_key(func, fuse: bool) -> str:
 class RegionCache(ShardedLRUStore):
     """In-process + on-disk store of serialized region plans."""
 
+    metrics_label = "region"
+
     def __init__(self, root: Optional[Path] = None,
                  max_bytes: Optional[int] = None) -> None:
         super().__init__(
@@ -134,12 +136,14 @@ class RegionCache(ShardedLRUStore):
         plan = self._memo.get(key)
         if plan is not None:
             self.hits += 1
+            self._metric("hits")
             return plan
         path = self._path(key)
         try:
             raw = path.read_text()
         except OSError:
             self.misses += 1
+            self._metric("misses")
             return None
         try:
             data = json.loads(raw)
@@ -154,8 +158,10 @@ class RegionCache(ShardedLRUStore):
             except OSError:
                 pass
             self.misses += 1
+            self._metric("misses")
             return None
         self.hits += 1
+        self._metric("hits")
         self._touch(path)  # LRU recency: a hit makes the entry newest.
         self._remember(key, plan)
         return plan
@@ -164,9 +170,11 @@ class RegionCache(ShardedLRUStore):
         """Store a plan (memo + atomic disk write, then evict if capped)."""
         self._remember(key, plan)
         path = self._path(key)
-        self._atomic_write(
-            path, json.dumps({"schema": REGION_SCHEMA_VERSION, "plan": plan}))
+        text = json.dumps({"schema": REGION_SCHEMA_VERSION, "plan": plan})
+        self._atomic_write(path, text)
         self.puts += 1
+        self._metric("puts")
+        self._metric("bytes_written", len(text))
         self._touch(path)
         if self.max_bytes is not None:
             self.evict()

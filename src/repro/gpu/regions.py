@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
 from ..obs import session as obs_session
 from .fuser import FuseContext, fusion_enabled
 from .machine import (_BR_COST, _CONDBR_COST, _PHI_COST, _RET_COST,
@@ -236,12 +237,19 @@ def compile_regions(machine, func, entry: Optional[_DecodedBlock] = None,
             if tgt.block_id not in done:
                 work.append(tgt)
         if region is None:
+            obs_metrics.inc("repro_jit_regions_total", result="rejected")
             obs_session.remark(
                 "analysis", "jit", func_name,
                 f"region at {head.name} rejected: {reason}",
                 head=head.name, reason=reason)
             continue
         regions[head.block_id] = region
+        obs_metrics.inc("repro_jit_regions_total", result="compiled")
+        if region.fused_segments:
+            obs_metrics.inc("repro_jit_fused_segments_total",
+                            region.fused_segments)
+            obs_metrics.inc("repro_jit_fused_steps_total",
+                            region.fused_steps)
         obs_session.remark(
             "analysis", "jit", func_name,
             f"compiled superblock at {head.name}: "
@@ -617,6 +625,7 @@ def demote_guard(regions: Dict[int, "CompiledRegion"],
     _mark_dirty(regions)
     if op_index == 0 and not old.steps:
         del regions[region.head_id]
+        obs_metrics.inc("repro_jit_regions_total", result="dropped")
         obs_session.remark(
             "analysis", "jit", func_name,
             f"region at {region.head_name} dropped: guard in {old.name} "
@@ -638,6 +647,7 @@ def demote_guard(regions: Dict[int, "CompiledRegion"],
     regions[region.head_id] = CompiledRegion(
         region.head_id, region.head_name, ops, _norm_of(ops), guards,
         loopback=False)
+    obs_metrics.inc("repro_jit_regions_total", result="truncated")
     obs_session.remark(
         "analysis", "jit", func_name,
         f"region at {region.head_name} truncated to {len(ops)} blocks: "
@@ -658,6 +668,7 @@ def drop_cold_region(regions: Dict[int, CompiledRegion],
     """
     _mark_dirty(regions)
     del regions[region.head_id]
+    obs_metrics.inc("repro_jit_regions_total", result="dropped")
     obs_session.remark(
         "analysis", "jit", func_name,
         f"region at {region.head_name} dropped: "

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import time
 from dataclasses import dataclass
 from datetime import date
@@ -422,13 +423,29 @@ def default_bench_json_path() -> Path:
     return root / f"BENCH_{date.today().isoformat()}.json"
 
 
+def bench_provenance() -> Dict[str, str]:
+    """Where a benchmark record came from, so perf-history entries are
+    comparable across environments (satellite of the perf sentinel)."""
+    from ..gpu.timing import TIMING_MODEL_VERSION
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timing_model": str(TIMING_MODEL_VERSION),
+    }
+
+
 def bench_json_payload(rows: List[KernelTiming], warps: int, trips: int,
                        source: str) -> Dict:
     """The shared machine-readable shape (``repro bench-interp --json``
-    and the perf-smoke benchmark both emit it)."""
+    and the perf-smoke benchmark both emit it).
+
+    Schema v2 added ``provenance``; readers tolerate v1 records (the
+    perf sentinel treats provenance as optional).
+    """
     return {
-        "schema": 1,
+        "schema": 2,
         "source": source,
+        "provenance": bench_provenance(),
         "warps": warps,
         "lanes": WARP_SIZE,
         "trips": trips,

@@ -59,6 +59,7 @@ import numpy as np
 
 from ..gpu.counters import Counters
 from ..gpu.timing import TIMING_MODEL_VERSION
+from ..obs import metrics as obs_metrics
 from ..transforms.heuristic import HeuristicParams, LoopDecision
 from .experiment import Cell
 
@@ -169,6 +170,11 @@ class ShardedLRUStore:
     :meth:`_atomic_write`.
     """
 
+    #: ``cache=`` label for the shared metric families
+    #: (``repro_cache_*_total``); "" keeps a store out of the metrics
+    #: plane entirely.
+    metrics_label = ""
+
     def __init__(self, root: Path, max_bytes: Optional[int] = None) -> None:
         self.root = Path(root)
         #: LRU total-bytes cap across *all* entries under ``root``.
@@ -183,6 +189,12 @@ class ShardedLRUStore:
         #: Last recency timestamp handed out; kept strictly increasing so
         #: same-nanosecond accesses still order by logical sequence.
         self._clock_ns = 0
+
+    def _metric(self, kind: str, n: float = 1.0) -> None:
+        """Mirror a session counter into the metrics plane (if both on)."""
+        if self.metrics_label and obs_metrics.active() is not None:
+            obs_metrics.inc(f"repro_cache_{kind}_total", n,
+                            cache=self.metrics_label)
 
     # -- storage -------------------------------------------------------------
     def shard_path(self, key: str, name: str) -> Path:
@@ -274,6 +286,7 @@ class ShardedLRUStore:
             total -= size
             if freed:
                 self.evictions += 1
+                self._metric("evictions")
                 evicted.append(name)
         return evicted
 
@@ -336,6 +349,8 @@ class ShardedLRUStore:
 
 class CellCache(ShardedLRUStore):
     """Content-addressed persistent store of ``Cell`` results."""
+
+    metrics_label = "cell"
 
     def __init__(self, root: Optional[Path] = None,
                  prefix: str = "",
@@ -433,6 +448,7 @@ class CellCache(ShardedLRUStore):
             raw = self._migrate_flat(key, path)
             if raw is None:
                 self.misses += 1
+                self._metric("misses")
                 return None
         try:
             data = json.loads(raw)
@@ -450,8 +466,10 @@ class CellCache(ShardedLRUStore):
                 except OSError:
                     pass
             self.misses += 1
+            self._metric("misses")
             return None
         self.hits += 1
+        self._metric("hits")
         self._touch(path)  # LRU recency: a hit makes the entry newest.
         return cell, decoded
 
@@ -462,8 +480,11 @@ class CellCache(ShardedLRUStore):
         if outputs is not None:
             data["outputs"] = outputs_to_json(outputs)
         path = self._path(key)
-        self._atomic_write(path, json.dumps(data))
+        text = json.dumps(data)
+        self._atomic_write(path, text)
         self.puts += 1
+        self._metric("puts")
+        self._metric("bytes_written", len(text))
         self._touch(path)
         if self.max_bytes is not None:
             self.evict()

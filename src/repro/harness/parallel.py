@@ -40,6 +40,7 @@ import numpy as np
 from ..bench import benchmark_by_name
 from ..bench.base import Benchmark
 from ..ir.printer import print_module
+from ..obs import metrics as obs_metrics
 from ..obs import session as obs
 from ..transforms.heuristic import HeuristicParams
 from .cache import CellCache
@@ -163,13 +164,16 @@ def _worker_extras(runner: ExperimentRunner) -> Dict:
     ``obs`` carries the worker's remark/trace/profile payload (None when
     ``REPRO_TRACE`` is off); ``region_cache`` ships the worker's jit
     region-cache session counters (snapshot-and-reset, so a pooled worker
-    running many tasks never double-reports).
+    running many tasks never double-reports); ``metrics`` ships the
+    worker's metric-registry snapshot (None when ``REPRO_METRICS`` is
+    off) under the same discipline.
     """
     from ..gpu.region_cache import take_session
     return {"pass_stats": runner.pass_stats,
             "phase_seconds": dict(runner.phase_seconds),
             "obs": obs.end_worker(),
-            "region_cache": take_session()}
+            "region_cache": take_session(),
+            "metrics": obs_metrics.end_worker()}
 
 
 def _worker_baseline(app: str, params: Tuple):
@@ -178,6 +182,7 @@ def _worker_baseline(app: str, params: Tuple):
     # session object, and exporting it would re-ship every remark the
     # parent had already collected.
     obs.begin_worker()
+    obs_metrics.begin_worker()
     try:
         bench = benchmark_by_name(app)
         runner = _make_runner(params)
@@ -192,6 +197,7 @@ def _worker_cell(app: str, config: str, loop_id: Optional[str], factor: int,
                  params: Tuple, reference: Optional[Dict[str, np.ndarray]]):
     """Compute one non-baseline cell against shipped reference outputs."""
     obs.begin_worker()
+    obs_metrics.begin_worker()
     try:
         bench = benchmark_by_name(app)
         runner = _make_runner(params)
@@ -337,6 +343,9 @@ class ParallelRunner(ExperimentRunner):
             missing.append((spec, cache_key))
 
         if missing:
+            # One count, no serial/pool label: the -j1 and -jN registries
+            # must fold byte-identically for the same cell set.
+            obs_metrics.inc("repro_sweep_cells_total", len(missing))
             if self.jobs <= 1:
                 self._compute_serial(missing, by_name)
             else:
@@ -358,6 +367,7 @@ class ParallelRunner(ExperimentRunner):
                 cell = self._run(bench, spec.config, spec.loop_id,
                                  spec.factor)
             except Exception:
+                obs_metrics.inc("repro_sweep_worker_failures_total")
                 cell = _failed_cell(spec, traceback.format_exc())
             self._cache[spec.key] = cell
             if bench is not None and cache_key is not None:
@@ -397,6 +407,7 @@ class ParallelRunner(ExperimentRunner):
                 app = futures[future]
                 status, payload, outputs, extras = future.result()
                 if status == "err":
+                    obs_metrics.inc("repro_sweep_worker_failures_total")
                     failed_baselines[app] = payload
                     continue
                 if outputs is not None:
@@ -435,6 +446,7 @@ class ParallelRunner(ExperimentRunner):
                     spec = futures[future]
                     status, payload, _, extras = future.result()
                     if status == "err":
+                        obs_metrics.inc("repro_sweep_worker_failures_total")
                         self._cache[spec.key] = _failed_cell(spec, payload)
                     else:
                         self._cache[spec.key] = payload
@@ -497,6 +509,7 @@ class ParallelRunner(ExperimentRunner):
         if region:
             from ..gpu.region_cache import session as region_session
             region_session().absorb(region)
+        obs_metrics.absorb(extras.get("metrics"))
 
 def prefetch_if_parallel(runner, benches,
                          configs: Optional[Sequence[str]] = None,

@@ -8,12 +8,17 @@ One instrumentation layer for the whole reproduction:
 * :mod:`repro.obs.profile` — per-block engine counters, occupancy
   timeline, batched split/demote events;
 * :mod:`repro.obs.session` — the process-wide session slot, the
-  ``REPRO_TRACE`` opt-in, and cross-process payload aggregation.
+  ``REPRO_TRACE`` opt-in, and cross-process payload aggregation;
+* :mod:`repro.obs.metrics` — the deterministic service-grade metric
+  registry (counters/gauges/histograms, Prometheus text export, the
+  ``REPRO_METRICS`` opt-in).
 
 Everything is a no-op (one global ``is None`` test per hook) until a
 session is installed.
 """
 
+from . import metrics
+from .metrics import MetricsRegistry
 from .profile import ExecutionProfile, OCCUPANCY_CAP
 from .remarks import (KINDS, Remark, heuristic_remarks, read_jsonl,
                       render_remark, write_jsonl)
@@ -24,7 +29,8 @@ from .session import (ENV_VAR, ObsSession, active, begin_worker, capture,
 from .trace import Tracer
 
 __all__ = [
-    "ENV_VAR", "KINDS", "OCCUPANCY_CAP", "ExecutionProfile", "ObsSession",
+    "ENV_VAR", "KINDS", "MetricsRegistry", "OCCUPANCY_CAP",
+    "ExecutionProfile", "ObsSession", "metrics",
     "Remark", "Tracer", "active", "begin_worker", "capture", "context",
     "emit", "enabled", "end_worker", "heuristic_remarks", "install",
     "maybe_install_from_env", "profile", "read_jsonl", "remark",

@@ -33,7 +33,7 @@ class ExecutionProfile:
     """Per-run engine telemetry; mergeable across warps and processes."""
 
     __slots__ = ("block_hits", "block_cycles", "occupancy",
-                 "occupancy_dropped", "splits", "demotions")
+                 "occupancy_dropped", "splits", "demotions", "request")
 
     def __init__(self) -> None:
         self.block_hits: Dict[str, int] = {}
@@ -43,6 +43,10 @@ class ExecutionProfile:
         self.occupancy_dropped = 0
         self.splits: List[Dict[str, object]] = []
         self.demotions: List[Dict[str, object]] = []
+        #: Service request id (content hash) this stream belongs to, set
+        #: by :func:`repro.obs.session.request_capture`; None outside the
+        #: service.  Merging keeps the tag only while unambiguous.
+        self.request: Optional[str] = None
 
     # -- recording (hot paths; keep branch-light) ----------------------------
     def note_block(self, name: str, cycles: float, active: int,
@@ -63,6 +67,10 @@ class ExecutionProfile:
 
     # -- aggregation ---------------------------------------------------------
     def merge(self, other: "ExecutionProfile") -> None:
+        if self.is_empty():
+            self.request = other.request
+        elif not other.is_empty() and self.request != other.request:
+            self.request = None      # mixed streams: tag no longer holds
         for name, n in other.block_hits.items():
             self.block_hits[name] = self.block_hits.get(name, 0) + n
         for name, c in other.block_cycles.items():
@@ -80,7 +88,7 @@ class ExecutionProfile:
 
     # -- serialization -------------------------------------------------------
     def to_json(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "block_hits": dict(self.block_hits),
             "block_cycles": dict(self.block_cycles),
             "occupancy": [list(s) for s in self.occupancy],
@@ -88,6 +96,9 @@ class ExecutionProfile:
             "splits": list(self.splits),
             "demotions": list(self.demotions),
         }
+        if self.request is not None:
+            data["request"] = self.request
+        return data
 
     @staticmethod
     def from_json(data: Dict[str, object]) -> "ExecutionProfile":
@@ -100,6 +111,7 @@ class ExecutionProfile:
         prof.occupancy_dropped = int(data.get("occupancy_dropped", 0))
         prof.splits = list(data.get("splits", []))
         prof.demotions = list(data.get("demotions", []))
+        prof.request = data.get("request")
         return prof
 
     # -- reporting -----------------------------------------------------------

@@ -151,12 +151,25 @@ def profile() -> Optional[ExecutionProfile]:
 
 @contextlib.contextmanager
 def span(name: str, cat: str = "phase", **args):
-    """Record the wrapped block as a complete trace event (no-op when off)."""
+    """Record the wrapped block as a complete trace event (no-op when off).
+
+    Request provenance (the ``request``/``job`` keys a
+    :func:`request_capture` puts in the session context) is folded into
+    the event args, so every span a service job produces is recoverable
+    from a merged stream by request id (``repro trace --request``).
+    Only those two keys are folded — harness context (app/config/sweep
+    coordinates) already names the enclosing cell span and would bloat
+    every pass-level event.
+    """
     session = _get()
     t = session.tracer if session is not None else None
     if t is None:
         yield
         return
+    for key in ("request", "job"):
+        value = session.context.get(key)
+        if value is not None and key not in args:
+            args[key] = value
     start = t.now()
     t0 = time.perf_counter()
     try:
@@ -212,6 +225,11 @@ def request_capture(request_id: str, **ctx):
         session.context["request"] = request_id
         session.context.update(
             {k: v for k, v in ctx.items() if v is not None})
+        session.profile.request = request_id
+        # Stamp at the tracer too: pass managers record spans via
+        # tracer.complete() directly (no per-pass contextmanager), so
+        # the session-context fold in span() never sees those events.
+        session.tracer.request = request_id
         yield session
 
 

@@ -28,6 +28,10 @@ class Tracer:
         self.pid = pid
         self.epoch = time.perf_counter()
         self.events: List[Dict[str, object]] = []
+        # When serving, the session's request id.  complete() folds it
+        # into every event so pass-level spans recorded via the direct
+        # tracer path (not obs.span) are still recoverable by request.
+        self.request: Optional[str] = None
 
     # -- clock ---------------------------------------------------------------
     def now(self) -> float:
@@ -45,6 +49,9 @@ class Tracer:
             "dur": round(dur_s * 1e6, 3),
             "pid": self.pid, "tid": tid,
         }
+        if self.request is not None:
+            args = dict(args) if args else {}
+            args.setdefault("request", self.request)
         if args:
             event["args"] = args
         self.events.append(event)

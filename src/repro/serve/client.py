@@ -85,6 +85,18 @@ class ServeClient:
     def health(self) -> Dict:
         return self._call("/health")
 
+    def metrics_text(self) -> str:
+        """Raw Prometheus text from ``GET /metrics`` (not JSON)."""
+        req = urllib.request.Request(f"{self.url}/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServeError(str(exc), code=exc.code)
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"daemon unreachable at {self.url}: {exc.reason}")
+
     # -- conveniences --------------------------------------------------------
     def submit_and_wait(self, request: OptimizeRequest,
                         timeout: float = 600.0) -> OptimizeResult:

@@ -17,7 +17,13 @@ Endpoints (JSON in, JSON out)::
                             done" from "gone")
     POST /cancel/<job_id>   -> {cancelled: bool} (queued jobs only)
     GET  /stats             -> queue counters + cell-cache stats
-    GET  /health            -> {ok, schema, url}
+    GET  /health            -> {ok, schema, url, uptime_seconds}
+    GET  /metrics           -> Prometheus text exposition (queue, cache,
+                            JIT counter families; see repro.obs.metrics)
+
+A request to a *known* route with the wrong verb gets 405 (with an
+``Allow`` header), not 404 — clients can tell "wrong method" from "no
+such endpoint".
 
 Shutdown is idempotent and signal-friendly: SIGTERM/SIGINT (see
 :meth:`ServeDaemon.install_signal_handlers`) stop the HTTP listener,
@@ -30,15 +36,22 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from ..harness.cache import CellCache
 from ..harness.parallel import ParallelRunner
+from ..obs import ObsSession
+from ..obs import metrics as obs_metrics
 from .jobs import JobQueue, JobState
 from .protocol import (SERVE_SCHEMA_VERSION, OptimizeRequest, ProtocolError,
                        content_hash)
 from .service import execute_request
+
+#: Routes by verb; anything here answered with the other verb is a 405.
+GET_ROUTES = ("health", "stats", "metrics", "status", "result")
+POST_ROUTES = ("submit", "cancel")
 
 #: Cap on ``?wait=`` so a dead client cannot pin a handler thread forever.
 MAX_RESULT_WAIT_SECONDS = 300.0
@@ -62,6 +75,22 @@ class ServeDaemon:
         #: Serializes app jobs on the shared runner; ir/kernel jobs
         #: never take it.
         self._runner_lock = threading.RLock()
+        #: The daemon's metric registry.  Installed into the process
+        #: slot (unless one is already live, e.g. an embedding test's)
+        #: so queue/cache/JIT hooks all aggregate here; pre-registered
+        #: at zero so a scrape of an idle daemon still shows every
+        #: family.
+        self._owns_metrics = obs_metrics.active() is None
+        self.metrics = obs_metrics.active() or obs_metrics.install()
+        obs_metrics.preregister(self.metrics)
+        #: Master observability stream: every job's remarks and trace
+        #: events, folded under a lock as jobs finish.  Spans carry
+        #: ``args.request``, so one request's story is recoverable with
+        #: ``repro trace --request`` after :meth:`export_obs`.
+        self.obs = ObsSession()
+        self._obs_lock = threading.Lock()
+        #: Monotonic anchor for /health's ``uptime_seconds``.
+        self.started_at = time.monotonic()
         self.queue = JobQueue(self._execute, workers=workers)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
@@ -77,7 +106,32 @@ class ServeDaemon:
                 result = execute_request(request, runner=self.runner)
         else:
             result = execute_request(request)
-        return result.to_json()
+        data = result.to_json()
+        self._fold_obs(data)
+        return data
+
+    def _fold_obs(self, result_json: Dict) -> None:
+        """Merge one finished job's captured streams into the master."""
+        payload = {"remarks": result_json.get("remarks") or [],
+                   "events": result_json.get("trace_events") or [],
+                   "profile": result_json.get("profile")}
+        if not (payload["remarks"] or payload["events"]
+                or payload["profile"]):
+            return
+        with self._obs_lock:
+            self.obs.merge_payload(payload)
+
+    def export_obs(self, trace_out=None, remarks_out=None) -> Dict[str, int]:
+        """Write the merged trace/remark streams; returns event counts."""
+        from ..obs import write_jsonl
+        written = {}
+        with self._obs_lock:
+            if trace_out is not None:
+                written["events"] = self.obs.tracer.write(trace_out)
+            if remarks_out is not None:
+                written["remarks"] = write_jsonl(self.obs.remarks,
+                                                 remarks_out)
+        return written
 
     # -- HTTP lifecycle ------------------------------------------------------
     @property
@@ -135,6 +189,10 @@ class ServeDaemon:
         if self._http_thread is not None:
             self._http_thread.join(timeout=10.0)
         self.queue.shutdown(wait=True)
+        # Don't leak the daemon's registry into the process slot: later
+        # code in this process expects the disabled path back.
+        if self._owns_metrics and obs_metrics.active() is self.metrics:
+            obs_metrics.uninstall()
 
     def install_signal_handlers(self) -> Dict[int, object]:
         """Route SIGTERM/SIGINT to :meth:`shutdown`; returns the handlers
@@ -165,6 +223,7 @@ class ServeDaemon:
         }
         region_data["store"] = regions.stats() if regions is not None else None
         data["region_cache"] = region_data
+        data["metrics"] = self.metrics.summary()
         return data
 
 
@@ -191,6 +250,32 @@ def _make_handler(daemon: ServeDaemon):
             self.end_headers()
             self.wfile.write(body)
 
+        def _reply_text(self, code: int, text: str,
+                        content_type: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _method_not_allowed(self, head: str, current_routes,
+                                allow: str) -> bool:
+            """405 for a known route addressed with the wrong verb."""
+            if head in current_routes or head not in (
+                    GET_ROUTES + POST_ROUTES):
+                return False
+            body = json.dumps(
+                {"error": f"method not allowed on {head!r}"}
+            ).encode("utf-8")
+            self.send_response(405)
+            self.send_header("Allow", allow)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return True
+
         def _read_json(self) -> Dict:
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b"{}"
@@ -214,6 +299,10 @@ def _make_handler(daemon: ServeDaemon):
         # -- verbs ----------------------------------------------------------
         def do_POST(self) -> None:  # noqa: N802
             head, arg, _params = self._route()
+            obs_metrics.inc("repro_serve_requests_total",
+                            endpoint=head or "/", method="POST")
+            if self._method_not_allowed(head, POST_ROUTES, "GET"):
+                return
             try:
                 if head == "submit" and arg is None:
                     self._submit()
@@ -229,10 +318,19 @@ def _make_handler(daemon: ServeDaemon):
 
         def do_GET(self) -> None:  # noqa: N802
             head, arg, params = self._route()
+            obs_metrics.inc("repro_serve_requests_total",
+                            endpoint=head or "/", method="GET")
+            if self._method_not_allowed(head, GET_ROUTES, "POST"):
+                return
             if head == "health":
+                uptime = time.monotonic() - daemon.started_at
                 self._reply(200, {"ok": True,
                                   "schema": SERVE_SCHEMA_VERSION,
-                                  "url": daemon.url})
+                                  "url": daemon.url,
+                                  "uptime_seconds": round(uptime, 3)})
+            elif head == "metrics":
+                self._reply_text(200, daemon.metrics.render(),
+                                 "text/plain; version=0.0.4; charset=utf-8")
             elif head == "stats":
                 self._reply(200, daemon.stats())
             elif head == "status" and arg:

@@ -30,6 +30,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..obs import metrics
+
 
 class JobState:
     QUEUED = "queued"
@@ -99,6 +101,8 @@ class JobQueue:
         self.executed = 0
         self.failed = 0
         self.cancelled = 0
+        #: Jobs queued and not yet running (mirrored to the depth gauge).
+        self.queued = 0
         if autostart:
             self.start()
 
@@ -150,14 +154,19 @@ class JobQueue:
                 existing.clients += 1
                 if existing.state == JobState.DONE:
                     self.deduped_memo += 1
+                    metrics.inc("repro_serve_dedup_hits_total", kind="memo")
                 else:
                     self.deduped_inflight += 1
+                    metrics.inc("repro_serve_dedup_hits_total",
+                                kind="inflight")
                 return existing, True
             job = Job(id=f"j{next(self._seq):06d}", request=request,
                       content_hash=content_hash, priority=priority)
             self._jobs[job.id] = job
             self._by_hash[content_hash] = job
             heapq.heappush(self._heap, (-priority, int(job.id[1:]), job))
+            self.queued += 1
+            metrics.set_gauge("repro_serve_queue_depth", self.queued)
             self._cv.notify()
             return job, False
 
@@ -169,6 +178,7 @@ class JobQueue:
                 return False
             self._finish(job, JobState.CANCELLED, error="cancelled")
             self.cancelled += 1
+            metrics.inc("repro_serve_cancelled_total")
             return True
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -194,6 +204,11 @@ class JobQueue:
                     if job.state == JobState.QUEUED:
                         job.state = JobState.RUNNING
                         job.started_at = time.time()
+                        self.queued -= 1
+                        metrics.set_gauge("repro_serve_queue_depth",
+                                          self.queued)
+                        metrics.observe("repro_serve_queue_wait_seconds",
+                                        job.started_at - job.submitted_at)
                         return job
                 if self._stopping:
                     return None
@@ -211,15 +226,24 @@ class JobQueue:
                     self._finish(job, JobState.FAILED,
                                  error=traceback.format_exc())
                     self.failed += 1
+                    metrics.inc("repro_serve_jobs_total", state="failed")
+                    metrics.observe("repro_serve_execute_seconds",
+                                    job.finished_at - job.started_at)
                 continue
             with self._cv:
                 self.executed += 1
                 job.result = result
                 self._finish(job, JobState.DONE)
+                metrics.inc("repro_serve_jobs_total", state="done")
+                metrics.observe("repro_serve_execute_seconds",
+                                job.finished_at - job.started_at)
 
     def _finish(self, job: Job, state: str,
                 error: Optional[str] = None) -> None:
         """Transition to a terminal state (caller holds the lock)."""
+        if job.state == JobState.QUEUED:
+            self.queued -= 1
+            metrics.set_gauge("repro_serve_queue_depth", self.queued)
         job.state = state
         job.error = error if error is not None else job.error
         job.finished_at = time.time()
@@ -249,6 +273,7 @@ class JobQueue:
             return {
                 "workers": self.workers,
                 "alive_workers": self.alive_workers,
+                "queued": self.queued,
                 "submitted": self.submitted,
                 "deduped": self.deduped_inflight + self.deduped_memo,
                 "deduped_inflight": self.deduped_inflight,

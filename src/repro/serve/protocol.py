@@ -46,7 +46,9 @@ from ..frontend import ast as front
 from ..gpu.timing import TIMING_MODEL_VERSION
 
 #: Bump when the request or result wire shape changes incompatibly.
-SERVE_SCHEMA_VERSION = 1
+#: v2: requests grow ``include_profile``; results grow ``trace_events``
+#: and ``profile`` (per-request correlated observability streams).
+SERVE_SCHEMA_VERSION = 2
 
 #: Pipeline configurations a submission may request.
 CONFIGS = ("baseline", "uu", "unroll", "unmerge", "uu_heuristic", "tuned")
@@ -171,6 +173,9 @@ class OptimizeRequest:
     lanes: int = 32
     #: Include the printed optimized IR in the result.
     include_ir: bool = True
+    #: Include the request-tagged execution profile in the result
+    #: (ir/kernel subjects only; occupancy timelines can be large).
+    include_profile: bool = False
     #: Larger runs first; ties FIFO.
     priority: int = 0
     #: Reserved pragma-style transformation script (validated, not yet
@@ -243,6 +248,7 @@ def content_hash(request: OptimizeRequest) -> str:
         "factor": request.factor,
         "lanes": request.lanes,
         "include_ir": request.include_ir,
+        "include_profile": request.include_profile,
         "directives": list(request.directives),
     }
     return hashlib.sha256(
@@ -273,6 +279,13 @@ class OptimizeResult:
     counters: Dict[str, object] = field(default_factory=dict)
     decisions: List[Dict] = field(default_factory=list)
     remarks: List[Dict] = field(default_factory=list)
+    #: Chrome trace events captured under the request's obs session;
+    #: every span carries ``args.request = content_hash`` so merged
+    #: daemon streams stay filterable per job.
+    trace_events: List[Dict] = field(default_factory=list)
+    #: Request-tagged :class:`~repro.obs.ExecutionProfile` JSON, present
+    #: only when the request set ``include_profile``.
+    profile: Optional[Dict] = None
     optimized_ir: Optional[str] = None
     #: Per-function return lattices for ir/kernel subjects (base64 numpy,
     #: the cell cache's encoding) — empty for app submissions, whose

@@ -118,6 +118,9 @@ def _execute_subject(request: OptimizeRequest, req_hash: str,
             outputs, counters = _run_subject(module, request.lanes,
                                              request.engine)
     result.remarks = [r.to_json() for r in session.remarks]
+    result.trace_events = list(session.tracer.events)
+    if request.include_profile and not session.profile.is_empty():
+        result.profile = session.profile.to_json()
     result.decisions = _decision_dicts(compiled)
     result.cycles = counters.cycles
     result.counters = _counters_json(counters)
@@ -194,6 +197,7 @@ def _execute_app(request: OptimizeRequest, req_hash: str,
                                timeout_seconds=runner.compile_timeout,
                                tuned=tuned)
         result.remarks = [r.to_json() for r in session.remarks]
+        result.trace_events = list(session.tracer.events)
         result.optimized_ir = print_module(module)
     else:
         # No recompile: render the decision stream the way the CLI's

@@ -166,8 +166,10 @@ class TestTuneCommands:
         assert main(["bench-interp", "--warps", "2", "--repeats", "1",
                      "--json-out", str(target)]) == 0
         payload = json.loads(target.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["source"] == "bench-interp"
+        assert set(payload["provenance"]) == \
+            {"python", "platform", "timing_model"}
         assert {k["kernel"] for k in payload["kernels"]} == \
             {"uniform", "divergent", "staggered", "briefdiv",
              "chain", "chaindia"}
