@@ -20,7 +20,8 @@ from typing import Dict, Set
 
 from ..ir.block import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import (CallInst, CondBranchInst, Instruction, PhiInst)
+from ..ir.instructions import (CallInst, CondBranchInst, Instruction,
+                               LoadInst, PhiInst)
 from ..ir.values import Argument, Value
 from .loops import Loop
 
@@ -103,6 +104,56 @@ class DivergenceInfo:
                     return True
             return False
         return any(id(op) in self._divergent for op in inst.operands)
+
+
+def dataflow_tid_tainted(func: Function) -> Set[int]:
+    """Value ids tainted by ``tid.x`` through *data flow only*.
+
+    A deliberately sharper variant of :class:`DivergenceInfo` for feature
+    extraction: the phi sync-dependence rule is dropped (under a
+    ``gid < n`` thread guard it taints every loop phi in the kernel, so
+    the full analysis saturates to "everything divergent" and carries no
+    signal), and loads are uniform regardless of their address, exactly
+    as in the full analysis.  What remains is the paper's Section V
+    sketch verbatim: "a condition [that] depends on the values of e.g.
+    threadIdx" — arithmetic chains rooted at the thread id itself.
+    """
+    tainted: Set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for inst in func.instructions():
+            if id(inst) in tainted or isinstance(inst, LoadInst):
+                continue
+            if isinstance(inst, CallInst) and \
+                    inst.intrinsic.name in DIVERGENT_SOURCES:
+                hit = True
+            else:
+                hit = any(id(op) in tainted for op in inst.operands)
+            if hit:
+                tainted.add(id(inst))
+                changed = True
+    return tainted
+
+
+def loop_has_tid_dataflow_branch(loop: Loop, tainted: Set[int]) -> bool:
+    """True if an in-body branch condition is data-flow tid-tainted.
+
+    This is the `complex` signature (paper Listing 7, ``n & 1`` with
+    ``n`` seeded from the global thread id): every iteration re-diverges
+    on a value that differs per lane *by construction*, so unrolling
+    multiplies the serialized divergent body with no redundancy for the
+    cleanup passes to remove.  Loops whose in-body conditions come from
+    loaded data do not flag — their divergence is an input property, not
+    a structural one.
+    """
+    for block in loop.blocks:
+        term = block.terminator
+        if isinstance(term, CondBranchInst) and \
+                id(term.condition) in tainted:
+            if all(loop.contains(s) for s in term.successors()):
+                return True
+    return False
 
 
 def loop_has_divergent_branch(loop: Loop, info: DivergenceInfo) -> bool:

@@ -69,7 +69,7 @@ from .harness.cache import CellCache
 from .harness.parallel import ParallelRunner
 
 ALL_CONFIG_CHOICES = ("baseline", "uu", "unroll", "unmerge", "uu_heuristic",
-                      "tuned")
+                      "tuned", "predicted")
 
 
 @contextlib.contextmanager
@@ -516,6 +516,97 @@ def cmd_tune(args) -> int:
     return rc
 
 
+def cmd_predict(args) -> int:
+    from .similarity.index import SimilarityIndex
+    from .similarity.predict import (DEFAULT_K, DEFAULT_MAX_DISTANCE,
+                                     predict_bench)
+
+    k = args.k if args.k is not None else DEFAULT_K
+    max_distance = (args.max_distance if args.max_distance is not None
+                    else DEFAULT_MAX_DISTANCE)
+    if args.target is None:
+        # No target: the transfer scoreboard (predicted is leave-one-out,
+        # so this is the EXPERIMENTS.md "tuning transfer" recipe).
+        from .harness.summary import transfer_summary
+        runner = _runner(args)
+        print(transfer_summary(runner, _benches(args)).format())
+        _finish_sweep(runner)
+        return 0
+    bench = benchmark_by_name(args.target)
+    index = SimilarityIndex(Path(args.index_dir) if args.index_dir else None)
+    prediction = predict_bench(bench, index, k=k, max_distance=max_distance,
+                               emit=False)
+    print(f"{bench.name}: predicted from {prediction.corpus_loops} corpus "
+          f"loops (k={k}, max distance {max_distance:g}, leave-one-out)")
+    if prediction.fallback:
+        print("  no usable index entries — the predicted pipeline would "
+              "fall back to the static heuristic\n"
+              "  (populate with `repro similarity build`)")
+        return 1
+    for lp in prediction.loops:
+        onoff = "on" if lp.unmerge else "off"
+        print(f"  {lp.loop_id:<28} u={lp.factor} unmerge={onoff:<3} "
+              f"[{lp.source}, confidence {lp.confidence:.2f}]")
+        for v in lp.neighbors:
+            v_onoff = "on" if v.unmerge else "off"
+            print(f"      <- {v.app}/{v.loop_id}  distance {v.distance:.4f}"
+                  f"  (u={v.factor} unmerge={v_onoff})")
+    if not prediction.decisions:
+        print("  (identity prediction: leave every loop alone)")
+    return 0
+
+
+def cmd_similarity(args) -> int:
+    from .similarity.index import SimilarityIndex, build_index
+
+    index = SimilarityIndex(Path(args.index_dir) if args.index_dir else None)
+    if args.sim_action == "build":
+        summary = build_index(index=index)
+        print(f"indexed {len(summary['added'])} tuned apps")
+        for app, why in sorted(summary["skipped"].items()):
+            print(f"  skipped {app}: {why}")
+        if args.fuzz_count:
+            from .similarity.corpus import build_from_fuzz
+            fz = build_from_fuzz(
+                args.fuzz_count, start_seed=args.start_seed, index=index,
+                budget=args.budget,
+                use_cache=not getattr(args, "no_cache", False))
+            print(f"fuzz corpus: {len(fz['indexed'])} tuned+indexed, "
+                  f"{len(fz['unverified'])} unverified (skipped)")
+        print(f"index: {index.stats()['entries']} entries at {index.root}")
+        return 0
+
+    # stats
+    stats = index.stats()
+    entries = index.load_entries()
+    if args.json:
+        by_source: dict = {}
+        for entry in entries:
+            source = str(entry.get("source", "?"))
+            by_source[source] = by_source.get(source, 0) + 1
+        stats["by_source"] = by_source
+        stats["loops"] = sum(len(e.get("loops", [])) for e in entries)
+        print(json.dumps(stats, sort_keys=True))
+        return 0
+    schema = stats["schema"]
+    print(f"similarity index at {stats['root']}")
+    print(f"  entries:  {stats['entries']} kernels, "
+          f"{sum(len(e.get('loops', [])) for e in entries)} loops, "
+          f"{stats['bytes']} bytes")
+    by_source: dict = {}
+    for entry in entries:
+        source = str(entry.get("source", "?"))
+        by_source[source] = by_source.get(source, 0) + 1
+    for source in sorted(by_source):
+        print(f"    {source:<10} {by_source[source]}")
+    print(f"  schema:   feature v{schema['feature']} x timing "
+          f"v{schema['timing']} x tune v{schema['tune']}")
+    if stats["tmp_files"]:
+        print(f"  tmp:      {stats['tmp_files']} files, "
+              f"{stats['tmp_bytes']} bytes")
+    return 0
+
+
 def _traced_sweep(args) -> None:
     """Compute the requested app x config cells under the live session."""
     args.no_cache = True  # Cached cells skip compilation: nothing to trace.
@@ -640,15 +731,18 @@ def cmd_metrics(args) -> int:
 
 def _sweep_geomeans(args) -> dict:
     """Sweep geomeans folded into a perf record by ``perf record --sweep``."""
-    from .harness.summary import heuristic_summary, tuned_summary
+    from .harness.summary import (heuristic_summary, transfer_summary,
+                                  tuned_summary)
 
     runner = _runner(args)
     benches = _benches(args)
     heur = heuristic_summary(runner, benches)
     tuned = tuned_summary(runner, benches)
+    transfer = transfer_summary(runner, benches)
     return {
         "sweep/heuristic_speedup": heur.speedup,
         "sweep/tuned_speedup": tuned.geomean_tuned,
+        "sweep/predicted_speedup": transfer.geomean_predicted,
     }
 
 
@@ -792,7 +886,7 @@ def _submit_request(args):
         app=args.app, ir=ir, config=args.config, loop_id=args.loop_id,
         factor=args.factor, engine=getattr(args, "engine", None),
         lanes=args.lanes, include_ir=not args.no_ir,
-        priority=args.priority,
+        priority=args.priority, refine=getattr(args, "refine", False),
         directives=tuple(args.directive or ())).validate()
 
 
@@ -878,6 +972,16 @@ def cmd_serve_status(args) -> int:
         else:
             print("  regions:   persistent cache disabled "
                   "(REPRO_REGION_CACHE=0)")
+    similarity = stats.get("similarity")
+    if similarity:
+        index = similarity.get("index") or {}
+        print(f"  predicted: {similarity['predictions_served']} served; "
+              f"index {index.get('entries', 0)} entries "
+              f"({index.get('bytes', 0)} bytes)")
+        print(f"  refine:    {similarity['refinements_pending']} pending, "
+              f"{similarity['refinements_completed']} completed, "
+              f"{similarity['refinements_failed']} failed "
+              f"(of {similarity['refinements_submitted']} submitted)")
     metrics = stats.get("metrics")
     if metrics:
         print(f"  metrics:   {metrics['families']} families, "
@@ -1043,6 +1147,52 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: results/tuned or REPRO_TUNED_DIR)")
     p.set_defaults(fn=cmd_tune)
 
+    p = sub.add_parser("predict", parents=[common],
+                       help="instant predicted config from the similarity "
+                            "index (zero empirical evaluations)")
+    p.add_argument("target", nargs="?", default=None,
+                   help="benchmark to predict; omit for the "
+                        "predicted-vs-tuned-vs-heuristic scoreboard over "
+                        "all apps (leave-one-out)")
+    p.add_argument("--k", type=int, default=None,
+                   help="neighbors voting per loop (default 3)")
+    p.add_argument("--max-distance", type=float, default=None,
+                   help="nearest-neighbor distance beyond which a loop "
+                        "falls back to the heuristic (default 0.35)")
+    p.add_argument("--index-dir", metavar="DIR", default=None,
+                   help="similarity-index directory (default: "
+                        "results/.simindex or REPRO_SIMINDEX_DIR)")
+    p.set_defaults(fn=cmd_predict)
+
+    p = sub.add_parser("similarity",
+                       help="tuning-transfer index maintenance")
+    ssub = p.add_subparsers(dest="sim_action", required=True)
+    sb = ssub.add_parser("build",
+                         help="(re)index every persisted tuned config, "
+                              "optionally densified with tuned fuzz "
+                              "kernels")
+    sb.add_argument("--fuzz-count", type=int, default=0, metavar="N",
+                    help="also tune N fuzz-generated kernels offline and "
+                         "index the verified winners (default 0)")
+    sb.add_argument("--start-seed", type=int, default=0,
+                    help="first fuzz seed (default 0)")
+    sb.add_argument("--budget", type=int, default=64,
+                    help="per-kernel candidate budget for fuzz tuning "
+                         "(default 64)")
+    sb.add_argument("--no-cache", action="store_true",
+                    help="ignore the persistent cell cache while tuning "
+                         "fuzz kernels")
+    sb.add_argument("--index-dir", metavar="DIR", default=None,
+                    help="similarity-index directory (default: "
+                         "results/.simindex or REPRO_SIMINDEX_DIR)")
+    sb.set_defaults(fn=cmd_similarity)
+    st = ssub.add_parser("stats", help="index population and store health")
+    st.add_argument("--json", action="store_true")
+    st.add_argument("--index-dir", metavar="DIR", default=None,
+                    help="similarity-index directory (default: "
+                         "results/.simindex or REPRO_SIMINDEX_DIR)")
+    st.set_defaults(fn=cmd_similarity)
+
     p = sub.add_parser("cache", help="persistent cell-cache maintenance")
     p.add_argument("action", choices=["stats", "clear"],
                    help="show cache statistics or delete every entry")
@@ -1127,6 +1277,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--directive", action="append", metavar="DIRECTIVE",
                    help="pragma-style transformation directive, e.g. "
                         "'unroll(4)@k/L0' (schema-reserved; repeatable)")
+    p.add_argument("--refine", action="store_true",
+                   help="for --config predicted app submissions: also "
+                        "enqueue a background tune refinement at idle "
+                        "priority; its verified winner upgrades the "
+                        "daemon's similarity index")
     p.add_argument("--no-ir", action="store_true",
                    help="omit the optimized IR from the result")
     p.add_argument("--no-wait", action="store_true",
@@ -1208,7 +1363,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", help="kernel name (default: all)")
     p.add_argument("--config", default="baseline",
                    choices=["baseline", "unroll", "unmerge", "uu",
-                            "uu_heuristic", "tuned"])
+                            "uu_heuristic", "tuned", "predicted"])
     p.add_argument("--loop", help="loop id for per-loop configs")
     p.add_argument("--factor", type=int, default=2)
     p.set_defaults(fn=cmd_ptx)

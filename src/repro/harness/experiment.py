@@ -85,7 +85,8 @@ class ExperimentRunner:
                  verify_each: bool = False,
                  engine: Optional[str] = None,
                  workload_scale: int = 1,
-                 tuned_dir: Optional[Path] = None) -> None:
+                 tuned_dir: Optional[Path] = None,
+                 sim_index_dir: Optional[Path] = None) -> None:
         self.heuristic = heuristic or HeuristicParams()
         self.max_instructions = max_instructions
         self.compile_timeout = compile_timeout
@@ -102,6 +103,13 @@ class ExperimentRunner:
         #: Where ``config == "tuned"`` resolves its per-loop decisions
         #: (None = the repo-level ``results/tuned`` directory).
         self.tuned_dir = tuned_dir
+        #: Where ``config == "predicted"`` reads the similarity index
+        #: (None = the repo-level ``results/.simindex`` directory).
+        self.sim_index_dir = sim_index_dir
+        #: Memoized per-app similarity predictions (prediction is pure
+        #: given the module and the index, so one resolve serves every
+        #: ``predicted`` cell of an app).
+        self._predictions: Dict[str, object] = {}
         self._cache: Dict[Tuple[str, str, Optional[str], int], Cell] = {}
         self._baseline_outputs: Dict[str, Dict[str, np.ndarray]] = {}
         #: Outputs of the *unoptimized* module, the baseline anchor's
@@ -134,6 +142,9 @@ class ExperimentRunner:
     def tuned_cell(self, bench: Benchmark) -> Cell:
         return self.cell(bench, "tuned")
 
+    def predicted_cell(self, bench: Benchmark) -> Cell:
+        return self.cell(bench, "predicted")
+
     def _resolve_tuned(self, app: str):
         """Decisions for ``config == "tuned"``, warning on fallback."""
         # Lazy import: tune.store is stdlib-light but lives above the
@@ -146,9 +157,47 @@ class ExperimentRunner:
                 f"{app}: no usable tuned config ({why}); "
                 "falling back to the static heuristic",
                 RuntimeWarning, stacklevel=3)
-            obs.remark("analysis", "tuned-uu", app,
-                       f"tuned config unusable ({why}); heuristic fallback")
+            # A typed ``missed`` remark (not just the RuntimeWarning):
+            # the fallback is a lost optimization opportunity, stamped
+            # with the staleness reason so remark consumers can tell a
+            # never-tuned app from a schema/timing-staled one.
+            obs.remark("missed", "tuned-uu", app,
+                       f"tuned config unusable ({why}); heuristic fallback",
+                       reason=why)
         return decisions
+
+    def _predict(self, bench: Benchmark):
+        """Memoized similarity prediction for ``bench`` (no telemetry).
+
+        Both the cache-key fingerprint and the measurement path need the
+        prediction; computing it here keeps the two trivially consistent.
+        Telemetry (remarks + metrics) is deferred to
+        :meth:`predicted_decisions` — the measurement path — so ``-j1``
+        and ``-jN`` sweeps emit it exactly once, in the worker that
+        compiles the cell.
+        """
+        if bench.name not in self._predictions:
+            from ..similarity.index import SimilarityIndex
+            from ..similarity.predict import predict_bench
+
+            root = Path(self.sim_index_dir) if self.sim_index_dir else None
+            self._predictions[bench.name] = predict_bench(
+                bench, SimilarityIndex(root), emit=False)
+        return self._predictions[bench.name]
+
+    def predicted_decisions(self, bench: Benchmark):
+        """Decisions for ``config == "predicted"``, warning on fallback."""
+        from ..similarity.predict import emit_prediction_telemetry
+
+        prediction = self._predict(bench)
+        emit_prediction_telemetry(prediction)
+        if prediction.fallback:
+            warnings.warn(
+                f"{bench.name}: no usable similarity-index evidence; "
+                "falling back to the static heuristic",
+                RuntimeWarning, stacklevel=3)
+            return None
+        return list(prediction.decisions)
 
     def _run(self, bench: Benchmark, config: str, loop_id: Optional[str],
              factor: int) -> Cell:
@@ -180,6 +229,8 @@ class ExperimentRunner:
         tuned_decisions = None
         if config == "tuned":
             tuned_decisions = self._resolve_tuned(bench.name)
+        elif config == "predicted":
+            tuned_decisions = self.predicted_decisions(bench)
         with obs.span("compile"):
             compiled: CompileResult = compile_module(
                 module, config, loop_id=loop_id, factor=factor,

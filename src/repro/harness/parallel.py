@@ -105,8 +105,8 @@ def sweep_specs(bench: Benchmark,
                             CellSpec(bench.name, config, loop_id, factor))
         elif config == "uu_heuristic":
             specs.append(CellSpec(bench.name, "uu_heuristic", None, 1))
-        elif config == "tuned":
-            specs.append(CellSpec(bench.name, "tuned", None, 1))
+        elif config in ("tuned", "predicted"):
+            specs.append(CellSpec(bench.name, config, None, 1))
     return specs
 
 
@@ -132,7 +132,7 @@ def workload_fingerprint(bench: Benchmark) -> str:
 
 def _spec_cost(spec: CellSpec, u_max: int) -> int:
     """Relative cost estimate used to schedule long cells first."""
-    if spec.config in ("uu_heuristic", "tuned"):
+    if spec.config in ("uu_heuristic", "tuned", "predicted"):
         return u_max + 1
     if spec.config == "baseline":
         return 1
@@ -146,14 +146,16 @@ def _spec_cost(spec: CellSpec, u_max: int) -> int:
 
 def _make_runner(params: Tuple) -> ExperimentRunner:
     (heuristic, max_instructions, compile_timeout, verify_each, engine,
-     workload_scale, tuned_dir) = params
-    return ExperimentRunner(heuristic=heuristic,
-                            max_instructions=max_instructions,
-                            compile_timeout=compile_timeout,
-                            verify_each=verify_each,
-                            engine=engine,
-                            workload_scale=workload_scale,
-                            tuned_dir=Path(tuned_dir) if tuned_dir else None)
+     workload_scale, tuned_dir, sim_index_dir) = params
+    return ExperimentRunner(
+        heuristic=heuristic,
+        max_instructions=max_instructions,
+        compile_timeout=compile_timeout,
+        verify_each=verify_each,
+        engine=engine,
+        workload_scale=workload_scale,
+        tuned_dir=Path(tuned_dir) if tuned_dir else None,
+        sim_index_dir=Path(sim_index_dir) if sim_index_dir else None)
 
 
 def _worker_extras(runner: ExperimentRunner) -> Dict:
@@ -236,14 +238,16 @@ class ParallelRunner(ExperimentRunner):
                  use_cache: bool = True,
                  engine: Optional[str] = None,
                  workload_scale: int = 1,
-                 tuned_dir: Optional[Path] = None) -> None:
+                 tuned_dir: Optional[Path] = None,
+                 sim_index_dir: Optional[Path] = None) -> None:
         super().__init__(heuristic=heuristic,
                          max_instructions=max_instructions,
                          compile_timeout=compile_timeout,
                          verify_each=verify_each,
                          engine=engine,
                          workload_scale=workload_scale,
-                         tuned_dir=tuned_dir)
+                         tuned_dir=tuned_dir,
+                         sim_index_dir=sim_index_dir)
         self.jobs = resolve_jobs(jobs)
         self.cache: Optional[CellCache] = (
             cache if cache is not None else (CellCache() if use_cache
@@ -269,6 +273,13 @@ class ParallelRunner(ExperimentRunner):
             # staling results/tuned/<app>.json orphans the old cells.
             from ..tune.store import decisions_fingerprint
             tuned = decisions_fingerprint(bench.name, self.tuned_dir)
+        elif config == "predicted":
+            # Same discipline for predictions: any index growth, schema
+            # bump, or k/threshold change that alters the resolved
+            # decision set re-keys the cell.  The config string differs
+            # from "tuned", so the shared ``tuned=`` slot cannot collide.
+            from ..similarity.predict import prediction_fingerprint
+            tuned = prediction_fingerprint(self._predict(bench))
         return CellCache.make_key(
             ir, workload, config, loop_id, factor, self.heuristic,
             self.max_instructions, self.compile_timeout, self.verify_each,
@@ -377,7 +388,8 @@ class ParallelRunner(ExperimentRunner):
         params = (self.heuristic, self.max_instructions,
                   self.compile_timeout, self.verify_each, self.engine,
                   self.workload_scale,
-                  str(self.tuned_dir) if self.tuned_dir else None)
+                  str(self.tuned_dir) if self.tuned_dir else None,
+                  str(self.sim_index_dir) if self.sim_index_dir else None)
         baseline_specs = [(s, k) for s, k in missing
                           if s.config == "baseline"]
         other_specs = [(s, k) for s, k in missing if s.config != "baseline"]

@@ -153,6 +153,87 @@ def tuned_summary(runner: Optional[ExperimentRunner] = None,
         geomean_tuned=geomean([r.tuned_speedup for r in rows]))
 
 
+@dataclass
+class TransferAppRow:
+    """One application's heuristic / tuned / predicted comparison."""
+
+    app: str
+    heuristic_speedup: float
+    tuned_speedup: float
+    predicted_speedup: float
+    #: Loops decided by neighbor transfer (vs heuristic fallback).
+    transferred_loops: int
+    total_loops: int
+    #: True when the whole prediction fell back (empty/unusable index).
+    fallback: bool
+
+
+@dataclass
+class TransferSummary:
+    """Tuning-transfer scoreboard: predicted vs tuned vs heuristic.
+
+    ``predicted`` is always leave-one-out — the prediction for an app
+    never uses that app's own index entry — so its geomean is an honest
+    estimate of transfer quality on unseen kernels.
+    """
+
+    rows: List[TransferAppRow]
+    geomean_heuristic: float
+    geomean_tuned: float
+    geomean_predicted: float
+
+    def format(self) -> str:
+        lines = ["Tuning transfer (speedup over baseline; predicted is "
+                 "leave-one-out):"]
+        lines.append(f"  {'app':<16} {'heuristic':>10} {'tuned':>10} "
+                     f"{'predicted':>10}  transfer")
+        for r in self.rows:
+            if r.fallback:
+                note = "fallback"
+            else:
+                note = f"{r.transferred_loops}/{r.total_loops} loops"
+            lines.append(f"  {r.app:<16} {r.heuristic_speedup:>9.3f}x "
+                         f"{r.tuned_speedup:>9.3f}x "
+                         f"{r.predicted_speedup:>9.3f}x  {note}")
+        lines.append(f"  {'geomean':<16} {self.geomean_heuristic:>9.3f}x "
+                     f"{self.geomean_tuned:>9.3f}x "
+                     f"{self.geomean_predicted:>9.3f}x")
+        return "\n".join(lines)
+
+
+def transfer_summary(runner: Optional[ExperimentRunner] = None,
+                     benches: Optional[List[Benchmark]] = None
+                     ) -> TransferSummary:
+    """Compare the predicted pipeline against tuned and the heuristic."""
+    runner = runner or ExperimentRunner()
+    benches = benches if benches is not None else all_benchmarks()
+    prefetch_if_parallel(runner, benches,
+                         configs=("baseline", "uu_heuristic", "tuned",
+                                  "predicted"))
+    rows: List[TransferAppRow] = []
+    for bench in benches:
+        base = runner.baseline(bench)
+        heur = runner.heuristic_cell(bench)
+        tuned = runner.cell(bench, "tuned")
+        predicted = runner.cell(bench, "predicted")
+        prediction = runner._predict(bench)
+        transferred = sum(1 for lp in prediction.loops
+                          if lp.source == "transfer")
+        rows.append(TransferAppRow(
+            app=bench.name,
+            heuristic_speedup=heur.speedup_over(base),
+            tuned_speedup=tuned.speedup_over(base),
+            predicted_speedup=predicted.speedup_over(base),
+            transferred_loops=transferred,
+            total_loops=len(prediction.loops),
+            fallback=prediction.fallback))
+    return TransferSummary(
+        rows=rows,
+        geomean_heuristic=geomean([r.heuristic_speedup for r in rows]),
+        geomean_tuned=geomean([r.tuned_speedup for r in rows]),
+        geomean_predicted=geomean([r.predicted_speedup for r in rows]))
+
+
 def format_profile(runner: ExperimentRunner) -> str:
     """Phase and per-pass timing breakdown of this runner's cells.
 

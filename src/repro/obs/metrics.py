@@ -44,6 +44,12 @@ ENV_VAR = "REPRO_METRICS"
 LATENCY_BUCKETS_S: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
 
+#: Buckets for normalized feature-space distances (similarity index).
+#: The distance metric is roughly [0, 1] for related kernels; the tail
+#: bucket catches structurally unrelated neighbors.
+DISTANCE_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 1.0, 2.0)
+
 #: Central help text, so instrumentation sites stay one-liners.
 HELP: Dict[str, str] = {
     "repro_serve_queue_depth":
@@ -60,14 +66,16 @@ HELP: Dict[str, str] = {
         "Jobs reaching a terminal state (state=done|failed).",
     "repro_serve_requests_total":
         "HTTP requests by endpoint and method.",
-    "repro_cache_hits_total": "Cache lookups that hit (cache=cell|region).",
+    "repro_cache_hits_total":
+        "Cache lookups that hit (cache=cell|region|simindex).",
     "repro_cache_misses_total":
-        "Cache lookups that missed (cache=cell|region).",
-    "repro_cache_puts_total": "Cache writes (cache=cell|region).",
+        "Cache lookups that missed (cache=cell|region|simindex).",
+    "repro_cache_puts_total":
+        "Cache writes (cache=cell|region|simindex).",
     "repro_cache_evictions_total":
-        "Entries evicted by the LRU bound (cache=cell|region).",
+        "Entries evicted by the LRU bound (cache=cell|region|simindex).",
     "repro_cache_bytes_written_total":
-        "Payload bytes written into the cache (cache=cell|region).",
+        "Payload bytes written into the cache (cache=cell|region|simindex).",
     "repro_sweep_cells_total":
         "Experiment cells computed by ParallelRunner (cache misses only).",
     "repro_sweep_worker_failures_total":
@@ -83,6 +91,12 @@ HELP: Dict[str, str] = {
         "Fused multi-expression segments baked into compiled regions.",
     "repro_jit_fused_steps_total":
         "Expression steps covered by fused segments.",
+    "repro_similarity_predictions_total":
+        "Similarity predictions resolved (outcome=transfer|fallback).",
+    "repro_similarity_neighbor_distance":
+        "Nearest-neighbor distance per predicted loop (normalized).",
+    "repro_similarity_index_entries":
+        "Entries currently readable in the similarity index.",
 }
 
 
@@ -337,7 +351,7 @@ def preregister(registry: MetricsRegistry) -> None:
     registry.counter("repro_serve_cancelled_total")
     for state in ("done", "failed"):
         registry.counter("repro_serve_jobs_total", state=state)
-    for cache in ("cell", "region"):
+    for cache in ("cell", "region", "simindex"):
         registry.counter("repro_cache_hits_total", cache=cache)
         registry.counter("repro_cache_misses_total", cache=cache)
         registry.counter("repro_cache_puts_total", cache=cache)
@@ -348,6 +362,12 @@ def preregister(registry: MetricsRegistry) -> None:
     for kind in ("loop", "scalar", "lattice"):
         registry.counter("repro_jit_guard_failures_total", kind=kind)
     registry.counter("repro_jit_deopts_total")
+    for outcome in ("transfer", "fallback"):
+        registry.counter("repro_similarity_predictions_total",
+                         outcome=outcome)
+    registry.histogram("repro_similarity_neighbor_distance",
+                       buckets=DISTANCE_BUCKETS)
+    registry.gauge("repro_similarity_index_entries")
 
 
 # ---------------------------------------------------------------------------

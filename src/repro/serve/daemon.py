@@ -49,6 +49,38 @@ from .protocol import (SERVE_SCHEMA_VERSION, OptimizeRequest, ProtocolError,
                        content_hash)
 from .service import execute_request
 
+#: Queue priority of background refinement jobs: far below any user
+#: submission (user priorities default to 0), so refinement only runs
+#: when the queue is otherwise idle.
+REFINE_PRIORITY = -100
+
+
+def refine_app(app: str, sim_index_dir=None) -> Dict:
+    """Empirically tune ``app`` and upgrade the similarity index.
+
+    The background half of the serve fast path: a ``predicted`` result is
+    returned instantly, and this job later replaces transferred evidence
+    with a verified empirical tuning (``source="refined"`` in the index).
+    The tuning is *not* persisted to ``results/tuned/`` — the daemon owns
+    the index, not the committed corpus.
+    """
+    from ..bench import benchmark_by_name
+    from ..similarity.index import SimilarityIndex
+    from ..tune.search import tune_benchmark
+
+    bench = benchmark_by_name(app)
+    result = tune_benchmark(bench, jobs=1, persist=False)
+    if not result.verified:
+        return {"status": "error", "app": app, "indexed": False,
+                "error": f"refinement unverified: {result.verify_detail}"}
+    index = SimilarityIndex(sim_index_dir)
+    key = index.add_tuned(bench.build_module(), result.config,
+                          source="refined")
+    return {"status": "ok", "app": app, "indexed": True, "entry_key": key,
+            "source": result.config.source,
+            "tuned_cycles": result.config.tuned_cycles}
+
+
 #: Routes by verb; anything here answered with the other verb is a 405.
 GET_ROUTES = ("health", "stats", "metrics", "status", "result")
 POST_ROUTES = ("submit", "cancel")
@@ -89,6 +121,16 @@ class ServeDaemon:
         #: ``repro trace --request`` after :meth:`export_obs`.
         self.obs = ObsSession()
         self._obs_lock = threading.Lock()
+        #: Background-refinement entry point (tests monkeypatch this to
+        #: avoid a real tuning search inside a unit test).
+        self.refine_fn = refine_app
+        #: Similarity-plane session counters, guarded by their own lock
+        #: (bumped from queue workers and read by /stats).
+        self._similarity_lock = threading.Lock()
+        self._similarity = {"predictions_served": 0,
+                            "refinements_submitted": 0,
+                            "refinements_completed": 0,
+                            "refinements_failed": 0}
         #: Monotonic anchor for /health's ``uptime_seconds``.
         self.started_at = time.monotonic()
         self.queue = JobQueue(self._execute, workers=workers)
@@ -100,6 +142,8 @@ class ServeDaemon:
     # -- job execution -------------------------------------------------------
     def _execute(self, request_json: Dict) -> Dict:
         """Queue-worker entry point: one submission -> one result dict."""
+        if request_json.get("internal") == "refine":
+            return self._execute_refine(request_json)
         request = OptimizeRequest.from_json(request_json)
         if request.app is not None:
             with self._runner_lock:
@@ -107,8 +151,46 @@ class ServeDaemon:
         else:
             result = execute_request(request)
         data = result.to_json()
+        if request.config == "predicted" and data.get("status") == "ok":
+            with self._similarity_lock:
+                self._similarity["predictions_served"] += 1
         self._fold_obs(data)
         return data
+
+    def _execute_refine(self, request_json: Dict) -> Dict:
+        """Run one background refinement (daemon-internal job shape)."""
+        app = str(request_json.get("app", ""))
+        # The runner lock keeps a refinement search from contending with
+        # interactive app jobs for the shared cell cache and the CPU.
+        with self._runner_lock:
+            try:
+                data = self.refine_fn(app,
+                                      getattr(self.runner, "sim_index_dir",
+                                              None))
+            except Exception as exc:  # noqa: BLE001 — job must terminate
+                data = {"status": "error", "app": app, "indexed": False,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        with self._similarity_lock:
+            if data.get("status") == "ok":
+                self._similarity["refinements_completed"] += 1
+            else:
+                self._similarity["refinements_failed"] += 1
+        return data
+
+    def submit_refinement(self, app: str):
+        """Enqueue a background refinement for ``app`` at idle priority.
+
+        Dedups on ``refine:<app>`` — the second predicted submission for
+        an app does not schedule a second tuning search.  Returns the
+        (job, deduped) pair, like :meth:`JobQueue.submit`.
+        """
+        job, deduped = self.queue.submit(
+            {"internal": "refine", "app": app},
+            f"refine:{app}", priority=REFINE_PRIORITY)
+        if not deduped:
+            with self._similarity_lock:
+                self._similarity["refinements_submitted"] += 1
+        return job, deduped
 
     def _fold_obs(self, result_json: Dict) -> None:
         """Merge one finished job's captured streams into the master."""
@@ -223,6 +305,16 @@ class ServeDaemon:
         }
         region_data["store"] = regions.stats() if regions is not None else None
         data["region_cache"] = region_data
+        from ..similarity.index import SimilarityIndex
+        index = SimilarityIndex(getattr(self.runner, "sim_index_dir", None))
+        with self._similarity_lock:
+            counters = dict(self._similarity)
+        counters["refinements_pending"] = max(
+            0, counters["refinements_submitted"]
+            - counters["refinements_completed"]
+            - counters["refinements_failed"])
+        counters["index"] = index.stats()
+        data["similarity"] = counters
         data["metrics"] = self.metrics.summary()
         return data
 
@@ -351,10 +443,16 @@ def _make_handler(daemon: ServeDaemon):
             job, deduped = daemon.queue.submit(
                 request.to_json(), content_hash(request),
                 priority=request.priority)
-            self._reply(200, {"job_id": job.id,
-                              "content_hash": job.content_hash,
-                              "state": job.state,
-                              "deduped": deduped})
+            reply = {"job_id": job.id,
+                     "content_hash": job.content_hash,
+                     "state": job.state,
+                     "deduped": deduped}
+            if (request.refine and request.app is not None
+                    and request.config == "predicted"):
+                refine_job, _refine_deduped = daemon.submit_refinement(
+                    request.app)
+                reply["refine_job_id"] = refine_job.id
+            self._reply(200, reply)
 
         def _result(self, job_id: str, params: Dict[str, str]) -> None:
             job = daemon.queue.get(job_id)

@@ -48,10 +48,14 @@ from ..gpu.timing import TIMING_MODEL_VERSION
 #: Bump when the request or result wire shape changes incompatibly.
 #: v2: requests grow ``include_profile``; results grow ``trace_events``
 #: and ``profile`` (per-request correlated observability streams).
-SERVE_SCHEMA_VERSION = 2
+#: v3: requests may ask for the ``predicted`` config (similarity-index
+#: tuning transfer) and grow ``refine`` — opt-in background empirical
+#: refinement of a predicted app at low priority.
+SERVE_SCHEMA_VERSION = 3
 
 #: Pipeline configurations a submission may request.
-CONFIGS = ("baseline", "uu", "unroll", "unmerge", "uu_heuristic", "tuned")
+CONFIGS = ("baseline", "uu", "unroll", "unmerge", "uu_heuristic", "tuned",
+           "predicted")
 
 #: Configs that address one loop at a time and therefore need a loop_id.
 PER_LOOP_CONFIGS = ("uu", "unroll", "unmerge")
@@ -178,6 +182,10 @@ class OptimizeRequest:
     include_profile: bool = False
     #: Larger runs first; ties FIFO.
     priority: int = 0
+    #: For ``config == "predicted"`` app submissions: also enqueue a
+    #: background ``repro tune`` refinement job at low priority whose
+    #: verified winner upgrades the similarity index on completion.
+    refine: bool = False
     #: Reserved pragma-style transformation script (validated, not yet
     #: executed — see module docstring).
     directives: Tuple[str, ...] = ()
@@ -251,6 +259,9 @@ def content_hash(request: OptimizeRequest) -> str:
         "include_profile": request.include_profile,
         "directives": list(request.directives),
     }
+    # ``refine`` is excluded like ``priority``: it schedules extra
+    # background work but never changes this request's own result, so a
+    # predicted submission with refinement dedups against one without.
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
 

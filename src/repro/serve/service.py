@@ -181,6 +181,12 @@ def _execute_app(request: OptimizeRequest, req_hash: str,
         if request.config == "tuned":
             from ..tune.store import resolve_decisions
             tuned, _why = resolve_decisions(bench.name, runner.tuned_dir)
+        elif request.config == "predicted":
+            # Silent resolve: the measured cell above already emitted the
+            # prediction telemetry; this recompile only needs the decisions.
+            prediction = runner._predict(bench)
+            tuned = (None if prediction.fallback
+                     else list(prediction.decisions))
         module = bench.build_module()
         with obs.request_capture(req_hash) as session:
             with obs.context(app=bench.name, config=request.config,

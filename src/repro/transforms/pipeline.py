@@ -38,9 +38,12 @@ from .unroll import BaselineUnroll, UnrollPass
 from .uu import UnrollAndUnmerge
 
 #: ``tuned`` replays persisted per-loop decisions from the empirical
-#: autotuner (:mod:`repro.tune`); with no decisions available it degrades
-#: to the static heuristic, so it is usable unconditionally.
-CONFIGS = ("baseline", "unroll", "unmerge", "uu", "uu_heuristic", "tuned")
+#: autotuner (:mod:`repro.tune`); ``predicted`` replays decisions the
+#: similarity index transferred from the nearest tuned kernels
+#: (:mod:`repro.similarity`).  Both degrade to the static heuristic when
+#: no decisions are available, so they are usable unconditionally.
+CONFIGS = ("baseline", "unroll", "unmerge", "uu", "uu_heuristic", "tuned",
+           "predicted")
 
 
 @dataclass
@@ -105,9 +108,10 @@ def transform_passes(config: str, *, loop_id: Optional[str] = None,
     if config == "uu_heuristic":
         return [HeuristicUU(heuristic or HeuristicParams(),
                             max_instructions)]
-    if config == "tuned":
+    if config in ("tuned", "predicted"):
         if tuned is None:
-            # Graceful fallback: no (usable) tuned file for this module.
+            # Graceful fallback: no (usable) tuned file for this module,
+            # or no usable similarity-index evidence for ``predicted``.
             return [HeuristicUU(heuristic or HeuristicParams(),
                                 max_instructions)]
         return [TunedUU(tuned, max_instructions)]

@@ -20,10 +20,16 @@ One ``tune_benchmark`` call runs four stages:
    sets of the static heuristic at several budgets ``c`` and against the
    do-nothing baseline.  The default ``c = 1024`` set is always in the
    race, so the winner is never slower than the static heuristic.
-4. **Verify + persist** — the winner must pass the differential oracle
-   (:func:`repro.fuzz.oracle.verify_tuned_config`, anchored on the
-   *unoptimized* lowering) before ``results/tuned/<bench>.json`` is
-   written.  Unverifiable winners are reported, never persisted.
+4. **Verify + persist** — the winner is re-measured as a pair of
+   ``verify_each=True`` cells (baseline + tuned replay) through the same
+   shared :class:`~repro.harness.parallel.ParallelRunner` as the search
+   rounds: the baseline cell differentially anchors on the *unoptimized*
+   lowering and the tuned cell on the baseline, so the composition gives
+   the oracle's tuned-vs-raw guarantee, with a clean IR-verifier run
+   after every pass on top.  Only then is ``results/tuned/<bench>.json``
+   written; unverifiable winners are reported, never persisted.  Because
+   verification cells land in the shared cell cache, a warm ``repro tune
+   --all`` re-verifies every app with zero fresh evaluations.
 
 Everything measured lands in the content-addressed cell cache, so
 re-tuning is warm: a repeated search performs zero fresh evaluations
@@ -148,6 +154,44 @@ def _compose_per_loop(facts: List[LoopFacts],
     return sorted(decisions, key=lambda d: d.loop_id)
 
 
+def _verify_winner(bench: Benchmark, decisions: List[TunedLoopDecision],
+                   source: str, make_runner) -> Tuple[bool, str]:
+    """Differentially verify the winning decision set via shared cells.
+
+    The winner is replayed as a ``verify_each=True`` cell pair —
+    baseline plus tuned — through the same cached
+    :class:`~repro.harness.parallel.ParallelRunner` as the search
+    rounds.  The baseline cell checks the baseline pipeline against the
+    *unoptimized* lowering and the tuned cell checks the replay against
+    the baseline, so bitwise-equality transitivity yields exactly the
+    oracle's tuned-vs-raw guarantee; ``verify_each`` adds a clean IR
+    verifier run after every pass.  Both cells persist in the shared
+    cache (keyed on the decisions fingerprint and ``verify_each``), so a
+    warm re-tune — including ``repro tune --all`` — re-verifies without
+    a single fresh evaluation, fanned out instead of serial.
+
+    Returns ``(ok, detail)`` with ``detail == ""`` on success.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-tune-verify-") as tmp:
+        save_tuned(TunedConfig(
+            app=bench.name, decisions=list(decisions), source=source,
+            baseline_cycles=0.0, heuristic_cycles=0.0, tuned_cycles=0.0),
+            Path(tmp))
+        runner = make_runner(1, run_tuned_dir=Path(tmp), verify_each=True)
+        cells = runner.prefetch([bench], specs=[
+            CellSpec(bench.name, "baseline", None, 1),
+            CellSpec(bench.name, "tuned", None, 1)])
+    for cell in cells:
+        status = _cell_status(cell)
+        if status == "ok":
+            continue
+        detail = f"{cell.config}: {status}"
+        if cell.error:
+            detail += f" ({cell.error.strip().splitlines()[-1]})"
+        return False, detail
+    return True, ""
+
+
 def tune_benchmark(bench: Benchmark, *,
                    params: Optional[TuneParams] = None,
                    heuristic: Optional[HeuristicParams] = None,
@@ -169,8 +213,8 @@ def tune_benchmark(bench: Benchmark, *,
     heuristic = heuristic or HeuristicParams()
     caches: List[CellCache] = []
 
-    def make_runner(scale: int, run_tuned_dir: Optional[Path] = None
-                    ) -> ParallelRunner:
+    def make_runner(scale: int, run_tuned_dir: Optional[Path] = None,
+                    verify_each: bool = False) -> ParallelRunner:
         cache = None
         if use_cache:
             prefix = TUNE_PREFIX if scale != 1 else ""
@@ -179,6 +223,7 @@ def tune_benchmark(bench: Benchmark, *,
         return ParallelRunner(heuristic=heuristic,
                               max_instructions=max_instructions,
                               compile_timeout=compile_timeout,
+                              verify_each=verify_each,
                               jobs=jobs, cache=cache, use_cache=use_cache,
                               engine=engine, workload_scale=scale,
                               tuned_dir=run_tuned_dir)
@@ -333,26 +378,23 @@ def tune_benchmark(bench: Benchmark, *,
                f"{heuristic_cycles:.0f})")
 
     # -- stage 4: oracle verification + persistence ------------------------
-    from ..fuzz.oracle import verify_tuned_config
-
-    outcome = verify_tuned_config(bench, decisions,
-                                  max_instructions=max_instructions,
-                                  engine=engine)
+    verified, verify_detail = _verify_winner(bench, decisions, source,
+                                             make_runner)
     config = TunedConfig(app=bench.name, decisions=decisions, source=source,
                          baseline_cycles=baseline_cycles,
                          heuristic_cycles=heuristic_cycles,
                          tuned_cycles=tuned_cycles,
-                         verified=outcome.ok, trials=trials)
+                         verified=verified, trials=trials)
     path = None
-    if outcome.ok and persist:
+    if verified and persist:
         path = save_tuned(config, tuned_dir)
-    elif not outcome.ok:
+    elif not verified:
         obs.remark("missed", _PASS, bench.name,
                    f"winner {source} failed oracle verification "
-                   f"({outcome.kind}); not persisted")
+                   f"({verify_detail}); not persisted")
     return TuneResult(
-        app=bench.name, config=config, path=path, verified=outcome.ok,
-        verify_detail="" if outcome.ok else outcome.describe(),
+        app=bench.name, config=config, path=path, verified=verified,
+        verify_detail=verify_detail,
         candidates_total=total, candidates_pruned=len(pruned),
         candidates_truncated=truncated,
         fresh_evaluations=sum(c.misses for c in caches))
